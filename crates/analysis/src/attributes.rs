@@ -1,0 +1,391 @@
+//! The heap-backed `Attributes` structure (paper Figure 4).
+//!
+//! Each analyzed statement owns one `Attributes` object with one field per
+//! analysis phase:
+//!
+//! ```text
+//! Attributes ── se ──► SEEntry ── rd ──► VarNode ─► VarNode ─► …
+//!            │                 └─ wr ──► VarNode ─► …
+//!            ├─ bt ──► BTEntry ── bt ──► BT(ann)
+//!            └─ et ──► ETEntry ── et ──► ET(ann)
+//! ```
+//!
+//! Side-effect results are *lists* (the variables read and written);
+//! binding-time and evaluation-time results are single annotations —
+//! exactly the asymmetry the paper exploits ("side-effect analysis
+//! collects sets of variables, while binding-time analysis and
+//! evaluation-time analysis each record only a single annotation").
+//!
+//! All mutation goes through this schema's setters, which only write (and
+//! therefore only dirty) objects whose value actually changed — that is
+//! what makes later fixpoint iterations cheap to checkpoint
+//! incrementally.
+
+use ickp_heap::{ClassId, FieldType, Heap, HeapError, ObjectId, Value};
+use ickp_spec::{NodePattern, SpecShape};
+
+/// Class ids and slot indices of the `Attributes` object family.
+#[derive(Debug, Clone, Copy)]
+pub struct AttributesSchema {
+    /// `Attributes` class.
+    pub attributes: ClassId,
+    /// `SEEntry` class.
+    pub se_entry: ClassId,
+    /// `BTEntry` class.
+    pub bt_entry: ClassId,
+    /// `ETEntry` class.
+    pub et_entry: ClassId,
+    /// `BT` annotation class.
+    pub bt: ClassId,
+    /// `ET` annotation class.
+    pub et: ClassId,
+    /// `VarNode` list-element class.
+    pub var_node: ClassId,
+}
+
+/// Slots of `Attributes`.
+const ATTR_SE: usize = 0;
+const ATTR_BT: usize = 1;
+const ATTR_ET: usize = 2;
+/// Slots of `SEEntry`.
+const SE_RD: usize = 0;
+const SE_WR: usize = 1;
+/// Slots of `BTEntry`/`ETEntry`: a version counter plus the annotation ref.
+const ENTRY_VERSION: usize = 0;
+const ENTRY_CHILD: usize = 1;
+/// Slot of `BT`/`ET`: the annotation value.
+const ANN_VALUE: usize = 0;
+/// Slots of `VarNode`.
+const VAR_VALUE: usize = 0;
+const VAR_NEXT: usize = 1;
+
+impl AttributesSchema {
+    /// Defines the `Attributes` class family on a heap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of the class names are already taken.
+    pub fn define(heap: &mut Heap) -> Result<AttributesSchema, HeapError> {
+        let var_node = heap.define_class(
+            "VarNode",
+            None,
+            &[("var", FieldType::Int), ("next", FieldType::Ref(None))],
+        )?;
+        let bt = heap.define_class("BT", None, &[("ann", FieldType::Int)])?;
+        let et = heap.define_class("ET", None, &[("ann", FieldType::Int)])?;
+        let se_entry = heap.define_class(
+            "SEEntry",
+            None,
+            &[("rd", FieldType::Ref(Some(var_node))), ("wr", FieldType::Ref(Some(var_node)))],
+        )?;
+        let bt_entry = heap.define_class(
+            "BTEntry",
+            None,
+            &[("version", FieldType::Int), ("bt", FieldType::Ref(Some(bt)))],
+        )?;
+        let et_entry = heap.define_class(
+            "ETEntry",
+            None,
+            &[("version", FieldType::Int), ("et", FieldType::Ref(Some(et)))],
+        )?;
+        let attributes = heap.define_class(
+            "Attributes",
+            None,
+            &[
+                ("se", FieldType::Ref(Some(se_entry))),
+                ("bt", FieldType::Ref(Some(bt_entry))),
+                ("et", FieldType::Ref(Some(et_entry))),
+            ],
+        )?;
+        Ok(AttributesSchema { attributes, se_entry, bt_entry, et_entry, bt, et, var_node })
+    }
+
+    /// Allocates a complete `Attributes` tree (empty side-effect lists,
+    /// zero annotations) and returns its root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn alloc(&self, heap: &mut Heap) -> Result<ObjectId, HeapError> {
+        let bt_ann = heap.alloc(self.bt)?;
+        let et_ann = heap.alloc(self.et)?;
+        let se = heap.alloc(self.se_entry)?;
+        let bte = heap.alloc(self.bt_entry)?;
+        heap.set_field(bte, ENTRY_CHILD, Value::Ref(Some(bt_ann)))?;
+        let ete = heap.alloc(self.et_entry)?;
+        heap.set_field(ete, ENTRY_CHILD, Value::Ref(Some(et_ann)))?;
+        let attrs = heap.alloc(self.attributes)?;
+        heap.set_field(attrs, ATTR_SE, Value::Ref(Some(se)))?;
+        heap.set_field(attrs, ATTR_BT, Value::Ref(Some(bte)))?;
+        heap.set_field(attrs, ATTR_ET, Value::Ref(Some(ete)))?;
+        Ok(attrs)
+    }
+
+    fn entry(&self, heap: &Heap, attrs: ObjectId, slot: usize) -> Result<ObjectId, HeapError> {
+        heap.field(attrs, slot)?
+            .as_ref_id()
+            .ok_or(ickp_heap::HeapError::DanglingObject(attrs))
+    }
+
+    /// Reads the binding-time annotation of a statement's attributes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling handles.
+    pub fn bt_ann(&self, heap: &Heap, attrs: ObjectId) -> Result<i32, HeapError> {
+        let bte = self.entry(heap, attrs, ATTR_BT)?;
+        let ann = self.entry(heap, bte, ENTRY_CHILD)?;
+        Ok(heap.field(ann, ANN_VALUE)?.as_int().unwrap_or(0))
+    }
+
+    /// Writes the binding-time annotation **only if it changed**, bumping
+    /// the `BTEntry` version alongside (the two objects the paper's
+    /// Figure 6 residual code records). Returns `true` if a write
+    /// happened.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling handles.
+    pub fn set_bt_ann(&self, heap: &mut Heap, attrs: ObjectId, value: i32) -> Result<bool, HeapError> {
+        let bte = self.entry(heap, attrs, ATTR_BT)?;
+        let ann = self.entry(heap, bte, ENTRY_CHILD)?;
+        if heap.field(ann, ANN_VALUE)?.as_int() == Some(value) {
+            return Ok(false);
+        }
+        heap.set_field(ann, ANN_VALUE, Value::Int(value))?;
+        let version = heap.field(bte, ENTRY_VERSION)?.as_int().unwrap_or(0);
+        heap.set_field(bte, ENTRY_VERSION, Value::Int(version + 1))?;
+        Ok(true)
+    }
+
+    /// Reads the evaluation-time annotation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling handles.
+    pub fn et_ann(&self, heap: &Heap, attrs: ObjectId) -> Result<i32, HeapError> {
+        let ete = self.entry(heap, attrs, ATTR_ET)?;
+        let ann = self.entry(heap, ete, ENTRY_CHILD)?;
+        Ok(heap.field(ann, ANN_VALUE)?.as_int().unwrap_or(0))
+    }
+
+    /// Writes the evaluation-time annotation only if it changed; returns
+    /// `true` if a write happened.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling handles.
+    pub fn set_et_ann(&self, heap: &mut Heap, attrs: ObjectId, value: i32) -> Result<bool, HeapError> {
+        let ete = self.entry(heap, attrs, ATTR_ET)?;
+        let ann = self.entry(heap, ete, ENTRY_CHILD)?;
+        if heap.field(ann, ANN_VALUE)?.as_int() == Some(value) {
+            return Ok(false);
+        }
+        heap.set_field(ann, ANN_VALUE, Value::Int(value))?;
+        let version = heap.field(ete, ENTRY_VERSION)?.as_int().unwrap_or(0);
+        heap.set_field(ete, ENTRY_VERSION, Value::Int(version + 1))?;
+        Ok(true)
+    }
+
+    /// Reads one of the side-effect variable lists (`wr` if `writes`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling handles.
+    pub fn se_list(&self, heap: &Heap, attrs: ObjectId, writes: bool) -> Result<Vec<i32>, HeapError> {
+        let se = self.entry(heap, attrs, ATTR_SE)?;
+        let mut out = Vec::new();
+        let mut cur = heap.field(se, if writes { SE_WR } else { SE_RD })?.as_ref_id();
+        while let Some(node) = cur {
+            out.push(heap.field(node, VAR_VALUE)?.as_int().unwrap_or(0));
+            cur = heap.field(node, VAR_NEXT)?.as_ref_id();
+        }
+        Ok(out)
+    }
+
+    /// Replaces both side-effect lists. Old list nodes are freed (they are
+    /// garbage the moment the head pointer moves). The caller is expected
+    /// to skip the call when the sets did not change.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling handles.
+    pub fn set_se_lists(
+        &self,
+        heap: &mut Heap,
+        attrs: ObjectId,
+        reads: &[i32],
+        writes: &[i32],
+    ) -> Result<(), HeapError> {
+        let se = self.entry(heap, attrs, ATTR_SE)?;
+        for (slot, values) in [(SE_RD, reads), (SE_WR, writes)] {
+            // Free the superseded list.
+            let mut cur = heap.field(se, slot)?.as_ref_id();
+            while let Some(node) = cur {
+                cur = heap.field(node, VAR_NEXT)?.as_ref_id();
+                heap.free(node)?;
+            }
+            // Build the new one back-to-front.
+            let mut head: Option<ObjectId> = None;
+            for &v in values.iter().rev() {
+                let node = heap.alloc(self.var_node)?;
+                heap.set_field(node, VAR_VALUE, Value::Int(v))?;
+                heap.set_field(node, VAR_NEXT, Value::Ref(head))?;
+                head = Some(node);
+            }
+            heap.set_field(se, slot, Value::Ref(head))?;
+        }
+        Ok(())
+    }
+
+    /// Structure-only specialization (paper Figure 5): every node may be
+    /// modified; the variable-length side-effect lists fall back to the
+    /// generic checkpointer.
+    pub fn shape_structure_only(&self) -> SpecShape {
+        SpecShape::object(
+            self.attributes,
+            NodePattern::MayModify,
+            vec![
+                (ATTR_SE, SpecShape::Dynamic),
+                (ATTR_BT, self.entry_shape(self.bt_entry, self.bt, NodePattern::MayModify)),
+                (ATTR_ET, self.entry_shape(self.et_entry, self.et, NodePattern::MayModify)),
+            ],
+        )
+    }
+
+    /// Phase-specific specialization for the **binding-time analysis**
+    /// phase (paper Figure 6): only `bt` can change; the `se` and `et`
+    /// subtrees are statically unmodified and vanish.
+    pub fn shape_bta_phase(&self) -> SpecShape {
+        SpecShape::object(
+            self.attributes,
+            NodePattern::FrozenHere,
+            vec![
+                (ATTR_SE, SpecShape::object(self.se_entry, NodePattern::Unmodified, vec![])),
+                (ATTR_BT, self.entry_shape(self.bt_entry, self.bt, NodePattern::MayModify)),
+                (ATTR_ET, SpecShape::object(self.et_entry, NodePattern::Unmodified, vec![])),
+            ],
+        )
+    }
+
+    /// Phase-specific specialization for the **evaluation-time analysis**
+    /// phase: only `et` can change.
+    pub fn shape_eta_phase(&self) -> SpecShape {
+        SpecShape::object(
+            self.attributes,
+            NodePattern::FrozenHere,
+            vec![
+                (ATTR_SE, SpecShape::object(self.se_entry, NodePattern::Unmodified, vec![])),
+                (ATTR_BT, SpecShape::object(self.bt_entry, NodePattern::Unmodified, vec![])),
+                (ATTR_ET, self.entry_shape(self.et_entry, self.et, NodePattern::MayModify)),
+            ],
+        )
+    }
+
+    fn entry_shape(&self, entry: ClassId, ann: ClassId, pattern: NodePattern) -> SpecShape {
+        SpecShape::object(
+            entry,
+            pattern,
+            vec![(ENTRY_CHILD, SpecShape::object(ann, pattern, vec![]))],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::ClassRegistry;
+    use ickp_spec::Specializer;
+
+    fn setup() -> (Heap, AttributesSchema, ObjectId) {
+        let mut heap = Heap::new(ClassRegistry::new());
+        let schema = AttributesSchema::define(&mut heap).unwrap();
+        let attrs = schema.alloc(&mut heap).unwrap();
+        (heap, schema, attrs)
+    }
+
+    #[test]
+    fn alloc_builds_the_figure_4_tree() {
+        let (heap, schema, attrs) = setup();
+        // 1 Attributes + SEEntry + BTEntry + ETEntry + BT + ET = 6 objects.
+        assert_eq!(heap.len(), 6);
+        assert_eq!(schema.bt_ann(&heap, attrs).unwrap(), 0);
+        assert_eq!(schema.et_ann(&heap, attrs).unwrap(), 0);
+        assert!(schema.se_list(&heap, attrs, false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn annotation_writes_are_change_detecting() {
+        let (mut heap, schema, attrs) = setup();
+        heap.reset_all_modified();
+        assert!(!schema.set_bt_ann(&mut heap, attrs, 0).unwrap(), "no-op write");
+        // Nothing became dirty:
+        assert!(heap.iter_live().all(|o| !heap.is_modified(o).unwrap()));
+
+        assert!(schema.set_bt_ann(&mut heap, attrs, 1).unwrap());
+        assert_eq!(schema.bt_ann(&heap, attrs).unwrap(), 1);
+        // Exactly BT and BTEntry are dirty:
+        let dirty = heap.iter_live().filter(|&o| heap.is_modified(o).unwrap()).count();
+        assert_eq!(dirty, 2);
+    }
+
+    #[test]
+    fn bt_and_et_annotations_are_independent() {
+        let (mut heap, schema, attrs) = setup();
+        schema.set_bt_ann(&mut heap, attrs, 5).unwrap();
+        assert_eq!(schema.et_ann(&heap, attrs).unwrap(), 0);
+        schema.set_et_ann(&mut heap, attrs, 7).unwrap();
+        assert_eq!(schema.bt_ann(&heap, attrs).unwrap(), 5);
+        assert_eq!(schema.et_ann(&heap, attrs).unwrap(), 7);
+    }
+
+    #[test]
+    fn se_lists_round_trip_and_free_their_predecessors() {
+        let (mut heap, schema, attrs) = setup();
+        schema.set_se_lists(&mut heap, attrs, &[1, 2, 3], &[4]).unwrap();
+        assert_eq!(schema.se_list(&heap, attrs, false).unwrap(), vec![1, 2, 3]);
+        assert_eq!(schema.se_list(&heap, attrs, true).unwrap(), vec![4]);
+        let before = heap.len();
+        // Replacing with shorter lists must free the old nodes.
+        schema.set_se_lists(&mut heap, attrs, &[9], &[]).unwrap();
+        assert_eq!(schema.se_list(&heap, attrs, false).unwrap(), vec![9]);
+        assert!(schema.se_list(&heap, attrs, true).unwrap().is_empty());
+        assert_eq!(heap.len(), before - 3);
+    }
+
+    #[test]
+    fn phase_shapes_compile() {
+        let (heap, schema, _) = setup();
+        let spec = Specializer::new(heap.registry());
+        let structure = spec.compile(&schema.shape_structure_only()).unwrap();
+        assert!(structure.has_dynamic(), "se lists need the generic fallback");
+        let bta = spec.compile(&schema.shape_bta_phase()).unwrap();
+        assert!(!bta.has_dynamic(), "BTA phase plan is fully static");
+        let eta = spec.compile(&schema.shape_eta_phase()).unwrap();
+        // The BTA plan touches strictly fewer ops than the structure plan.
+        assert!(bta.ops().len() < structure.ops().len());
+        assert!(eta.ops().len() == bta.ops().len());
+    }
+
+    #[test]
+    fn bta_phase_plan_sees_only_bt_changes() {
+        use ickp_core::{decode, CheckpointKind, StreamWriter, TraversalStats};
+        use ickp_spec::GuardMode;
+        let (mut heap, schema, attrs) = setup();
+        heap.reset_all_modified();
+        schema.set_bt_ann(&mut heap, attrs, 3).unwrap();
+        schema.set_et_ann(&mut heap, attrs, 9).unwrap(); // out-of-phase write
+
+        let plan = Specializer::new(heap.registry()).compile(&schema.shape_bta_phase()).unwrap();
+        let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+        let mut stats = TraversalStats::default();
+        plan.executor()
+            .run(&mut heap, attrs, &mut writer, GuardMode::Checked, None, &mut stats)
+            .unwrap();
+        let d = decode(&writer.finish(), heap.registry()).unwrap();
+        // Only BTEntry + BT are recorded; the ET mutation is invisible to
+        // this phase's plan (declarations are trusted, as in the paper).
+        assert_eq!(d.objects.len(), 2);
+        assert_eq!(stats.flag_tests, 2);
+    }
+}

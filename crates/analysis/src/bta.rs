@@ -1,0 +1,410 @@
+//! Binding-time analysis: which statements can be evaluated at
+//! specialization time.
+//!
+//! Given a *division* of the program's inputs — which globals hold values
+//! known only at run time — the analysis classifies every variable and
+//! every statement as **static** (computable from known inputs) or
+//! **dynamic**. The classic congruence rules apply: an expression is
+//! dynamic if any operand is; an assignment makes its target at least as
+//! dynamic as its value; and any assignment under a dynamic conditional
+//! context is dynamic (the specializer cannot know whether it executes).
+//!
+//! The variable map is flow-insensitive and inter-procedural (parameters
+//! join argument binding times, function results join return binding
+//! times), so convergence takes several passes over the program — each
+//! pass is one fixpoint iteration of the paper's "binding-time analysis"
+//! phase, and the engine checkpoints after every one.
+
+use crate::vars::VarIndex;
+use ickp_minic::{Block, Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind, Type};
+use std::collections::HashMap;
+
+/// A binding time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bt {
+    /// Known at specialization time.
+    Static,
+    /// Known only at run time.
+    Dynamic,
+}
+
+impl Bt {
+    /// Lattice join (`Dynamic` absorbs).
+    pub fn join(self, other: Bt) -> Bt {
+        if self == Bt::Dynamic || other == Bt::Dynamic {
+            Bt::Dynamic
+        } else {
+            Bt::Static
+        }
+    }
+
+    /// Annotation integer stored in the heap `BT` object.
+    pub fn ann(self) -> i32 {
+        match self {
+            Bt::Static => 0,
+            Bt::Dynamic => 1,
+        }
+    }
+}
+
+/// The user-supplied division: globals whose values are unknown until run
+/// time. Everything else starts static.
+#[derive(Debug, Clone, Default)]
+pub struct Division {
+    /// Names of dynamic globals.
+    pub dynamic_globals: Vec<String>,
+}
+
+/// The binding-time analysis state.
+#[derive(Debug)]
+pub struct BindingTimeAnalysis {
+    var_bt: HashMap<u32, Bt>,
+    fn_ret: HashMap<String, Bt>,
+    division: Division,
+    seeded: bool,
+}
+
+impl BindingTimeAnalysis {
+    /// Creates the analysis for a given division.
+    pub fn new(division: Division) -> BindingTimeAnalysis {
+        BindingTimeAnalysis {
+            var_bt: HashMap::new(),
+            fn_ret: HashMap::new(),
+            division,
+            seeded: false,
+        }
+    }
+
+    /// The binding time of a variable id (default static).
+    pub fn var_bt(&self, var: u32) -> Bt {
+        self.var_bt.get(&var).copied().unwrap_or(Bt::Static)
+    }
+
+    /// Runs one fixpoint pass. Returns the per-statement annotations
+    /// (indexed by statement id) and whether any variable or function
+    /// binding time changed (another pass is needed).
+    pub fn pass(&mut self, program: &Program, vars: &mut VarIndex) -> (Vec<Bt>, bool) {
+        if !self.seeded {
+            for name in &self.division.dynamic_globals.clone() {
+                let id = vars.intern(&VarIndex::global_key(name));
+                self.var_bt.insert(id, Bt::Dynamic);
+            }
+            self.seeded = true;
+        }
+        let mut changed = false;
+        let mut anns = vec![Bt::Static; program.stmt_count as usize];
+        for func in &program.functions {
+            let mut walker = Walker {
+                bta: self,
+                vars,
+                program,
+                func,
+                changed: &mut changed,
+                anns: &mut anns,
+            };
+            walker.block(&func.body, Bt::Static);
+        }
+        (anns, changed)
+    }
+}
+
+struct Walker<'a> {
+    bta: &'a mut BindingTimeAnalysis,
+    vars: &'a mut VarIndex,
+    program: &'a Program,
+    func: &'a Function,
+    changed: &'a mut bool,
+    anns: &'a mut Vec<Bt>,
+}
+
+impl<'a> Walker<'a> {
+    fn var_id(&mut self, name: &str) -> u32 {
+        // Locals shadow globals; a name declared nowhere in this function
+        // resolves as a global key (typecheck guarantees it exists).
+        let is_local = self.func.params.iter().any(|p| p.name == name)
+            || function_declares(self.func, name);
+        if is_local {
+            self.vars.intern(&VarIndex::local_key(&self.func.name, name))
+        } else {
+            self.vars.intern(&VarIndex::global_key(name))
+        }
+    }
+
+    fn read(&mut self, name: &str) -> Bt {
+        let id = self.var_id(name);
+        self.bta.var_bt(id)
+    }
+
+    fn raise(&mut self, name: &str, bt: Bt) {
+        let id = self.var_id(name);
+        let old = self.bta.var_bt(id);
+        let new = old.join(bt);
+        if new != old {
+            self.bta.var_bt.insert(id, new);
+            *self.changed = true;
+        }
+    }
+
+    fn raise_param(&mut self, func: &str, param: &str, bt: Bt) {
+        let id = self.vars.intern(&VarIndex::local_key(func, param));
+        let old = self.bta.var_bt(id);
+        let new = old.join(bt);
+        if new != old {
+            self.bta.var_bt.insert(id, new);
+            *self.changed = true;
+        }
+    }
+
+    fn block(&mut self, block: &Block, context: Bt) {
+        for stmt in &block.stmts {
+            self.stmt(stmt, context);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, context: Bt) {
+        let ann = match &stmt.kind {
+            StmtKind::Expr(e) => self.expr(e, context),
+            StmtKind::Decl { name, init, .. } => {
+                let bt = match init {
+                    Some(e) => self.expr(e, context),
+                    None => Bt::Static,
+                };
+                self.raise(name, bt.join(context));
+                bt.join(context)
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.expr(cond, context).join(context);
+                self.block(then_branch, c);
+                if let Some(e) = else_branch {
+                    self.block(e, c);
+                }
+                c
+            }
+            StmtKind::While { cond, body } => {
+                let c = self.expr(cond, context).join(context);
+                self.block(body, c);
+                c
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let mut c = context;
+                if let Some(e) = init {
+                    c = c.join(self.expr(e, context));
+                }
+                if let Some(e) = cond {
+                    c = c.join(self.expr(e, context));
+                }
+                self.block(body, c);
+                if let Some(e) = step {
+                    self.expr(e, c);
+                }
+                c
+            }
+            StmtKind::Return(value) => {
+                let bt = match value {
+                    Some(e) => self.expr(e, context),
+                    None => Bt::Static,
+                }
+                .join(context);
+                let old = self
+                    .bta
+                    .fn_ret
+                    .get(&self.func.name)
+                    .copied()
+                    .unwrap_or(Bt::Static);
+                let new = old.join(bt);
+                if new != old {
+                    self.bta.fn_ret.insert(self.func.name.clone(), new);
+                    *self.changed = true;
+                }
+                bt
+            }
+            StmtKind::Break | StmtKind::Continue => context,
+            StmtKind::Block(b) => {
+                self.block(b, context);
+                context
+            }
+        };
+        self.anns[stmt.id as usize] = ann;
+    }
+
+    fn expr(&mut self, e: &Expr, context: Bt) -> Bt {
+        match &e.kind {
+            ExprKind::IntLit(_) => Bt::Static,
+            ExprKind::Var(name) => self.read(name),
+            ExprKind::Index { array, index } => {
+                self.expr(index, context).join(self.read(array))
+            }
+            ExprKind::Assign { target, value } => {
+                let bt = self.expr(value, context).join(context);
+                match target {
+                    LValue::Var(name) => {
+                        self.raise(name, bt);
+                        bt
+                    }
+                    LValue::Index { array, index } => {
+                        let i = self.expr(index, context);
+                        // Writing one element under a dynamic index or in a
+                        // dynamic context pollutes the whole array, and the
+                        // write itself is as dynamic as its index.
+                        self.raise(array, bt.join(i));
+                        bt.join(i)
+                    }
+                }
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, context).join(self.expr(rhs, context))
+            }
+            ExprKind::Unary { expr, .. } => self.expr(expr, context),
+            ExprKind::Call { name, args } => {
+                let callee = self.program.function(name);
+                for (i, arg) in args.iter().enumerate() {
+                    let bt = match &arg.kind {
+                        // Array argument: the alias carries the array's bt.
+                        ExprKind::Var(n)
+                            if callee
+                                .and_then(|f| f.params.get(i))
+                                .is_some_and(|p| p.ty == Type::IntArray) =>
+                        {
+                            self.read(n)
+                        }
+                        _ => self.expr(arg, context),
+                    };
+                    if let Some(f) = callee {
+                        if let Some(p) = f.params.get(i) {
+                            let pname = p.name.clone();
+                            let fname = f.name.clone();
+                            self.raise_param(&fname, &pname, bt.join(context));
+                        }
+                    }
+                }
+                self.bta.fn_ret.get(name).copied().unwrap_or(Bt::Static).join(context)
+            }
+        }
+    }
+}
+
+fn function_declares(func: &Function, name: &str) -> bool {
+    let mut found = false;
+    visit_decls(&func.body, &mut |n| {
+        if n == name {
+            found = true;
+        }
+    });
+    found
+}
+
+fn visit_decls(block: &Block, f: &mut impl FnMut(&str)) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Decl { name, .. } => f(name),
+            StmtKind::If { then_branch, else_branch, .. } => {
+                visit_decls(then_branch, f);
+                if let Some(e) = else_branch {
+                    visit_decls(e, f);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => visit_decls(body, f),
+            StmtKind::Block(b) => visit_decls(b, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_minic::parse;
+
+    fn fix(program: &Program, dynamic: &[&str]) -> (Vec<Bt>, usize) {
+        let division =
+            Division { dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect() };
+        let mut bta = BindingTimeAnalysis::new(division);
+        let mut vars = VarIndex::new();
+        let mut iters = 0;
+        loop {
+            iters += 1;
+            let (anns, changed) = bta.pass(program, &mut vars);
+            assert!(iters < 50, "BTA diverged");
+            if !changed {
+                return (anns, iters);
+            }
+        }
+    }
+
+    #[test]
+    fn static_computation_stays_static() {
+        let p = parse("int s; void f() { s = 1 + 2 * 3; }").unwrap();
+        let (anns, _) = fix(&p, &[]);
+        assert_eq!(anns[0], Bt::Static);
+    }
+
+    #[test]
+    fn dynamic_inputs_poison_their_uses() {
+        let p = parse("int d; int s; void f() { s = d + 1; }").unwrap();
+        let (anns, _) = fix(&p, &["d"]);
+        assert_eq!(anns[0], Bt::Dynamic);
+    }
+
+    #[test]
+    fn dynamic_conditionals_make_guarded_assignments_dynamic() {
+        let p = parse("int d; int s; void f() { if (d > 0) { s = 1; } }").unwrap();
+        let (anns, _) = fix(&p, &["d"]);
+        // The inner `s = 1` computes a static value under dynamic control.
+        assert_eq!(anns[1], Bt::Dynamic);
+    }
+
+    #[test]
+    fn binding_times_flow_through_calls_and_returns() {
+        let p = parse(
+            "int d;
+             int id(int x) { return x; }
+             void f() { int a; int b; a = id(1); b = id(d); }",
+        )
+        .unwrap();
+        let (anns, _) = fix(&p, &["d"]);
+        // Both assignments share `id`'s (joined) return bt: dynamic.
+        let stmts = p.stmt_ids();
+        assert_eq!(anns[*stmts.last().unwrap() as usize], Bt::Dynamic);
+    }
+
+    #[test]
+    fn convergence_requires_multiple_passes_for_feedback_chains() {
+        let p = parse(
+            "int d;
+             void top() { mid(); }
+             void mid() { leaf(); }
+             int leaked;
+             void leaf() { leaked = d; }",
+        )
+        .unwrap();
+        let (_, iters) = fix(&p, &["d"]);
+        assert!(iters >= 2, "got {iters}");
+    }
+
+    #[test]
+    fn loop_carried_dynamism_reaches_the_accumulator() {
+        let p = parse(
+            "int d; int acc;
+             void f() { int i; for (i = 0; i < d; i = i + 1) { acc = acc + 1; } }",
+        )
+        .unwrap();
+        let (anns, _) = fix(&p, &["d"]);
+        // The for statement itself and the body assignment are dynamic.
+        assert_eq!(anns[1], Bt::Dynamic);
+        assert_eq!(anns[2], Bt::Dynamic);
+    }
+
+    #[test]
+    fn annotations_cover_every_statement() {
+        let p = parse("int d; void f() { int x; x = 1; if (x) { x = 2; } }").unwrap();
+        let (anns, _) = fix(&p, &["d"]);
+        assert_eq!(anns.len(), p.stmt_count as usize);
+    }
+
+    #[test]
+    fn arrays_written_under_dynamic_index_become_dynamic() {
+        let p = parse("int d; int a[4]; int s; void f() { a[d] = 1; s = a[0]; }").unwrap();
+        let (anns, _) = fix(&p, &["d"]);
+        assert_eq!(anns[1], Bt::Dynamic, "reading the polluted array is dynamic");
+    }
+}

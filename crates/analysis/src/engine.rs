@@ -1,0 +1,393 @@
+//! The phase-structured analysis engine.
+//!
+//! [`AnalysisEngine`] reproduces the paper's realistic application: the
+//! three analyses run as **phases** (side-effect, then binding-time, then
+//! evaluation-time), each phase performs repeated fixpoint **iterations**
+//! over the program, each statement's results live in a heap-backed
+//! `Attributes` structure, and "the end of an iteration is a natural time
+//! at which to take a checkpoint" — the `after_iteration` hook is exactly
+//! that point.
+//!
+//! Crucially for incremental checkpointing, "each phase only modifies its
+//! corresponding field of the `Attributes` structure", and annotations are
+//! written back *only when they changed*, so late iterations dirty very
+//! few objects.
+
+use crate::attributes::AttributesSchema;
+use crate::bta::{BindingTimeAnalysis, Bt, Division};
+use crate::error::EngineError;
+use crate::eta::EvalTimeAnalysis;
+use crate::seffect::{Effects, SideEffectAnalysis};
+use crate::vars::VarIndex;
+use ickp_core::CoreError;
+use ickp_heap::{ClassRegistry, Heap, ObjectId};
+use ickp_minic::{typecheck, Program};
+use ickp_spec::{PhasePlans, SpecError, Specializer};
+
+/// The three analysis phases, in their canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Side-effect analysis (variable read/write sets).
+    SideEffect,
+    /// Binding-time analysis (static/dynamic division).
+    BindingTime,
+    /// Evaluation-time analysis (specialization vs run time).
+    EvalTime,
+}
+
+impl Phase {
+    /// The phase's registry key (used with [`PhasePlans`]).
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::SideEffect => "seffect",
+            Phase::BindingTime => "bta",
+            Phase::EvalTime => "eta",
+        }
+    }
+}
+
+/// Summary of one completed phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Which phase ran.
+    pub phase: Phase,
+    /// Fixpoint iterations performed (= checkpoints taken).
+    pub iterations: usize,
+    /// Heap annotation updates across all iterations.
+    pub annotation_writes: usize,
+}
+
+/// The analysis engine: program + heap-backed per-statement attributes.
+///
+/// # Example
+///
+/// ```
+/// use ickp_analysis::{AnalysisEngine, Division, Phase};
+/// use ickp_minic::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = parse("int d; int s; void main() { s = d + 1; }")?;
+/// let mut engine = AnalysisEngine::new(program, Division { dynamic_globals: vec!["d".into()] })?;
+/// let report = engine.run_phase(Phase::BindingTime, |_heap, _roots, _iter| Ok(()))?;
+/// assert!(report.iterations >= 1);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct AnalysisEngine {
+    program: Program,
+    heap: Heap,
+    schema: AttributesSchema,
+    attrs: Vec<ObjectId>,
+    vars: VarIndex,
+    division: Division,
+    se: SideEffectAnalysis,
+    se_cache: Vec<Effects>,
+    bt_anns: Option<Vec<Bt>>,
+}
+
+impl AnalysisEngine {
+    /// Builds the engine: typechecks the program and allocates one
+    /// `Attributes` tree per statement.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program does not typecheck or the heap rejects the
+    /// schema.
+    pub fn new(program: Program, division: Division) -> Result<AnalysisEngine, EngineError> {
+        typecheck(&program)?;
+        let mut heap = Heap::new(ClassRegistry::new());
+        let schema = AttributesSchema::define(&mut heap)?;
+        let mut attrs = Vec::with_capacity(program.stmt_count as usize);
+        for _ in 0..program.stmt_count {
+            attrs.push(schema.alloc(&mut heap)?);
+        }
+        Ok(AnalysisEngine {
+            se_cache: vec![Effects::default(); program.stmt_count as usize],
+            program,
+            heap,
+            schema,
+            attrs,
+            vars: VarIndex::new(),
+            division,
+            se: SideEffectAnalysis::new(),
+            bt_anns: None,
+        })
+    }
+
+    /// The analyzed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The heap holding the `Attributes` structures.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutable heap access (checkpointers need `&mut`).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// The `Attributes` roots, indexed by statement id. These are the
+    /// compound structures a checkpoint of the engine covers.
+    pub fn roots(&self) -> &[ObjectId] {
+        &self.attrs
+    }
+
+    /// The attributes schema (classes and phase shapes).
+    pub fn schema(&self) -> &AttributesSchema {
+        &self.schema
+    }
+
+    /// Compiles the per-phase specialized checkpoint plans: the Figure 6
+    /// style plan for each annotation phase plus the structure-only
+    /// Figure 5 plan under the key `"structure"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-compilation failures.
+    pub fn compile_phase_plans(&self) -> Result<PhasePlans, SpecError> {
+        let spec = Specializer::new(self.heap.registry());
+        let mut plans = PhasePlans::new();
+        plans.insert("structure", spec.compile(&self.schema.shape_structure_only())?);
+        plans.insert(Phase::BindingTime.key(), spec.compile(&self.schema.shape_bta_phase())?);
+        plans.insert(Phase::EvalTime.key(), spec.compile(&self.schema.shape_eta_phase())?);
+        Ok(plans)
+    }
+
+    /// Runs one phase to fixpoint, invoking `after_iteration` with the
+    /// heap, the attribute roots and the 0-based iteration number after
+    /// every iteration — the natural checkpoint position.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::PhaseOrder`] if `EvalTime` runs before
+    ///   `BindingTime`.
+    /// * Any error returned by the hook (e.g. a checkpoint failure).
+    pub fn run_phase<F>(&mut self, phase: Phase, mut after_iteration: F) -> Result<PhaseReport, EngineError>
+    where
+        F: FnMut(&mut Heap, &[ObjectId], usize) -> Result<(), CoreError>,
+    {
+        let mut iterations = 0usize;
+        let mut writes = 0usize;
+        match phase {
+            Phase::SideEffect => loop {
+                let changed = self.se.pass(&self.program, &mut self.vars);
+                let effects = self.se.stmt_effects(&self.program, &mut self.vars);
+                for (id, eff) in effects.iter().enumerate() {
+                    if self.se_cache[id] != *eff {
+                        let reads: Vec<i32> = eff.0.iter().map(|&v| v as i32).collect();
+                        let writes_list: Vec<i32> = eff.1.iter().map(|&v| v as i32).collect();
+                        self.schema.set_se_lists(
+                            &mut self.heap,
+                            self.attrs[id],
+                            &reads,
+                            &writes_list,
+                        )?;
+                        self.se_cache[id] = eff.clone();
+                        writes += 1;
+                    }
+                }
+                after_iteration(&mut self.heap, &self.attrs, iterations)?;
+                iterations += 1;
+                if !changed {
+                    break;
+                }
+            },
+            Phase::BindingTime => {
+                let mut bta = BindingTimeAnalysis::new(self.division.clone());
+                loop {
+                    let (anns, changed) = bta.pass(&self.program, &mut self.vars);
+                    for (id, bt) in anns.iter().enumerate() {
+                        if self.schema.set_bt_ann(&mut self.heap, self.attrs[id], bt.ann())? {
+                            writes += 1;
+                        }
+                    }
+                    let done = !changed;
+                    if done {
+                        self.bt_anns = Some(anns);
+                    }
+                    after_iteration(&mut self.heap, &self.attrs, iterations)?;
+                    iterations += 1;
+                    if done {
+                        break;
+                    }
+                }
+            }
+            Phase::EvalTime => {
+                let bt_anns = self
+                    .bt_anns
+                    .clone()
+                    .ok_or_else(|| EngineError::PhaseOrder("run BindingTime before EvalTime".into()))?;
+                let mut eta = EvalTimeAnalysis::new();
+                loop {
+                    let (anns, changed) = eta.pass(&self.program, &bt_anns, &mut self.vars);
+                    for (id, et) in anns.iter().enumerate() {
+                        if self.schema.set_et_ann(&mut self.heap, self.attrs[id], et.ann())? {
+                            writes += 1;
+                        }
+                    }
+                    after_iteration(&mut self.heap, &self.attrs, iterations)?;
+                    iterations += 1;
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(PhaseReport { phase, iterations, annotation_writes: writes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_core::{CheckpointConfig, Checkpointer, MethodTable};
+    use ickp_minic::parse;
+    use ickp_spec::{GuardMode, SpecializedCheckpointer};
+
+    fn engine(src: &str, dynamic: &[&str]) -> AnalysisEngine {
+        let program = parse(src).unwrap();
+        AnalysisEngine::new(
+            program,
+            Division { dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect() },
+        )
+        .unwrap()
+    }
+
+    const SAMPLE: &str = "int d; int s; int t;
+        void main() { int i; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + d; } t = s; }";
+
+    #[test]
+    fn one_attributes_tree_per_statement() {
+        let e = engine(SAMPLE, &["d"]);
+        assert_eq!(e.roots().len(), e.program().stmt_count as usize);
+        // 6 objects per tree.
+        assert_eq!(e.heap().len(), e.roots().len() * 6);
+    }
+
+    #[test]
+    fn phases_run_and_report_iterations() {
+        let mut e = engine(SAMPLE, &["d"]);
+        let se = e.run_phase(Phase::SideEffect, |_, _, _| Ok(())).unwrap();
+        let bta = e.run_phase(Phase::BindingTime, |_, _, _| Ok(())).unwrap();
+        let eta = e.run_phase(Phase::EvalTime, |_, _, _| Ok(())).unwrap();
+        assert!(se.iterations >= 1);
+        assert!(bta.iterations >= 2, "fixpoint needs a verification pass");
+        assert!(eta.iterations >= 1);
+        assert!(bta.annotation_writes > 0);
+    }
+
+    #[test]
+    fn eval_time_requires_binding_time_first() {
+        let mut e = engine(SAMPLE, &["d"]);
+        let err = e.run_phase(Phase::EvalTime, |_, _, _| Ok(())).unwrap_err();
+        assert!(matches!(err, EngineError::PhaseOrder(_)));
+    }
+
+    #[test]
+    fn hook_runs_once_per_iteration_and_sees_the_roots() {
+        let mut e = engine(SAMPLE, &["d"]);
+        let mut seen = Vec::new();
+        let nroots = e.roots().len();
+        e.run_phase(Phase::BindingTime, |_, roots, iter| {
+            assert_eq!(roots.len(), nroots);
+            seen.push(iter);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, (0..seen.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn later_iterations_dirty_fewer_objects() {
+        let mut e = engine(SAMPLE, &["d"]);
+        // Clean slate: pretend a base checkpoint happened.
+        e.heap_mut().reset_all_modified();
+        let mut dirty_per_iter = Vec::new();
+        e.run_phase(Phase::BindingTime, |heap, _, _| {
+            let dirty = heap.iter_live().filter(|&o| heap.is_modified(o).unwrap()).count();
+            heap.reset_all_modified();
+            dirty_per_iter.push(dirty);
+            Ok(())
+        })
+        .unwrap();
+        assert!(dirty_per_iter.len() >= 2);
+        let last = *dirty_per_iter.last().unwrap();
+        let first = dirty_per_iter[0];
+        assert!(last <= first, "{dirty_per_iter:?}");
+        assert_eq!(last, 0, "converged iteration writes nothing: {dirty_per_iter:?}");
+    }
+
+    #[test]
+    fn phase_isolation_only_touches_the_phase_field() {
+        let mut e = engine(SAMPLE, &["d"]);
+        e.run_phase(Phase::SideEffect, |_, _, _| Ok(())).unwrap();
+        e.heap_mut().reset_all_modified();
+        e.run_phase(Phase::BindingTime, |_, _, _| Ok(())).unwrap();
+        // After BTA, no SEEntry or ETEntry object may be dirty.
+        let schema = *e.schema();
+        let heap = e.heap();
+        for &o in e.roots() {
+            let se = heap.field(o, 0).unwrap().as_ref_id().unwrap();
+            let et = heap.field(o, 2).unwrap().as_ref_id().unwrap();
+            assert!(!heap.is_modified(se).unwrap());
+            assert!(!heap.is_modified(et).unwrap());
+            let _ = schema;
+        }
+    }
+
+    #[test]
+    fn generic_and_specialized_iteration_checkpoints_agree() {
+        let src = SAMPLE;
+        let mut e1 = engine(src, &["d"]);
+        let mut e2 = engine(src, &["d"]);
+        e1.run_phase(Phase::SideEffect, |_, _, _| Ok(())).unwrap();
+        e2.run_phase(Phase::SideEffect, |_, _, _| Ok(())).unwrap();
+        e1.heap_mut().reset_all_modified();
+        e2.heap_mut().reset_all_modified();
+
+        let plans = e1.compile_phase_plans().unwrap();
+        let plan = plans.plan(Phase::BindingTime.key()).unwrap();
+
+        let table = MethodTable::derive(e2.heap().registry());
+        let mut generic_sizes = Vec::new();
+        let mut gc = Checkpointer::new(CheckpointConfig::incremental());
+        e2.run_phase(Phase::BindingTime, |heap, roots, _| {
+            let roots = roots.to_vec();
+            generic_sizes.push(gc.checkpoint(heap, &table, &roots).unwrap().stats().objects_recorded);
+            Ok(())
+        })
+        .unwrap();
+
+        let mut spec_sizes = Vec::new();
+        let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
+        e1.run_phase(Phase::BindingTime, |heap, roots, _| {
+            let roots = roots.to_vec();
+            spec_sizes.push(sc.checkpoint(heap, plan, &roots, None).unwrap().stats().objects_recorded);
+            Ok(())
+        })
+        .unwrap();
+
+        assert_eq!(generic_sizes, spec_sizes);
+        assert!(spec_sizes[0] > 0);
+    }
+
+    #[test]
+    fn image_program_runs_all_three_phases() {
+        let program = ickp_minic::programs::image_program();
+        let mut e = AnalysisEngine::new(
+            program,
+            Division { dynamic_globals: vec!["image".into(), "work".into()] },
+        )
+        .unwrap();
+        let se = e.run_phase(Phase::SideEffect, |_, _, _| Ok(())).unwrap();
+        let bta = e.run_phase(Phase::BindingTime, |_, _, _| Ok(())).unwrap();
+        let eta = e.run_phase(Phase::EvalTime, |_, _, _| Ok(())).unwrap();
+        assert!(se.iterations >= 2);
+        assert!(bta.iterations >= 2);
+        assert!(eta.iterations >= 1);
+        assert!(bta.iterations >= eta.iterations, "paper: BTA needs more iterations (9 vs 3)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors of the analysis engine.
+
+use ickp_core::CoreError;
+use ickp_heap::HeapError;
+use ickp_minic::MinicError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or running the analysis engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The analyzed program failed the front end.
+    Minic(MinicError),
+    /// A heap operation on the attributes failed.
+    Heap(HeapError),
+    /// A checkpoint taken from the iteration hook failed.
+    Core(CoreError),
+    /// Phases were run out of order.
+    PhaseOrder(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Minic(e) => write!(f, "program error: {e}"),
+            EngineError::Heap(e) => write!(f, "attributes heap error: {e}"),
+            EngineError::Core(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::PhaseOrder(what) => write!(f, "phase ordering violation: {what}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Minic(e) => Some(e),
+            EngineError::Heap(e) => Some(e),
+            EngineError::Core(e) => Some(e),
+            EngineError::PhaseOrder(_) => None,
+        }
+    }
+}
+
+impl From<MinicError> for EngineError {
+    fn from(e: MinicError) -> EngineError {
+        EngineError::Minic(e)
+    }
+}
+
+impl From<HeapError> for EngineError {
+    fn from(e: HeapError) -> EngineError {
+        EngineError::Heap(e)
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> EngineError {
+        EngineError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_minic::{ErrorKind, Pos};
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let errors: Vec<EngineError> = vec![
+            EngineError::Minic(MinicError::new(ErrorKind::Type, Pos::default(), "x")),
+            EngineError::Heap(HeapError::UnknownClassName("X".into())),
+            EngineError::Core(CoreError::EmptyStore),
+            EngineError::PhaseOrder("eta before bta".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

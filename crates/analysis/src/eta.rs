@@ -1,0 +1,348 @@
+//! Evaluation-time analysis: when does each statement actually execute,
+//! and are the variables the specialized program references properly
+//! initialized?
+//!
+//! Following the paper (§4.1, citing Hornof & Noyé): after binding-time
+//! analysis has split the program, the specializer will *execute* the
+//! static statements at specialization time and *residualize* the dynamic
+//! ones. A statement classified static by BTA can still be forced to run
+//! time if it reads a variable that some run-time statement initializes —
+//! evaluating it early would read uninitialized state. This analysis
+//! computes that fixpoint: per-variable initialization times feed
+//! per-statement evaluation times and vice versa, so it takes a few
+//! passes to converge (fewer than BTA, as the paper also observes).
+
+use crate::bta::Bt;
+use crate::vars::VarIndex;
+use ickp_minic::{Block, Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind};
+use std::collections::HashMap;
+
+/// An evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Et {
+    /// Executed by the specializer.
+    SpecTime,
+    /// Residualized into the specialized program.
+    RunTime,
+}
+
+impl Et {
+    /// Lattice join (`RunTime` absorbs).
+    pub fn join(self, other: Et) -> Et {
+        if self == Et::RunTime || other == Et::RunTime {
+            Et::RunTime
+        } else {
+            Et::SpecTime
+        }
+    }
+
+    /// Annotation integer stored in the heap `ET` object.
+    pub fn ann(self) -> i32 {
+        match self {
+            Et::SpecTime => 0,
+            Et::RunTime => 1,
+        }
+    }
+}
+
+/// The evaluation-time analysis state.
+#[derive(Debug)]
+pub struct EvalTimeAnalysis {
+    /// When each variable is (last) initialized.
+    var_init: HashMap<u32, Et>,
+    /// Join of each function's statement evaluation times.
+    fn_et: HashMap<String, Et>,
+}
+
+impl EvalTimeAnalysis {
+    /// Creates the analysis.
+    pub fn new() -> EvalTimeAnalysis {
+        EvalTimeAnalysis { var_init: HashMap::new(), fn_et: HashMap::new() }
+    }
+
+    /// Runs one fixpoint pass given the (final) binding-time annotations.
+    /// Returns per-statement evaluation times and whether anything
+    /// changed.
+    pub fn pass(
+        &mut self,
+        program: &Program,
+        bt_anns: &[Bt],
+        vars: &mut VarIndex,
+    ) -> (Vec<Et>, bool) {
+        let mut changed = false;
+        let mut anns = vec![Et::SpecTime; program.stmt_count as usize];
+        for func in &program.functions {
+            let mut w = Walker {
+                eta: self,
+                vars,
+                func,
+                bt_anns,
+                changed: &mut changed,
+                anns: &mut anns,
+            };
+            w.block(&func.body);
+        }
+        (anns, changed)
+    }
+}
+
+impl Default for EvalTimeAnalysis {
+    fn default() -> EvalTimeAnalysis {
+        EvalTimeAnalysis::new()
+    }
+}
+
+struct Walker<'a> {
+    eta: &'a mut EvalTimeAnalysis,
+    vars: &'a mut VarIndex,
+    func: &'a Function,
+    bt_anns: &'a [Bt],
+    changed: &'a mut bool,
+    anns: &'a mut Vec<Et>,
+}
+
+impl<'a> Walker<'a> {
+    fn var_id(&mut self, name: &str) -> u32 {
+        let is_local = self.func.params.iter().any(|p| p.name == name)
+            || declares(&self.func.body, name);
+        if is_local {
+            self.vars.intern(&VarIndex::local_key(&self.func.name, name))
+        } else {
+            self.vars.intern(&VarIndex::global_key(name))
+        }
+    }
+
+    fn reads_et(&mut self, e: &Expr) -> Et {
+        match &e.kind {
+            ExprKind::IntLit(_) => Et::SpecTime,
+            ExprKind::Var(name) => {
+                let id = self.var_id(name);
+                self.eta.var_init.get(&id).copied().unwrap_or(Et::SpecTime)
+            }
+            ExprKind::Index { array, index } => {
+                let id = self.var_id(array);
+                let a = self.eta.var_init.get(&id).copied().unwrap_or(Et::SpecTime);
+                a.join(self.reads_et(index))
+            }
+            ExprKind::Assign { target, value } => {
+                let mut et = self.reads_et(value);
+                if let LValue::Index { index, .. } = target {
+                    et = et.join(self.reads_et(index));
+                }
+                et
+            }
+            ExprKind::Binary { lhs, rhs, .. } => self.reads_et(lhs).join(self.reads_et(rhs)),
+            ExprKind::Unary { expr, .. } => self.reads_et(expr),
+            ExprKind::Call { name, args } => {
+                let mut et = self.eta.fn_et.get(name).copied().unwrap_or(Et::SpecTime);
+                for a in args {
+                    et = et.join(self.reads_et(a));
+                }
+                et
+            }
+        }
+    }
+
+    fn record_writes(&mut self, e: &Expr, et: Et) {
+        match &e.kind {
+            ExprKind::Assign { target, value } => {
+                let name = match target {
+                    LValue::Var(n) => n,
+                    LValue::Index { array, .. } => array,
+                };
+                let id = self.var_id(name);
+                let old = self.eta.var_init.get(&id).copied().unwrap_or(Et::SpecTime);
+                let new = old.join(et);
+                if new != old {
+                    self.eta.var_init.insert(id, new);
+                    *self.changed = true;
+                }
+                self.record_writes(value, et);
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.record_writes(lhs, et);
+                self.record_writes(rhs, et);
+            }
+            ExprKind::Unary { expr, .. } => self.record_writes(expr, et),
+            ExprKind::Index { index, .. } => self.record_writes(index, et),
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    self.record_writes(a, et);
+                }
+            }
+            ExprKind::IntLit(_) | ExprKind::Var(_) => {}
+        }
+    }
+
+    fn raise_fn_et(&mut self, et: Et) {
+        let old = self.eta.fn_et.get(&self.func.name).copied().unwrap_or(Et::SpecTime);
+        let new = old.join(et);
+        if new != old {
+            self.eta.fn_et.insert(self.func.name.clone(), new);
+            *self.changed = true;
+        }
+    }
+
+    fn block(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        // Base: BTA already decided whether the specializer *can* run it.
+        let bt_forced = match self.bt_anns.get(stmt.id as usize) {
+            Some(Bt::Dynamic) => Et::RunTime,
+            _ => Et::SpecTime,
+        };
+        let et = match &stmt.kind {
+            StmtKind::Expr(e) => {
+                let et = bt_forced.join(self.reads_et(e));
+                self.record_writes(e, et);
+                et
+            }
+            StmtKind::Decl { init, .. } => match init {
+                Some(e) => bt_forced.join(self.reads_et(e)),
+                None => bt_forced,
+            },
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let et = bt_forced.join(self.reads_et(cond));
+                self.block(then_branch);
+                if let Some(e) = else_branch {
+                    self.block(e);
+                }
+                et
+            }
+            StmtKind::While { cond, body } => {
+                let et = bt_forced.join(self.reads_et(cond));
+                self.block(body);
+                et
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let mut et = bt_forced;
+                for e in [init, cond, step].into_iter().flatten() {
+                    et = et.join(self.reads_et(e));
+                }
+                if let Some(e) = init {
+                    self.record_writes(e, et);
+                }
+                if let Some(e) = step {
+                    self.record_writes(e, et);
+                }
+                self.block(body);
+                et
+            }
+            StmtKind::Return(value) => match value {
+                Some(e) => bt_forced.join(self.reads_et(e)),
+                None => bt_forced,
+            },
+            StmtKind::Break | StmtKind::Continue => bt_forced,
+            StmtKind::Block(b) => {
+                self.block(b);
+                bt_forced
+            }
+        };
+        self.raise_fn_et(et);
+        self.anns[stmt.id as usize] = et;
+    }
+}
+
+fn declares(block: &Block, name: &str) -> bool {
+    block.stmts.iter().any(|s| match &s.kind {
+        StmtKind::Decl { name: n, .. } => n == name,
+        StmtKind::If { then_branch, else_branch, .. } => {
+            declares(then_branch, name)
+                || else_branch.as_ref().is_some_and(|b| declares(b, name))
+        }
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => declares(body, name),
+        StmtKind::Block(b) => declares(b, name),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bta::{BindingTimeAnalysis, Division};
+    use ickp_minic::parse;
+
+    fn analyze(src: &str, dynamic: &[&str]) -> (Vec<Et>, usize) {
+        let p = parse(src).unwrap();
+        let mut vars = VarIndex::new();
+        let mut bta = BindingTimeAnalysis::new(Division {
+            dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect(),
+        });
+        let bt_anns = loop {
+            let (anns, changed) = bta.pass(&p, &mut vars);
+            if !changed {
+                break anns;
+            }
+        };
+        let mut eta = EvalTimeAnalysis::new();
+        let mut iters = 0;
+        loop {
+            iters += 1;
+            let (anns, changed) = eta.pass(&p, &bt_anns, &mut vars);
+            assert!(iters < 50, "ETA diverged");
+            if !changed {
+                return (anns, iters);
+            }
+        }
+    }
+
+    #[test]
+    fn static_statements_evaluate_at_spec_time() {
+        let (anns, _) = analyze("int s; void f() { s = 1 + 2; }", &[]);
+        assert_eq!(anns[0], Et::SpecTime);
+    }
+
+    #[test]
+    fn dynamic_statements_are_residualized() {
+        let (anns, _) = analyze("int d; int s; void f() { s = d; }", &["d"]);
+        assert_eq!(anns[0], Et::RunTime);
+    }
+
+    #[test]
+    fn reading_a_runtime_initialized_variable_forces_runtime() {
+        // `t = d` runs at run time, so `u = t + 1` cannot execute early
+        // even though BTA alone also marks it dynamic through t; the key
+        // observable is the var_init feedback converging.
+        let (anns, iters) = analyze(
+            "int d; int t; int u; void f() { t = d; u = t + 1; }",
+            &["d"],
+        );
+        assert_eq!(anns[1], Et::RunTime);
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn initialization_feedback_crosses_functions() {
+        let (anns, _) = analyze(
+            "int d; int t; int u;
+             void produce() { t = d; }
+             void consume() { u = t; }
+             void main() { produce(); consume(); }",
+            &["d"],
+        );
+        // `consume`'s body reads t (runtime-initialized): RunTime.
+        assert_eq!(anns[1], Et::RunTime);
+    }
+
+    #[test]
+    fn eta_converges_in_fewer_passes_than_a_long_bta_chain() {
+        let (_, iters) = analyze(
+            "int d; int a; int b; int c;
+             void f() { a = d; b = a; c = b; }",
+            &["d"],
+        );
+        assert!(iters <= 4, "got {iters}");
+    }
+
+    #[test]
+    fn annotations_cover_every_statement() {
+        let src = "int d; void f() { int x; x = 1; while (x) { x = x - 1; } }";
+        let p = parse(src).unwrap();
+        let (anns, _) = analyze(src, &["d"]);
+        assert_eq!(anns.len(), p.stmt_count as usize);
+    }
+}

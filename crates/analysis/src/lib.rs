@@ -1,0 +1,34 @@
+//! # ickp-analysis — the realistic workload: a program-analysis engine
+//!
+//! Reproduction of the paper's §4 application: "a Java implementation of
+//! the analyses performed by the program specializer Tempo", treating a
+//! simplified C (our `ickp-minic`). Three analyses run in phases —
+//! side-effect, binding-time, evaluation-time — each iterating to
+//! fixpoint over the program, storing its result in the per-statement,
+//! heap-backed [`AttributesSchema`] structure (paper Figure 4), and
+//! checkpointing after every iteration.
+//!
+//! The phase structure is what makes specialized incremental
+//! checkpointing shine: each phase modifies only its own field of every
+//! `Attributes`, so the phase-specific plans from
+//! [`AnalysisEngine::compile_phase_plans`] skip the other subtrees
+//! entirely (paper Figure 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attributes;
+mod bta;
+mod engine;
+mod error;
+mod eta;
+mod seffect;
+mod vars;
+
+pub use attributes::AttributesSchema;
+pub use bta::{BindingTimeAnalysis, Bt, Division};
+pub use engine::{AnalysisEngine, Phase, PhaseReport};
+pub use error::EngineError;
+pub use eta::{Et, EvalTimeAnalysis};
+pub use seffect::{Effects, SideEffectAnalysis};
+pub use vars::VarIndex;

@@ -1,0 +1,329 @@
+//! Side-effect analysis: which globals each statement reads and writes.
+//!
+//! This is the first phase of the paper's analysis engine. Function
+//! summaries (the globals a function touches, transitively through its
+//! callees) are computed by fixpoint iteration over the call graph; each
+//! [`SideEffectAnalysis::pass`] is one iteration, after which the engine
+//! takes a checkpoint. Per-statement read/write sets — the lists stored in
+//! each `SEEntry` — combine the statement's direct accesses with the
+//! summaries of the functions it calls.
+//!
+//! Arrays passed as call arguments are handled conservatively: the call
+//! statement is charged a read *and* a write of the argument array (the
+//! callee may do either through the alias).
+
+use crate::vars::VarIndex;
+use ickp_minic::{Block, Expr, ExprKind, LValue, Program, Stmt, StmtKind, Type};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Read/write sets of global variables, as sorted id sets.
+pub type Effects = (BTreeSet<u32>, BTreeSet<u32>);
+
+/// The side-effect analysis state (function summaries).
+#[derive(Debug, Default)]
+pub struct SideEffectAnalysis {
+    summaries: HashMap<String, Effects>,
+}
+
+impl SideEffectAnalysis {
+    /// Creates an analysis with empty summaries.
+    pub fn new() -> SideEffectAnalysis {
+        SideEffectAnalysis::default()
+    }
+
+    /// Runs one fixpoint pass over all function summaries. Returns `true`
+    /// if any summary grew (another pass is needed).
+    pub fn pass(&mut self, program: &Program, vars: &mut VarIndex) -> bool {
+        let globals: HashSet<&str> = program.globals.iter().map(|g| g.name.as_str()).collect();
+        let mut changed = false;
+        for func in &program.functions {
+            let mut reads = BTreeSet::new();
+            let mut writes = BTreeSet::new();
+            collect_block(
+                &func.body,
+                program,
+                &globals,
+                &self.summaries,
+                vars,
+                &mut reads,
+                &mut writes,
+            );
+            let entry = self.summaries.entry(func.name.clone()).or_default();
+            if entry.0 != reads || entry.1 != writes {
+                *entry = (reads, writes);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The current summary of a function.
+    pub fn summary(&self, func: &str) -> Option<&Effects> {
+        self.summaries.get(func)
+    }
+
+    /// Per-statement effects under the current summaries, indexed by
+    /// statement id.
+    pub fn stmt_effects(&self, program: &Program, vars: &mut VarIndex) -> Vec<Effects> {
+        let globals: HashSet<&str> = program.globals.iter().map(|g| g.name.as_str()).collect();
+        let mut out = vec![Effects::default(); program.stmt_count as usize];
+        program.for_each_stmt(&mut |stmt| {
+            let mut reads = BTreeSet::new();
+            let mut writes = BTreeSet::new();
+            direct_stmt_effects(
+                stmt,
+                program,
+                &globals,
+                &self.summaries,
+                vars,
+                &mut reads,
+                &mut writes,
+            );
+            out[stmt.id as usize] = (reads, writes);
+        });
+        out
+    }
+}
+
+fn collect_block(
+    block: &Block,
+    program: &Program,
+    globals: &HashSet<&str>,
+    summaries: &HashMap<String, Effects>,
+    vars: &mut VarIndex,
+    reads: &mut BTreeSet<u32>,
+    writes: &mut BTreeSet<u32>,
+) {
+    for stmt in &block.stmts {
+        direct_stmt_effects(stmt, program, globals, summaries, vars, reads, writes);
+        match &stmt.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                collect_block(then_branch, program, globals, summaries, vars, reads, writes);
+                if let Some(e) = else_branch {
+                    collect_block(e, program, globals, summaries, vars, reads, writes);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                collect_block(body, program, globals, summaries, vars, reads, writes)
+            }
+            StmtKind::Block(b) => {
+                collect_block(b, program, globals, summaries, vars, reads, writes)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Effects of the statement *itself* (conditions, initializers, its own
+/// expression), not of statements nested in its blocks.
+fn direct_stmt_effects(
+    stmt: &Stmt,
+    program: &Program,
+    globals: &HashSet<&str>,
+    summaries: &HashMap<String, Effects>,
+    vars: &mut VarIndex,
+    reads: &mut BTreeSet<u32>,
+    writes: &mut BTreeSet<u32>,
+) {
+    let mut go = |e: &Expr| expr_effects(e, program, globals, summaries, vars, reads, writes);
+    match &stmt.kind {
+        StmtKind::Expr(e) => go(e),
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                go(e)
+            }
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => go(cond),
+        StmtKind::For { init, cond, step, .. } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                go(e);
+            }
+        }
+        StmtKind::Return(Some(e)) => go(e),
+        StmtKind::Return(None) | StmtKind::Block(_) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn expr_effects(
+    e: &Expr,
+    program: &Program,
+    globals: &HashSet<&str>,
+    summaries: &HashMap<String, Effects>,
+    vars: &mut VarIndex,
+    reads: &mut BTreeSet<u32>,
+    writes: &mut BTreeSet<u32>,
+) {
+    match &e.kind {
+        ExprKind::IntLit(_) => {}
+        ExprKind::Var(name) => {
+            if globals.contains(name.as_str()) {
+                reads.insert(vars.intern(name));
+            }
+        }
+        ExprKind::Index { array, index } => {
+            if globals.contains(array.as_str()) {
+                reads.insert(vars.intern(array));
+            }
+            expr_effects(index, program, globals, summaries, vars, reads, writes);
+        }
+        ExprKind::Assign { target, value } => {
+            match target {
+                LValue::Var(name) => {
+                    if globals.contains(name.as_str()) {
+                        writes.insert(vars.intern(name));
+                    }
+                }
+                LValue::Index { array, index } => {
+                    if globals.contains(array.as_str()) {
+                        writes.insert(vars.intern(array));
+                    }
+                    expr_effects(index, program, globals, summaries, vars, reads, writes);
+                }
+            }
+            expr_effects(value, program, globals, summaries, vars, reads, writes);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            expr_effects(lhs, program, globals, summaries, vars, reads, writes);
+            expr_effects(rhs, program, globals, summaries, vars, reads, writes);
+        }
+        ExprKind::Unary { expr, .. } => {
+            expr_effects(expr, program, globals, summaries, vars, reads, writes);
+        }
+        ExprKind::Call { name, args } => {
+            // Scalar arguments: ordinary reads. Array arguments: the call
+            // may read or write the aliased array — charge both.
+            let params = program.function(name).map(|f| f.params.as_slice()).unwrap_or(&[]);
+            for (i, arg) in args.iter().enumerate() {
+                let is_array_param = params.get(i).is_some_and(|p| p.ty == Type::IntArray);
+                if is_array_param {
+                    if let ExprKind::Var(n) = &arg.kind {
+                        if globals.contains(n.as_str()) {
+                            let id = vars.intern(n);
+                            reads.insert(id);
+                            writes.insert(id);
+                        }
+                    }
+                } else {
+                    expr_effects(arg, program, globals, summaries, vars, reads, writes);
+                }
+            }
+            if let Some((r, w)) = summaries.get(name) {
+                reads.extend(r.iter().copied());
+                writes.extend(w.iter().copied());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_minic::parse;
+
+    fn fix(program: &Program) -> (SideEffectAnalysis, VarIndex, usize) {
+        let mut se = SideEffectAnalysis::new();
+        let mut vars = VarIndex::new();
+        let mut iters = 0;
+        while se.pass(program, &mut vars) {
+            iters += 1;
+            assert!(iters < 50, "side-effect analysis diverged");
+        }
+        (se, vars, iters)
+    }
+
+    #[test]
+    fn direct_reads_and_writes_are_found() {
+        let p = parse("int a; int b; void f() { a = b + 1; }").unwrap();
+        let (se, vars, _) = fix(&p);
+        let (r, w) = se.summary("f").unwrap();
+        assert_eq!(r.iter().map(|&v| vars.name(v).unwrap()).collect::<Vec<_>>(), ["b"]);
+        assert_eq!(w.iter().map(|&v| vars.name(v).unwrap()).collect::<Vec<_>>(), ["a"]);
+    }
+
+    #[test]
+    fn locals_are_not_side_effects() {
+        let p = parse("void f() { int x; x = 3; }").unwrap();
+        let (se, _, _) = fix(&p);
+        let (r, w) = se.summary("f").unwrap();
+        assert!(r.is_empty() && w.is_empty());
+    }
+
+    #[test]
+    fn effects_propagate_through_calls_transitively() {
+        let p = parse(
+            "int g;
+             void h() { g = 1; }
+             void m() { h(); }
+             void top() { m(); }",
+        )
+        .unwrap();
+        let (se, vars, _) = fix(&p);
+        let g = vars.get("g").unwrap();
+        assert!(se.summary("top").unwrap().1.contains(&g));
+    }
+
+    #[test]
+    fn fixpoint_handles_recursion() {
+        let p = parse(
+            "int g;
+             void a() { g = g + 1; b(); }
+             void b() { a(); }",
+        )
+        .unwrap();
+        let (se, vars, _) = fix(&p);
+        let g = vars.get("g").unwrap();
+        assert!(se.summary("b").unwrap().0.contains(&g));
+        assert!(se.summary("b").unwrap().1.contains(&g));
+    }
+
+    #[test]
+    fn array_arguments_are_charged_read_and_write() {
+        let p = parse(
+            "int buf[4];
+             void use(int a[]) { }
+             void f() { use(buf); }",
+        )
+        .unwrap();
+        let (se, vars, _) = fix(&p);
+        let buf = vars.get("buf").unwrap();
+        let (r, w) = se.summary("f").unwrap();
+        assert!(r.contains(&buf) && w.contains(&buf));
+    }
+
+    #[test]
+    fn per_statement_effects_index_by_stmt_id() {
+        let p = parse(
+            "int g; int h;
+             void f() { g = 1; h = g; if (g > 0) { h = 2; } }",
+        )
+        .unwrap();
+        let (se, mut vars, _) = fix(&p);
+        let effects = se.stmt_effects(&p, &mut vars);
+        let g = vars.get("g").unwrap();
+        let h = vars.get("h").unwrap();
+        // stmt 0: g = 1
+        assert!(effects[0].1.contains(&g) && effects[0].0.is_empty());
+        // stmt 1: h = g
+        assert!(effects[1].0.contains(&g) && effects[1].1.contains(&h));
+        // stmt 2 (the if): reads g in its condition, writes nothing itself
+        assert!(effects[2].0.contains(&g) && effects[2].1.is_empty());
+        // stmt 3 (h = 2): writes h
+        assert!(effects[3].1.contains(&h));
+    }
+
+    #[test]
+    fn call_graph_depth_drives_iteration_count() {
+        // A chain of k calls needs ~k passes to converge when callees are
+        // defined (and thus summarized) after their callers.
+        let p = parse(
+            "int g;
+             void f3() { f2(); }
+             void f2() { f1(); }
+             void f1() { f0(); }
+             void f0() { g = 1; }",
+        )
+        .unwrap();
+        let (_, _, iters) = fix(&p);
+        assert!(iters >= 3, "expected multiple passes, got {iters}");
+    }
+}

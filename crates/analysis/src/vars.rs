@@ -1,0 +1,89 @@
+//! Variable interning shared by the analyses.
+//!
+//! Globals are keyed by their bare name; locals and parameters by
+//! `function::name`, so the flow-insensitive variable maps of the analyses
+//! never confuse same-named locals of different functions.
+
+use std::collections::HashMap;
+
+/// Interns variable names to dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct VarIndex {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl VarIndex {
+    /// Creates an empty index.
+    pub fn new() -> VarIndex {
+        VarIndex::default()
+    }
+
+    /// Interns a key, returning its dense id.
+    pub fn intern(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(key.to_string());
+        self.map.insert(key.to_string(), id);
+        id
+    }
+
+    /// The key for a global variable.
+    pub fn global_key(name: &str) -> String {
+        name.to_string()
+    }
+
+    /// The key for a local or parameter of `func`.
+    pub fn local_key(func: &str, name: &str) -> String {
+        format!("{func}::{name}")
+    }
+
+    /// Looks up the name of an id.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Looks up an already interned key.
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut idx = VarIndex::new();
+        let a = idx.intern("g");
+        let b = idx.intern(&VarIndex::local_key("f", "x"));
+        assert_eq!(idx.intern("g"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(idx.name(b), Some("f::x"));
+        assert_eq!(idx.get("g"), Some(a));
+        assert_eq!(idx.get("nope"), None);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn locals_of_different_functions_do_not_collide() {
+        let mut idx = VarIndex::new();
+        let fx = idx.intern(&VarIndex::local_key("f", "x"));
+        let gx = idx.intern(&VarIndex::local_key("g", "x"));
+        assert_ne!(fx, gx);
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion tracking for Table 1: per-iteration checkpoint cost of the
+//! program-analysis engine, per strategy, at a typical mid-phase dirty
+//! fraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ickp_analysis::{AnalysisEngine, Division, Phase};
+use ickp_core::{CheckpointConfig, Checkpointer, MethodTable};
+use ickp_minic::parse;
+use ickp_minic::programs::image_program_source;
+use ickp_spec::{GuardMode, SpecializedCheckpointer};
+use std::time::{Duration, Instant};
+
+/// Builds an engine that has completed SE + BTA, with clean flags.
+fn prepared_engine() -> AnalysisEngine {
+    let program = parse(&image_program_source(10)).expect("program parses");
+    let mut engine = AnalysisEngine::new(
+        program,
+        Division { dynamic_globals: vec!["image".into(), "work".into()] },
+    )
+    .expect("engine builds");
+    engine.run_phase(Phase::SideEffect, |_, _, _| Ok(())).expect("SE");
+    engine.run_phase(Phase::BindingTime, |_, _, _| Ok(())).expect("BTA");
+    engine.heap_mut().reset_all_modified();
+    engine
+}
+
+/// Dirties roughly 10% of the BT annotations (a mid-phase iteration).
+fn dirty_fraction(engine: &mut AnalysisEngine, toggle: &mut i32) {
+    *toggle += 1;
+    let schema = *engine.schema();
+    let roots = engine.roots().to_vec();
+    for (i, &attrs) in roots.iter().enumerate() {
+        if i % 10 == 0 {
+            schema.set_bt_ann(engine.heap_mut(), attrs, 100 + *toggle).expect("set ann");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+
+    group.bench_function("bta-iteration/full", |b| {
+        let mut engine = prepared_engine();
+        let table = MethodTable::derive(engine.heap().registry());
+        let roots = engine.roots().to_vec();
+        let mut toggle = 0;
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut ckp = Checkpointer::new(CheckpointConfig::full());
+            for _ in 0..iters {
+                dirty_fraction(&mut engine, &mut toggle);
+                let start = Instant::now();
+                ckp.checkpoint(engine.heap_mut(), &table, &roots).expect("checkpoint");
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+
+    group.bench_function("bta-iteration/incremental", |b| {
+        let mut engine = prepared_engine();
+        let table = MethodTable::derive(engine.heap().registry());
+        let roots = engine.roots().to_vec();
+        let mut toggle = 0;
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+            for _ in 0..iters {
+                dirty_fraction(&mut engine, &mut toggle);
+                let start = Instant::now();
+                ckp.checkpoint(engine.heap_mut(), &table, &roots).expect("checkpoint");
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+
+    group.bench_function("bta-iteration/specialized", |b| {
+        let mut engine = prepared_engine();
+        let plans = engine.compile_phase_plans().expect("plans compile");
+        let plan = plans.plan(Phase::BindingTime.key()).expect("bta plan");
+        let roots = engine.roots().to_vec();
+        let mut toggle = 0;
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut ckp = SpecializedCheckpointer::new(GuardMode::Trusting);
+            for _ in 0..iters {
+                dirty_fraction(&mut engine, &mut toggle);
+                let start = Instant::now();
+                ckp.checkpoint(engine.heap_mut(), plan, &roots, None).expect("checkpoint");
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,407 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p ickp-bench --release --bin repro -- all
+//! cargo run -p ickp-bench --release --bin repro -- fig10 --structures 5000 --rounds 3
+//! ```
+//!
+//! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
+//! `table2`, or `all`. Absolute numbers are machine-dependent; the
+//! *shape* (who wins, by what factor, where the crossovers are) is the
+//! reproduction target. See EXPERIMENTS.md.
+
+use ickp_analysis::Phase;
+use ickp_backend::Engine;
+use ickp_bench::timing::{fmt_bytes, fmt_duration, speedup};
+use ickp_bench::{run_table1, Strategy, SynthRunner, Variant};
+use ickp_minic::programs::DEFAULT_FILTERS;
+use ickp_synth::ModificationSpec;
+use std::time::Duration;
+
+struct Options {
+    structures: usize,
+    rounds: usize,
+    filters: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut opts = Options { structures: 20_000, rounds: 3, filters: DEFAULT_FILTERS };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--structures" => {
+                opts.structures = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--structures needs a number"))
+            }
+            "--rounds" => {
+                opts.rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--rounds needs a number"))
+            }
+            "--filters" => {
+                opts.filters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--filters needs a number"))
+            }
+            "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
+            | "all" => experiment = arg.clone(),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    println!("# ickp reproduction — {experiment}");
+    println!(
+        "# structures={} rounds={} filters={}\n",
+        opts.structures, opts.rounds, opts.filters
+    );
+    let run = |name: &str| experiment == name || experiment == "all";
+    if run("table1") {
+        table1(&opts);
+    }
+    if run("fig7") {
+        fig7(&opts);
+    }
+    if run("fig8") {
+        fig8(&opts);
+    }
+    if run("fig9") {
+        fig9(&opts);
+    }
+    if run("fig10") {
+        fig10(&opts);
+    }
+    if run("fig11") {
+        fig11(&opts);
+    }
+    if run("table2") {
+        table2(&opts);
+    }
+    if run("recovery") {
+        recovery(&opts);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|all] \
+         [--structures N] [--rounds R] [--filters F]"
+    );
+    std::process::exit(2);
+}
+
+fn mods(pct: u8, lists: usize, last_only: bool) -> ModificationSpec {
+    ModificationSpec { pct_modified: pct, modified_lists: lists, last_only }
+}
+
+const PCTS: [u8; 3] = [100, 50, 25];
+const LENS: [usize; 2] = [1, 5];
+const INTS: [usize; 2] = [1, 10];
+const KS: [usize; 3] = [1, 3, 5];
+
+// ---------------------------------------------------------------- table 1
+
+fn table1(opts: &Options) {
+    println!("## Table 1 — program analysis engine (image program, {} filters)", opts.filters);
+    let t = run_table1(opts.filters);
+    println!("attributes structures: {}\n", t.attributes);
+    println!(
+        "{:<28} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "strategy/phase", "iters", "min size", "max size", "total time", "mean time", "traversal"
+    );
+    for phase in [Phase::BindingTime, Phase::EvalTime] {
+        for strategy in Strategy::ALL {
+            let r = t.run(strategy, phase).expect("cell exists");
+            let mean = r.total_time() / r.iterations.max(1) as u32;
+            println!(
+                "{:<28} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                format!("{} {}", phase.key(), strategy.label()),
+                r.iterations,
+                fmt_bytes(r.min_size()),
+                fmt_bytes(r.max_size()),
+                fmt_duration(r.total_time()),
+                fmt_duration(mean),
+                fmt_duration(r.traversal),
+            );
+        }
+        // Paper headline ratios for this phase.
+        let full = t.run(Strategy::Full, phase).expect("cell");
+        let incr = t.run(Strategy::Incremental, phase).expect("cell");
+        let spec = t.run(Strategy::SpecializedIncremental, phase).expect("cell");
+        let m = |r: &ickp_bench::PhaseRun| r.total_time() / r.iterations.max(1) as u32;
+        println!(
+            "  -> {}: incr-vs-full size reduction {:.1}x..{:.1}x | spec-vs-incr time speedup {:.2}x | traversal speedup {:.2}x\n",
+            phase.key(),
+            full.min_size() as f64 / incr.max_size().max(1) as f64,
+            full.max_size() as f64 / incr.min_size().max(1) as f64,
+            speedup(m(incr), m(spec)),
+            speedup(incr.traversal, spec.traversal),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- figures
+
+struct Grid {
+    title: String,
+    header: String,
+    rows: Vec<String>,
+}
+
+impl Grid {
+    fn print(&self) {
+        println!("## {}", self.title);
+        println!("{}", self.header);
+        for r in &self.rows {
+            println!("{r}");
+        }
+        println!();
+    }
+}
+
+fn fig7(opts: &Options) {
+    let mut grid = Grid {
+        title: "Figure 7 — incremental vs full checkpointing".into(),
+        header: format!(
+            "{:<22} {:>12} {:>12} {:>12} {:>9}",
+            "ints/len/%mod", "full", "incremental", "incr size", "speedup"
+        ),
+        rows: Vec::new(),
+    };
+    for ints in INTS {
+        for len in LENS {
+            let mut runner = SynthRunner::new(opts.structures, len, ints);
+            for pct in PCTS {
+                let m = mods(pct, 5, false);
+                let full = runner.measure(Variant::FullGeneric, &m, opts.rounds);
+                let incr = runner.measure(Variant::Incremental, &m, opts.rounds);
+                grid.rows.push(format!(
+                    "{:<22} {:>12} {:>12} {:>12} {:>8.2}x",
+                    format!("{ints} int / len {len} / {pct}%"),
+                    fmt_duration(full.time),
+                    fmt_duration(incr.time),
+                    fmt_bytes(incr.bytes),
+                    speedup(full.time, incr.time),
+                ));
+            }
+        }
+    }
+    grid.print();
+}
+
+fn spec_figure(
+    opts: &Options,
+    title: &str,
+    variant: Variant,
+    ks: &[usize],
+    lens: &[usize],
+    last_only: bool,
+) {
+    let mut grid = Grid {
+        title: title.into(),
+        header: format!(
+            "{:<30} {:>12} {:>12} {:>9}",
+            "ints/len/lists/%mod", "incremental", "specialized", "speedup"
+        ),
+        rows: Vec::new(),
+    };
+    for ints in INTS {
+        for &len in lens {
+            let mut runner = SynthRunner::new(opts.structures, len, ints);
+            for &k in ks {
+                for pct in PCTS {
+                    let m = mods(pct, k, last_only);
+                    let incr = runner.measure(Variant::Incremental, &m, opts.rounds);
+                    let spec = runner.measure(variant, &m, opts.rounds);
+                    grid.rows.push(format!(
+                        "{:<30} {:>12} {:>12} {:>8.2}x",
+                        format!("{ints} int / len {len} / {k} lists / {pct}%"),
+                        fmt_duration(incr.time),
+                        fmt_duration(spec.time),
+                        speedup(incr.time, spec.time),
+                    ));
+                }
+            }
+        }
+    }
+    grid.print();
+}
+
+fn fig8(opts: &Options) {
+    spec_figure(
+        opts,
+        "Figure 8 — specialization w.r.t. structure (vs incremental)",
+        Variant::SpecStructure,
+        &[5],
+        &LENS,
+        false,
+    );
+}
+
+fn fig9(opts: &Options) {
+    spec_figure(
+        opts,
+        "Figure 9 — structure + set of possibly-modified lists",
+        Variant::SpecModifiedLists,
+        &KS,
+        &LENS,
+        false,
+    );
+}
+
+fn fig10(opts: &Options) {
+    spec_figure(
+        opts,
+        "Figure 10 — structure + last-element-only positions",
+        Variant::SpecLastOnly,
+        &KS,
+        &LENS,
+        true,
+    );
+}
+
+fn fig11(opts: &Options) {
+    let mut grid = Grid {
+        title: "Figure 11 — last-element specialization under JDK 1.2 and HotSpot (len 5)".into(),
+        header: format!(
+            "{:<34} {:>12} {:>12} {:>9}",
+            "engine/ints/lists/%mod", "unspec", "spec", "speedup"
+        ),
+        rows: Vec::new(),
+    };
+    for engine in [Engine::Jdk12, Engine::HotSpot] {
+        for ints in INTS {
+            let mut runner = SynthRunner::new(opts.structures, 5, ints);
+            for k in KS {
+                for pct in PCTS {
+                    let m = mods(pct, k, true);
+                    let unspec = runner.measure(Variant::EngineGeneric(engine), &m, opts.rounds);
+                    let spec =
+                        runner.measure(Variant::EngineSpecLastOnly(engine), &m, opts.rounds);
+                    grid.rows.push(format!(
+                        "{:<34} {:>12} {:>12} {:>8.2}x",
+                        format!("{engine} / {ints} int / {k} lists / {pct}%"),
+                        fmt_duration(unspec.time),
+                        fmt_duration(spec.time),
+                        speedup(unspec.time, spec.time),
+                    ));
+                }
+            }
+        }
+    }
+    grid.print();
+}
+
+/// Extension experiment (not in the paper): recovery cost as the store
+/// grows, and the effect of compaction.
+fn recovery(opts: &Options) {
+    use ickp_bench::timing::median;
+    use ickp_core::{
+        compact, restore, verify_restore, CheckpointConfig, Checkpointer, MethodTable,
+        RestorePolicy,
+    };
+    use ickp_synth::{SynthConfig, SynthWorld};
+    use std::time::Instant;
+
+    println!("## Recovery (extension) — restore time vs store length, and compaction");
+    let structures = (opts.structures / 4).max(100);
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>14}",
+        "increments", "store bytes", "compacted", "restore", "restore-compacted"
+    );
+    for increments in [1usize, 8, 32] {
+        let mut world = SynthWorld::build(SynthConfig {
+            structures,
+            lists_per_structure: 5,
+            list_len: 5,
+            ints_per_element: 1,
+            seed: 5,
+        })
+        .expect("world builds");
+        let roots = world.roots().to_vec();
+        let table = MethodTable::derive(world.heap().registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut store = ickp_core::CheckpointStore::new();
+        world.heap_mut().mark_all_modified();
+        store.push(ckp.checkpoint(world.heap_mut(), &table, &roots).expect("base")).unwrap();
+        for _ in 0..increments {
+            world.apply_modifications(&mods(25, 5, false));
+            store
+                .push(ckp.checkpoint(world.heap_mut(), &table, &roots).expect("increment"))
+                .unwrap();
+        }
+        let compacted = compact(&store, world.heap().registry()).expect("compaction");
+
+        let time_restore = |s: &ickp_core::CheckpointStore| {
+            let samples = (0..opts.rounds.max(2))
+                .map(|_| {
+                    let start = Instant::now();
+                    let rebuilt =
+                        restore(s, world.heap().registry(), RestorePolicy::Lenient).expect("restore");
+                    let d = start.elapsed();
+                    assert_eq!(
+                        verify_restore(world.heap(), &roots, &rebuilt).expect("verify"),
+                        None
+                    );
+                    d
+                })
+                .collect();
+            median(samples)
+        };
+        println!(
+            "{:<14} {:>12} {:>12} {:>14} {:>14}",
+            increments,
+            fmt_bytes(store.total_bytes()),
+            fmt_bytes(compacted.total_bytes()),
+            fmt_duration(time_restore(&store)),
+            fmt_duration(time_restore(&compacted)),
+        );
+    }
+    println!();
+}
+
+fn table2(opts: &Options) {
+    println!("## Table 2 — absolute times, unspecialized vs specialized × engine (10 ints, len 5)");
+    println!(
+        "{:<26} {:>10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "lists/%mod",
+        "",
+        "JDK unspec",
+        "JDK spec",
+        "HotSpot unspec",
+        "HotSpot spec",
+        "Harissa unspec",
+        "Harissa spec"
+    );
+    for k in [1usize, 5] {
+        let mut runner = SynthRunner::new(opts.structures, 5, 10);
+        for pct in PCTS {
+            let m = mods(pct, k, true);
+            let mut cells: Vec<Duration> = Vec::new();
+            for engine in Engine::ALL {
+                cells.push(runner.measure(Variant::EngineGeneric(engine), &m, opts.rounds).time);
+                cells.push(
+                    runner.measure(Variant::EngineSpecLastOnly(engine), &m, opts.rounds).time,
+                );
+            }
+            println!(
+                "{:<26} {:>10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+                format!("{k} lists / {pct}%"),
+                "",
+                fmt_duration(cells[0]),
+                fmt_duration(cells[1]),
+                fmt_duration(cells[2]),
+                fmt_duration(cells[3]),
+                fmt_duration(cells[4]),
+                fmt_duration(cells[5]),
+            );
+        }
+    }
+    println!();
+}

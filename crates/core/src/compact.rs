@@ -1,0 +1,151 @@
+//! Checkpoint-store compaction.
+//!
+//! A long run accumulates one incremental checkpoint per iteration; a
+//! recovery must replay all of them, and the store grows without bound.
+//! [`compact`] collapses a store into a single full checkpoint that is
+//! observationally equivalent for recovery: it materializes the store's
+//! final state (via the restore machinery) and re-records it as one full
+//! checkpoint carrying the original latest sequence number — so a
+//! subsequent incremental checkpoint from the producing run still
+//! appends contiguously.
+
+use crate::checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer};
+use crate::error::CoreError;
+use crate::methods::MethodTable;
+use crate::restore::{restore, RestorePolicy};
+use crate::store::CheckpointStore;
+use crate::stream::CheckpointKind;
+use ickp_heap::ClassRegistry;
+
+/// Collapses `store` into an equivalent single-full-checkpoint store.
+///
+/// The compacted record covers everything reachable from the *latest*
+/// checkpoint's roots; objects that became unreachable during the run
+/// (superseded list nodes, dropped subtrees) are garbage-collected by
+/// compaction, which is where the space win beyond deduplication comes
+/// from.
+///
+/// # Errors
+///
+/// Fails like [`restore`] (the store must be decodable and complete).
+pub fn compact(
+    store: &CheckpointStore,
+    registry: &ClassRegistry,
+) -> Result<CheckpointStore, CoreError> {
+    let latest_seq = store.latest().ok_or(CoreError::EmptyStore)?.seq();
+    let rebuilt = restore(store, registry, RestorePolicy::Lenient)?;
+    let roots = rebuilt.roots().to_vec();
+    let mut heap = rebuilt.into_heap();
+
+    let table = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::full());
+    let rec = ckp.checkpoint(&mut heap, &table, &roots)?;
+    // Carry the original sequence number so producers can keep appending.
+    let rec = CheckpointRecord::from_parts(
+        latest_seq,
+        CheckpointKind::Full,
+        rec.roots().to_vec(),
+        rec.bytes().to_vec(),
+        rec.stats(),
+    );
+    let mut compacted = CheckpointStore::new();
+    compacted.push(rec)?;
+    Ok(compacted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore::verify_restore;
+    use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, ObjectId, Value};
+
+    fn run_with_churn() -> (Heap, Vec<ObjectId>, CheckpointStore) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let mut heap = Heap::new(reg);
+        let head = heap.alloc(node).unwrap();
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut store = CheckpointStore::new();
+        store.push(ckp.checkpoint(&mut heap, &table, &[head]).unwrap()).unwrap();
+
+        // Churn: repeatedly swap in a fresh tail (the old ones become
+        // garbage that compaction should shed) and mutate the head.
+        let mut old_tails: Vec<ObjectId> = Vec::new();
+        for i in 0..6 {
+            let tail = heap.alloc(node).unwrap();
+            heap.set_field(tail, 0, Value::Int(100 + i)).unwrap();
+            if let Value::Ref(Some(old)) = heap.field(head, 1).unwrap() {
+                old_tails.push(old);
+            }
+            heap.set_field(head, 1, Value::Ref(Some(tail))).unwrap();
+            heap.set_field(head, 0, Value::Int(i)).unwrap();
+            store.push(ckp.checkpoint(&mut heap, &table, &[head]).unwrap()).unwrap();
+        }
+        for t in old_tails {
+            heap.free(t).unwrap();
+        }
+        (heap, vec![head], store)
+    }
+
+    fn node_class(heap: &Heap) -> ClassId {
+        heap.registry().id_of("Node").unwrap()
+    }
+
+    #[test]
+    fn compaction_preserves_the_recovered_state() {
+        let (heap, roots, store) = run_with_churn();
+        let compacted = compact(&store, heap.registry()).unwrap();
+        assert_eq!(compacted.len(), 1);
+        let rebuilt = restore(&compacted, heap.registry(), RestorePolicy::RequireFullBase).unwrap();
+        assert_eq!(verify_restore(&heap, &roots, &rebuilt).unwrap(), None);
+    }
+
+    #[test]
+    fn compaction_sheds_garbage_and_bytes() {
+        let (heap, _, store) = run_with_churn();
+        let compacted = compact(&store, heap.registry()).unwrap();
+        assert!(compacted.total_bytes() < store.total_bytes());
+        // Only head + current tail survive.
+        let rebuilt = restore(&compacted, heap.registry(), RestorePolicy::Lenient).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        // The uncompacted store materializes every tail ever recorded.
+        let full = restore(&store, heap.registry(), RestorePolicy::Lenient).unwrap();
+        assert!(full.len() > rebuilt.len());
+    }
+
+    #[test]
+    fn producers_can_append_after_compaction() {
+        let (mut heap, roots, store) = run_with_churn();
+        let latest_seq = store.latest().unwrap().seq();
+        let mut compacted = compact(&store, heap.registry()).unwrap();
+        assert_eq!(compacted.latest().unwrap().seq(), latest_seq);
+        let _ = node_class(&heap);
+
+        // The original run continues: its next incremental checkpoint
+        // (sequence latest+1) appends contiguously to the compacted store.
+        let table = MethodTable::derive(heap.registry());
+        heap.set_field(roots[0], 0, Value::Int(-1)).unwrap();
+        let mut producer = Checkpointer::new(CheckpointConfig::incremental());
+        let rec = producer.checkpoint(&mut heap, &table, &roots).unwrap();
+        let rec = CheckpointRecord::from_parts(
+            latest_seq + 1,
+            rec.kind(),
+            rec.roots().to_vec(),
+            rec.bytes().to_vec(),
+            rec.stats(),
+        );
+        compacted.push(rec).unwrap();
+
+        let rebuilt = restore(&compacted, heap.registry(), RestorePolicy::RequireFullBase).unwrap();
+        assert_eq!(verify_restore(&heap, &roots, &rebuilt).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_store_cannot_be_compacted() {
+        let reg = ClassRegistry::new();
+        assert_eq!(compact(&CheckpointStore::new(), &reg).unwrap_err(), CoreError::EmptyStore);
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-class checkpointing methods — the virtual-dispatch analog.
+//!
+//! In the paper every checkpointable Java class defines `record(d)` and
+//! `fold(c)` methods, invoked *virtually* by the generic driver because the
+//! driver only knows the `Checkpointable` interface. Rust has no JVM
+//! vtables, so we reify the same mechanism: a [`MethodTable`] maps each
+//! class to boxed `record`/`fold` closures, and the generic checkpointer
+//! reaches every object's behaviour through one dynamic indirection per
+//! call — the cost the specializer later removes.
+//!
+//! [`MethodTable::derive`] plays the role of the paper's preprocessor: it
+//! *systematically* generates the methods for every class from its layout,
+//! so user classes never hand-write (and never get wrong) their
+//! checkpointing code.
+
+use crate::error::CoreError;
+use crate::stream::StreamWriter;
+use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, ObjectId, Value};
+
+/// Boxed `record` method: writes the object's local state (all fields, with
+/// references as child stable ids) into the stream.
+pub type RecordFn =
+    Box<dyn Fn(&Heap, ObjectId, &mut StreamWriter) -> Result<(), CoreError> + Send + Sync>;
+
+/// Boxed `fold` method: applies the callback to each non-null child.
+pub type FoldFn = Box<
+    dyn Fn(&Heap, ObjectId, &mut dyn FnMut(ObjectId) -> Result<(), CoreError>) -> Result<(), CoreError>
+        + Send
+        + Sync,
+>;
+
+struct ClassMethods {
+    record: RecordFn,
+    fold: FoldFn,
+}
+
+/// The set of per-class checkpointing methods for one class registry.
+///
+/// # Example
+///
+/// ```
+/// use ickp_heap::{ClassRegistry, FieldType, Heap};
+/// use ickp_core::MethodTable;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut reg = ClassRegistry::new();
+/// reg.define("Leaf", None, &[("v", FieldType::Int)])?;
+/// let table = MethodTable::derive(&reg);
+/// assert_eq!(table.len(), 1);
+/// # Ok(()) }
+/// ```
+pub struct MethodTable {
+    methods: Vec<ClassMethods>,
+}
+
+impl std::fmt::Debug for MethodTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodTable").field("classes", &self.methods.len()).finish()
+    }
+}
+
+impl MethodTable {
+    /// Systematically derives `record` and `fold` for every class in the
+    /// registry, exactly as the paper's preprocessor would annotate the
+    /// source program.
+    pub fn derive(registry: &ClassRegistry) -> MethodTable {
+        let mut methods = Vec::with_capacity(registry.len());
+        for def in registry.iter() {
+            // Capture the layout shape once; the closures re-dispatch on the
+            // value kind at run time, mirroring generic Java code that knows
+            // only the static field types.
+            let field_types: Vec<FieldType> = def.layout().iter().map(|f| f.ty()).collect();
+            let ref_slots: Vec<usize> = def
+                .layout()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.ty().is_ref())
+                .map(|(i, _)| i)
+                .collect();
+
+            let record_types = field_types;
+            let record: RecordFn = Box::new(move |heap, id, w| {
+                let obj = heap.object(id)?;
+                let fields = obj.fields();
+                for (slot, ty) in record_types.iter().enumerate() {
+                    match (fields[slot], ty) {
+                        (Value::Int(v), FieldType::Int) => w.write_int(v),
+                        (Value::Long(v), FieldType::Long) => w.write_long(v),
+                        (Value::Double(v), FieldType::Double) => w.write_double(v),
+                        (Value::Bool(v), FieldType::Bool) => w.write_bool(v),
+                        (Value::Ref(None), FieldType::Ref(_)) => w.write_ref(None),
+                        (Value::Ref(Some(child)), FieldType::Ref(_)) => {
+                            w.write_ref(Some(heap.stable_id(child)?))
+                        }
+                        // The heap's write barrier makes this unreachable,
+                        // but generic code must stay total.
+                        (v, ty) => {
+                            return Err(CoreError::GuardFailed {
+                                expected: format!("value of type {ty}"),
+                                found: format!("{v}"),
+                            })
+                        }
+                    }
+                }
+                Ok(())
+            });
+
+            let fold: FoldFn = Box::new(move |heap, id, visit| {
+                let obj = heap.object(id)?;
+                let fields = obj.fields();
+                for &slot in &ref_slots {
+                    if let Value::Ref(Some(child)) = fields[slot] {
+                        visit(child)?;
+                    }
+                }
+                Ok(())
+            });
+
+            methods.push(ClassMethods { record, fold });
+        }
+        MethodTable { methods }
+    }
+
+    /// Looks up the `record` method of a class (a virtual-call site).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClassIndex`] if the class is not covered
+    /// by this table (e.g. defined after [`MethodTable::derive`]).
+    pub fn record(&self, class: ClassId) -> Result<&RecordFn, CoreError> {
+        self.methods
+            .get(class.index())
+            .map(|m| &m.record)
+            .ok_or(CoreError::UnknownClassIndex(class.index() as u32))
+    }
+
+    /// Looks up the `fold` method of a class (a virtual-call site).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClassIndex`] if the class is not covered.
+    pub fn fold(&self, class: ClassId) -> Result<&FoldFn, CoreError> {
+        self.methods
+            .get(class.index())
+            .map(|m| &m.fold)
+            .ok_or(CoreError::UnknownClassIndex(class.index() as u32))
+    }
+
+    /// Number of classes covered.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// `true` if no classes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{decode, CheckpointKind, RecordedValue};
+
+    fn setup() -> (Heap, ClassId, MethodTable) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define(
+                "Node",
+                None,
+                &[("v", FieldType::Int), ("a", FieldType::Ref(None)), ("b", FieldType::Ref(None))],
+            )
+            .unwrap();
+        let table = MethodTable::derive(&reg);
+        (Heap::new(reg), node, table)
+    }
+
+    #[test]
+    fn derived_record_writes_layout_in_order() {
+        let (mut heap, node, table) = setup();
+        let child = heap.alloc(node).unwrap();
+        let obj = heap.alloc(node).unwrap();
+        heap.set_field(obj, 0, Value::Int(9)).unwrap();
+        heap.set_field(obj, 1, Value::Ref(Some(child))).unwrap();
+
+        let mut w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        w.begin_object(heap.stable_id(obj).unwrap(), node, 3);
+        table.record(node).unwrap()(&heap, obj, &mut w).unwrap();
+        let bytes = w.finish();
+        let d = decode(&bytes, heap.registry()).unwrap();
+        assert_eq!(d.objects[0].fields[0], RecordedValue::Int(9));
+        assert_eq!(
+            d.objects[0].fields[1],
+            RecordedValue::Ref(Some(heap.stable_id(child).unwrap()))
+        );
+        assert_eq!(d.objects[0].fields[2], RecordedValue::Ref(None));
+    }
+
+    #[test]
+    fn derived_fold_visits_only_nonnull_children_in_slot_order() {
+        let (mut heap, node, table) = setup();
+        let c1 = heap.alloc(node).unwrap();
+        let c2 = heap.alloc(node).unwrap();
+        let obj = heap.alloc(node).unwrap();
+        heap.set_field(obj, 1, Value::Ref(Some(c1))).unwrap();
+        heap.set_field(obj, 2, Value::Ref(Some(c2))).unwrap();
+
+        let mut seen = Vec::new();
+        table.fold(node).unwrap()(&heap, obj, &mut |child| {
+            seen.push(child);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![c1, c2]);
+
+        heap.set_field(obj, 1, Value::Ref(None)).unwrap();
+        seen.clear();
+        table.fold(node).unwrap()(&heap, obj, &mut |child| {
+            seen.push(child);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, vec![c2]);
+    }
+
+    #[test]
+    fn unknown_class_is_reported() {
+        let (_, _, table) = setup();
+        assert!(table.record(ClassId::from_index(5)).is_err());
+        assert!(table.fold(ClassId::from_index(5)).is_err());
+    }
+
+    #[test]
+    fn fold_propagates_callback_errors() {
+        let (mut heap, node, table) = setup();
+        let c = heap.alloc(node).unwrap();
+        let obj = heap.alloc(node).unwrap();
+        heap.set_field(obj, 1, Value::Ref(Some(c))).unwrap();
+        let err = table.fold(node).unwrap()(&heap, obj, &mut |_| Err(CoreError::EmptyStore))
+            .unwrap_err();
+        assert_eq!(err, CoreError::EmptyStore);
+    }
+
+    #[test]
+    fn table_covers_all_classes_at_derive_time() {
+        let (_, _, table) = setup();
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! The checkpoint store: an ordered log of checkpoints on "stable storage".
+//!
+//! The paper writes checkpoints to an output stream destined for stable
+//! storage; recovery replays the sequence. [`CheckpointStore`] is that
+//! stable storage, with sequence-number validation so a gap (a lost
+//! checkpoint) is caught at append time rather than at recovery time.
+
+use crate::checkpoint::CheckpointRecord;
+use crate::error::CoreError;
+use crate::stream::CheckpointKind;
+
+/// An append-only, sequence-checked log of checkpoints.
+///
+/// # Example
+///
+/// ```
+/// use ickp_core::{CheckpointConfig, Checkpointer, CheckpointStore, MethodTable};
+/// use ickp_heap::{ClassRegistry, FieldType, Heap};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut reg = ClassRegistry::new();
+/// let c = reg.define("C", None, &[("v", FieldType::Int)])?;
+/// let mut heap = Heap::new(reg);
+/// let o = heap.alloc(c)?;
+/// let table = MethodTable::derive(heap.registry());
+/// let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+/// let mut store = CheckpointStore::new();
+/// store.push(ckp.checkpoint(&mut heap, &table, &[o])?)?;
+/// assert_eq!(store.len(), 1);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    records: Vec<CheckpointRecord>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Appends a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SequenceGap`] if the record's sequence number is
+    /// not exactly one past the previous record's.
+    pub fn push(&mut self, record: CheckpointRecord) -> Result<(), CoreError> {
+        if let Some(last) = self.records.last() {
+            let expected = last.seq() + 1;
+            if record.seq() != expected {
+                return Err(CoreError::SequenceGap { expected, got: record.seq() });
+            }
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Number of checkpoints stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no checkpoints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The checkpoints in sequence order.
+    pub fn records(&self) -> &[CheckpointRecord] {
+        &self.records
+    }
+
+    /// The most recent checkpoint.
+    pub fn latest(&self) -> Option<&CheckpointRecord> {
+        self.records.last()
+    }
+
+    /// Total bytes across all stored checkpoints.
+    pub fn total_bytes(&self) -> usize {
+        self.records.iter().map(CheckpointRecord::len_bytes).sum()
+    }
+
+    /// Sizes of the individual checkpoints, in sequence order — the series
+    /// behind the paper's min/max checkpoint-size rows in Table 1.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.records.iter().map(CheckpointRecord::len_bytes).collect()
+    }
+
+    /// `true` if the first stored checkpoint is a full one (the
+    /// precondition for strict restore).
+    pub fn starts_full(&self) -> bool {
+        self.records
+            .first()
+            .is_some_and(|r| r.kind() == CheckpointKind::Full)
+    }
+}
+
+impl Extend<CheckpointRecord> for CheckpointStore {
+    /// Extends the store, panicking on sequence gaps.
+    ///
+    /// Use [`CheckpointStore::push`] when gaps must be handled gracefully.
+    fn extend<T: IntoIterator<Item = CheckpointRecord>>(&mut self, iter: T) {
+        for r in iter {
+            self.push(r).expect("sequence gap while extending checkpoint store");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CheckpointConfig, Checkpointer};
+    use crate::methods::MethodTable;
+    use ickp_heap::{ClassRegistry, FieldType, Heap, Value};
+
+    fn run(n: usize) -> (CheckpointStore, Heap) {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("C", None, &[("v", FieldType::Int)]).unwrap();
+        let mut heap = Heap::new(reg);
+        let o = heap.alloc(c).unwrap();
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut store = CheckpointStore::new();
+        for i in 0..n {
+            heap.set_field(o, 0, Value::Int(i as i32)).unwrap();
+            store.push(ckp.checkpoint(&mut heap, &table, &[o]).unwrap()).unwrap();
+        }
+        (store, heap)
+    }
+
+    #[test]
+    fn push_keeps_sequence_order() {
+        let (store, _) = run(3);
+        assert_eq!(store.len(), 3);
+        let seqs: Vec<u64> = store.records().iter().map(|r| r.seq()).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(store.latest().unwrap().seq(), 2);
+    }
+
+    #[test]
+    fn gaps_are_rejected() {
+        let (store3, _) = run(3);
+        let mut store = CheckpointStore::new();
+        store.push(store3.records()[0].clone()).unwrap();
+        let err = store.push(store3.records()[2].clone()).unwrap_err();
+        assert_eq!(err, CoreError::SequenceGap { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn byte_accounting_sums_records() {
+        let (store, _) = run(4);
+        assert_eq!(store.total_bytes(), store.sizes().iter().sum::<usize>());
+        assert_eq!(store.sizes().len(), 4);
+        assert!(store.total_bytes() > 0);
+    }
+
+    #[test]
+    fn starts_full_reflects_first_record_kind() {
+        let (incr_store, _) = run(1);
+        assert!(!incr_store.starts_full());
+        assert!(CheckpointStore::new().is_empty());
+        assert!(!CheckpointStore::new().starts_full());
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let (donor, _) = run(3);
+        let mut store = CheckpointStore::new();
+        store.extend(donor.records().iter().cloned());
+        assert_eq!(store.len(), 3);
+    }
+}

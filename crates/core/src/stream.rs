@@ -1,0 +1,515 @@
+//! The checkpoint wire format.
+//!
+//! This is the Rust analog of the paper's `DataOutputStream` composed with a
+//! `ByteArrayOutputStream`: an append-only byte sink with fixed-width
+//! big-endian primitive writers, plus a decoder used by restore.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header  := magic "ICKP" | version:u16 | seq:u64 | kind:u8 | nroots:u32 | root_id:u64 *
+//! record  := 0x01 | stable:u64 | class:u32 | nfields:u16 | field-bytes (per class layout)
+//! footer  := 0xFF | nrecords:u32
+//! ```
+//!
+//! Field encodings follow [`ickp_heap::FieldType::encoded_size`]: `int` 4B,
+//! `long`/`double`/`ref` 8B, `boolean` 1B. A reference is the **stable id**
+//! of the referent (0 encodes `null`; live stable ids start at 1), which is
+//! what lets a sequence of incremental checkpoints be stitched back
+//! together by identity.
+
+use crate::error::CoreError;
+use ickp_heap::{ClassId, ClassRegistry, FieldType, StableId};
+
+/// Magic bytes opening every checkpoint stream.
+pub const MAGIC: [u8; 4] = *b"ICKP";
+/// Current stream format version.
+pub const VERSION: u16 = 1;
+
+const TAG_OBJECT: u8 = 0x01;
+const TAG_END: u8 = 0xFF;
+
+/// Whether a checkpoint records everything or only modified objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckpointKind {
+    /// Every reachable object was recorded.
+    Full,
+    /// Only objects whose modified flag was set were recorded.
+    Incremental,
+}
+
+impl CheckpointKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            CheckpointKind::Full => 0,
+            CheckpointKind::Incremental => 1,
+        }
+    }
+
+    fn from_byte(b: u8, offset: usize) -> Result<CheckpointKind, CoreError> {
+        match b {
+            0 => Ok(CheckpointKind::Full),
+            1 => Ok(CheckpointKind::Incremental),
+            other => Err(CoreError::Decode {
+                offset,
+                what: format!("invalid checkpoint kind byte {other}"),
+            }),
+        }
+    }
+}
+
+/// Append-only encoder for one checkpoint.
+///
+/// The writer is deliberately minimal — fixed-width appends into a byte
+/// vector — because its cost is part of what the paper measures as
+/// "recording the local state".
+#[derive(Debug)]
+pub struct StreamWriter {
+    buf: Vec<u8>,
+    records: u32,
+    finished: bool,
+}
+
+impl StreamWriter {
+    /// Starts a checkpoint stream with its header.
+    pub fn new(seq: u64, kind: CheckpointKind, roots: &[StableId]) -> StreamWriter {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_be_bytes());
+        buf.extend_from_slice(&seq.to_be_bytes());
+        buf.push(kind.to_byte());
+        buf.extend_from_slice(&(roots.len() as u32).to_be_bytes());
+        for r in roots {
+            buf.extend_from_slice(&r.raw().to_be_bytes());
+        }
+        StreamWriter { buf, records: 0, finished: false }
+    }
+
+    /// Opens an object record: stable id, class, declared field count.
+    /// The caller then writes exactly the fields of the class layout.
+    pub fn begin_object(&mut self, stable: StableId, class: ClassId, nfields: usize) {
+        debug_assert!(!self.finished, "write after finish");
+        self.buf.push(TAG_OBJECT);
+        self.buf.extend_from_slice(&stable.raw().to_be_bytes());
+        self.buf.extend_from_slice(&(class.index() as u32).to_be_bytes());
+        self.buf.extend_from_slice(&(nfields as u16).to_be_bytes());
+        self.records += 1;
+    }
+
+    /// Writes a 32-bit integer field.
+    #[inline]
+    pub fn write_int(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a 64-bit integer field.
+    #[inline]
+    pub fn write_long(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a double field (bit pattern).
+    #[inline]
+    pub fn write_double(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// Writes a boolean field.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes a reference field as the referent's stable id (`None` = null).
+    #[inline]
+    pub fn write_ref(&mut self, v: Option<StableId>) {
+        let raw = v.map_or(0, StableId::raw);
+        self.buf.extend_from_slice(&raw.to_be_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if only the header has been written and it was empty-rooted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of object records opened so far.
+    pub fn record_count(&self) -> u32 {
+        self.records
+    }
+
+    /// Closes the stream with its footer and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf.push(TAG_END);
+        self.buf.extend_from_slice(&self.records.to_be_bytes());
+        self.finished = true;
+        self.buf
+    }
+}
+
+/// A field value as recorded in a checkpoint: like
+/// [`ickp_heap::Value`] but with references abstracted to stable ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordedValue {
+    /// 32-bit integer.
+    Int(i32),
+    /// 64-bit integer.
+    Long(i64),
+    /// Double.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Reference by stable id (`None` = null).
+    Ref(Option<StableId>),
+}
+
+/// One decoded object record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedObject {
+    /// Stable identity of the recorded object.
+    pub stable: StableId,
+    /// Class (valid for the registry used to decode).
+    pub class: ClassId,
+    /// Field values in layout order.
+    pub fields: Vec<RecordedValue>,
+}
+
+/// A fully decoded checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedCheckpoint {
+    /// Sequence number within the run.
+    pub seq: u64,
+    /// Full or incremental.
+    pub kind: CheckpointKind,
+    /// Stable ids of the checkpoint roots.
+    pub roots: Vec<StableId>,
+    /// Recorded objects, in record order.
+    pub objects: Vec<RecordedObject>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CoreError::Decode {
+                offset: self.pos,
+                what: format!("unexpected end of stream (wanted {n} bytes)"),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CoreError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("length checked")))
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn i32(&mut self) -> Result<i32, CoreError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn i64(&mut self) -> Result<i64, CoreError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+}
+
+/// Decodes one checkpoint stream against the class registry it was
+/// produced with.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Decode`] for malformed bytes,
+/// [`CoreError::UnknownClassIndex`] for class ids outside the registry, and
+/// [`CoreError::FieldCountMismatch`] if a record disagrees with its class
+/// layout.
+pub fn decode(bytes: &[u8], registry: &ClassRegistry) -> Result<DecodedCheckpoint, CoreError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let magic = c.take(4)?;
+    if magic != MAGIC {
+        return Err(CoreError::Decode { offset: 0, what: "bad magic".into() });
+    }
+    let version = c.u16()?;
+    if version != VERSION {
+        return Err(CoreError::Decode {
+            offset: 4,
+            what: format!("unsupported version {version}"),
+        });
+    }
+    let seq = c.u64()?;
+    let kind_off = c.pos;
+    let kind = CheckpointKind::from_byte(c.u8()?, kind_off)?;
+    let nroots = c.u32()? as usize;
+    let mut roots = Vec::with_capacity(nroots.min(1024));
+    for _ in 0..nroots {
+        roots.push(StableId(c.u64()?));
+    }
+    let mut objects = Vec::new();
+    loop {
+        let tag_off = c.pos;
+        match c.u8()? {
+            TAG_OBJECT => {
+                let stable = StableId(c.u64()?);
+                let class_index = c.u32()?;
+                let class = ClassId::from_index(class_index as usize);
+                let def = registry
+                    .class(class)
+                    .map_err(|_| CoreError::UnknownClassIndex(class_index))?;
+                let nfields = c.u16()? as usize;
+                if nfields != def.num_slots() {
+                    return Err(CoreError::FieldCountMismatch {
+                        class: def.name().to_string(),
+                        recorded: nfields,
+                        expected: def.num_slots(),
+                    });
+                }
+                let mut fields = Vec::with_capacity(nfields);
+                for f in def.layout() {
+                    fields.push(match f.ty() {
+                        FieldType::Int => RecordedValue::Int(c.i32()?),
+                        FieldType::Long => RecordedValue::Long(c.i64()?),
+                        FieldType::Double => RecordedValue::Double(f64::from_bits(c.u64()?)),
+                        FieldType::Bool => {
+                            let off = c.pos;
+                            match c.u8()? {
+                                0 => RecordedValue::Bool(false),
+                                1 => RecordedValue::Bool(true),
+                                b => {
+                                    return Err(CoreError::Decode {
+                                        offset: off,
+                                        what: format!("invalid boolean byte {b}"),
+                                    })
+                                }
+                            }
+                        }
+                        FieldType::Ref(_) => {
+                            let raw = c.u64()?;
+                            RecordedValue::Ref(if raw == 0 { None } else { Some(StableId(raw)) })
+                        }
+                    });
+                }
+                objects.push(RecordedObject { stable, class, fields });
+            }
+            TAG_END => {
+                let declared = c.u32()? as usize;
+                if declared != objects.len() {
+                    return Err(CoreError::Decode {
+                        offset: tag_off,
+                        what: format!(
+                            "footer declares {declared} records, stream has {}",
+                            objects.len()
+                        ),
+                    });
+                }
+                if c.pos != bytes.len() {
+                    return Err(CoreError::Decode {
+                        offset: c.pos,
+                        what: "trailing bytes after footer".into(),
+                    });
+                }
+                return Ok(DecodedCheckpoint { seq, kind, roots, objects });
+            }
+            other => {
+                return Err(CoreError::Decode {
+                    offset: tag_off,
+                    what: format!("invalid record tag {other:#x}"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::ClassRegistry;
+
+    fn registry() -> (ClassRegistry, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define(
+                "Node",
+                None,
+                &[
+                    ("v", FieldType::Int),
+                    ("w", FieldType::Long),
+                    ("x", FieldType::Double),
+                    ("b", FieldType::Bool),
+                    ("next", FieldType::Ref(None)),
+                ],
+            )
+            .unwrap();
+        (reg, node)
+    }
+
+    fn sample_stream(node: ClassId) -> Vec<u8> {
+        let mut w = StreamWriter::new(3, CheckpointKind::Incremental, &[StableId(1)]);
+        w.begin_object(StableId(1), node, 5);
+        w.write_int(-7);
+        w.write_long(1 << 40);
+        w.write_double(2.5);
+        w.write_bool(true);
+        w.write_ref(Some(StableId(2)));
+        w.begin_object(StableId(2), node, 5);
+        w.write_int(0);
+        w.write_long(0);
+        w.write_double(f64::NAN);
+        w.write_bool(false);
+        w.write_ref(None);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (reg, node) = registry();
+        let bytes = sample_stream(node);
+        let d = decode(&bytes, &reg).unwrap();
+        assert_eq!(d.seq, 3);
+        assert_eq!(d.kind, CheckpointKind::Incremental);
+        assert_eq!(d.roots, vec![StableId(1)]);
+        assert_eq!(d.objects.len(), 2);
+        let first = &d.objects[0];
+        assert_eq!(first.stable, StableId(1));
+        assert_eq!(first.class, node);
+        assert_eq!(first.fields[0], RecordedValue::Int(-7));
+        assert_eq!(first.fields[1], RecordedValue::Long(1 << 40));
+        assert_eq!(first.fields[2], RecordedValue::Double(2.5));
+        assert_eq!(first.fields[3], RecordedValue::Bool(true));
+        assert_eq!(first.fields[4], RecordedValue::Ref(Some(StableId(2))));
+        match d.objects[1].fields[2] {
+            RecordedValue::Double(x) => assert!(x.is_nan()),
+            ref other => panic!("expected double, got {other:?}"),
+        }
+        assert_eq!(d.objects[1].fields[4], RecordedValue::Ref(None));
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let (reg, _) = registry();
+        let w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        let bytes = w.finish();
+        let d = decode(&bytes, &reg).unwrap();
+        assert_eq!(d.kind, CheckpointKind::Full);
+        assert!(d.roots.is_empty());
+        assert!(d.objects.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (reg, node) = registry();
+        let mut bytes = sample_stream(node);
+        bytes[0] = b'X';
+        let err = decode(&bytes, &reg).unwrap_err();
+        assert!(matches!(err, CoreError::Decode { offset: 0, .. }));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let (reg, node) = registry();
+        let bytes = sample_stream(node);
+        for cut in [3, 10, 20, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut], &reg).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_class_index_is_rejected() {
+        let (reg, _) = registry();
+        let mut w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        w.begin_object(StableId(1), ClassId::from_index(42), 0);
+        let bytes = w.finish();
+        assert_eq!(decode(&bytes, &reg).unwrap_err(), CoreError::UnknownClassIndex(42));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_rejected() {
+        let (reg, node) = registry();
+        let mut w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        w.begin_object(StableId(1), node, 2); // layout has 5
+        w.write_int(0);
+        w.write_long(0);
+        let bytes = w.finish();
+        assert!(matches!(
+            decode(&bytes, &reg).unwrap_err(),
+            CoreError::FieldCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn footer_count_mismatch_is_rejected() {
+        let (reg, node) = registry();
+        let mut bytes = sample_stream(node);
+        let n = bytes.len();
+        bytes[n - 1] = 9; // corrupt declared record count
+        assert!(decode(&bytes, &reg).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (reg, node) = registry();
+        let mut bytes = sample_stream(node);
+        bytes.push(0);
+        assert!(decode(&bytes, &reg).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_byte_is_rejected() {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("B", None, &[("b", FieldType::Bool)]).unwrap();
+        let mut w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        w.begin_object(StableId(1), c, 1);
+        w.buf.push(7); // invalid boolean encoding
+        let bytes = w.finish();
+        assert!(decode(&bytes, &reg).is_err());
+    }
+
+    #[test]
+    fn writer_tracks_length_and_record_count() {
+        let (_, node) = registry();
+        let mut w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        let header = w.len();
+        assert!(header > 0);
+        assert!(!w.is_empty());
+        w.begin_object(StableId(1), node, 0);
+        assert_eq!(w.record_count(), 1);
+        assert!(w.len() > header);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (reg, _) = registry();
+        let w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        let mut bytes = w.finish();
+        bytes[5] = 99; // version low byte
+        assert!(decode(&bytes, &reg).is_err());
+    }
+
+    #[test]
+    fn invalid_kind_byte_is_rejected() {
+        let (reg, _) = registry();
+        let w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        let mut bytes = w.finish();
+        bytes[14] = 9; // kind byte (4 magic + 2 version + 8 seq)
+        assert!(decode(&bytes, &reg).is_err());
+    }
+}

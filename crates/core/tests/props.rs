@@ -1,0 +1,184 @@
+//! Property tests: stream round-trips and checkpoint/restore on random
+//! object trees.
+
+use ickp_core::{
+    decode, restore, verify_restore, CheckpointConfig, CheckpointKind, CheckpointStore,
+    Checkpointer, MethodTable, RecordedValue, RestorePolicy, StreamWriter,
+};
+use ickp_heap::{ClassRegistry, FieldType, Heap, ObjectId, StableId, Value};
+use proptest::prelude::*;
+
+/// A random primitive value paired with its field type.
+#[derive(Debug, Clone, Copy)]
+enum PrimSpec {
+    Int(i32),
+    Long(i64),
+    Double(f64),
+    Bool(bool),
+}
+
+fn arb_prim() -> impl Strategy<Value = PrimSpec> {
+    prop_oneof![
+        any::<i32>().prop_map(PrimSpec::Int),
+        any::<i64>().prop_map(PrimSpec::Long),
+        any::<f64>().prop_map(PrimSpec::Double),
+        any::<bool>().prop_map(PrimSpec::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any sequence of primitive fields round-trips bit-exactly through
+    /// the stream encoder and decoder.
+    #[test]
+    fn stream_round_trips_arbitrary_layouts(prims in proptest::collection::vec(arb_prim(), 1..24)) {
+        let mut reg = ClassRegistry::new();
+        let fields: Vec<(String, FieldType)> = prims
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let ty = match p {
+                    PrimSpec::Int(_) => FieldType::Int,
+                    PrimSpec::Long(_) => FieldType::Long,
+                    PrimSpec::Double(_) => FieldType::Double,
+                    PrimSpec::Bool(_) => FieldType::Bool,
+                };
+                (format!("f{i}"), ty)
+            })
+            .collect();
+        let refs: Vec<(&str, FieldType)> =
+            fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let class = reg.define("X", None, &refs).unwrap();
+
+        let mut w = StreamWriter::new(7, CheckpointKind::Full, &[StableId(1)]);
+        w.begin_object(StableId(1), class, prims.len());
+        for p in &prims {
+            match p {
+                PrimSpec::Int(v) => w.write_int(*v),
+                PrimSpec::Long(v) => w.write_long(*v),
+                PrimSpec::Double(v) => w.write_double(*v),
+                PrimSpec::Bool(v) => w.write_bool(*v),
+            }
+        }
+        let bytes = w.finish();
+        let d = decode(&bytes, &reg).unwrap();
+        prop_assert_eq!(d.objects.len(), 1);
+        for (p, r) in prims.iter().zip(&d.objects[0].fields) {
+            match (p, r) {
+                (PrimSpec::Int(a), RecordedValue::Int(b)) => prop_assert_eq!(a, b),
+                (PrimSpec::Long(a), RecordedValue::Long(b)) => prop_assert_eq!(a, b),
+                (PrimSpec::Double(a), RecordedValue::Double(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits())
+                }
+                (PrimSpec::Bool(a), RecordedValue::Bool(b)) => prop_assert_eq!(a, b),
+                (p, r) => prop_assert!(false, "kind mismatch {p:?} vs {r:?}"),
+            }
+        }
+    }
+
+    /// Random binary trees checkpoint and restore exactly, under both
+    /// full-then-increment and all-increment protocols.
+    #[test]
+    fn random_trees_restore_exactly(
+        (structure, mutations, full_base) in (
+            proptest::collection::vec(any::<bool>(), 1..40),
+            proptest::collection::vec((any::<u16>(), any::<i32>()), 0..30),
+            any::<bool>(),
+        )
+    ) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define(
+                "Node",
+                None,
+                &[("v", FieldType::Int), ("l", FieldType::Ref(None)), ("r", FieldType::Ref(None))],
+            )
+            .unwrap();
+        let mut heap = Heap::new(reg);
+
+        // Build a random tree: each `true` attaches a new node to a
+        // random existing one on the left or right.
+        let root = heap.alloc(node).unwrap();
+        let mut nodes: Vec<ObjectId> = vec![root];
+        for (i, left) in structure.iter().enumerate() {
+            let parent = nodes[i % nodes.len()];
+            let slot = if *left { 1 } else { 2 };
+            if heap.field(parent, slot).unwrap().is_null() {
+                let child = heap.alloc(node).unwrap();
+                heap.set_field(parent, slot, Value::Ref(Some(child))).unwrap();
+                nodes.push(child);
+            }
+        }
+
+        let table = MethodTable::derive(heap.registry());
+        let mut store = CheckpointStore::new();
+        if full_base {
+            let mut full = Checkpointer::new(CheckpointConfig::full());
+            store.push(full.checkpoint(&mut heap, &table, &[root]).unwrap()).unwrap();
+        } else {
+            let mut incr = Checkpointer::new(CheckpointConfig::incremental());
+            store.push(incr.checkpoint(&mut heap, &table, &[root]).unwrap()).unwrap();
+        }
+
+        // Random mutation rounds, each followed by an increment.
+        let mut incr = Checkpointer::new(CheckpointConfig::incremental());
+        // Fast-forward the sequence past the base.
+        incr.checkpoint(&mut heap.clone(), &table, &[]).unwrap();
+        for chunk in mutations.chunks(5) {
+            for (pick, v) in chunk {
+                let target = nodes[*pick as usize % nodes.len()];
+                heap.set_field(target, 0, Value::Int(*v)).unwrap();
+            }
+            let rec = incr.checkpoint(&mut heap, &table, &[root]).unwrap();
+            store.push(rec).unwrap();
+        }
+
+        let policy = if full_base {
+            RestorePolicy::RequireFullBase
+        } else {
+            RestorePolicy::Lenient
+        };
+        let rebuilt = restore(&store, heap.registry(), policy).unwrap();
+        prop_assert_eq!(verify_restore(&heap, &[root], &rebuilt).unwrap(), None);
+    }
+
+    /// Compaction of any such store preserves the recovered state.
+    #[test]
+    fn compaction_is_semantics_preserving(
+        mutations in proptest::collection::vec((any::<u8>(), any::<i32>()), 1..25)
+    ) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let mut heap = Heap::new(reg);
+        let mut nodes = Vec::new();
+        let mut next = None;
+        for _ in 0..8 {
+            let n = heap.alloc(node).unwrap();
+            heap.set_field(n, 1, Value::Ref(next)).unwrap();
+            next = Some(n);
+            nodes.push(n);
+        }
+        let root = *nodes.last().unwrap();
+
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut store = CheckpointStore::new();
+        store.push(ckp.checkpoint(&mut heap, &table, &[root]).unwrap()).unwrap();
+        for chunk in mutations.chunks(4) {
+            for (pick, v) in chunk {
+                let target = nodes[*pick as usize % nodes.len()];
+                heap.set_field(target, 0, Value::Int(*v)).unwrap();
+            }
+            store.push(ckp.checkpoint(&mut heap, &table, &[root]).unwrap()).unwrap();
+        }
+
+        let compacted = ickp_core::compact(&store, heap.registry()).unwrap();
+        let a = restore(&store, heap.registry(), RestorePolicy::Lenient).unwrap();
+        let b = restore(&compacted, heap.registry(), RestorePolicy::RequireFullBase).unwrap();
+        prop_assert_eq!(verify_restore(&heap, &[root], &a).unwrap(), None);
+        prop_assert_eq!(verify_restore(&heap, &[root], &b).unwrap(), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! Object-graph traversal utilities: reachability and acyclicity checks.
+//!
+//! The paper assumes checkpointed object graphs are acyclic (§2: "we assume
+//! that the checkpointed objects do not contain cycles"). The checkpointers
+//! in `ickp-core`/`ickp-spec` inherit that assumption; this module provides
+//! [`validate_acyclic`] so callers can *check* it instead of diverging, and
+//! [`reachable_from`], which the full checkpointer and the restore verifier
+//! use to enumerate a compound structure.
+
+use crate::error::HeapError;
+use crate::heap::Heap;
+use crate::ids::ObjectId;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by graph validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReachError {
+    /// A heap access failed (dangling reference, …).
+    Heap(HeapError),
+    /// A reference cycle was found through this object.
+    Cycle(ObjectId),
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::Heap(e) => write!(f, "heap error during traversal: {e}"),
+            ReachError::Cycle(o) => write!(f, "reference cycle through {o}"),
+        }
+    }
+}
+
+impl Error for ReachError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReachError::Heap(e) => Some(e),
+            ReachError::Cycle(_) => None,
+        }
+    }
+}
+
+impl From<HeapError> for ReachError {
+    fn from(e: HeapError) -> ReachError {
+        ReachError::Heap(e)
+    }
+}
+
+/// Enumerates every object reachable from `roots` (roots included),
+/// in depth-first pre-order with duplicates removed.
+///
+/// Shared subobjects appear once. Cycles do not hang the traversal (a
+/// visited set is kept) but are not reported either; use
+/// [`validate_acyclic`] first when the acyclicity contract matters.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object.
+pub fn reachable_from(heap: &Heap, roots: &[ObjectId]) -> Result<Vec<ObjectId>, HeapError> {
+    let mut seen: HashSet<ObjectId> = HashSet::new();
+    let mut order = Vec::new();
+    let mut stack: Vec<ObjectId> = roots.iter().rev().copied().collect();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        order.push(id);
+        let obj = heap.object(id)?;
+        // Push children in reverse so the first field is visited first.
+        for value in obj.fields().iter().rev() {
+            if let Value::Ref(Some(child)) = value {
+                if !seen.contains(child) {
+                    stack.push(*child);
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Verifies that the graph reachable from `roots` contains no reference
+/// cycle.
+///
+/// # Errors
+///
+/// * [`ReachError::Cycle`] naming an object on a cycle.
+/// * [`ReachError::Heap`] if a traversed reference dangles.
+pub fn validate_acyclic(heap: &Heap, roots: &[ObjectId]) -> Result<(), ReachError> {
+    // Iterative three-color DFS.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        Gray,
+        Black,
+    }
+    let mut color: std::collections::HashMap<ObjectId, Color> = std::collections::HashMap::new();
+    enum Step {
+        Enter(ObjectId),
+        Exit(ObjectId),
+    }
+    let mut stack: Vec<Step> = roots.iter().rev().map(|&r| Step::Enter(r)).collect();
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Enter(id) => match color.get(&id) {
+                Some(Color::Gray) => return Err(ReachError::Cycle(id)),
+                Some(Color::Black) => {}
+                None => {
+                    color.insert(id, Color::Gray);
+                    stack.push(Step::Exit(id));
+                    let obj = heap.object(id)?;
+                    for value in obj.fields().iter().rev() {
+                        if let Value::Ref(Some(child)) = value {
+                            match color.get(child) {
+                                Some(Color::Gray) => return Err(ReachError::Cycle(*child)),
+                                Some(Color::Black) => {}
+                                None => stack.push(Step::Enter(*child)),
+                            }
+                        }
+                    }
+                }
+            },
+            Step::Exit(id) => {
+                color.insert(id, Color::Black);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassRegistry;
+    use crate::ids::ClassId;
+    use crate::value::FieldType;
+
+    fn list_heap() -> (Heap, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define(
+                "Node",
+                None,
+                &[("v", FieldType::Int), ("a", FieldType::Ref(None)), ("b", FieldType::Ref(None))],
+            )
+            .unwrap();
+        (Heap::new(reg), node)
+    }
+
+    #[test]
+    fn reachability_is_preorder_and_deduplicated() {
+        let (mut heap, node) = list_heap();
+        let leaf = heap.alloc(node).unwrap();
+        let mid = heap.alloc(node).unwrap();
+        let root = heap.alloc(node).unwrap();
+        heap.set_field(root, 1, Value::Ref(Some(mid))).unwrap();
+        heap.set_field(root, 2, Value::Ref(Some(leaf))).unwrap();
+        heap.set_field(mid, 1, Value::Ref(Some(leaf))).unwrap(); // shared
+        let order = reachable_from(&heap, &[root]).unwrap();
+        assert_eq!(order, vec![root, mid, leaf]);
+    }
+
+    #[test]
+    fn multiple_roots_are_all_covered() {
+        let (mut heap, node) = list_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        let order = reachable_from(&heap, &[a, b]).unwrap();
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn dag_sharing_is_not_a_cycle() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let root = heap.alloc(node).unwrap();
+        heap.set_field(root, 1, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(root, 2, Value::Ref(Some(shared))).unwrap();
+        validate_acyclic(&heap, &[root]).unwrap();
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let (mut heap, node) = list_heap();
+        let a = heap.alloc(node).unwrap();
+        heap.set_field(a, 1, Value::Ref(Some(a))).unwrap();
+        assert!(matches!(validate_acyclic(&heap, &[a]), Err(ReachError::Cycle(_))));
+    }
+
+    #[test]
+    fn long_cycle_is_detected() {
+        let (mut heap, node) = list_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        let c = heap.alloc(node).unwrap();
+        heap.set_field(a, 1, Value::Ref(Some(b))).unwrap();
+        heap.set_field(b, 1, Value::Ref(Some(c))).unwrap();
+        heap.set_field(c, 1, Value::Ref(Some(a))).unwrap();
+        assert!(matches!(validate_acyclic(&heap, &[a]), Err(ReachError::Cycle(_))));
+    }
+
+    #[test]
+    fn reachable_does_not_hang_on_cycles() {
+        let (mut heap, node) = list_heap();
+        let a = heap.alloc(node).unwrap();
+        heap.set_field(a, 1, Value::Ref(Some(a))).unwrap();
+        assert_eq!(reachable_from(&heap, &[a]).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn dangling_reference_is_reported() {
+        let (mut heap, node) = list_heap();
+        let child = heap.alloc(node).unwrap();
+        let root = heap.alloc(node).unwrap();
+        heap.set_field(root, 1, Value::Ref(Some(child))).unwrap();
+        heap.free(child).unwrap();
+        assert!(reachable_from(&heap, &[root]).is_err());
+        assert!(matches!(validate_acyclic(&heap, &[root]), Err(ReachError::Heap(_))));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        let (mut heap, node) = list_heap();
+        let mut head = heap.alloc(node).unwrap();
+        for _ in 0..100_000 {
+            let next = heap.alloc(node).unwrap();
+            heap.set_field(next, 1, Value::Ref(Some(head))).unwrap();
+            head = next;
+        }
+        assert_eq!(reachable_from(&heap, &[head]).unwrap().len(), 100_001);
+        validate_acyclic(&heap, &[head]).unwrap();
+    }
+}

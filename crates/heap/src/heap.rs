@@ -1,0 +1,665 @@
+//! The object arena: allocation, typed field access, and the write barrier.
+
+use crate::class::{ClassDef, ClassRegistry};
+use crate::error::HeapError;
+use crate::ids::{ClassId, ObjectId, StableId};
+use crate::value::{FieldType, Value};
+
+/// Per-object checkpoint metadata: the paper's `CheckpointInfo`.
+///
+/// Every object carries a unique [`StableId`] (assigned at allocation,
+/// preserved by restore) and a `modified` flag. The flag is set by the
+/// heap's write barrier on every field store and reset by the incremental
+/// checkpointer once the object's state has been recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    stable: StableId,
+    modified: bool,
+}
+
+impl CheckpointInfo {
+    /// The object's stable checkpoint identity.
+    pub fn stable_id(&self) -> StableId {
+        self.stable
+    }
+
+    /// Whether the object has been modified since the last reset.
+    pub fn modified(&self) -> bool {
+        self.modified
+    }
+}
+
+/// A live heap object: class, checkpoint metadata, and field slots.
+#[derive(Debug, Clone)]
+pub struct Object {
+    class: ClassId,
+    info: CheckpointInfo,
+    fields: Box<[Value]>,
+}
+
+impl Object {
+    /// The object's class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The object's checkpoint metadata.
+    pub fn info(&self) -> &CheckpointInfo {
+        &self.info
+    }
+
+    /// The field slots, in layout order.
+    pub fn fields(&self) -> &[Value] {
+        &self.fields
+    }
+}
+
+/// Cumulative heap activity counters.
+///
+/// `barrier_marks` counts the stores that actually flipped the modified
+/// flag from clean to dirty; `field_writes` counts all stores. The gap
+/// between them quantifies the redundant-flag-set cost the paper mentions
+/// in §6 ("extra time on every assignment").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Number of successful allocations.
+    pub allocs: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+    /// Number of successful barriered field stores.
+    pub field_writes: u64,
+    /// Number of barriered stores that transitioned clean → dirty.
+    pub barrier_marks: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    object: Option<Object>,
+}
+
+/// The managed object heap.
+///
+/// Objects are held in an arena indexed by [`ObjectId`] (slot + generation,
+/// so stale handles are detected). All mutation goes through
+/// [`Heap::set_field`], which implements the write barrier. See the crate
+/// docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    registry: ClassRegistry,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    next_stable: u64,
+    live: usize,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a heap over the given class registry.
+    pub fn new(registry: ClassRegistry) -> Heap {
+        Heap {
+            registry,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_stable: 1,
+            live: 0,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The heap's class registry.
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    /// Defines a new class on this heap's registry.
+    ///
+    /// Delegates to [`ClassRegistry::define`]; see there for errors.
+    pub fn define_class(
+        &mut self,
+        name: &str,
+        superclass: Option<ClassId>,
+        fields: &[(&str, FieldType)],
+    ) -> Result<ClassId, HeapError> {
+        self.registry.define(name, superclass, fields)
+    }
+
+    /// Shorthand for `self.registry().class(id)`.
+    pub fn class(&self, id: ClassId) -> Result<&ClassDef, HeapError> {
+        self.registry.class(id)
+    }
+
+    /// Allocates an instance of `class` with zero-initialized fields.
+    ///
+    /// The new object is marked **modified** (a fresh object must appear in
+    /// the next incremental checkpoint) and given a fresh stable id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownClass`] for a foreign class id.
+    pub fn alloc(&mut self, class: ClassId) -> Result<ObjectId, HeapError> {
+        let layout = self.registry.class(class)?.layout();
+        let fields: Vec<Value> = layout.iter().map(|f| f.ty().default_value()).collect();
+        self.insert(class, fields.into_boxed_slice(), None, true)
+    }
+
+    /// Allocates an instance of `class` with the given field values
+    /// (layout order).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Heap::alloc`], plus [`HeapError::TypeMismatch`] /
+    /// [`HeapError::ClassConstraint`] / [`HeapError::SlotOutOfBounds`] if
+    /// `values` does not fit the layout.
+    pub fn alloc_with(&mut self, class: ClassId, values: &[Value]) -> Result<ObjectId, HeapError> {
+        let num_slots = self.registry.class(class)?.num_slots();
+        if values.len() != num_slots {
+            return Err(HeapError::SlotOutOfBounds {
+                object: ObjectId { index: u32::MAX, generation: 0 },
+                slot: values.len(),
+                len: num_slots,
+            });
+        }
+        let id = self.alloc(class)?;
+        for (slot, v) in values.iter().enumerate() {
+            // The object is already marked modified, so going through the
+            // barrier is semantically a no-op but keeps checks in one place.
+            self.set_field(id, slot, *v)?;
+        }
+        Ok(id)
+    }
+
+    /// Allocates an object with an explicit stable id and modified flag.
+    ///
+    /// This is the restore path: replaying a checkpoint must materialize
+    /// objects under their original identities. The internal stable-id
+    /// counter is bumped past `stable` so later fresh allocations cannot
+    /// collide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownClass`] for a foreign class id.
+    pub fn alloc_restored(
+        &mut self,
+        class: ClassId,
+        stable: StableId,
+        modified: bool,
+    ) -> Result<ObjectId, HeapError> {
+        let layout = self.registry.class(class)?.layout();
+        let fields: Vec<Value> = layout.iter().map(|f| f.ty().default_value()).collect();
+        self.insert(class, fields.into_boxed_slice(), Some(stable), modified)
+    }
+
+    fn insert(
+        &mut self,
+        class: ClassId,
+        fields: Box<[Value]>,
+        stable: Option<StableId>,
+        modified: bool,
+    ) -> Result<ObjectId, HeapError> {
+        let stable = match stable {
+            Some(s) => {
+                self.next_stable = self.next_stable.max(s.0 + 1);
+                s
+            }
+            None => {
+                let s = StableId(self.next_stable);
+                self.next_stable += 1;
+                s
+            }
+        };
+        let object = Object { class, info: CheckpointInfo { stable, modified }, fields };
+        let id = match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                slot.object = Some(object);
+                ObjectId { index, generation: slot.generation }
+            }
+            None => {
+                let index = self.slots.len() as u32;
+                self.slots.push(Slot { generation: 0, object: Some(object) });
+                ObjectId { index, generation: 0 }
+            }
+        };
+        self.live += 1;
+        self.stats.allocs += 1;
+        Ok(id)
+    }
+
+    /// Frees an object, invalidating its handle. Returns the object.
+    ///
+    /// Dangling references *to* the freed object are not chased; reading
+    /// them later yields [`HeapError::DanglingObject`], mirroring the
+    /// paper's remark that a page may mix live objects with garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn free(&mut self, id: ObjectId) -> Result<Object, HeapError> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .filter(|s| s.generation == id.generation && s.object.is_some())
+            .ok_or(HeapError::DanglingObject(id))?;
+        let object = slot.object.take().expect("checked above");
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(id.index);
+        self.live -= 1;
+        self.stats.frees += 1;
+        Ok(object)
+    }
+
+    fn object_ref(&self, id: ObjectId) -> Result<&Object, HeapError> {
+        self.slots
+            .get(id.index())
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.object.as_ref())
+            .ok_or(HeapError::DanglingObject(id))
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> Result<&mut Object, HeapError> {
+        self.slots
+            .get_mut(id.index())
+            .filter(|s| s.generation == id.generation)
+            .and_then(|s| s.object.as_mut())
+            .ok_or(HeapError::DanglingObject(id))
+    }
+
+    /// Borrows an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn object(&self, id: ObjectId) -> Result<&Object, HeapError> {
+        self.object_ref(id)
+    }
+
+    /// `true` if the handle refers to a live object.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.object_ref(id).is_ok()
+    }
+
+    /// The class of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn class_of(&self, id: ObjectId) -> Result<ClassId, HeapError> {
+        Ok(self.object_ref(id)?.class)
+    }
+
+    /// The stable checkpoint identity of an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn stable_id(&self, id: ObjectId) -> Result<StableId, HeapError> {
+        Ok(self.object_ref(id)?.info.stable)
+    }
+
+    /// Reads a field slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] or
+    /// [`HeapError::SlotOutOfBounds`].
+    pub fn field(&self, id: ObjectId, slot: usize) -> Result<Value, HeapError> {
+        let obj = self.object_ref(id)?;
+        obj.fields
+            .get(slot)
+            .copied()
+            .ok_or(HeapError::SlotOutOfBounds { object: id, slot, len: obj.fields.len() })
+    }
+
+    /// Reads a field by name (slower; resolves the slot each call).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Heap::field`], plus [`HeapError::UnknownField`].
+    pub fn field_named(&self, id: ObjectId, field: &str) -> Result<Value, HeapError> {
+        let class = self.class_of(id)?;
+        let slot = self.registry.class(class)?.slot_of(field)?;
+        self.field(id, slot)
+    }
+
+    /// Stores a field slot through the **write barrier**: the store is
+    /// type-checked and the object's modified flag is set.
+    ///
+    /// This is the analog of the `x = v; info.setModified();` pairs the
+    /// paper's preprocessor inserts into every Java setter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`], [`HeapError::SlotOutOfBounds`],
+    /// [`HeapError::TypeMismatch`], or [`HeapError::ClassConstraint`].
+    pub fn set_field(&mut self, id: ObjectId, slot: usize, value: Value) -> Result<(), HeapError> {
+        self.store(id, slot, value, true)
+    }
+
+    /// Stores a field slot *without* touching the modified flag.
+    ///
+    /// Only the restore path uses this: materializing recorded state must
+    /// not make every object look freshly dirty. Normal program mutation
+    /// must use [`Heap::set_field`].
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Heap::set_field`].
+    pub fn set_field_unbarriered(
+        &mut self,
+        id: ObjectId,
+        slot: usize,
+        value: Value,
+    ) -> Result<(), HeapError> {
+        self.store(id, slot, value, false)
+    }
+
+    /// Stores a field by name through the write barrier.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Heap::set_field`], plus [`HeapError::UnknownField`].
+    pub fn set_field_named(
+        &mut self,
+        id: ObjectId,
+        field: &str,
+        value: Value,
+    ) -> Result<(), HeapError> {
+        let class = self.class_of(id)?;
+        let slot = self.registry.class(class)?.slot_of(field)?;
+        self.set_field(id, slot, value)
+    }
+
+    fn store(
+        &mut self,
+        id: ObjectId,
+        slot: usize,
+        value: Value,
+        barrier: bool,
+    ) -> Result<(), HeapError> {
+        let class = self.object_ref(id)?.class;
+        let def = self.registry.class(class)?;
+        let len = def.num_slots();
+        let ty = def
+            .slot_type(slot)
+            .map_err(|_| HeapError::SlotOutOfBounds { object: id, slot, len })?;
+        if !value.matches_kind(ty) {
+            return Err(HeapError::TypeMismatch { object: id, slot, expected: ty });
+        }
+        if let (FieldType::Ref(Some(required)), Value::Ref(Some(target))) = (ty, value) {
+            let actual = self.class_of(target)?;
+            if !self.registry.is_subclass(actual, required) {
+                return Err(HeapError::ClassConstraint {
+                    object: id,
+                    slot,
+                    expected: required,
+                    actual,
+                });
+            }
+        }
+        let obj = self.object_mut(id).expect("existence checked above");
+        obj.fields[slot] = value;
+        let newly_marked = barrier && !obj.info.modified;
+        if barrier {
+            obj.info.modified = true;
+            self.stats.field_writes += 1;
+        }
+        if newly_marked {
+            self.stats.barrier_marks += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether the object is marked modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn is_modified(&self, id: ObjectId) -> Result<bool, HeapError> {
+        Ok(self.object_ref(id)?.info.modified)
+    }
+
+    /// Explicitly marks an object modified (the paper's `setModified()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn set_modified(&mut self, id: ObjectId) -> Result<(), HeapError> {
+        self.object_mut(id)?.info.modified = true;
+        Ok(())
+    }
+
+    /// Clears an object's modified flag (done by the checkpointer after
+    /// recording — the paper's `resetModified()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if the handle is stale.
+    pub fn reset_modified(&mut self, id: ObjectId) -> Result<(), HeapError> {
+        self.object_mut(id)?.info.modified = false;
+        Ok(())
+    }
+
+    /// Marks every live object modified (forces the next incremental
+    /// checkpoint to be a full one).
+    pub fn mark_all_modified(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(obj) = &mut slot.object {
+                obj.info.modified = true;
+            }
+        }
+    }
+
+    /// Clears the modified flag of every live object.
+    pub fn reset_all_modified(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(obj) = &mut slot.object {
+                obj.info.modified = false;
+            }
+        }
+    }
+
+    /// Iterates over the handles of all live objects, in slot order.
+    pub fn iter_live(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.object.as_ref().map(|_| ObjectId { index: i as u32, generation: s.generation })
+        })
+    }
+
+    /// The number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Cumulative activity counters.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap() -> (Heap, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let other = reg.define("Other", None, &[("f", FieldType::Double)]).unwrap();
+        (Heap::new(reg), node, other)
+    }
+
+    #[test]
+    fn alloc_zero_initializes_and_marks_modified() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        assert_eq!(heap.field(o, 0).unwrap(), Value::Int(0));
+        assert_eq!(heap.field(o, 1).unwrap(), Value::Ref(None));
+        assert!(heap.is_modified(o).unwrap());
+    }
+
+    #[test]
+    fn stable_ids_are_unique_and_increasing() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        assert!(heap.stable_id(a).unwrap() < heap.stable_id(b).unwrap());
+    }
+
+    #[test]
+    fn write_barrier_sets_modified() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        heap.reset_modified(o).unwrap();
+        heap.set_field(o, 0, Value::Int(7)).unwrap();
+        assert!(heap.is_modified(o).unwrap());
+        assert_eq!(heap.field(o, 0).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn unbarriered_store_does_not_set_modified() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        heap.reset_modified(o).unwrap();
+        heap.set_field_unbarriered(o, 0, Value::Int(7)).unwrap();
+        assert!(!heap.is_modified(o).unwrap());
+        assert_eq!(heap.field(o, 0).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        let err = heap.set_field(o, 0, Value::Bool(true)).unwrap_err();
+        assert!(matches!(err, HeapError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn slot_bounds_are_enforced() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        assert!(matches!(heap.field(o, 9), Err(HeapError::SlotOutOfBounds { .. })));
+        assert!(matches!(
+            heap.set_field(o, 9, Value::Int(0)),
+            Err(HeapError::SlotOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn class_constrained_refs_accept_subclasses_only() {
+        let mut reg = ClassRegistry::new();
+        let entry = reg.define("Entry", None, &[]).unwrap();
+        let bt = reg.define("BTEntry", Some(entry), &[]).unwrap();
+        let holder = reg
+            .define("Holder", None, &[("e", FieldType::Ref(Some(entry)))])
+            .unwrap();
+        let unrelated = reg.define("Unrelated", None, &[]).unwrap();
+        let mut heap = Heap::new(reg);
+        let h = heap.alloc(holder).unwrap();
+        let b = heap.alloc(bt).unwrap();
+        let u = heap.alloc(unrelated).unwrap();
+        heap.set_field(h, 0, Value::Ref(Some(b))).unwrap();
+        let err = heap.set_field(h, 0, Value::Ref(Some(u))).unwrap_err();
+        assert!(matches!(err, HeapError::ClassConstraint { .. }));
+        // null always allowed
+        heap.set_field(h, 0, Value::Ref(None)).unwrap();
+    }
+
+    #[test]
+    fn freed_handles_dangle_and_slots_are_reused_with_new_generation() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        heap.free(a).unwrap();
+        assert!(!heap.contains(a));
+        assert!(matches!(heap.field(a, 0), Err(HeapError::DanglingObject(_))));
+        let b = heap.alloc(node).unwrap();
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a.generation(), b.generation());
+        assert!(heap.contains(b));
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        heap.free(a).unwrap();
+        assert!(matches!(heap.free(a), Err(HeapError::DanglingObject(_))));
+    }
+
+    #[test]
+    fn alloc_with_validates_arity_and_values() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap
+            .alloc_with(node, &[Value::Int(3), Value::Ref(None)])
+            .unwrap();
+        assert_eq!(heap.field(o, 0).unwrap(), Value::Int(3));
+        assert!(heap.alloc_with(node, &[Value::Int(3)]).is_err());
+        assert!(heap
+            .alloc_with(node, &[Value::Bool(true), Value::Ref(None)])
+            .is_err());
+    }
+
+    #[test]
+    fn alloc_restored_preserves_identity_and_bumps_counter() {
+        let (mut heap, node, _) = small_heap();
+        let r = heap.alloc_restored(node, StableId(100), false).unwrap();
+        assert_eq!(heap.stable_id(r).unwrap(), StableId(100));
+        assert!(!heap.is_modified(r).unwrap());
+        let fresh = heap.alloc(node).unwrap();
+        assert!(heap.stable_id(fresh).unwrap().raw() > 100);
+    }
+
+    #[test]
+    fn named_field_access_round_trips() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        heap.set_field_named(o, "v", Value::Int(42)).unwrap();
+        assert_eq!(heap.field_named(o, "v").unwrap(), Value::Int(42));
+        assert!(heap.field_named(o, "nope").is_err());
+    }
+
+    #[test]
+    fn mark_and_reset_all_modified() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        heap.reset_all_modified();
+        assert!(!heap.is_modified(a).unwrap());
+        assert!(!heap.is_modified(b).unwrap());
+        heap.mark_all_modified();
+        assert!(heap.is_modified(a).unwrap());
+        assert!(heap.is_modified(b).unwrap());
+    }
+
+    #[test]
+    fn stats_track_allocs_writes_and_barrier_transitions() {
+        let (mut heap, node, _) = small_heap();
+        let o = heap.alloc(node).unwrap();
+        heap.reset_modified(o).unwrap();
+        heap.set_field(o, 0, Value::Int(1)).unwrap(); // clean -> dirty
+        heap.set_field(o, 0, Value::Int(2)).unwrap(); // already dirty
+        let s = heap.stats();
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.field_writes, 2);
+        assert_eq!(s.barrier_marks, 1);
+    }
+
+    #[test]
+    fn iter_live_skips_freed_objects() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        let c = heap.alloc(node).unwrap();
+        heap.free(b).unwrap();
+        let live: Vec<ObjectId> = heap.iter_live().collect();
+        assert_eq!(live, vec![a, c]);
+        assert_eq!(heap.len(), 2);
+        assert!(!heap.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Model-based property tests: the heap against a naive reference model.
+
+use ickp_heap::{ClassRegistry, FieldType, Heap, HeapError, ObjectId, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations the fuzzer drives.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc,
+    Free(usize),
+    SetInt(usize, i32),
+    SetRef(usize, usize),
+    SetRefNull(usize),
+    ResetModified(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Alloc),
+        1 => (0usize..64).prop_map(Op::Free),
+        3 => ((0usize..64), any::<i32>()).prop_map(|(i, v)| Op::SetInt(i, v)),
+        2 => ((0usize..64), (0usize..64)).prop_map(|(a, b)| Op::SetRef(a, b)),
+        1 => (0usize..64).prop_map(Op::SetRefNull),
+        1 => (0usize..64).prop_map(Op::ResetModified),
+    ]
+}
+
+/// Reference model of one object.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelObject {
+    value: i32,
+    reference: Option<ObjectId>,
+    modified: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every operation behaves exactly like a trivial in-memory model;
+    /// stale handles always error; flags track barriered writes.
+    #[test]
+    fn heap_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut reg = ClassRegistry::new();
+        let class = reg
+            .define("N", None, &[("v", FieldType::Int), ("r", FieldType::Ref(None))])
+            .unwrap();
+        let mut heap = Heap::new(reg);
+        let mut model: HashMap<ObjectId, ModelObject> = HashMap::new();
+        let mut handles: Vec<ObjectId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc => {
+                    let id = heap.alloc(class).unwrap();
+                    prop_assert!(!model.contains_key(&id), "handles are never reissued");
+                    model.insert(id, ModelObject { value: 0, reference: None, modified: true });
+                    handles.push(id);
+                }
+                Op::Free(i) if !handles.is_empty() => {
+                    let id = handles[i % handles.len()];
+                    match (heap.free(id), model.remove(&id)) {
+                        (Ok(_), Some(_)) => {
+                            // References to the freed object stay in other
+                            // objects (dangling), as in the real system.
+                        }
+                        (Err(HeapError::DanglingObject(_)), None) => {}
+                        (h, m) => prop_assert!(false, "free mismatch: {h:?} vs {m:?}"),
+                    }
+                }
+                Op::SetInt(i, v) if !handles.is_empty() => {
+                    let id = handles[i % handles.len()];
+                    match (heap.set_field(id, 0, Value::Int(v)), model.get_mut(&id)) {
+                        (Ok(()), Some(m)) => {
+                            m.value = v;
+                            m.modified = true;
+                        }
+                        (Err(HeapError::DanglingObject(_)), None) => {}
+                        (h, m) => prop_assert!(false, "set mismatch: {h:?} vs {m:?}"),
+                    }
+                }
+                Op::SetRef(a, b) if !handles.is_empty() => {
+                    let src = handles[a % handles.len()];
+                    let dst = handles[b % handles.len()];
+                    // An unconstrained ref slot accepts any handle — even a
+                    // stale one (the dangle is detected at *use*, like a
+                    // page holding both live objects and garbage).
+                    match (heap.set_field(src, 1, Value::Ref(Some(dst))), model.get_mut(&src)) {
+                        (Ok(()), Some(m)) => {
+                            m.reference = Some(dst);
+                            m.modified = true;
+                        }
+                        (Err(HeapError::DanglingObject(_)), None) => {}
+                        (h, m) => prop_assert!(false, "setref mismatch: {h:?} vs {m:?}"),
+                    }
+                }
+                Op::SetRefNull(i) if !handles.is_empty() => {
+                    let id = handles[i % handles.len()];
+                    match (heap.set_field(id, 1, Value::Ref(None)), model.get_mut(&id)) {
+                        (Ok(()), Some(m)) => {
+                            m.reference = None;
+                            m.modified = true;
+                        }
+                        (Err(HeapError::DanglingObject(_)), None) => {}
+                        (h, m) => prop_assert!(false, "setnull mismatch: {h:?} vs {m:?}"),
+                    }
+                }
+                Op::ResetModified(i) if !handles.is_empty() => {
+                    let id = handles[i % handles.len()];
+                    match (heap.reset_modified(id), model.get_mut(&id)) {
+                        (Ok(()), Some(m)) => m.modified = false,
+                        (Err(HeapError::DanglingObject(_)), None) => {}
+                        (h, m) => prop_assert!(false, "reset mismatch: {h:?} vs {m:?}"),
+                    }
+                }
+                _ => {}
+            }
+
+            // Full-state check after every operation.
+            prop_assert_eq!(heap.len(), model.len());
+            for (&id, m) in &model {
+                prop_assert_eq!(heap.field(id, 0).unwrap(), Value::Int(m.value));
+                prop_assert_eq!(heap.field(id, 1).unwrap(), Value::Ref(m.reference));
+                prop_assert_eq!(heap.is_modified(id).unwrap(), m.modified);
+            }
+        }
+
+        // Live iteration agrees with the model's key set.
+        let live: Vec<ObjectId> = heap.iter_live().collect();
+        prop_assert_eq!(live.len(), model.len());
+        for id in live {
+            prop_assert!(model.contains_key(&id));
+        }
+    }
+
+    /// Stable ids are unique across the lifetime of a heap, even with
+    /// slot reuse after frees.
+    #[test]
+    fn stable_ids_never_repeat(frees in proptest::collection::vec(any::<bool>(), 1..80)) {
+        let mut reg = ClassRegistry::new();
+        let class = reg.define("N", None, &[("v", FieldType::Int)]).unwrap();
+        let mut heap = Heap::new(reg);
+        let mut seen = std::collections::HashSet::new();
+        let mut live: Vec<ObjectId> = Vec::new();
+        for f in frees {
+            let id = heap.alloc(class).unwrap();
+            prop_assert!(seen.insert(heap.stable_id(id).unwrap()), "stable id reused");
+            live.push(id);
+            if f && live.len() > 1 {
+                let victim = live.remove(0);
+                heap.free(victim).unwrap();
+            }
+        }
+    }
+}

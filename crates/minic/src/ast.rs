@@ -1,0 +1,354 @@
+//! Abstract syntax tree of mini-C.
+//!
+//! The language is the "simplified version of C" the paper's prototype
+//! analysis engine treats: `int` scalars and fixed-size `int` arrays,
+//! global variables, functions, assignments, arithmetic/comparison/logic
+//! operators, `if`/`while`/`for`/`return`. Every **statement** carries a
+//! dense [`NodeId`]; the analysis engine attaches one heap-backed
+//! `Attributes` structure per statement id (paper §4.1).
+
+use crate::token::Pos;
+
+/// Dense statement identifier, assigned by the parser in pre-order.
+pub type NodeId = u32;
+
+/// A mini-C type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// `int`.
+    Int,
+    /// `int[n]` (named arrays only; no pointer arithmetic).
+    IntArray,
+    /// `void` (function returns only).
+    Void,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global variable declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub functions: Vec<Function>,
+    /// Total number of statements (= number of [`NodeId`]s issued).
+    pub stmt_count: u32,
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// `Int` or `IntArray`.
+    pub ty: Type,
+    /// Array size for `IntArray` globals.
+    pub array_size: Option<usize>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type (`Int` or `Void`).
+    pub ret: Type,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// `Int` or `IntArray`.
+    pub ty: Type,
+}
+
+/// A brace-delimited statement sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement with identity and position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Dense statement id.
+    pub id: NodeId,
+    /// Source position.
+    pub pos: Pos,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+/// Statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement (usually an assignment or call).
+    Expr(Expr),
+    /// Local declaration, with optional initializer.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// `Int` or `IntArray`.
+        ty: Type,
+        /// Array size for `IntArray` locals.
+        array_size: Option<usize>,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+    },
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Block,
+        /// Optional else branch.
+        else_branch: Option<Block>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Block,
+    },
+    /// `for (init; cond; step) { .. }` — all three parts optional.
+    For {
+        /// Initialization expression.
+        init: Option<Expr>,
+        /// Loop condition.
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `return expr?;`.
+    Return(Option<Expr>),
+    /// `break;` — exits the innermost loop.
+    Break,
+    /// `continue;` — skips to the next iteration of the innermost loop.
+    Continue,
+    /// Nested block.
+    Block(Block),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Source position.
+    pub pos: Pos,
+    /// The expression proper.
+    pub kind: ExprKind,
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read `a[i]`.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Assignment `lv = e` (an expression, as in C).
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Visits every statement in the program, in pre-order.
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        for func in &self.functions {
+            visit_block(&func.body, f);
+        }
+    }
+
+    /// Collects the ids of all statements, in visit order.
+    pub fn stmt_ids(&self) -> Vec<NodeId> {
+        let mut ids = Vec::with_capacity(self.stmt_count as usize);
+        self.for_each_stmt(&mut |s| ids.push(s.id));
+        ids
+    }
+}
+
+fn visit_block(block: &Block, f: &mut impl FnMut(&Stmt)) {
+    for stmt in &block.stmts {
+        f(stmt);
+        match &stmt.kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                visit_block(then_branch, f);
+                if let Some(e) = else_branch {
+                    visit_block(e, f);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => visit_block(body, f),
+            StmtKind::Block(b) => visit_block(b, f),
+            StmtKind::Expr(_)
+            | StmtKind::Decl { .. }
+            | StmtKind::Return(_)
+            | StmtKind::Break
+            | StmtKind::Continue => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_expr() -> Expr {
+        Expr { pos: Pos::default(), kind: ExprKind::IntLit(0) }
+    }
+
+    fn stmt(id: NodeId, kind: StmtKind) -> Stmt {
+        Stmt { id, pos: Pos::default(), kind }
+    }
+
+    #[test]
+    fn statement_visitor_reaches_nested_statements() {
+        let body = Block {
+            stmts: vec![
+                stmt(0, StmtKind::Expr(dummy_expr())),
+                stmt(
+                    1,
+                    StmtKind::If {
+                        cond: dummy_expr(),
+                        then_branch: Block { stmts: vec![stmt(2, StmtKind::Return(None))] },
+                        else_branch: Some(Block {
+                            stmts: vec![stmt(
+                                3,
+                                StmtKind::While {
+                                    cond: dummy_expr(),
+                                    body: Block {
+                                        stmts: vec![stmt(4, StmtKind::Expr(dummy_expr()))],
+                                    },
+                                },
+                            )],
+                        }),
+                    },
+                ),
+            ],
+        };
+        let program = Program {
+            globals: vec![],
+            functions: vec![Function {
+                name: "f".into(),
+                ret: Type::Void,
+                params: vec![],
+                body,
+                pos: Pos::default(),
+            }],
+            stmt_count: 5,
+        };
+        assert_eq!(program.stmt_ids(), vec![0, 1, 2, 3, 4]);
+        assert!(program.function("f").is_some());
+        assert!(program.function("g").is_none());
+        assert!(program.global("x").is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors of the mini-C front end and interpreter.
+
+use crate::token::Pos;
+use std::error::Error;
+use std::fmt;
+
+/// A front-end (lex/parse/typecheck) error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinicError {
+    kind: ErrorKind,
+    pos: Pos,
+    message: String,
+}
+
+/// Which stage produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical error (bad character, overflow).
+    Lex,
+    /// Syntax error.
+    Parse,
+    /// Type or name-resolution error.
+    Type,
+    /// Run-time error in the interpreter.
+    Runtime,
+}
+
+impl MinicError {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, pos: Pos, message: impl Into<String>) -> MinicError {
+        MinicError { kind, pos, message: message.into() }
+    }
+
+    /// The stage that failed.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The source position.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for MinicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.kind {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Type => "type",
+            ErrorKind::Runtime => "runtime",
+        };
+        write!(f, "{stage} error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for MinicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_position_and_message() {
+        let e = MinicError::new(ErrorKind::Parse, Pos { line: 2, col: 5 }, "expected `;`");
+        let s = e.to_string();
+        assert!(s.contains("parse"));
+        assert!(s.contains("2:5"));
+        assert!(s.contains("expected `;`"));
+        assert_eq!(e.kind(), ErrorKind::Parse);
+        assert_eq!(e.message(), "expected `;`");
+    }
+}

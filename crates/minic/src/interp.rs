@@ -1,0 +1,652 @@
+//! A tree-walking interpreter for mini-C.
+//!
+//! The analyses in `ickp-analysis` are purely static, but the workload
+//! programs should be *real programs*: the interpreter lets tests and
+//! examples execute them and check their results, which keeps the
+//! generated image-manipulation benchmark honest (it computes, not just
+//! parses).
+
+use crate::ast::*;
+use crate::error::{ErrorKind, MinicError};
+use crate::token::Pos;
+use std::collections::HashMap;
+
+/// Execution limits for the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of statements + expression evaluations.
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits { max_steps: 50_000_000, max_depth: 256 }
+    }
+}
+
+/// Interpreter state: global variable values persist across calls.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    globals: HashMap<String, Slot>,
+    limits: Limits,
+    steps: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Scalar(i64),
+    Array(Vec<i64>),
+}
+
+enum Flow {
+    Normal,
+    Return(Option<i64>),
+    Break,
+    Continue,
+}
+
+type Frame = Vec<HashMap<String, Slot>>;
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with zero-initialized globals.
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp::with_limits(program, Limits::default())
+    }
+
+    /// Creates an interpreter with explicit execution limits.
+    pub fn with_limits(program: &'p Program, limits: Limits) -> Interp<'p> {
+        let mut globals = HashMap::new();
+        for g in &program.globals {
+            let slot = match g.ty {
+                Type::IntArray => Slot::Array(vec![0; g.array_size.unwrap_or(0)]),
+                _ => Slot::Scalar(0),
+            };
+            globals.insert(g.name.clone(), slot);
+        }
+        Interp { program, globals, limits, steps: 0 }
+    }
+
+    /// Calls a function by name with scalar arguments; array parameters
+    /// are not supported through this entry point (call a wrapper without
+    /// array parameters instead, as `main` typically is).
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime [`MinicError`] on undefined functions, arity
+    /// mismatch, division by zero, out-of-bounds indexing, or exceeded
+    /// limits.
+    pub fn call(&mut self, name: &str, args: &[i64]) -> Result<Option<i64>, MinicError> {
+        self.call_at_depth(name, args, 0, Pos::default())
+    }
+
+    /// Reads a global scalar after execution.
+    pub fn global_scalar(&self, name: &str) -> Option<i64> {
+        match self.globals.get(name)? {
+            Slot::Scalar(v) => Some(*v),
+            Slot::Array(_) => None,
+        }
+    }
+
+    /// Reads a global array after execution.
+    pub fn global_array(&self, name: &str) -> Option<&[i64]> {
+        match self.globals.get(name)? {
+            Slot::Array(v) => Some(v),
+            Slot::Scalar(_) => None,
+        }
+    }
+
+    /// Statements/expressions evaluated so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn tick(&mut self, pos: Pos) -> Result<(), MinicError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(MinicError::new(ErrorKind::Runtime, pos, "step limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn call_at_depth(
+        &mut self,
+        name: &str,
+        args: &[i64],
+        depth: usize,
+        pos: Pos,
+    ) -> Result<Option<i64>, MinicError> {
+        if depth >= self.limits.max_depth {
+            return Err(MinicError::new(ErrorKind::Runtime, pos, "call depth exceeded"));
+        }
+        let program: &'p Program = self.program;
+        let func = program
+            .function(name)
+            .ok_or_else(|| MinicError::new(ErrorKind::Runtime, pos, format!("no function `{name}`")))?;
+        if func.params.len() != args.len() {
+            return Err(MinicError::new(
+                ErrorKind::Runtime,
+                pos,
+                format!("`{name}` expects {} args, got {}", func.params.len(), args.len()),
+            ));
+        }
+        let mut scope = HashMap::new();
+        for (p, &v) in func.params.iter().zip(args) {
+            match p.ty {
+                Type::Int => {
+                    scope.insert(p.name.clone(), Slot::Scalar(v));
+                }
+                Type::IntArray => {
+                    return Err(MinicError::new(
+                        ErrorKind::Runtime,
+                        pos,
+                        "array parameters unsupported at the call entry point",
+                    ))
+                }
+                Type::Void => unreachable!("void parameters are unparseable"),
+            }
+        }
+        let mut frame: Frame = vec![scope];
+        match self.run_block(&func.body, &mut frame, depth)? {
+            Flow::Return(v) => Ok(v),
+            // Typecheck rejects break/continue outside loops, so a Break
+            // or Continue can never escape a function body.
+            Flow::Normal | Flow::Break | Flow::Continue => Ok(None),
+        }
+    }
+
+    fn run_block(
+        &mut self,
+        block: &Block,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, MinicError> {
+        frame.push(HashMap::new());
+        for stmt in &block.stmts {
+            match self.run_stmt(stmt, frame, depth)? {
+                Flow::Normal => {}
+                ret => {
+                    frame.pop();
+                    return Ok(ret);
+                }
+            }
+        }
+        frame.pop();
+        Ok(Flow::Normal)
+    }
+
+    fn run_stmt(
+        &mut self,
+        stmt: &Stmt,
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, MinicError> {
+        self.tick(stmt.pos)?;
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.eval(e, frame, depth)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Decl { name, ty, array_size, init } => {
+                let slot = match ty {
+                    Type::IntArray => Slot::Array(vec![0; array_size.unwrap_or(0)]),
+                    _ => Slot::Scalar(match init {
+                        Some(e) => self.eval(e, frame, depth)?,
+                        None => 0,
+                    }),
+                };
+                frame.last_mut().expect("frame nonempty").insert(name.clone(), slot);
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                if self.eval(cond, frame, depth)? != 0 {
+                    self.run_block(then_branch, frame, depth)
+                } else if let Some(e) = else_branch {
+                    self.run_block(e, frame, depth)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                while self.eval(cond, frame, depth)? != 0 {
+                    match self.run_block(body, frame, depth)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(e) = init {
+                    self.eval(e, frame, depth)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if self.eval(c, frame, depth)? == 0 {
+                            break;
+                        }
+                    }
+                    match self.run_block(body, frame, depth)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    if let Some(s) = step {
+                        self.eval(s, frame, depth)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.eval(e, frame, depth)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Block(b) => self.run_block(b, frame, depth),
+        }
+    }
+
+    fn read_var(&self, name: &str, frame: &Frame, pos: Pos) -> Result<i64, MinicError> {
+        for scope in frame.iter().rev() {
+            if let Some(slot) = scope.get(name) {
+                return match slot {
+                    Slot::Scalar(v) => Ok(*v),
+                    Slot::Array(_) => Err(MinicError::new(
+                        ErrorKind::Runtime,
+                        pos,
+                        format!("`{name}` is an array"),
+                    )),
+                };
+            }
+        }
+        match self.globals.get(name) {
+            Some(Slot::Scalar(v)) => Ok(*v),
+            Some(Slot::Array(_)) => {
+                Err(MinicError::new(ErrorKind::Runtime, pos, format!("`{name}` is an array")))
+            }
+            None => Err(MinicError::new(ErrorKind::Runtime, pos, format!("undefined `{name}`"))),
+        }
+    }
+
+    fn with_array<R>(
+        &mut self,
+        name: &str,
+        frame: &mut Frame,
+        pos: Pos,
+        f: impl FnOnce(&mut Vec<i64>) -> Result<R, MinicError>,
+    ) -> Result<R, MinicError> {
+        for scope in frame.iter_mut().rev() {
+            if let Some(Slot::Array(arr)) = scope.get_mut(name) {
+                return f(arr);
+            }
+            if scope.contains_key(name) {
+                return Err(MinicError::new(
+                    ErrorKind::Runtime,
+                    pos,
+                    format!("`{name}` is not an array"),
+                ));
+            }
+        }
+        match self.globals.get_mut(name) {
+            Some(Slot::Array(arr)) => f(arr),
+            Some(_) => {
+                Err(MinicError::new(ErrorKind::Runtime, pos, format!("`{name}` is not an array")))
+            }
+            None => Err(MinicError::new(ErrorKind::Runtime, pos, format!("undefined `{name}`"))),
+        }
+    }
+
+    fn write_var(
+        &mut self,
+        name: &str,
+        value: i64,
+        frame: &mut Frame,
+        pos: Pos,
+    ) -> Result<(), MinicError> {
+        for scope in frame.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                match slot {
+                    Slot::Scalar(v) => {
+                        *v = value;
+                        return Ok(());
+                    }
+                    Slot::Array(_) => {
+                        return Err(MinicError::new(
+                            ErrorKind::Runtime,
+                            pos,
+                            format!("cannot assign array `{name}`"),
+                        ))
+                    }
+                }
+            }
+        }
+        match self.globals.get_mut(name) {
+            Some(Slot::Scalar(v)) => {
+                *v = value;
+                Ok(())
+            }
+            Some(Slot::Array(_)) => Err(MinicError::new(
+                ErrorKind::Runtime,
+                pos,
+                format!("cannot assign array `{name}`"),
+            )),
+            None => Err(MinicError::new(ErrorKind::Runtime, pos, format!("undefined `{name}`"))),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut Frame, depth: usize) -> Result<i64, MinicError> {
+        self.tick(e.pos)?;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(*v),
+            ExprKind::Var(name) => self.read_var(name, frame, e.pos),
+            ExprKind::Index { array, index } => {
+                let i = self.eval(index, frame, depth)?;
+                self.with_array(array, frame, e.pos, |arr| {
+                    usize::try_from(i)
+                        .ok()
+                        .and_then(|i| arr.get(i).copied())
+                        .ok_or_else(|| {
+                            MinicError::new(
+                                ErrorKind::Runtime,
+                                e.pos,
+                                format!("index {i} out of bounds (len {})", arr.len()),
+                            )
+                        })
+                })
+            }
+            ExprKind::Assign { target, value } => {
+                let v = self.eval(value, frame, depth)?;
+                match target {
+                    LValue::Var(name) => self.write_var(name, v, frame, e.pos)?,
+                    LValue::Index { array, index } => {
+                        let i = self.eval(index, frame, depth)?;
+                        self.with_array(array, frame, e.pos, |arr| {
+                            let len = arr.len();
+                            let slot = usize::try_from(i)
+                                .ok()
+                                .and_then(|i| arr.get_mut(i))
+                                .ok_or_else(|| {
+                                    MinicError::new(
+                                        ErrorKind::Runtime,
+                                        e.pos,
+                                        format!("index {i} out of bounds (len {len})"),
+                                    )
+                                })?;
+                            *slot = v;
+                            Ok(())
+                        })?;
+                    }
+                }
+                Ok(v)
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                // Short-circuit logic first.
+                match op {
+                    BinOp::And => {
+                        return Ok(if self.eval(lhs, frame, depth)? != 0
+                            && self.eval(rhs, frame, depth)? != 0
+                        {
+                            1
+                        } else {
+                            0
+                        })
+                    }
+                    BinOp::Or => {
+                        return Ok(if self.eval(lhs, frame, depth)? != 0
+                            || self.eval(rhs, frame, depth)? != 0
+                        {
+                            1
+                        } else {
+                            0
+                        })
+                    }
+                    _ => {}
+                }
+                let a = self.eval(lhs, frame, depth)?;
+                let b = self.eval(rhs, frame, depth)?;
+                let div_guard = |b: i64| {
+                    if b == 0 {
+                        Err(MinicError::new(ErrorKind::Runtime, e.pos, "division by zero"))
+                    } else {
+                        Ok(b)
+                    }
+                };
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => a.wrapping_div(div_guard(b)?),
+                    BinOp::Rem => a.wrapping_rem(div_guard(b)?),
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                })
+            }
+            ExprKind::Unary { op, expr } => {
+                let v = self.eval(expr, frame, depth)?;
+                Ok(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                })
+            }
+            ExprKind::Call { name, args } => {
+                // Array arguments alias the caller's array: mini-C passes
+                // arrays by reference like C. We support only *global*
+                // arrays as arguments (the simplification the analyses
+                // also make), so the callee accesses them as globals under
+                // the parameter name.
+                let mut scalar_args = Vec::with_capacity(args.len());
+                let mut array_aliases: Vec<(String, String)> = Vec::new();
+                let program: &'p Program = self.program;
+                let func = program.function(name).ok_or_else(|| {
+                    MinicError::new(ErrorKind::Runtime, e.pos, format!("no function `{name}`"))
+                })?;
+                for (arg, param) in args.iter().zip(&func.params) {
+                    match param.ty {
+                        Type::IntArray => match &arg.kind {
+                            ExprKind::Var(global) => {
+                                array_aliases.push((param.name.clone(), global.clone()))
+                            }
+                            _ => {
+                                return Err(MinicError::new(
+                                    ErrorKind::Runtime,
+                                    arg.pos,
+                                    "array argument must be a global array name",
+                                ))
+                            }
+                        },
+                        _ => scalar_args.push(self.eval(arg, frame, depth)?),
+                    }
+                }
+                // Install aliases by temporarily moving the global arrays
+                // under the parameter names.
+                let mut moved: Vec<(String, String, Slot)> = Vec::new();
+                for (param, global) in &array_aliases {
+                    let slot = self.globals.remove(global).ok_or_else(|| {
+                        MinicError::new(
+                            ErrorKind::Runtime,
+                            e.pos,
+                            format!("array argument `{global}` must be a global array"),
+                        )
+                    })?;
+                    self.globals.insert(param.clone(), slot);
+                    moved.push((param.clone(), global.clone(), Slot::Scalar(0)));
+                }
+                let result = self.call_scalars_only(name, &scalar_args, depth + 1, e.pos);
+                // Restore aliased arrays under their original names.
+                for (param, global, _) in moved {
+                    if let Some(slot) = self.globals.remove(&param) {
+                        self.globals.insert(global, slot);
+                    }
+                }
+                Ok(result?.unwrap_or(0))
+            }
+        }
+    }
+
+    fn call_scalars_only(
+        &mut self,
+        name: &str,
+        scalars: &[i64],
+        depth: usize,
+        pos: Pos,
+    ) -> Result<Option<i64>, MinicError> {
+        if depth >= self.limits.max_depth {
+            return Err(MinicError::new(ErrorKind::Runtime, pos, "call depth exceeded"));
+        }
+        let program: &'p Program = self.program;
+        let func = program
+            .function(name)
+            .ok_or_else(|| MinicError::new(ErrorKind::Runtime, pos, format!("no function `{name}`")))?;
+        let mut scope = HashMap::new();
+        let mut it = scalars.iter();
+        for p in &func.params {
+            if p.ty == Type::Int {
+                let v = *it.next().ok_or_else(|| {
+                    MinicError::new(ErrorKind::Runtime, pos, "missing scalar argument")
+                })?;
+                scope.insert(p.name.clone(), Slot::Scalar(v));
+            }
+            // Array params resolve through the aliased globals.
+        }
+        let mut frame: Frame = vec![scope];
+        match self.run_block(&func.body, &mut frame, depth)? {
+            Flow::Return(v) => Ok(v),
+            // Typecheck rejects break/continue outside loops, so a Break
+            // or Continue can never escape a function body.
+            Flow::Normal | Flow::Break | Flow::Continue => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typecheck::typecheck;
+
+    fn program(src: &str) -> Program {
+        let p = parse(src).unwrap();
+        typecheck(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn arithmetic_and_calls_evaluate() {
+        let p = program("int add(int a, int b) { return a + b * 2; } ");
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("add", &[1, 3]).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let p = program("int g; void bump() { g = g + 1; }");
+        let mut i = Interp::new(&p);
+        i.call("bump", &[]).unwrap();
+        i.call("bump", &[]).unwrap();
+        assert_eq!(i.global_scalar("g"), Some(2));
+    }
+
+    #[test]
+    fn loops_and_arrays_work() {
+        let p = program(
+            "int a[10];
+             void fill() { int i; for (i = 0; i < 10; i = i + 1) { a[i] = i * i; } }",
+        );
+        let mut i = Interp::new(&p);
+        i.call("fill", &[]).unwrap();
+        let squares: Vec<i64> = (0..10).map(|x| x * x).collect();
+        assert_eq!(i.global_array("a").unwrap(), squares.as_slice());
+    }
+
+    #[test]
+    fn array_parameters_alias_global_arrays() {
+        let p = program(
+            "int src[4]; int dst[4];
+             void copy(int a[], int b[]) { int i; for (i = 0; i < 4; i = i + 1) { b[i] = a[i]; } }
+             void init() { int i; for (i = 0; i < 4; i = i + 1) { src[i] = i + 1; } }
+             void main() { init(); copy(src, dst); }",
+        );
+        let mut i = Interp::new(&p);
+        i.call("main", &[]).unwrap();
+        assert_eq!(i.global_array("dst").unwrap(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn short_circuit_evaluation_protects_rhs() {
+        // Without short-circuit the rhs would divide by zero.
+        let p = program("int f(int x) { if (x != 0 && 10 / x > 1) { return 1; } return 0; }");
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("f", &[0]).unwrap(), Some(0));
+        assert_eq!(i.call("f", &[2]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_a_runtime_error() {
+        let p = program("int f(int x) { return 1 / x; }");
+        let mut i = Interp::new(&p);
+        assert!(i.call("f", &[0]).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_indexing_is_a_runtime_error() {
+        let p = program("int a[2]; int f(int i) { return a[i]; }");
+        let mut i = Interp::new(&p);
+        assert!(i.call("f", &[5]).is_err());
+        assert!(i.call("f", &[-1]).is_err());
+        assert!(i.call("f", &[1]).is_ok());
+    }
+
+    #[test]
+    fn infinite_loops_hit_the_step_limit() {
+        let p = program("void f() { while (1) {} }");
+        let mut i = Interp::with_limits(&p, Limits { max_steps: 10_000, max_depth: 8 });
+        let err = i.call("f", &[]).unwrap_err();
+        assert!(err.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn runaway_recursion_hits_the_depth_limit() {
+        let p = program("int f(int x) { return f(x); }");
+        let mut i = Interp::with_limits(&p, Limits { max_steps: 1_000_000, max_depth: 16 });
+        assert!(i.call("f", &[1]).unwrap_err().to_string().contains("depth"));
+    }
+
+    #[test]
+    fn recursion_computes_factorial() {
+        let p = program("int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }");
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("fact", &[6]).unwrap(), Some(720));
+    }
+
+    #[test]
+    fn return_exits_nested_loops() {
+        let p = program(
+            "int f() { int i; int j;
+               for (i = 0; i < 10; i = i + 1) {
+                 for (j = 0; j < 10; j = j + 1) { if (i * 10 + j == 42) { return i * 10 + j; } }
+               } return -1; }",
+        );
+        let mut i = Interp::new(&p);
+        assert_eq!(i.call("f", &[]).unwrap(), Some(42));
+    }
+
+    #[test]
+    fn steps_counter_advances() {
+        let p = program("void f() { int i; for (i = 0; i < 5; i = i + 1) {} }");
+        let mut i = Interp::new(&p);
+        i.call("f", &[]).unwrap();
+        assert!(i.steps() > 10);
+    }
+}

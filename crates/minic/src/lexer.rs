@@ -1,0 +1,251 @@
+//! The mini-C lexer.
+
+use crate::error::{ErrorKind, MinicError};
+use crate::token::{Pos, SpannedToken, Token};
+
+/// Tokenizes mini-C source into a token stream ending with [`Token::Eof`].
+///
+/// Supports `//` line comments and `/* */` block comments.
+///
+/// # Errors
+///
+/// Returns a [`MinicError`] of kind `Lex` on an unexpected character,
+/// an unterminated block comment, or an integer literal overflowing `i64`.
+///
+/// # Example
+///
+/// ```
+/// use ickp_minic::lex;
+/// let tokens = lex("int x = 42;")?;
+/// assert_eq!(tokens.len(), 6); // int, x, =, 42, ;, EOF
+/// # Ok::<(), ickp_minic::MinicError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<SpannedToken>, MinicError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                bump!();
+                bump!();
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        bump!();
+                        bump!();
+                        closed = true;
+                        break;
+                    }
+                    bump!();
+                }
+                if !closed {
+                    return Err(MinicError::new(
+                        ErrorKind::Lex,
+                        pos,
+                        "unterminated block comment",
+                    ));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: i64 = 0;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    let digit = (chars[i] as u8 - b'0') as i64;
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(digit))
+                        .ok_or_else(|| {
+                            MinicError::new(ErrorKind::Lex, pos, "integer literal overflows i64")
+                        })?;
+                    bump!();
+                }
+                tokens.push(SpannedToken { token: Token::IntLit(value), pos });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                let word: String = chars[start..i].iter().collect();
+                let token = match word.as_str() {
+                    "int" => Token::KwInt,
+                    "void" => Token::KwVoid,
+                    "if" => Token::KwIf,
+                    "else" => Token::KwElse,
+                    "while" => Token::KwWhile,
+                    "for" => Token::KwFor,
+                    "return" => Token::KwReturn,
+                    "break" => Token::KwBreak,
+                    "continue" => Token::KwContinue,
+                    _ => Token::Ident(word),
+                };
+                tokens.push(SpannedToken { token, pos });
+            }
+            _ => {
+                let two = |a: char, b: char| c == a && chars.get(i + 1) == Some(&b);
+                let (token, width) = if two('=', '=') {
+                    (Token::Eq, 2)
+                } else if two('!', '=') {
+                    (Token::Ne, 2)
+                } else if two('<', '=') {
+                    (Token::Le, 2)
+                } else if two('>', '=') {
+                    (Token::Ge, 2)
+                } else if two('&', '&') {
+                    (Token::AndAnd, 2)
+                } else if two('|', '|') {
+                    (Token::OrOr, 2)
+                } else {
+                    let t = match c {
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        '{' => Token::LBrace,
+                        '}' => Token::RBrace,
+                        '[' => Token::LBracket,
+                        ']' => Token::RBracket,
+                        ';' => Token::Semi,
+                        ',' => Token::Comma,
+                        '=' => Token::Assign,
+                        '+' => Token::Plus,
+                        '-' => Token::Minus,
+                        '*' => Token::Star,
+                        '/' => Token::Slash,
+                        '%' => Token::Percent,
+                        '<' => Token::Lt,
+                        '>' => Token::Gt,
+                        '!' => Token::Not,
+                        other => {
+                            return Err(MinicError::new(
+                                ErrorKind::Lex,
+                                pos,
+                                format!("unexpected character `{other}`"),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                for _ in 0..width {
+                    bump!();
+                }
+                tokens.push(SpannedToken { token, pos });
+            }
+        }
+    }
+    tokens.push(SpannedToken { token: Token::Eof, pos: Pos { line, col } });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_a_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Token::KwInt,
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::IntLit(42),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_one_and_two_char_operators() {
+        assert_eq!(
+            kinds("< <= = == ! != > >= && ||"),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Assign,
+                Token::Eq,
+                Token::Not,
+                Token::Ne,
+                Token::Gt,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers_but_prefixes_are() {
+        assert_eq!(kinds("if ifx")[0], Token::KwIf);
+        assert_eq!(kinds("if ifx")[1], Token::Ident("ifx".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n b /* inner\n lines */ c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(err.to_string().contains('$'));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999999999").is_err());
+        assert_eq!(kinds("9223372036854775807")[0], Token::IntLit(i64::MAX));
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        assert_eq!(kinds(""), vec![Token::Eof]);
+    }
+}

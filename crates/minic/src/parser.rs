@@ -1,0 +1,525 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::error::{ErrorKind, MinicError};
+use crate::lexer::lex;
+use crate::token::{Pos, SpannedToken, Token};
+
+/// Parses mini-C source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error.
+///
+/// # Example
+///
+/// ```
+/// use ickp_minic::parse;
+/// let program = parse("int g; void main() { g = 1 + 2; }")?;
+/// assert_eq!(program.functions.len(), 1);
+/// assert_eq!(program.stmt_count, 1);
+/// # Ok::<(), ickp_minic::MinicError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, MinicError> {
+    let tokens = lex(source)?;
+    Parser { tokens, index: 0, next_id: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    index: usize,
+    next_id: NodeId,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index].token
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.index + 1).min(self.tokens.len() - 1)].token
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.index].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.index].token.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), MinicError> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {expected}")))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> MinicError {
+        MinicError::new(
+            ErrorKind::Parse,
+            self.pos(),
+            format!("{what}, found {}", self.peek()),
+        )
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn ident(&mut self) -> Result<String, MinicError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, MinicError> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        while *self.peek() != Token::Eof {
+            match self.peek() {
+                Token::KwVoid => functions.push(self.function(Type::Void)?),
+                Token::KwInt => {
+                    // `int name (` starts a function; otherwise a global.
+                    if matches!(self.peek2(), Token::Ident(_))
+                        && self.tokens.get(self.index + 2).map(|t| &t.token) == Some(&Token::LParen)
+                    {
+                        functions.push(self.function(Type::Int)?);
+                    } else {
+                        globals.push(self.global()?);
+                    }
+                }
+                _ => return Err(self.unexpected("expected `int` or `void` at top level")),
+            }
+        }
+        Ok(Program { globals, functions, stmt_count: self.next_id })
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, MinicError> {
+        let pos = self.pos();
+        self.eat(&Token::KwInt)?;
+        let name = self.ident()?;
+        let (ty, array_size) = self.opt_array_suffix()?;
+        self.eat(&Token::Semi)?;
+        Ok(GlobalDecl { name, ty, array_size, pos })
+    }
+
+    fn opt_array_suffix(&mut self) -> Result<(Type, Option<usize>), MinicError> {
+        if *self.peek() == Token::LBracket {
+            self.bump();
+            let size = match self.peek().clone() {
+                Token::IntLit(n) if n > 0 => {
+                    self.bump();
+                    n as usize
+                }
+                _ => return Err(self.unexpected("expected positive array size")),
+            };
+            self.eat(&Token::RBracket)?;
+            Ok((Type::IntArray, Some(size)))
+        } else {
+            Ok((Type::Int, None))
+        }
+    }
+
+    fn function(&mut self, ret: Type) -> Result<Function, MinicError> {
+        let pos = self.pos();
+        self.bump(); // `int` or `void`
+        let name = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Token::RParen {
+            loop {
+                self.eat(&Token::KwInt)?;
+                let pname = self.ident()?;
+                let ty = if *self.peek() == Token::LBracket {
+                    self.bump();
+                    self.eat(&Token::RBracket)?;
+                    Type::IntArray
+                } else {
+                    Type::Int
+                };
+                params.push(Param { name: pname, ty });
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        let body = self.block()?;
+        Ok(Function { name, ret, params, body, pos })
+    }
+
+    fn block(&mut self) -> Result<Block, MinicError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if *self.peek() == Token::Eof {
+                return Err(self.unexpected("expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // `}`
+        Ok(Block { stmts })
+    }
+
+    /// A single statement, or a block wrapped as one statement list.
+    fn block_or_stmt(&mut self) -> Result<Block, MinicError> {
+        if *self.peek() == Token::LBrace {
+            self.block()
+        } else {
+            Ok(Block { stmts: vec![self.stmt()?] })
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, MinicError> {
+        let pos = self.pos();
+        let id = self.fresh_id();
+        let kind = match self.peek().clone() {
+            Token::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                let (ty, array_size) = self.opt_array_suffix()?;
+                let init = if *self.peek() == Token::Assign {
+                    if ty == Type::IntArray {
+                        return Err(self.unexpected("array locals cannot have initializers"));
+                    }
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat(&Token::Semi)?;
+                StmtKind::Decl { name, ty, array_size, init }
+            }
+            Token::KwIf => {
+                self.bump();
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let then_branch = self.block_or_stmt()?;
+                let else_branch = if *self.peek() == Token::KwElse {
+                    self.bump();
+                    Some(self.block_or_stmt()?)
+                } else {
+                    None
+                };
+                StmtKind::If { cond, then_branch, else_branch }
+            }
+            Token::KwWhile => {
+                self.bump();
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let body = self.block_or_stmt()?;
+                StmtKind::While { cond, body }
+            }
+            Token::KwFor => {
+                self.bump();
+                self.eat(&Token::LParen)?;
+                let init =
+                    if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                self.eat(&Token::Semi)?;
+                let cond =
+                    if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                self.eat(&Token::Semi)?;
+                let step =
+                    if *self.peek() == Token::RParen { None } else { Some(self.expr()?) };
+                self.eat(&Token::RParen)?;
+                let body = self.block_or_stmt()?;
+                StmtKind::For { init, cond, step, body }
+            }
+            Token::KwReturn => {
+                self.bump();
+                let value =
+                    if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                self.eat(&Token::Semi)?;
+                StmtKind::Return(value)
+            }
+            Token::KwBreak => {
+                self.bump();
+                self.eat(&Token::Semi)?;
+                StmtKind::Break
+            }
+            Token::KwContinue => {
+                self.bump();
+                self.eat(&Token::Semi)?;
+                StmtKind::Continue
+            }
+            Token::LBrace => StmtKind::Block(self.block()?),
+            _ => {
+                let e = self.expr()?;
+                self.eat(&Token::Semi)?;
+                StmtKind::Expr(e)
+            }
+        };
+        Ok(Stmt { id, pos, kind })
+    }
+
+    fn expr(&mut self) -> Result<Expr, MinicError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, MinicError> {
+        let lhs = self.or_expr()?;
+        if *self.peek() == Token::Assign {
+            let pos = lhs.pos;
+            let target = match lhs.kind {
+                ExprKind::Var(name) => LValue::Var(name),
+                ExprKind::Index { array, index } => LValue::Index { array, index },
+                _ => {
+                    return Err(MinicError::new(
+                        ErrorKind::Parse,
+                        pos,
+                        "assignment target must be a variable or array element",
+                    ))
+                }
+            };
+            self.bump();
+            let value = Box::new(self.assign_expr()?);
+            return Ok(Expr { pos, kind: ExprKind::Assign { target, value } });
+        }
+        Ok(lhs)
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(Token, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, MinicError>,
+    ) -> Result<Expr, MinicError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let pos = lhs.pos;
+                    lhs = Expr {
+                        pos,
+                        kind: ExprKind::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, MinicError> {
+        self.binary_level(&[(Token::OrOr, BinOp::Or)], Parser::and_expr)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, MinicError> {
+        self.binary_level(&[(Token::AndAnd, BinOp::And)], Parser::eq_expr)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, MinicError> {
+        self.binary_level(&[(Token::Eq, BinOp::Eq), (Token::Ne, BinOp::Ne)], Parser::rel_expr)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, MinicError> {
+        self.binary_level(
+            &[
+                (Token::Le, BinOp::Le),
+                (Token::Lt, BinOp::Lt),
+                (Token::Ge, BinOp::Ge),
+                (Token::Gt, BinOp::Gt),
+            ],
+            Parser::add_expr,
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, MinicError> {
+        self.binary_level(&[(Token::Plus, BinOp::Add), (Token::Minus, BinOp::Sub)], Parser::mul_expr)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, MinicError> {
+        self.binary_level(
+            &[(Token::Star, BinOp::Mul), (Token::Slash, BinOp::Div), (Token::Percent, BinOp::Rem)],
+            Parser::unary_expr,
+        )
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, MinicError> {
+        let pos = self.pos();
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let expr = Box::new(self.unary_expr()?);
+                Ok(Expr { pos, kind: ExprKind::Unary { op: UnOp::Neg, expr } })
+            }
+            Token::Not => {
+                self.bump();
+                let expr = Box::new(self.unary_expr()?);
+                Ok(Expr { pos, kind: ExprKind::Unary { op: UnOp::Not, expr } })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, MinicError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Token::IntLit(v) => {
+                self.bump();
+                Ok(Expr { pos, kind: ExprKind::IntLit(v) })
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Token::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if *self.peek() != Token::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Token::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.eat(&Token::RParen)?;
+                        Ok(Expr { pos, kind: ExprKind::Call { name, args } })
+                    }
+                    Token::LBracket => {
+                        self.bump();
+                        let index = Box::new(self.expr()?);
+                        self.eat(&Token::RBracket)?;
+                        Ok(Expr { pos, kind: ExprKind::Index { array: name, index } })
+                    }
+                    _ => Ok(Expr { pos, kind: ExprKind::Var(name) }),
+                }
+            }
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let p = parse("int g; int buf[16]; int add(int a, int b) { return a + b; }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].array_size, Some(16));
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params.len(), 2);
+        assert_eq!(p.functions[0].ret, Type::Int);
+    }
+
+    #[test]
+    fn statement_ids_are_dense_preorder() {
+        let p = parse(
+            "void f() { int i; for (i = 0; i < 3; i = i + 1) { g(i); } if (i) { return; } }",
+        )
+        .unwrap();
+        // stmts: decl, for, call-expr, if, return
+        assert_eq!(p.stmt_count, 5);
+        assert_eq!(p.stmt_ids(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("void f() { x = 1 + 2 * 3 < 4 && 5 == 6; }").unwrap();
+        let stmt = &p.functions[0].body.stmts[0];
+        let StmtKind::Expr(Expr { kind: ExprKind::Assign { value, .. }, .. }) = &stmt.kind else {
+            panic!("expected assignment");
+        };
+        // Top level must be `&&`.
+        let ExprKind::Binary { op: BinOp::And, lhs, .. } = &value.kind else {
+            panic!("expected && at top, got {:?}", value.kind);
+        };
+        // Left of && is `<`.
+        assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let p = parse("void f() { a = b = 1; }").unwrap();
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
+        let ExprKind::Assign { value, .. } = &e.kind else { panic!() };
+        assert!(matches!(value.kind, ExprKind::Assign { .. }));
+    }
+
+    #[test]
+    fn array_reads_writes_and_calls_parse() {
+        let p = parse("void f(int a[]) { a[0] = h(a[1], 2); }").unwrap();
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
+        let ExprKind::Assign { target: LValue::Index { array, .. }, value } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(array, "a");
+        assert!(matches!(value.kind, ExprKind::Call { .. }));
+    }
+
+    #[test]
+    fn if_without_braces_wraps_single_statement() {
+        let p = parse("void f() { if (1) g(); else h(); }").unwrap();
+        let StmtKind::If { then_branch, else_branch, .. } = &p.functions[0].body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(then_branch.stmts.len(), 1);
+        assert_eq!(else_branch.as_ref().unwrap().stmts.len(), 1);
+    }
+
+    #[test]
+    fn for_parts_are_optional() {
+        let p = parse("void f() { for (;;) { g(); } }").unwrap();
+        let StmtKind::For { init, cond, step, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn invalid_assignment_target_is_rejected() {
+        assert!(parse("void f() { 1 = 2; }").is_err());
+        assert!(parse("void f() { g() = 2; }").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported_with_position() {
+        let err = parse("void f() { g() }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"));
+    }
+
+    #[test]
+    fn unterminated_block_is_rejected() {
+        assert!(parse("void f() { g();").is_err());
+    }
+
+    #[test]
+    fn zero_size_arrays_are_rejected() {
+        assert!(parse("int a[0];").is_err());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("void f() { x = - - 1; y = !!0; }").unwrap();
+        assert_eq!(p.stmt_count, 2);
+    }
+}

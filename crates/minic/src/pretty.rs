@@ -1,0 +1,202 @@
+//! Pretty printer for mini-C programs.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a program back to parseable mini-C source.
+///
+/// Pretty-printing then re-parsing yields a structurally identical AST
+/// (same statement ids, since pre-order is preserved).
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        match g.array_size {
+            Some(n) => {
+                let _ = writeln!(out, "int {}[{}];", g.name, n);
+            }
+            None => {
+                let _ = writeln!(out, "int {};", g.name);
+            }
+        }
+    }
+    for f in &program.functions {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let ret = match f.ret {
+            Type::Int => "int",
+            Type::Void => "void",
+            Type::IntArray => "int[]",
+        };
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| match p.ty {
+                Type::IntArray => format!("int {}[]", p.name),
+                _ => format!("int {}", p.name),
+            })
+            .collect();
+        let _ = writeln!(out, "{} {}({}) {{", ret, f.name, params.join(", "));
+        print_block_body(&f.body, 1, &mut out);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block_body(block: &Block, level: usize, out: &mut String) {
+    for stmt in &block.stmts {
+        print_stmt(stmt, level, out);
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &stmt.kind {
+        StmtKind::Expr(e) => {
+            let _ = writeln!(out, "{};", expr_str(e));
+        }
+        StmtKind::Decl { name, ty, array_size, init } => match (ty, array_size, init) {
+            (Type::IntArray, Some(n), _) => {
+                let _ = writeln!(out, "int {name}[{n}];");
+            }
+            (_, _, Some(e)) => {
+                let _ = writeln!(out, "int {name} = {};", expr_str(e));
+            }
+            _ => {
+                let _ = writeln!(out, "int {name};");
+            }
+        },
+        StmtKind::If { cond, then_branch, else_branch } => {
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond));
+            print_block_body(then_branch, level + 1, out);
+            indent(level, out);
+            match else_branch {
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    print_block_body(e, level + 1, out);
+                    indent(level, out);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr_str(cond));
+            print_block_body(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::For { init, cond, step, body } => {
+            let part = |e: &Option<Expr>| e.as_ref().map(expr_str).unwrap_or_default();
+            let _ = writeln!(out, "for ({}; {}; {}) {{", part(init), part(cond), part(step));
+            print_block_body(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Return(value) => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", expr_str(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::Block(b) => {
+            out.push_str("{\n");
+            print_block_body(b, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn expr_str(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::Var(name) => name.clone(),
+        ExprKind::Index { array, index } => format!("{array}[{}]", expr_str(index)),
+        ExprKind::Assign { target, value } => {
+            let t = match target {
+                LValue::Var(name) => name.clone(),
+                LValue::Index { array, index } => format!("{array}[{}]", expr_str(index)),
+            };
+            format!("{t} = {}", expr_str(value))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let ops = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {} {})", expr_str(lhs), ops, expr_str(rhs))
+        }
+        ExprKind::Unary { op, expr } => {
+            let ops = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("({ops}{})", expr_str(expr))
+        }
+        ExprKind::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(expr_str).collect();
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn pretty_print_is_a_fixpoint_under_reparsing() {
+        let src = "int g; int a[4];
+            int f(int x, int b[]) { if (x > 0 && g < 3) { b[x] = f(x - 1, b) + 1; } else { return -x; } return 0; }
+            void main() { int i; for (i = 0; i < 4; i = i + 1) { f(i, a); } while (g) { g = g - 1; } }";
+        let once = pretty(&parse(src).unwrap());
+        let twice = pretty(&parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pretty_output_preserves_statement_ids() {
+        let src = "void f() { int i; for (i = 0; i < 3; i = i + 1) { if (i) { i = i; } } }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(p1.stmt_ids(), p2.stmt_ids());
+        assert_eq!(p1.stmt_count, p2.stmt_count);
+    }
+
+    #[test]
+    fn parenthesization_preserves_semantics() {
+        use crate::interp::Interp;
+        use crate::typecheck::typecheck;
+        let src = "int f(int x) { return 1 + x * 2 - -3 % (x + 1); }";
+        let p1 = parse(src).unwrap();
+        typecheck(&p1).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        typecheck(&p2).unwrap();
+        for x in [0, 1, 5, -4] {
+            let r1 = Interp::new(&p1).call("f", &[x]).unwrap();
+            let r2 = Interp::new(&p2).call("f", &[x]).unwrap();
+            assert_eq!(r1, r2, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Tokens of the mini-C language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// `int` keyword.
+    KwInt,
+    /// `void` keyword.
+    KwVoid,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `while` keyword.
+    KwWhile,
+    /// `for` keyword.
+    KwFor,
+    /// `return` keyword.
+    KwReturn,
+    /// `break` keyword.
+    KwBreak,
+    /// `continue` keyword.
+    KwContinue,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::IntLit(v) => write!(f, "integer {v}"),
+            Token::KwInt => write!(f, "`int`"),
+            Token::KwVoid => write!(f, "`void`"),
+            Token::KwIf => write!(f, "`if`"),
+            Token::KwElse => write!(f, "`else`"),
+            Token::KwWhile => write!(f, "`while`"),
+            Token::KwFor => write!(f, "`for`"),
+            Token::KwReturn => write!(f, "`return`"),
+            Token::KwBreak => write!(f, "`break`"),
+            Token::KwContinue => write!(f, "`continue`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::Semi => write!(f, "`;`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Assign => write!(f, "`=`"),
+            Token::Plus => write!(f, "`+`"),
+            Token::Minus => write!(f, "`-`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Slash => write!(f, "`/`"),
+            Token::Percent => write!(f, "`%`"),
+            Token::Eq => write!(f, "`==`"),
+            Token::Ne => write!(f, "`!=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::AndAnd => write!(f, "`&&`"),
+            Token::OrOr => write!(f, "`||`"),
+            Token::Not => write!(f, "`!`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for t in [Token::Ident("x".into()), Token::IntLit(3), Token::KwFor, Token::Eof] {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn positions_order_by_line_then_column() {
+        assert!(Pos { line: 1, col: 9 } < Pos { line: 2, col: 1 });
+        assert!(Pos { line: 2, col: 1 } < Pos { line: 2, col: 2 });
+        assert_eq!(Pos { line: 3, col: 4 }.to_string(), "3:4");
+    }
+}

@@ -1,0 +1,335 @@
+//! Name resolution and type checking for mini-C.
+
+use crate::ast::*;
+use crate::error::{ErrorKind, MinicError};
+use crate::token::Pos;
+use std::collections::HashMap;
+
+/// Checks a program: unique names, resolved variables, array/scalar usage,
+/// call arity, and return types.
+///
+/// # Errors
+///
+/// Returns the first type error found.
+///
+/// # Example
+///
+/// ```
+/// use ickp_minic::{parse, typecheck};
+/// let program = parse("int g; void main() { g = 3; }")?;
+/// typecheck(&program)?;
+/// # Ok::<(), ickp_minic::MinicError>(())
+/// ```
+pub fn typecheck(program: &Program) -> Result<(), MinicError> {
+    let mut checker = Checker {
+        globals: HashMap::new(),
+        functions: HashMap::new(),
+        scopes: Vec::new(),
+        current_ret: Type::Void,
+        loop_depth: 0,
+    };
+    for g in &program.globals {
+        if checker.globals.insert(g.name.clone(), g.ty).is_some() {
+            return Err(err(g.pos, format!("global `{}` defined twice", g.name)));
+        }
+    }
+    for f in &program.functions {
+        if checker
+            .functions
+            .insert(f.name.clone(), (f.ret, f.params.iter().map(|p| p.ty).collect()))
+            .is_some()
+        {
+            return Err(err(f.pos, format!("function `{}` defined twice", f.name)));
+        }
+        if checker.globals.contains_key(&f.name) {
+            return Err(err(f.pos, format!("`{}` is both a global and a function", f.name)));
+        }
+    }
+    for f in &program.functions {
+        checker.current_ret = f.ret;
+        checker.scopes.clear();
+        let mut top = HashMap::new();
+        for p in &f.params {
+            if top.insert(p.name.clone(), p.ty).is_some() {
+                return Err(err(f.pos, format!("parameter `{}` repeated", p.name)));
+            }
+        }
+        checker.scopes.push(top);
+        checker.block(&f.body)?;
+    }
+    Ok(())
+}
+
+fn err(pos: Pos, message: impl Into<String>) -> MinicError {
+    MinicError::new(ErrorKind::Type, pos, message)
+}
+
+struct Checker {
+    globals: HashMap<String, Type>,
+    functions: HashMap<String, (Type, Vec<Type>)>,
+    scopes: Vec<HashMap<String, Type>>,
+    current_ret: Type,
+    loop_depth: usize,
+}
+
+impl Checker {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return Some(*ty);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), MinicError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), MinicError> {
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            StmtKind::Decl { name, ty, init, .. } => {
+                if let Some(init) = init {
+                    self.expect_int(init)?;
+                }
+                let scope = self.scopes.last_mut().expect("scope stack nonempty");
+                if scope.insert(name.clone(), *ty).is_some() {
+                    return Err(err(stmt.pos, format!("`{name}` declared twice in this scope")));
+                }
+                Ok(())
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.expect_int(cond)?;
+                self.block(then_branch)?;
+                if let Some(e) = else_branch {
+                    self.block(e)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_int(cond)?;
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            StmtKind::For { init, cond, step, body } => {
+                if let Some(e) = init {
+                    self.expr(e)?;
+                }
+                if let Some(e) = cond {
+                    self.expect_int(e)?;
+                }
+                if let Some(e) = step {
+                    self.expr(e)?;
+                }
+                self.loop_depth += 1;
+                let r = self.block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            StmtKind::Return(value) => match (self.current_ret, value) {
+                (Type::Void, None) => Ok(()),
+                (Type::Void, Some(e)) => {
+                    Err(err(e.pos, "void function cannot return a value"))
+                }
+                (Type::Int, Some(e)) => self.expect_int(e),
+                (Type::Int, None) => Err(err(stmt.pos, "function must return a value")),
+                (Type::IntArray, _) => Err(err(stmt.pos, "functions cannot return arrays")),
+            },
+            StmtKind::Break => {
+                if self.loop_depth == 0 {
+                    return Err(err(stmt.pos, "`break` outside a loop"));
+                }
+                Ok(())
+            }
+            StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(err(stmt.pos, "`continue` outside a loop"));
+                }
+                Ok(())
+            }
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    fn expect_int(&mut self, e: &Expr) -> Result<(), MinicError> {
+        match self.expr(e)? {
+            Type::Int => Ok(()),
+            other => Err(err(e.pos, format!("expected int expression, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Type, MinicError> {
+        match &e.kind {
+            ExprKind::IntLit(_) => Ok(Type::Int),
+            ExprKind::Var(name) => self
+                .lookup(name)
+                .ok_or_else(|| err(e.pos, format!("undefined variable `{name}`"))),
+            ExprKind::Index { array, index } => {
+                match self.lookup(array) {
+                    Some(Type::IntArray) => {}
+                    Some(_) => return Err(err(e.pos, format!("`{array}` is not an array"))),
+                    None => return Err(err(e.pos, format!("undefined array `{array}`"))),
+                }
+                self.expect_int(index)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Assign { target, value } => {
+                match target {
+                    LValue::Var(name) => match self.lookup(name) {
+                        Some(Type::Int) => {}
+                        Some(_) => {
+                            return Err(err(e.pos, format!("cannot assign whole array `{name}`")))
+                        }
+                        None => return Err(err(e.pos, format!("undefined variable `{name}`"))),
+                    },
+                    LValue::Index { array, index } => {
+                        match self.lookup(array) {
+                            Some(Type::IntArray) => {}
+                            Some(_) => {
+                                return Err(err(e.pos, format!("`{array}` is not an array")))
+                            }
+                            None => return Err(err(e.pos, format!("undefined array `{array}`"))),
+                        }
+                        self.expect_int(index)?;
+                    }
+                }
+                self.expect_int(value)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expect_int(lhs)?;
+                self.expect_int(rhs)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Unary { expr, .. } => {
+                self.expect_int(expr)?;
+                Ok(Type::Int)
+            }
+            ExprKind::Call { name, args } => {
+                let (ret, param_tys) = self
+                    .functions
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| err(e.pos, format!("undefined function `{name}`")))?;
+                if args.len() != param_tys.len() {
+                    return Err(err(
+                        e.pos,
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            param_tys.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for (arg, expected) in args.iter().zip(&param_tys) {
+                    match expected {
+                        Type::Int => self.expect_int(arg)?,
+                        Type::IntArray => match &arg.kind {
+                            ExprKind::Var(n) if self.lookup(n) == Some(Type::IntArray) => {}
+                            _ => {
+                                return Err(err(
+                                    arg.pos,
+                                    "array parameter requires an array variable argument",
+                                ))
+                            }
+                        },
+                        Type::Void => unreachable!("void parameters are unparseable"),
+                    }
+                }
+                if ret == Type::Void {
+                    // A void call is only usable as a statement; modelling it
+                    // as Int would let it flow into arithmetic. Returning
+                    // Void and letting expect_int reject misuse.
+                    Ok(Type::Void)
+                } else {
+                    Ok(ret)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<(), MinicError> {
+        typecheck(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_a_well_typed_program() {
+        check(
+            "int g; int buf[8];
+             int inc(int x) { return x + 1; }
+             void main() { int i; for (i = 0; i < 8; i = i + 1) { buf[i] = inc(g); } }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_globals_functions_and_locals() {
+        assert!(check("int g; int g;").is_err());
+        assert!(check("void f() {} void f() {}").is_err());
+        assert!(check("void f() { int x; int x; }").is_err());
+        assert!(check("void f(int a, int a) {}").is_err());
+        assert!(check("int f; void f() {}").is_err());
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_is_allowed() {
+        check("void f() { int x; { int x; x = 1; } x = 2; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(check("void f() { x = 1; }").is_err());
+        assert!(check("void f() { g(); }").is_err());
+        assert!(check("void f() { a[0] = 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_scalar_array_confusion() {
+        assert!(check("int g; void f() { g[0] = 1; }").is_err());
+        assert!(check("int a[4]; void f() { a = 1; }").is_err());
+        assert!(check("int a[4]; void f() { int x; x = a + 1; }").is_err());
+    }
+
+    #[test]
+    fn array_arguments_must_be_array_variables() {
+        check("int a[4]; void g(int b[]) {} void f() { g(a); }").unwrap();
+        assert!(check("void g(int b[]) {} void f() { g(1); }").is_err());
+        assert!(check("int x; void g(int b[]) {} void f() { g(x); }").is_err());
+    }
+
+    #[test]
+    fn return_types_are_enforced() {
+        assert!(check("int f() { return; }").is_err());
+        assert!(check("void f() { return 1; }").is_err());
+        check("int f() { return 1; } void g() { return; }").unwrap();
+    }
+
+    #[test]
+    fn call_arity_is_enforced() {
+        assert!(check("int f(int a) { return a; } void g() { f(); }").is_err());
+        assert!(check("int f(int a) { return a; } void g() { f(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn void_calls_cannot_be_used_as_values() {
+        assert!(check("void f() {} void g() { int x; x = f(); }").is_err());
+        check("void f() {} void g() { f(); }").unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end coverage of `break`/`continue` across the front end,
+//! interpreter and pretty printer.
+
+use ickp_minic::{parse, pretty, typecheck, Interp};
+
+fn run_and_get(src: &str, global: &str) -> i64 {
+    let p = parse(src).unwrap();
+    typecheck(&p).unwrap();
+    let mut i = Interp::new(&p);
+    i.call("main", &[]).unwrap();
+    i.global_scalar(global).unwrap()
+}
+
+#[test]
+fn break_exits_the_innermost_loop_only() {
+    let v = run_and_get(
+        "int n;
+         void main() {
+             int i; int j;
+             n = 0;
+             for (i = 0; i < 3; i = i + 1) {
+                 for (j = 0; j < 10; j = j + 1) {
+                     if (j == 2) { break; }
+                     n = n + 1;
+                 }
+             }
+         }",
+        "n",
+    );
+    assert_eq!(v, 6, "inner loop runs twice per outer iteration");
+}
+
+#[test]
+fn continue_skips_to_the_next_iteration() {
+    let v = run_and_get(
+        "int n;
+         void main() {
+             int i;
+             n = 0;
+             for (i = 0; i < 10; i = i + 1) {
+                 if (i % 2 == 0) { continue; }
+                 n = n + i;
+             }
+         }",
+        "n",
+    );
+    assert_eq!(v, 1 + 3 + 5 + 7 + 9);
+}
+
+#[test]
+fn continue_in_for_still_runs_the_step() {
+    // If `continue` skipped the step, this would loop forever (and hit
+    // the step limit).
+    let v = run_and_get(
+        "int n;
+         void main() {
+             int i;
+             n = 0;
+             for (i = 0; i < 5; i = i + 1) {
+                 continue;
+             }
+             n = i;
+         }",
+        "n",
+    );
+    assert_eq!(v, 5);
+}
+
+#[test]
+fn break_in_while_terminates() {
+    let v = run_and_get(
+        "int n;
+         void main() {
+             n = 0;
+             while (1) {
+                 n = n + 1;
+                 if (n >= 7) { break; }
+             }
+         }",
+        "n",
+    );
+    assert_eq!(v, 7);
+}
+
+#[test]
+fn break_outside_a_loop_is_a_type_error() {
+    for src in ["void f() { break; }", "void f() { continue; }",
+                "void f() { if (1) { break; } }"] {
+        let p = parse(src).unwrap();
+        assert!(typecheck(&p).is_err(), "{src}");
+    }
+    // But inside a loop nested in an if, it is fine.
+    let p = parse("void f() { while (1) { if (1) { break; } } }").unwrap();
+    typecheck(&p).unwrap();
+}
+
+#[test]
+fn pretty_printing_round_trips_break_and_continue() {
+    let src = "void f() { int i; for (i = 0; i < 9; i = i + 1) { if (i == 3) { continue; } if (i == 5) { break; } } }";
+    let p1 = parse(src).unwrap();
+    let printed = pretty(&p1);
+    assert!(printed.contains("break;"));
+    assert!(printed.contains("continue;"));
+    let p2 = parse(&printed).unwrap();
+    assert_eq!(p1.stmt_ids(), p2.stmt_ids());
+    assert_eq!(pretty(&p2), printed);
+}
+
+#[test]
+fn analysis_engine_handles_break_continue_programs() {
+    use ickp_minic::programs::sort_program_source;
+    // The corpus sort program plus an explicit break-heavy search.
+    let src = format!(
+        "{}\nint find(int needle) {{
+             int i; int found;
+             found = -1;
+             for (i = 0; i < 16; i = i + 1) {{
+                 if (data[i] == needle) {{ found = i; break; }}
+             }}
+             return found;
+         }}",
+        sort_program_source(16)
+    );
+    let p = parse(&src).unwrap();
+    typecheck(&p).unwrap();
+}

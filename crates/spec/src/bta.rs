@@ -1,0 +1,304 @@
+//! Binding-time analysis of the checkpointing code under a declaration.
+//!
+//! JSpec drives Tempo's binding-time analysis over the generic Java
+//! checkpointing methods: every expression is classified *static*
+//! (evaluable at specialization time from the declarations) or *dynamic*
+//! (must remain in the residual program). This module reproduces that
+//! division for our generic checkpointing algorithm — per declaration node
+//! it reports which of the algorithm's actions (class dispatch, traversal,
+//! flag test, state recording) are static, which are dynamic, and which are
+//! *eliminated* outright because a static flag value makes their guard
+//! false.
+//!
+//! The division is a first-class artifact: the compiler's decisions in
+//! [`crate::Specializer::compile`] correspond one-to-one to its entries,
+//! and [`Division::render`] prints it for inspection (used in docs, tests
+//! and the ablation benches).
+
+use crate::shape::{ListPattern, NodePattern, SpecShape};
+use ickp_heap::ClassRegistry;
+use std::fmt;
+
+/// Binding time of one action of the checkpointing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingTime {
+    /// Known at specialization time; evaluated away by the compiler.
+    Static,
+    /// Known only at run time; residualized into the plan.
+    Dynamic,
+}
+
+impl fmt::Display for BindingTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingTime::Static => write!(f, "S"),
+            BindingTime::Dynamic => write!(f, "D"),
+        }
+    }
+}
+
+/// One classified action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivisionEntry {
+    /// Path of the declaration node, e.g. `root.bt.list[0..5]`.
+    pub path: String,
+    /// The checkpointing action classified, e.g. `virtual dispatch`.
+    pub action: String,
+    /// Its binding time.
+    pub binding: BindingTime,
+    /// `true` if the action is removed from the residual program entirely
+    /// (either evaluated at specialization time, or dead under the
+    /// declared modification pattern).
+    pub eliminated: bool,
+}
+
+/// The complete division for one declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Division {
+    entries: Vec<DivisionEntry>,
+}
+
+impl Division {
+    /// The classified actions in declaration order.
+    pub fn entries(&self) -> &[DivisionEntry] {
+        &self.entries
+    }
+
+    /// Number of actions eliminated from the residual program.
+    pub fn eliminated_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.eliminated).count()
+    }
+
+    /// Number of actions residualized (kept at run time).
+    pub fn residual_count(&self) -> usize {
+        self.entries.iter().filter(|e| !e.eliminated).count()
+    }
+
+    /// Renders the division as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("path | action | bt | residual\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} | {} | {} | {}\n",
+                e.path,
+                e.action,
+                e.binding,
+                if e.eliminated { "eliminated" } else { "kept" }
+            ));
+        }
+        out
+    }
+}
+
+/// Computes the binding-time division of the generic checkpointing
+/// algorithm specialized to `shape`.
+///
+/// The registry is used only for class names in paths; an invalid shape
+/// still produces a division (validation is `compile`'s job).
+pub fn divide(registry: &ClassRegistry, shape: &SpecShape) -> Division {
+    let mut division = Division::default();
+    walk(registry, shape, "root", &mut division);
+    division
+}
+
+fn class_name(registry: &ClassRegistry, class: ickp_heap::ClassId) -> String {
+    registry.class(class).map(|d| d.name().to_string()).unwrap_or_else(|_| class.to_string())
+}
+
+fn push(d: &mut Division, path: &str, action: &str, bt: BindingTime, eliminated: bool) {
+    d.entries.push(DivisionEntry {
+        path: path.to_string(),
+        action: action.to_string(),
+        binding: bt,
+        eliminated,
+    });
+}
+
+fn walk(registry: &ClassRegistry, shape: &SpecShape, path: &str, d: &mut Division) {
+    match shape {
+        SpecShape::Object { class, pattern, children } => {
+            let name = class_name(registry, *class);
+            // The object's class is declared: dispatch is static.
+            push(d, path, &format!("virtual dispatch on {name}"), BindingTime::Static, true);
+            match pattern {
+                NodePattern::MayModify => {
+                    push(d, path, "modified-flag test", BindingTime::Dynamic, false);
+                    push(d, path, "record local state", BindingTime::Dynamic, false);
+                }
+                NodePattern::FrozenHere => {
+                    // Flag statically false: the test folds to `false` and
+                    // the record becomes dead code.
+                    push(d, path, "modified-flag test", BindingTime::Static, true);
+                    push(d, path, "record local state", BindingTime::Static, true);
+                }
+                NodePattern::Unmodified => {
+                    push(d, path, "modified-flag test", BindingTime::Static, true);
+                    push(d, path, "record local state", BindingTime::Static, true);
+                    push(d, path, "traversal of subtree", BindingTime::Static, true);
+                    return; // children vanish entirely
+                }
+            }
+            for (slot, child) in children {
+                let field = registry
+                    .class(*class)
+                    .ok()
+                    .and_then(|def| def.layout().get(*slot).map(|f| f.name().to_string()))
+                    .unwrap_or_else(|| format!("slot{slot}"));
+                let child_path = format!("{path}.{field}");
+                if child.is_fully_unmodified() {
+                    push(
+                        d,
+                        &child_path,
+                        "traversal of subtree",
+                        BindingTime::Static,
+                        true,
+                    );
+                } else {
+                    push(d, &child_path, "field load (inlined fold)", BindingTime::Static, false);
+                    walk(registry, child, &child_path, d);
+                }
+            }
+        }
+        SpecShape::List { elem_class, len, pattern, .. } => {
+            let name = class_name(registry, *elem_class);
+            let lp = format!("{path}[0..{len}]");
+            push(d, &lp, &format!("list length of {name}"), BindingTime::Static, true);
+            match pattern {
+                ListPattern::Unmodified => {
+                    push(d, &lp, "traversal of list", BindingTime::Static, true);
+                }
+                ListPattern::MayModify => {
+                    push(d, &lp, &format!("{len} modified-flag tests"), BindingTime::Dynamic, false);
+                    push(d, &lp, "unrolled element traversal", BindingTime::Static, false);
+                }
+                ListPattern::LastOnly => {
+                    push(
+                        d,
+                        &lp,
+                        &format!("{} modified-flag tests", len - 1),
+                        BindingTime::Static,
+                        true,
+                    );
+                    push(d, &lp, "1 modified-flag test (tail)", BindingTime::Dynamic, false);
+                    push(d, &lp, "unrolled element traversal", BindingTime::Static, false);
+                }
+                ListPattern::Positions(ps) => {
+                    let kept = ps.len().min(*len);
+                    push(
+                        d,
+                        &lp,
+                        &format!("{} modified-flag tests", len.saturating_sub(kept)),
+                        BindingTime::Static,
+                        true,
+                    );
+                    if kept > 0 {
+                        push(
+                            d,
+                            &lp,
+                            &format!("{kept} modified-flag tests (positions)"),
+                            BindingTime::Dynamic,
+                            false,
+                        );
+                    }
+                }
+            }
+        }
+        SpecShape::Dynamic => {
+            push(d, path, "virtual dispatch (generic fallback)", BindingTime::Dynamic, false);
+            push(d, path, "modified-flag test", BindingTime::Dynamic, false);
+            push(d, path, "record local state", BindingTime::Dynamic, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::FieldType;
+
+    fn setup() -> (ClassRegistry, SpecShape, SpecShape) {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder =
+            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let generic_shape = SpecShape::object(
+            holder,
+            NodePattern::MayModify,
+            vec![(0, SpecShape::list(elem, 1, 5, ListPattern::MayModify))],
+        );
+        let frozen_shape = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::list(elem, 1, 5, ListPattern::LastOnly))],
+        );
+        (reg, generic_shape, frozen_shape)
+    }
+
+    #[test]
+    fn structure_specialization_makes_dispatch_static() {
+        let (reg, shape, _) = setup();
+        let div = divide(&reg, &shape);
+        let dispatch = div
+            .entries()
+            .iter()
+            .find(|e| e.action.contains("virtual dispatch"))
+            .unwrap();
+        assert_eq!(dispatch.binding, BindingTime::Static);
+        assert!(dispatch.eliminated);
+    }
+
+    #[test]
+    fn may_modify_keeps_flag_tests_dynamic() {
+        let (reg, shape, _) = setup();
+        let div = divide(&reg, &shape);
+        assert!(div
+            .entries()
+            .iter()
+            .any(|e| e.action.contains("modified-flag test") && e.binding == BindingTime::Dynamic));
+    }
+
+    #[test]
+    fn pattern_specialization_eliminates_more_than_structure_alone() {
+        let (reg, generic, frozen) = setup();
+        let d1 = divide(&reg, &generic);
+        let d2 = divide(&reg, &frozen);
+        assert!(d2.eliminated_count() > d1.eliminated_count());
+        assert!(d2.residual_count() < d1.residual_count());
+    }
+
+    #[test]
+    fn unmodified_subtree_is_eliminated_wholesale() {
+        let (reg, _, _) = setup();
+        let holder = reg.id_of("Holder").unwrap();
+        let elem = reg.id_of("Elem").unwrap();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::list(elem, 1, 5, ListPattern::Unmodified))],
+        );
+        let div = divide(&reg, &shape);
+        assert!(div.entries().iter().all(|e| e.eliminated || e.binding == BindingTime::Static));
+        assert_eq!(div.residual_count(), 0);
+    }
+
+    #[test]
+    fn render_contains_every_entry() {
+        let (reg, shape, _) = setup();
+        let div = divide(&reg, &shape);
+        let text = div.render();
+        for e in div.entries() {
+            assert!(text.contains(&e.action), "{}", e.action);
+        }
+        assert!(text.contains("root.head"));
+    }
+
+    #[test]
+    fn dynamic_shape_is_fully_dynamic() {
+        let (reg, _, _) = setup();
+        let div = divide(&reg, &SpecShape::Dynamic);
+        assert_eq!(div.eliminated_count(), 0);
+        assert!(div.entries().iter().all(|e| e.binding == BindingTime::Dynamic));
+    }
+}

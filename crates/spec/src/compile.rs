@@ -1,0 +1,533 @@
+//! The plan compiler: from declarations to residual checkpoint code.
+//!
+//! [`Specializer::compile`] plays the role of the paper's
+//! JSCC → Tempo → (inlined residual code) pipeline: it consumes a validated
+//! [`SpecShape`] (the specialization classes) and *executes the static part
+//! of the generic checkpointing algorithm at compile time* — class
+//! dispatch, layout lookup, list-length-bounded iteration — leaving behind
+//! only the dynamic residue as [`Op`]s:
+//!
+//! * virtual `record`/`fold` calls become inlined [`Op::LoadRef`] chains
+//!   and [`Op::Record`] templates (structure specialization, Fig. 5);
+//! * modified-flag tests survive only where the declared pattern says the
+//!   flag can actually vary, and statically-unmodified subtrees generate
+//!   **no instructions at all** (modification-pattern specialization,
+//!   Fig. 6).
+
+use crate::error::SpecError;
+use crate::plan::{Op, Plan, RecordTemplate, Reg};
+use crate::shape::{ListPattern, NodePattern, SpecShape};
+use ickp_heap::{ClassId, ClassRegistry};
+use std::collections::HashMap;
+
+/// Compiles [`SpecShape`] declarations into executable [`Plan`]s.
+///
+/// # Example
+///
+/// ```
+/// use ickp_heap::{ClassRegistry, FieldType};
+/// use ickp_spec::{ListPattern, NodePattern, SpecShape, Specializer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut reg = ClassRegistry::new();
+/// let elem = reg.define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])?;
+/// let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))])?;
+///
+/// let shape = SpecShape::object(
+///     holder,
+///     NodePattern::FrozenHere,
+///     vec![(0, SpecShape::list(elem, 1, 5, ListPattern::LastOnly))],
+/// );
+/// let plan = Specializer::new(&reg).compile(&shape)?;
+/// // 1 root bind + 5 loads to reach the tail + 1 test + 1 record:
+/// assert_eq!(plan.ops().len(), 8);
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Specializer<'r> {
+    registry: &'r ClassRegistry,
+}
+
+impl<'r> Specializer<'r> {
+    /// Creates a specializer over the given class registry.
+    pub fn new(registry: &'r ClassRegistry) -> Specializer<'r> {
+        Specializer { registry }
+    }
+
+    /// The registry this specializer compiles against.
+    pub fn registry(&self) -> &ClassRegistry {
+        self.registry
+    }
+
+    /// Compiles a declaration into a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if the declaration fails
+    /// [`SpecShape::validate`], or [`SpecError::PatternMismatch`] if the
+    /// root shape is `Dynamic` (a fully dynamic root is just the generic
+    /// checkpointer — nothing to specialize).
+    pub fn compile(&self, shape: &SpecShape) -> Result<Plan, SpecError> {
+        shape.validate(self.registry)?;
+        let mut cx = Compiler {
+            registry: self.registry,
+            ops: Vec::new(),
+            templates: Vec::new(),
+            template_ids: HashMap::new(),
+            next_reg: 0,
+            has_dynamic: false,
+        };
+        match shape {
+            SpecShape::Dynamic => {
+                return Err(SpecError::PatternMismatch {
+                    what: "root shape is Dynamic; use the generic checkpointer instead".into(),
+                })
+            }
+            SpecShape::Object { class, pattern, children } => {
+                let root = cx.alloc_reg();
+                cx.ops.push(Op::LoadRoot { dst: root, class: *class });
+                cx.emit_object(root, *class, *pattern, children)?;
+            }
+            SpecShape::List { elem_class, next_slot, len, pattern } => {
+                // A bare list: the checkpoint root is element 0.
+                let root = cx.alloc_reg();
+                cx.ops.push(Op::LoadRoot { dst: root, class: *elem_class });
+                cx.emit_list_from(root, *elem_class, *next_slot, *len, pattern)?;
+            }
+        }
+        Ok(Plan::new(cx.ops, cx.templates, cx.next_reg, cx.has_dynamic))
+    }
+
+    /// Compiles a declaration and then runs the register-compaction pass
+    /// ([`crate::compact_registers`]), shrinking the plan's register file
+    /// to the true number of simultaneously live objects.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Specializer::compile`].
+    pub fn compile_optimized(&self, shape: &SpecShape) -> Result<Plan, SpecError> {
+        Ok(crate::opt::compact_registers(&self.compile(shape)?))
+    }
+}
+
+struct Compiler<'r> {
+    registry: &'r ClassRegistry,
+    ops: Vec<Op>,
+    templates: Vec<RecordTemplate>,
+    template_ids: HashMap<ClassId, u32>,
+    next_reg: Reg,
+    has_dynamic: bool,
+}
+
+impl<'r> Compiler<'r> {
+    fn alloc_reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn template(&mut self, class: ClassId) -> Result<u32, SpecError> {
+        if let Some(&id) = self.template_ids.get(&class) {
+            return Ok(id);
+        }
+        let def = self.registry.class(class)?;
+        let kinds = def.layout().iter().map(|f| f.ty()).collect();
+        let id = self.templates.len() as u32;
+        self.templates.push(RecordTemplate::new(class, kinds));
+        self.template_ids.insert(class, id);
+        Ok(id)
+    }
+
+    fn emit_test_and_record(&mut self, reg: Reg, class: ClassId) -> Result<(), SpecError> {
+        let template = self.template(class)?;
+        self.ops.push(Op::TestModified { obj: reg, skip: 1 });
+        self.ops.push(Op::Record { obj: reg, template });
+        Ok(())
+    }
+
+    /// Emits the body for an object already bound in `reg`.
+    fn emit_object(
+        &mut self,
+        reg: Reg,
+        class: ClassId,
+        pattern: NodePattern,
+        children: &[(usize, SpecShape)],
+    ) -> Result<(), SpecError> {
+        match pattern {
+            // Static BTA decision: the flag can vary → residualize the test.
+            NodePattern::MayModify => self.emit_test_and_record(reg, class)?,
+            // Static BTA decision: flag is known false → test and record
+            // both fold away; only the descent remains.
+            NodePattern::FrozenHere => {}
+            // Whole subtree known unmodified: the caller never even loads
+            // it, so reaching here means the declaration was the root.
+            NodePattern::Unmodified => return Ok(()),
+        }
+        for (slot, child) in children {
+            self.emit_child(reg, *slot, child)?;
+        }
+        Ok(())
+    }
+
+    /// Emits the load + body for a declared child of `parent`.
+    fn emit_child(&mut self, parent: Reg, slot: usize, shape: &SpecShape) -> Result<(), SpecError> {
+        // Modification-pattern specialization: a statically-unmodified
+        // subtree produces no loads, no tests, no records — it simply
+        // disappears from the residual program (Fig. 6).
+        if shape.is_fully_unmodified() {
+            return Ok(());
+        }
+        match shape {
+            SpecShape::Object { class, pattern, children } => {
+                let dst = self.alloc_reg();
+                self.ops.push(Op::LoadRef { dst, src: parent, slot: slot as u32, class: *class });
+                self.emit_object(dst, *class, *pattern, children)
+            }
+            SpecShape::List { elem_class, next_slot, len, pattern } => {
+                let head = self.alloc_reg();
+                self.ops.push(Op::LoadRef {
+                    dst: head,
+                    src: parent,
+                    slot: slot as u32,
+                    class: *elem_class,
+                });
+                self.emit_list_from(head, *elem_class, *next_slot, *len, pattern)
+            }
+            SpecShape::Dynamic => {
+                let dst = self.alloc_reg();
+                // Null is fine on a dynamic edge: skip the fallback.
+                self.ops.push(Op::LoadDyn { dst, src: parent, slot: slot as u32, skip: 1 });
+                self.ops.push(Op::Generic { obj: dst });
+                self.has_dynamic = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits the unrolled body of a list whose element 0 is already bound
+    /// in `head`.
+    fn emit_list_from(
+        &mut self,
+        head: Reg,
+        elem: ClassId,
+        next_slot: usize,
+        len: usize,
+        pattern: &ListPattern,
+    ) -> Result<(), SpecError> {
+        match pattern {
+            ListPattern::Unmodified => Ok(()),
+            // Unrolled generic body: one test per element, loads between.
+            ListPattern::MayModify => {
+                let mut cur = head;
+                for i in 0..len {
+                    self.emit_test_and_record(cur, elem)?;
+                    if i + 1 < len {
+                        let next = self.alloc_reg();
+                        self.ops.push(Op::LoadRef {
+                            dst: next,
+                            src: cur,
+                            slot: next_slot as u32,
+                            class: elem,
+                        });
+                        cur = next;
+                    }
+                }
+                Ok(())
+            }
+            // Chase `next` to the tail with *no tests on the way* — the
+            // paper's Fig. 10 scenario: traversal remains, tests vanish.
+            ListPattern::LastOnly => {
+                let mut cur = head;
+                for _ in 1..len {
+                    let next = self.alloc_reg();
+                    self.ops.push(Op::LoadRef {
+                        dst: next,
+                        src: cur,
+                        slot: next_slot as u32,
+                        class: elem,
+                    });
+                    cur = next;
+                }
+                self.emit_test_and_record(cur, elem)
+            }
+            ListPattern::Positions(ps) => {
+                let mut positions: Vec<usize> = ps.clone();
+                positions.sort_unstable();
+                positions.dedup();
+                let Some(&max_pos) = positions.last() else {
+                    return Ok(()); // empty: fully unmodified, handled above
+                };
+                // Dead-load elimination: never chase past the last position
+                // that can possibly be dirty.
+                let mut cur = head;
+                for i in 0..=max_pos {
+                    if positions.binary_search(&i).is_ok() {
+                        self.emit_test_and_record(cur, elem)?;
+                    }
+                    if i < max_pos {
+                        let next = self.alloc_reg();
+                        self.ops.push(Op::LoadRef {
+                            dst: next,
+                            src: cur,
+                            slot: next_slot as u32,
+                            class: elem,
+                        });
+                        cur = next;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::GuardMode;
+    use ickp_core::{decode, CheckpointKind, StreamWriter, TraversalStats};
+    use ickp_heap::{FieldType, Heap, ObjectId, Value};
+
+    /// Class setup mirroring the synthetic benchmark: a structure holding
+    /// two lists.
+    struct Fixture {
+        heap: Heap,
+        elem: ClassId,
+        holder: ClassId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder = reg
+            .define(
+                "Holder",
+                None,
+                &[("l0", FieldType::Ref(Some(elem))), ("l1", FieldType::Ref(Some(elem)))],
+            )
+            .unwrap();
+        Fixture { heap: Heap::new(reg), elem, holder }
+    }
+
+    impl Fixture {
+        /// Builds a holder with two lists of `len` elements each; returns
+        /// (holder, elements of list 0, elements of list 1).
+        fn build(&mut self, len: usize) -> (ObjectId, Vec<ObjectId>, Vec<ObjectId>) {
+            let make_list = |heap: &mut Heap, elem: ClassId| {
+                let mut ids = Vec::with_capacity(len);
+                let mut next: Option<ObjectId> = None;
+                for _ in 0..len {
+                    let e = heap.alloc(elem).unwrap();
+                    heap.set_field(e, 1, Value::Ref(next)).unwrap();
+                    next = Some(e);
+                    ids.push(e);
+                }
+                ids.reverse(); // position 0 first
+                ids
+            };
+            let l0 = make_list(&mut self.heap, self.elem);
+            let l1 = make_list(&mut self.heap, self.elem);
+            let h = self.heap.alloc(self.holder).unwrap();
+            self.heap.set_field(h, 0, Value::Ref(Some(l0[0]))).unwrap();
+            self.heap.set_field(h, 1, Value::Ref(Some(l1[0]))).unwrap();
+            self.heap.reset_all_modified();
+            (h, l0, l1)
+        }
+
+        fn run(&mut self, plan: &Plan, root: ObjectId) -> (Vec<u8>, TraversalStats) {
+            let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+            let mut stats = TraversalStats::default();
+            plan.executor()
+                .run(&mut self.heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
+                .unwrap();
+            (writer.finish(), stats)
+        }
+    }
+
+    fn two_list_shape(f: &Fixture, len: usize, p0: ListPattern, p1: ListPattern) -> SpecShape {
+        SpecShape::object(
+            f.holder,
+            NodePattern::FrozenHere,
+            vec![
+                (0, SpecShape::list(f.elem, 1, len, p0)),
+                (1, SpecShape::list(f.elem, 1, len, p1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn may_modify_plan_tests_every_element() {
+        let mut f = fixture();
+        let (h, l0, _) = f.build(3);
+        let shape = two_list_shape(&f, 3, ListPattern::MayModify, ListPattern::MayModify);
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+
+        f.heap.set_field(l0[1], 0, Value::Int(5)).unwrap();
+        let (bytes, stats) = f.run(&plan, h);
+        let d = decode(&bytes, f.heap.registry()).unwrap();
+        assert_eq!(d.objects.len(), 1);
+        assert_eq!(stats.flag_tests, 6, "three tests per list");
+        assert_eq!(stats.objects_recorded, 1);
+        assert_eq!(stats.virtual_calls, 0);
+    }
+
+    #[test]
+    fn unmodified_list_generates_no_instructions() {
+        let mut f = fixture();
+        let (h, _, l1) = f.build(4);
+        let shape = two_list_shape(&f, 4, ListPattern::Unmodified, ListPattern::MayModify);
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        // root bind + list1's (4 tests/records interleaved with 3 loads):
+        // 1 + 1(load head) + 4*2 + 3 = 13
+        assert_eq!(plan.ops().len(), 13);
+
+        f.heap.set_field(l1[3], 0, Value::Int(9)).unwrap();
+        let (bytes, stats) = f.run(&plan, h);
+        let d = decode(&bytes, f.heap.registry()).unwrap();
+        assert_eq!(d.objects.len(), 1);
+        assert_eq!(stats.flag_tests, 4, "the unmodified list is never tested");
+        assert_eq!(stats.refs_followed, 4, "head + 3 next links of list 1 only");
+    }
+
+    #[test]
+    fn last_only_plan_has_no_tests_on_the_way() {
+        let mut f = fixture();
+        let (h, l0, _) = f.build(5);
+        let shape = two_list_shape(&f, 5, ListPattern::LastOnly, ListPattern::Unmodified);
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        // 1 root + 1 head load + 4 next loads + 1 test + 1 record = 8
+        assert_eq!(plan.ops().len(), 8);
+
+        f.heap.set_field(l0[4], 0, Value::Int(1)).unwrap();
+        let (bytes, stats) = f.run(&plan, h);
+        let d = decode(&bytes, f.heap.registry()).unwrap();
+        assert_eq!(d.objects.len(), 1);
+        assert_eq!(d.objects[0].stable, f.heap.stable_id(l0[4]).unwrap());
+        assert_eq!(stats.flag_tests, 1, "only the tail is tested");
+    }
+
+    #[test]
+    fn positions_plan_stops_at_the_deepest_position() {
+        let mut f = fixture();
+        let (h, l0, _) = f.build(5);
+        let shape = two_list_shape(
+            &f,
+            5,
+            ListPattern::Positions(vec![2, 0]),
+            ListPattern::Unmodified,
+        );
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        // 1 root + head load + [test+rec pos0] + load + [pos1: nothing] +
+        // load + [test+rec pos2] = 1+1+2+1+1+2 = 8; no loads past pos 2.
+        assert_eq!(plan.ops().len(), 8);
+
+        f.heap.set_field(l0[0], 0, Value::Int(1)).unwrap();
+        f.heap.set_field(l0[2], 0, Value::Int(2)).unwrap();
+        let (bytes, stats) = f.run(&plan, h);
+        let d = decode(&bytes, f.heap.registry()).unwrap();
+        assert_eq!(d.objects.len(), 2);
+        assert_eq!(stats.flag_tests, 2);
+        assert_eq!(stats.refs_followed, 3, "head + two next links, never to the tail");
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_positions_are_normalized() {
+        let mut f = fixture();
+        let (_, _, _) = f.build(4);
+        let a = two_list_shape(&f, 4, ListPattern::Positions(vec![3, 1, 1]), ListPattern::Unmodified);
+        let b = two_list_shape(&f, 4, ListPattern::Positions(vec![1, 3]), ListPattern::Unmodified);
+        let spec = Specializer::new(f.heap.registry());
+        assert_eq!(spec.compile(&a).unwrap(), spec.compile(&b).unwrap());
+    }
+
+    #[test]
+    fn nested_object_structure_is_fully_inlined() {
+        // Mirror of the paper's Attributes → BTEntry → BT chain.
+        let mut reg = ClassRegistry::new();
+        let bt = reg.define("BT", None, &[("ann", FieldType::Int)]).unwrap();
+        let bt_entry = reg.define("BTEntry", None, &[("bt", FieldType::Ref(Some(bt)))]).unwrap();
+        let attrs =
+            reg.define("Attributes", None, &[("bt", FieldType::Ref(Some(bt_entry)))]).unwrap();
+        let shape = SpecShape::object(
+            attrs,
+            NodePattern::MayModify,
+            vec![(
+                0,
+                SpecShape::object(
+                    bt_entry,
+                    NodePattern::MayModify,
+                    vec![(0, SpecShape::leaf(bt))],
+                ),
+            )],
+        );
+        let plan = Specializer::new(&reg).compile(&shape).unwrap();
+        // LoadRoot, T, R, LoadRef, T, R, LoadRef, T, R
+        assert_eq!(plan.ops().len(), 9);
+        assert_eq!(plan.templates().len(), 3);
+        assert!(!plan.has_dynamic());
+    }
+
+    #[test]
+    fn templates_are_shared_between_same_class_nodes() {
+        let mut f = fixture();
+        f.build(2);
+        let shape = two_list_shape(&f, 2, ListPattern::MayModify, ListPattern::MayModify);
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        assert_eq!(plan.templates().len(), 1, "one Elem template, reused");
+    }
+
+    #[test]
+    fn dynamic_root_is_rejected() {
+        let f = fixture();
+        let err = Specializer::new(f.heap.registry()).compile(&SpecShape::Dynamic).unwrap_err();
+        assert!(matches!(err, SpecError::PatternMismatch { .. }));
+    }
+
+    #[test]
+    fn dynamic_child_marks_plan_and_survives_compile() {
+        let mut f = fixture();
+        f.build(1);
+        let shape = SpecShape::object(
+            f.holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::Dynamic)],
+        );
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        assert!(plan.has_dynamic());
+    }
+
+    #[test]
+    fn invalid_shape_is_rejected_at_compile_time() {
+        let f = fixture();
+        let bad = SpecShape::list(f.elem, 0, 3, ListPattern::MayModify); // slot 0 is int
+        assert!(Specializer::new(f.heap.registry()).compile(&bad).is_err());
+    }
+
+    #[test]
+    fn bare_list_root_compiles_and_runs() {
+        let mut f = fixture();
+        let (_, l0, _) = f.build(3);
+        let shape = SpecShape::list(f.elem, 1, 3, ListPattern::MayModify);
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        f.heap.set_field(l0[2], 0, Value::Int(8)).unwrap();
+        let (bytes, stats) = f.run(&plan, l0[0]);
+        let d = decode(&bytes, f.heap.registry()).unwrap();
+        assert_eq!(d.objects.len(), 1);
+        assert_eq!(stats.flag_tests, 3);
+    }
+
+    #[test]
+    fn fully_unmodified_root_produces_an_effectively_empty_plan() {
+        let mut f = fixture();
+        let (h, _, _) = f.build(2);
+        let shape = two_list_shape(&f, 2, ListPattern::Unmodified, ListPattern::Unmodified);
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        assert_eq!(plan.ops().len(), 1, "only the root bind remains");
+        let (bytes, stats) = f.run(&plan, h);
+        let d = decode(&bytes, f.heap.registry()).unwrap();
+        assert!(d.objects.is_empty());
+        assert_eq!(stats.flag_tests, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Compile-time errors of the specializer.
+
+use ickp_heap::{ClassId, HeapError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating declarations or compiling a plan.
+///
+/// These are *specialization-time* errors: they surface when a
+/// specialization class mis-describes the program, before any checkpoint is
+/// taken — the safety property the paper gets from making specialization
+/// automatic rather than hand-written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A declaration named a class unknown to the registry.
+    Heap(HeapError),
+    /// A declared child slot is not a reference field.
+    NotARefSlot {
+        /// Class whose slot was declared.
+        class: ClassId,
+        /// The offending slot.
+        slot: usize,
+    },
+    /// The declared child class violates the slot's static constraint.
+    IncompatibleChildClass {
+        /// Class whose slot was declared.
+        class: ClassId,
+        /// The offending slot.
+        slot: usize,
+        /// Class the declaration claims the referent has.
+        declared: ClassId,
+    },
+    /// A list was declared with length zero.
+    EmptyList {
+        /// Element class of the list.
+        elem: ClassId,
+    },
+    /// A list position constraint is outside the declared length.
+    PositionOutOfRange {
+        /// The offending position.
+        position: usize,
+        /// Declared list length.
+        len: usize,
+    },
+    /// A modification-pattern constraint was attached to a node kind that
+    /// cannot carry it (e.g. `LastOnly` on a non-list node).
+    PatternMismatch {
+        /// Description of the misuse.
+        what: String,
+    },
+    /// The plan needs a generic fallback (`Dynamic` shape) but no method
+    /// table was supplied at execution time.
+    MissingMethodTable,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Heap(e) => write!(f, "heap error during specialization: {e}"),
+            SpecError::NotARefSlot { class, slot } => {
+                write!(f, "slot {slot} of {class} is not a reference field")
+            }
+            SpecError::IncompatibleChildClass { class, slot, declared } => write!(
+                f,
+                "slot {slot} of {class} cannot hold an instance of declared class {declared}"
+            ),
+            SpecError::EmptyList { elem } => {
+                write!(f, "list of {elem} declared with length 0")
+            }
+            SpecError::PositionOutOfRange { position, len } => {
+                write!(f, "modified position {position} outside list of length {len}")
+            }
+            SpecError::PatternMismatch { what } => write!(f, "pattern mismatch: {what}"),
+            SpecError::MissingMethodTable => {
+                write!(f, "plan contains a generic fallback but no method table was supplied")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpecError::Heap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeapError> for SpecError {
+    fn from(e: HeapError) -> SpecError {
+        SpecError::Heap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let errors: Vec<SpecError> = vec![
+            SpecError::Heap(HeapError::UnknownClassName("X".into())),
+            SpecError::NotARefSlot { class: ClassId::from_index(0), slot: 1 },
+            SpecError::IncompatibleChildClass {
+                class: ClassId::from_index(0),
+                slot: 1,
+                declared: ClassId::from_index(2),
+            },
+            SpecError::EmptyList { elem: ClassId::from_index(0) },
+            SpecError::PositionOutOfRange { position: 5, len: 3 },
+            SpecError::PatternMismatch { what: "LastOnly on object".into() },
+            SpecError::MissingMethodTable,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

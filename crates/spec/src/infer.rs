@@ -1,0 +1,483 @@
+//! Automatic construction of specialization classes from observed
+//! behaviour — the paper's stated future work implemented.
+//!
+//! > "To automate this process, we propose to automatically construct
+//! > specialization classes based on an analysis of the data modification
+//! > pattern of the program." (§7)
+//!
+//! A [`ProfileRecorder`] watches a program run: before each checkpoint it
+//! [`observe`](ProfileRecorder::observe)s the compound structures — their
+//! actual shape (classes, linked-list chains) and which parts are
+//! currently dirty. After enough rounds, [`ProfileRecorder::infer`]
+//! emits the [`SpecShape`] a programmer would have written by hand:
+//!
+//! * edges whose shape was identical in every observation become static
+//!   structure (objects and fixed-length lists);
+//! * edges whose shape varied across observations or across structures
+//!   degrade to [`SpecShape::Dynamic`] (generic fallback) — never to an
+//!   unsound declaration;
+//! * nodes never seen dirty become `FrozenHere`/`Unmodified`; list
+//!   positions never seen dirty are dropped from the pattern
+//!   (`Unmodified`, `LastOnly`, or `Positions`), exactly mirroring the
+//!   hand declarations of Figures 5/6 and the synthetic experiments.
+//!
+//! Inference is *conservative with respect to the observations*: the
+//! resulting plan records every object that was ever observed modified.
+//! As with any profile-guided method, a phase that later modifies objects
+//! it never modified during profiling needs guarded execution
+//! ([`crate::GuardMode::Checked`]) or re-profiling; the checked executor
+//! turns such drift into an error instead of a silent state loss.
+
+use crate::error::SpecError;
+use crate::shape::{ListPattern, NodePattern, SpecShape};
+use ickp_heap::{ClassId, Heap, ObjectId, Value};
+
+/// A profiled structural node, accumulated over observations.
+#[derive(Debug, Clone, PartialEq)]
+enum ProfNode {
+    Object {
+        class: ClassId,
+        modified_seen: bool,
+        /// Children by slot. `None` means the slot was null at first
+        /// observation (and must stay null, else the edge degrades).
+        children: Vec<(usize, Option<ProfNode>)>,
+    },
+    List {
+        elem: ClassId,
+        next_slot: usize,
+        len: usize,
+        /// Which positions were ever observed modified.
+        modified_at: Vec<bool>,
+    },
+    /// Shape varied across observations or structures: generic fallback.
+    Dynamic,
+}
+
+/// Records structure and modification profiles across checkpoint rounds.
+///
+/// # Example
+///
+/// ```
+/// use ickp_heap::{ClassRegistry, FieldType, Heap, Value};
+/// use ickp_spec::{ProfileRecorder, Specializer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut reg = ClassRegistry::new();
+/// let elem = reg.define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])?;
+/// let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))])?;
+/// let mut heap = Heap::new(reg);
+/// let e1 = heap.alloc(elem)?;
+/// let e0 = heap.alloc(elem)?;
+/// heap.set_field(e0, 1, Value::Ref(Some(e1)))?;
+/// let h = heap.alloc(holder)?;
+/// heap.set_field(h, 0, Value::Ref(Some(e0)))?;
+/// heap.reset_all_modified();
+///
+/// // Profile two rounds in which only the tail is ever dirtied.
+/// let mut recorder = ProfileRecorder::new();
+/// for _ in 0..2 {
+///     heap.set_field(e1, 0, Value::Int(7))?;
+///     recorder.observe(&heap, &[h])?;
+///     heap.reset_all_modified();
+/// }
+/// let shape = recorder.infer()?;
+/// let plan = Specializer::new(heap.registry()).compile(&shape)?;
+/// assert!(!plan.has_dynamic());
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    root: Option<ProfNode>,
+    observations: usize,
+}
+
+impl ProfileRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> ProfileRecorder {
+        ProfileRecorder::default()
+    }
+
+    /// Number of completed observations.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Observes the current dirty state of every structure in `roots`.
+    ///
+    /// Call this *before* each checkpoint (while the modified flags still
+    /// describe the round's writes). All roots contribute to one shared
+    /// profile — they are instances of the same compound structure, as in
+    /// the paper's benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates heap errors (dangling handles).
+    pub fn observe(&mut self, heap: &Heap, roots: &[ObjectId]) -> Result<(), SpecError> {
+        for &root in roots {
+            let observed = walk(heap, root, 0)?;
+            self.root = Some(match self.root.take() {
+                None => observed,
+                Some(prev) => merge(prev, observed),
+            });
+        }
+        self.observations += 1;
+        Ok(())
+    }
+
+    /// Synthesizes the specialization class the observations justify.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::PatternMismatch`] if nothing was observed.
+    pub fn infer(&self) -> Result<SpecShape, SpecError> {
+        let root = self.root.as_ref().ok_or_else(|| SpecError::PatternMismatch {
+            what: "no observations recorded".into(),
+        })?;
+        Ok(lower(root))
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+/// Walks one structure, classifying chains of same-class objects through
+/// a single ref slot as lists.
+fn walk(heap: &Heap, id: ObjectId, depth: usize) -> Result<ProfNode, SpecError> {
+    if depth > MAX_DEPTH {
+        // Deep or cyclic: give up on static shape here.
+        return Ok(ProfNode::Dynamic);
+    }
+    let obj = heap.object(id)?;
+    let class = obj.class();
+
+    // List detection: does some ref slot chain to another object of the
+    // same class? (The canonical `next` link.)
+    let mut next_slot = None;
+    for (slot, value) in obj.fields().iter().enumerate() {
+        if let Value::Ref(Some(child)) = value {
+            if heap.class_of(*child)? == class {
+                next_slot = Some(slot);
+                break;
+            }
+        }
+    }
+    if let Some(next_slot) = next_slot {
+        // Collect the whole chain; every element must be of the same
+        // class, linked through the same slot, and the chain must be
+        // acyclic within the depth bound.
+        let mut modified_at = Vec::new();
+        let mut cur = Some(id);
+        while let Some(node) = cur {
+            if modified_at.len() > MAX_DEPTH * 16 {
+                return Ok(ProfNode::Dynamic);
+            }
+            if heap.class_of(node)? != class {
+                return Ok(ProfNode::Dynamic);
+            }
+            modified_at.push(heap.is_modified(node)?);
+            cur = match heap.field(node, next_slot)? {
+                Value::Ref(next) => next,
+                _ => return Ok(ProfNode::Dynamic),
+            };
+        }
+        let len = modified_at.len();
+        return Ok(ProfNode::List { elem: class, next_slot, len, modified_at });
+    }
+
+    // Plain object: profile the non-null ref children.
+    let mut children = Vec::new();
+    for (slot, value) in obj.fields().iter().enumerate() {
+        match value {
+            Value::Ref(Some(child)) => {
+                children.push((slot, Some(walk(heap, *child, depth + 1)?)));
+            }
+            Value::Ref(None) => children.push((slot, None)),
+            _ => {}
+        }
+    }
+    Ok(ProfNode::Object { class, modified_seen: heap.is_modified(id)?, children })
+}
+
+/// Merges two observations of (supposedly) the same structural position;
+/// mismatches degrade to [`ProfNode::Dynamic`].
+fn merge(a: ProfNode, b: ProfNode) -> ProfNode {
+    match (a, b) {
+        (
+            ProfNode::Object { class: ca, modified_seen: ma, children: cha },
+            ProfNode::Object { class: cb, modified_seen: mb, children: chb },
+        ) if ca == cb && same_slots(&cha, &chb) => {
+            let children = cha
+                .into_iter()
+                .zip(chb)
+                .map(|((slot, a), (_, b))| {
+                    let merged = match (a, b) {
+                        (None, None) => None,
+                        (Some(a), Some(b)) => Some(merge(a, b)),
+                        // Edge flipped between null and non-null.
+                        _ => Some(ProfNode::Dynamic),
+                    };
+                    (slot, merged)
+                })
+                .collect();
+            ProfNode::Object { class: ca, modified_seen: ma || mb, children }
+        }
+        (
+            ProfNode::List { elem: ea, next_slot: na, len: la, modified_at: mma },
+            ProfNode::List { elem: eb, next_slot: nb, len: lb, modified_at: mmb },
+        ) if ea == eb && na == nb && la == lb => {
+            let modified_at = mma.into_iter().zip(mmb).map(|(x, y)| x || y).collect();
+            ProfNode::List { elem: ea, next_slot: na, len: la, modified_at }
+        }
+        _ => ProfNode::Dynamic,
+    }
+}
+
+fn same_slots(a: &[(usize, Option<ProfNode>)], b: &[(usize, Option<ProfNode>)]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|((sa, _), (sb, _))| sa == sb)
+}
+
+fn fully_unmodified(node: &ProfNode) -> bool {
+    match node {
+        ProfNode::Object { modified_seen, children, .. } => {
+            !modified_seen
+                && children
+                    .iter()
+                    .all(|(_, c)| c.as_ref().map_or(true, fully_unmodified))
+        }
+        ProfNode::List { modified_at, .. } => modified_at.iter().all(|&m| !m),
+        ProfNode::Dynamic => false,
+    }
+}
+
+/// Lowers the merged profile into a specialization class.
+fn lower(node: &ProfNode) -> SpecShape {
+    match node {
+        ProfNode::Dynamic => SpecShape::Dynamic,
+        ProfNode::List { elem, next_slot, len, modified_at } => {
+            let dirty: Vec<usize> =
+                modified_at.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+            let pattern = if dirty.is_empty() {
+                ListPattern::Unmodified
+            } else if dirty == [len - 1] {
+                ListPattern::LastOnly
+            } else if dirty.len() == *len {
+                ListPattern::MayModify
+            } else {
+                ListPattern::Positions(dirty)
+            };
+            SpecShape::list(*elem, *next_slot, *len, pattern)
+        }
+        ProfNode::Object { class, modified_seen, children } => {
+            if fully_unmodified(node) {
+                return SpecShape::object(*class, NodePattern::Unmodified, vec![]);
+            }
+            let pattern =
+                if *modified_seen { NodePattern::MayModify } else { NodePattern::FrozenHere };
+            let lowered = children
+                .iter()
+                .filter_map(|(slot, child)| {
+                    // Always-null edges need no instructions; the record
+                    // template still captures the null when the node is
+                    // recorded.
+                    child.as_ref().map(|c| (*slot, lower(c)))
+                })
+                .collect();
+            SpecShape::object(*class, pattern, lowered)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Specializer;
+    use ickp_heap::{ClassRegistry, FieldType};
+
+    struct Fixture {
+        heap: Heap,
+        holder: ClassId,
+        roots: Vec<ObjectId>,
+        lists: Vec<Vec<Vec<ObjectId>>>,
+    }
+
+    /// `n` holders, each with `lists` lists of `len` elements.
+    fn fixture(n: usize, lists: usize, len: usize) -> Fixture {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let names: Vec<String> = (0..lists).map(|i| format!("l{i}")).collect();
+        let fields: Vec<(&str, FieldType)> =
+            names.iter().map(|s| (s.as_str(), FieldType::Ref(Some(elem)))).collect();
+        let holder = reg.define("Holder", None, &fields).unwrap();
+        let mut heap = Heap::new(reg);
+        let mut roots = Vec::new();
+        let mut all = Vec::new();
+        for _ in 0..n {
+            let h = heap.alloc(holder).unwrap();
+            let mut per = Vec::new();
+            for l in 0..lists {
+                let mut ids = Vec::new();
+                let mut next = None;
+                for _ in 0..len {
+                    let e = heap.alloc(elem).unwrap();
+                    heap.set_field(e, 1, Value::Ref(next)).unwrap();
+                    next = Some(e);
+                    ids.push(e);
+                }
+                ids.reverse();
+                heap.set_field(h, l, Value::Ref(Some(ids[0]))).unwrap();
+                per.push(ids);
+            }
+            roots.push(h);
+            all.push(per);
+        }
+        heap.reset_all_modified();
+        Fixture { heap, holder, roots, lists: all }
+    }
+
+    #[test]
+    fn infers_last_only_pattern_from_observations() {
+        let mut f = fixture(4, 2, 5);
+        let mut rec = ProfileRecorder::new();
+        for round in 0..3 {
+            for s in 0..4 {
+                let tail = f.lists[s][0][4];
+                f.heap.set_field(tail, 0, Value::Int(round)).unwrap();
+            }
+            rec.observe(&f.heap, &f.roots.clone()).unwrap();
+            f.heap.reset_all_modified();
+        }
+        let shape = rec.infer().unwrap();
+        let SpecShape::Object { class, pattern, children } = &shape else { panic!() };
+        assert_eq!(*class, f.holder);
+        assert_eq!(*pattern, NodePattern::FrozenHere, "holder never dirtied");
+        // List 0: last-only; list 1: unmodified.
+        let SpecShape::List { pattern: p0, len, .. } = &children[0].1 else { panic!() };
+        assert_eq!(*p0, ListPattern::LastOnly);
+        assert_eq!(*len, 5);
+        let SpecShape::List { pattern: p1, .. } = &children[1].1 else { panic!() };
+        assert_eq!(*p1, ListPattern::Unmodified);
+        assert_eq!(rec.observations(), 3);
+    }
+
+    #[test]
+    fn infers_positions_pattern() {
+        let mut f = fixture(3, 1, 6);
+        let mut rec = ProfileRecorder::new();
+        for s in 0..3 {
+            f.heap.set_field(f.lists[s][0][1], 0, Value::Int(1)).unwrap();
+            f.heap.set_field(f.lists[s][0][3], 0, Value::Int(1)).unwrap();
+        }
+        rec.observe(&f.heap, &f.roots.clone()).unwrap();
+        let shape = rec.infer().unwrap();
+        let SpecShape::Object { children, .. } = &shape else { panic!() };
+        let SpecShape::List { pattern, .. } = &children[0].1 else { panic!() };
+        assert_eq!(*pattern, ListPattern::Positions(vec![1, 3]));
+    }
+
+    #[test]
+    fn inferred_plan_compiles_and_is_valid() {
+        let mut f = fixture(3, 3, 4);
+        let mut rec = ProfileRecorder::new();
+        for s in 0..3 {
+            f.heap.set_field(f.lists[s][1][3], 0, Value::Int(9)).unwrap();
+        }
+        rec.observe(&f.heap, &f.roots.clone()).unwrap();
+        let shape = rec.infer().unwrap();
+        shape.validate(f.heap.registry()).unwrap();
+        let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
+        assert!(!plan.has_dynamic());
+        // Only list 1's tail survives into the plan: one test, one record.
+        let tests = plan
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, crate::plan::Op::TestModified { .. }))
+            .count();
+        assert_eq!(tests, 1);
+    }
+
+    #[test]
+    fn shape_variation_across_structures_degrades_to_dynamic() {
+        // Two holders whose lists have different lengths.
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let mut heap = Heap::new(reg);
+        let mut mk = |n: usize| {
+            let mut next = None;
+            let mut last = None;
+            for _ in 0..n {
+                let e = heap.alloc(elem).unwrap();
+                heap.set_field(e, 1, Value::Ref(next)).unwrap();
+                next = Some(e);
+                last = Some(e);
+            }
+            let h = heap.alloc(holder).unwrap();
+            heap.set_field(h, 0, Value::Ref(next)).unwrap();
+            (h, last.unwrap())
+        };
+        let (h1, t1) = mk(3);
+        let (h2, _) = mk(5);
+        heap.reset_all_modified();
+        heap.set_field(t1, 0, Value::Int(1)).unwrap();
+
+        let mut rec = ProfileRecorder::new();
+        rec.observe(&heap, &[h1, h2]).unwrap();
+        let shape = rec.infer().unwrap();
+        let SpecShape::Object { children, .. } = &shape else { panic!() };
+        assert_eq!(children[0].1, SpecShape::Dynamic, "lengths disagree → dynamic edge");
+    }
+
+    #[test]
+    fn null_to_nonnull_flips_degrade_the_edge() {
+        let mut reg = ClassRegistry::new();
+        let leaf = reg.define("Leaf", None, &[("v", FieldType::Int)]).unwrap();
+        let holder = reg.define("Holder", None, &[("x", FieldType::Ref(Some(leaf)))]).unwrap();
+        let mut heap = Heap::new(reg);
+        let h = heap.alloc(holder).unwrap();
+        heap.reset_all_modified();
+
+        let mut rec = ProfileRecorder::new();
+        rec.observe(&heap, &[h]).unwrap(); // x is null
+        let l = heap.alloc(leaf).unwrap();
+        heap.set_field(h, 0, Value::Ref(Some(l))).unwrap();
+        rec.observe(&heap, &[h]).unwrap(); // x now set
+        let shape = rec.infer().unwrap();
+        let SpecShape::Object { children, .. } = &shape else { panic!() };
+        assert_eq!(children[0].1, SpecShape::Dynamic);
+    }
+
+    #[test]
+    fn cycles_degrade_to_dynamic_instead_of_hanging() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.define("A", None, &[("x", FieldType::Ref(None))]).unwrap();
+        let b = reg.define("B", None, &[("x", FieldType::Ref(None))]).unwrap();
+        let mut heap = Heap::new(reg);
+        // Alternating-class cycle: not a "list" (classes differ), so the
+        // object walker recurses and must hit the depth bound.
+        let oa = heap.alloc(a).unwrap();
+        let ob = heap.alloc(b).unwrap();
+        heap.set_field(oa, 0, Value::Ref(Some(ob))).unwrap();
+        heap.set_field(ob, 0, Value::Ref(Some(oa))).unwrap();
+        let mut rec = ProfileRecorder::new();
+        rec.observe(&heap, &[oa]).unwrap();
+        // Somewhere in the inferred shape there is a Dynamic cut.
+        fn has_dynamic(s: &SpecShape) -> bool {
+            match s {
+                SpecShape::Dynamic => true,
+                SpecShape::Object { children, .. } => {
+                    children.iter().any(|(_, c)| has_dynamic(c))
+                }
+                SpecShape::List { .. } => false,
+            }
+        }
+        assert!(has_dynamic(&rec.infer().unwrap()));
+    }
+
+    #[test]
+    fn empty_recorder_refuses_to_infer() {
+        assert!(ProfileRecorder::new().infer().is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-phase plan registry.
+//!
+//! The paper's key additional win (§4.2) comes from programs organized in
+//! phases, each with its own modification pattern: "we automatically
+//! generate a specialized checkpointing routine for each phase".
+//! [`PhasePlans`] holds those routines, keyed by phase name, so a phase
+//! driver (like the analysis engine in `ickp-analysis`) can pick the right
+//! specialized checkpointer as execution moves between phases — and fall
+//! back to the generic one for phases nobody declared.
+
+use crate::plan::Plan;
+use std::collections::HashMap;
+
+/// A named collection of phase-specific checkpoint plans.
+///
+/// # Example
+///
+/// ```
+/// use ickp_heap::{ClassRegistry, FieldType};
+/// use ickp_spec::{NodePattern, PhasePlans, SpecShape, Specializer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut reg = ClassRegistry::new();
+/// let c = reg.define("C", None, &[("v", FieldType::Int)])?;
+/// let spec = Specializer::new(&reg);
+/// let mut phases = PhasePlans::new();
+/// phases.insert("bta", spec.compile(&SpecShape::leaf(c))?);
+/// assert!(phases.plan("bta").is_some());
+/// assert!(phases.plan("seffect").is_none()); // generic fallback
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhasePlans {
+    plans: HashMap<String, Plan>,
+}
+
+impl PhasePlans {
+    /// Creates an empty registry.
+    pub fn new() -> PhasePlans {
+        PhasePlans::default()
+    }
+
+    /// Registers (or replaces) the plan for a phase; returns the previous
+    /// plan if one existed.
+    pub fn insert(&mut self, phase: impl Into<String>, plan: Plan) -> Option<Plan> {
+        self.plans.insert(phase.into(), plan)
+    }
+
+    /// The plan for a phase, if one was declared.
+    pub fn plan(&self, phase: &str) -> Option<&Plan> {
+        self.plans.get(phase)
+    }
+
+    /// Removes a phase's plan (e.g. after the structure it was compiled
+    /// for changed), returning it.
+    pub fn remove(&mut self, phase: &str) -> Option<Plan> {
+        self.plans.remove(phase)
+    }
+
+    /// Phase names with registered plans, in arbitrary order.
+    pub fn phases(&self) -> impl Iterator<Item = &str> {
+        self.plans.keys().map(String::as_str)
+    }
+
+    /// Number of registered phases.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` if no phases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Specializer;
+    use crate::shape::SpecShape;
+    use ickp_heap::{ClassRegistry, FieldType};
+
+    fn plan() -> Plan {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("C", None, &[("v", FieldType::Int)]).unwrap();
+        Specializer::new(&reg).compile(&SpecShape::leaf(c)).unwrap()
+    }
+
+    #[test]
+    fn insert_lookup_remove_round_trip() {
+        let mut phases = PhasePlans::new();
+        assert!(phases.is_empty());
+        assert!(phases.insert("bta", plan()).is_none());
+        assert!(phases.insert("eta", plan()).is_none());
+        assert_eq!(phases.len(), 2);
+        assert!(phases.plan("bta").is_some());
+        assert!(phases.plan("nope").is_none());
+        assert!(phases.remove("bta").is_some());
+        assert!(phases.plan("bta").is_none());
+    }
+
+    #[test]
+    fn reinsertion_returns_the_replaced_plan() {
+        let mut phases = PhasePlans::new();
+        phases.insert("bta", plan());
+        assert!(phases.insert("bta", plan()).is_some());
+        assert_eq!(phases.len(), 1);
+    }
+
+    #[test]
+    fn phase_names_are_enumerable() {
+        let mut phases = PhasePlans::new();
+        phases.insert("a", plan());
+        phases.insert("b", plan());
+        let mut names: Vec<&str> = phases.phases().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,412 @@
+//! Residual-code printer: renders a declaration's specialized checkpointer
+//! as Java-like source, in the style of the paper's Figures 5 and 6.
+//!
+//! The printer exists for inspection and documentation: what the compiler
+//! turns into a [`crate::Plan`], this module turns into the equivalent
+//! human-readable residual program, so the golden tests can check that our
+//! specializations have the same *shape* as the paper's published output —
+//! direct field loads instead of virtual calls, tests only where the
+//! modification pattern keeps them, and elided subtrees leaving no trace
+//! but a comment.
+
+use crate::shape::{ListPattern, NodePattern, SpecShape};
+use ickp_heap::{ClassId, ClassRegistry};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders the residual Java-like source of the specialized checkpoint
+/// method for `shape`.
+///
+/// `method_name` names the generated method (the paper uses names like
+/// `checkpoint_attr_btmodif`).
+pub fn render(registry: &ClassRegistry, shape: &SpecShape, method_name: &str) -> String {
+    let mut p = Printer {
+        registry,
+        out: String::new(),
+        indent: 1,
+        taken: HashMap::new(),
+    };
+    let root_class = shape.root_class();
+    let root_name = match root_class {
+        Some(c) => p.class_name(c),
+        None => "Checkpointable".to_string(),
+    };
+    let mut out = format!("public void {method_name}(Checkpointable o) {{\n");
+    let root_var = p.fresh(&root_name);
+    let _ = writeln!(out, "    {root_name} {root_var} = ({root_name})o;");
+    p.out = out;
+    p.emit_shape(shape, &root_var);
+    p.out.push_str("}\n");
+    p.out
+}
+
+struct Printer<'r> {
+    registry: &'r ClassRegistry,
+    out: String,
+    indent: usize,
+    taken: HashMap<String, usize>,
+}
+
+impl<'r> Printer<'r> {
+    fn class_name(&self, class: ClassId) -> String {
+        self.registry
+            .class(class)
+            .map(|d| d.name().to_string())
+            .unwrap_or_else(|_| class.to_string())
+    }
+
+    fn field_name(&self, class: ClassId, slot: usize) -> String {
+        self.registry
+            .class(class)
+            .ok()
+            .and_then(|d| d.layout().get(slot).map(|f| f.name().to_string()))
+            .unwrap_or_else(|| format!("f{slot}"))
+    }
+
+    /// Lowercases a class name into a Java-style variable name
+    /// (`BTEntry` → `btEntry`, `Attributes` → `attributes`), appending a
+    /// counter when reused.
+    fn fresh(&mut self, class_name: &str) -> String {
+        let base = camel(class_name);
+        let n = self.taken.entry(base.clone()).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            base
+        } else {
+            format!("{base}{}", *n - 1)
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn emit_shape(&mut self, shape: &SpecShape, var: &str) {
+        match shape {
+            SpecShape::Object { class, pattern, children } => {
+                match pattern {
+                    NodePattern::MayModify => self.emit_test_record(var),
+                    NodePattern::FrozenHere => {}
+                    NodePattern::Unmodified => {
+                        self.line(&format!("// {var}: unmodified in this phase (elided)"));
+                        return;
+                    }
+                }
+                for (slot, child) in children {
+                    self.emit_child(*class, var, *slot, child);
+                }
+            }
+            SpecShape::List { elem_class, next_slot, len, pattern } => {
+                // Bare list root: element 0 is `var`.
+                let elem_name = self.class_name(*elem_class);
+                let next = self.field_name(*elem_class, *next_slot);
+                self.emit_list(&elem_name, &next, *len, pattern, var.to_string());
+            }
+            SpecShape::Dynamic => {
+                self.line(&format!("c.checkpoint({var}); /* generic: shape unknown */"));
+            }
+        }
+    }
+
+    fn emit_child(&mut self, parent_class: ClassId, parent_var: &str, slot: usize, child: &SpecShape) {
+        let field = self.field_name(parent_class, slot);
+        if child.is_fully_unmodified() {
+            self.line(&format!(
+                "// {parent_var}.{field}: unmodified in this phase (traversal elided)"
+            ));
+            return;
+        }
+        match child {
+            SpecShape::Object { class, .. } => {
+                let cname = self.class_name(*class);
+                let var = self.fresh(&cname);
+                self.line(&format!("{cname} {var} = {parent_var}.{field};"));
+                self.emit_shape(child, &var);
+            }
+            SpecShape::List { elem_class, next_slot, len, pattern } => {
+                let elem_name = self.class_name(*elem_class);
+                let next = self.field_name(*elem_class, *next_slot);
+                let head = self.fresh(&elem_name);
+                self.line(&format!("{elem_name} {head} = {parent_var}.{field};"));
+                self.emit_list(&elem_name, &next, *len, pattern, head);
+            }
+            SpecShape::Dynamic => {
+                self.line(&format!(
+                    "c.checkpoint({parent_var}.{field}); /* generic: shape unknown */"
+                ));
+            }
+        }
+    }
+
+    fn emit_list(
+        &mut self,
+        elem_name: &str,
+        next_field: &str,
+        len: usize,
+        pattern: &ListPattern,
+        head_var: String,
+    ) {
+        match pattern {
+            ListPattern::Unmodified => {
+                self.line(&format!("// list {head_var}: unmodified (elided)"));
+            }
+            ListPattern::MayModify => {
+                let mut cur = head_var;
+                for i in 0..len {
+                    self.emit_test_record(&cur);
+                    if i + 1 < len {
+                        let next = self.fresh(elem_name);
+                        self.line(&format!("{elem_name} {next} = {cur}.{next_field};"));
+                        cur = next;
+                    }
+                }
+            }
+            ListPattern::LastOnly => {
+                let mut cur = head_var;
+                for _ in 1..len {
+                    let next = self.fresh(elem_name);
+                    self.line(&format!("{elem_name} {next} = {cur}.{next_field};"));
+                    cur = next;
+                }
+                self.emit_test_record(&cur);
+            }
+            ListPattern::Positions(ps) => {
+                let mut positions = ps.clone();
+                positions.sort_unstable();
+                positions.dedup();
+                let Some(&max_pos) = positions.last() else {
+                    self.line(&format!("// list {head_var}: no modifiable positions (elided)"));
+                    return;
+                };
+                let mut cur = head_var;
+                for i in 0..=max_pos {
+                    if positions.binary_search(&i).is_ok() {
+                        self.emit_test_record(&cur);
+                    }
+                    if i < max_pos {
+                        let next = self.fresh(elem_name);
+                        self.line(&format!("{elem_name} {next} = {cur}.{next_field};"));
+                        cur = next;
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_test_record(&mut self, var: &str) {
+        self.line(&format!("CheckpointInfo {var}Info = {var}.getCheckpointInfo();"));
+        self.line(&format!("if ({var}Info.modified()) {{"));
+        self.indent += 1;
+        self.line(&format!("d.writeInt({var}Info.getId());"));
+        self.line(&format!("{var}.record(d); /* inlined: direct field writes */"));
+        self.line(&format!("{var}Info.resetModified();"));
+        self.indent -= 1;
+        self.line("}");
+    }
+}
+
+/// `BTEntry` → `btEntry`, `Attributes` → `attributes`, `BT` → `bt`.
+fn camel(name: &str) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.is_empty() {
+        return "x".into();
+    }
+    // Length of the leading uppercase run.
+    let run = chars.iter().take_while(|c| c.is_uppercase()).count();
+    if run == 0 {
+        return name.to_string();
+    }
+    let lower_to = if run == chars.len() {
+        run // all caps: lowercase everything
+    } else if run == 1 {
+        1
+    } else {
+        run - 1 // keep the camel boundary capital
+    };
+    let mut out = String::with_capacity(chars.len());
+    for (i, c) in chars.iter().enumerate() {
+        if i < lower_to {
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(*c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::FieldType;
+
+    #[test]
+    fn camel_matches_paper_naming() {
+        assert_eq!(camel("BTEntry"), "btEntry");
+        assert_eq!(camel("Attributes"), "attributes");
+        assert_eq!(camel("BT"), "bt");
+        assert_eq!(camel("SEEntry"), "seEntry");
+        assert_eq!(camel("X"), "x");
+        assert_eq!(camel("already"), "already");
+    }
+
+    fn attributes_registry() -> (ClassRegistry, SpecShape, SpecShape) {
+        // The paper's Figure 4 structure.
+        let mut reg = ClassRegistry::new();
+        let id = reg.define("Id", None, &[("n", FieldType::Int)]).unwrap();
+        let bt = reg.define("BT", None, &[("id", FieldType::Ref(Some(id)))]).unwrap();
+        let et = reg.define("ET", None, &[("id", FieldType::Ref(Some(id)))]).unwrap();
+        let se_entry = reg
+            .define(
+                "SEEntry",
+                None,
+                &[("rd", FieldType::Ref(Some(id))), ("wr", FieldType::Ref(Some(id)))],
+            )
+            .unwrap();
+        let bt_entry = reg.define("BTEntry", None, &[("bt", FieldType::Ref(Some(bt)))]).unwrap();
+        let et_entry = reg.define("ETEntry", None, &[("et", FieldType::Ref(Some(et)))]).unwrap();
+        let attrs = reg
+            .define(
+                "Attributes",
+                None,
+                &[
+                    ("se", FieldType::Ref(Some(se_entry))),
+                    ("bt", FieldType::Ref(Some(bt_entry))),
+                    ("et", FieldType::Ref(Some(et_entry))),
+                ],
+            )
+            .unwrap();
+
+        // Figure 5: structure only — every node tested at run time.
+        let fig5 = SpecShape::object(
+            attrs,
+            NodePattern::MayModify,
+            vec![
+                (
+                    0,
+                    SpecShape::object(
+                        se_entry,
+                        NodePattern::MayModify,
+                        vec![(0, SpecShape::leaf(id)), (1, SpecShape::leaf(id))],
+                    ),
+                ),
+                (
+                    1,
+                    SpecShape::object(
+                        bt_entry,
+                        NodePattern::MayModify,
+                        vec![(0, SpecShape::object(bt, NodePattern::MayModify, vec![(0, SpecShape::leaf(id))]))],
+                    ),
+                ),
+                (
+                    2,
+                    SpecShape::object(
+                        et_entry,
+                        NodePattern::MayModify,
+                        vec![(0, SpecShape::object(et, NodePattern::MayModify, vec![(0, SpecShape::leaf(id))]))],
+                    ),
+                ),
+            ],
+        );
+
+        // Figure 6: the binding-time-analysis phase modifies only bt.
+        let fig6 = SpecShape::object(
+            attrs,
+            NodePattern::FrozenHere,
+            vec![
+                (0, SpecShape::object(se_entry, NodePattern::Unmodified, vec![])),
+                (
+                    1,
+                    SpecShape::object(
+                        bt_entry,
+                        NodePattern::MayModify,
+                        vec![(0, SpecShape::object(bt, NodePattern::MayModify, vec![]))],
+                    ),
+                ),
+                (2, SpecShape::object(et_entry, NodePattern::Unmodified, vec![])),
+            ],
+        );
+        (reg, fig5, fig6)
+    }
+
+    #[test]
+    fn fig5_style_output_has_no_virtual_calls_and_tests_every_node() {
+        let (reg, fig5, _) = attributes_registry();
+        let src = render(&reg, &fig5, "checkpoint_attr");
+        assert!(src.starts_with("public void checkpoint_attr(Checkpointable o) {"));
+        assert!(src.contains("Attributes attributes = (Attributes)o;"));
+        assert!(src.contains("BTEntry btEntry = attributes.bt;"));
+        assert!(src.contains("if (btEntryInfo.modified())"));
+        // Every one of the 10 nodes of Figure 4 is tested:
+        // attr, seEntry + 2 ids, btEntry + bt + id, etEntry + et + id.
+        let tests = src.matches(".modified()").count();
+        assert_eq!(tests, 10);
+        // No dynamic dispatch anywhere:
+        assert!(!src.contains("c.checkpoint("));
+    }
+
+    #[test]
+    fn fig6_style_output_elides_se_and_et_subtrees() {
+        let (reg, _, fig6) = attributes_registry();
+        let src = render(&reg, &fig6, "checkpoint_attr_btmodif");
+        // Only btEntry and bt are tested; attributes itself is frozen.
+        assert_eq!(src.matches(".modified()").count(), 2);
+        assert!(src.contains("btEntry"));
+        assert!(!src.contains("SEEntry seEntry ="), "se subtree must not be loaded");
+        assert!(!src.contains("ETEntry etEntry ="), "et subtree must not be loaded");
+        assert!(src.contains("unmodified in this phase"));
+    }
+
+    #[test]
+    fn list_rendering_unrolls_with_fresh_variables() {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder =
+            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::list(elem, 1, 3, ListPattern::MayModify))],
+        );
+        let src = render(&reg, &shape, "ckp_holder");
+        assert!(src.contains("Elem elem = holder.head;"));
+        assert!(src.contains("Elem elem1 = elem.next;"));
+        assert!(src.contains("Elem elem2 = elem1.next;"));
+        assert_eq!(src.matches(".modified()").count(), 3);
+    }
+
+    #[test]
+    fn last_only_rendering_chains_without_tests() {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let shape = SpecShape::list(elem, 1, 4, ListPattern::LastOnly);
+        let src = render(&reg, &shape, "ckp_list");
+        assert_eq!(src.matches(".modified()").count(), 1);
+        // root cast + 3 next loads + 1 CheckpointInfo binding for the tail
+        assert_eq!(src.matches("= ").count(), 5);
+    }
+
+    #[test]
+    fn dynamic_subtree_renders_a_generic_call() {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder =
+            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::MayModify,
+            vec![(0, SpecShape::Dynamic)],
+        );
+        let src = render(&reg, &shape, "ckp");
+        assert!(src.contains("c.checkpoint(holder.head);"));
+    }
+}

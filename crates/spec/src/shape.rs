@@ -1,0 +1,325 @@
+//! The declaration language: specialization classes.
+//!
+//! A [`SpecShape`] is the Rust rendering of the paper's *specialization
+//! classes* (§3.2): a programmer-supplied, machine-checked description of
+//!
+//! 1. the **static structure** of a compound object — which reference
+//!    fields always hold instances of which classes, and how long each
+//!    linked list is — enabling virtual calls to be replaced by inlined
+//!    direct field accesses; and
+//! 2. the **modification pattern** of a program phase — which parts of the
+//!    structure can possibly have been modified since the previous
+//!    checkpoint — enabling flag tests and whole subtree traversals to be
+//!    deleted.
+//!
+//! Shapes are *validated* against the class registry
+//! ([`SpecShape::validate`]) before compilation, so a declaration that
+//! mis-describes the program is rejected at specialization time.
+
+use crate::error::SpecError;
+use ickp_heap::{ClassId, ClassRegistry, FieldType};
+
+/// Modification pattern for a single object node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodePattern {
+    /// The object may be modified: test its flag at run time (generic
+    /// behaviour, structure benefits only).
+    MayModify,
+    /// The object is known unmodified in this phase, but its children must
+    /// still be considered: no test, no record, just descend.
+    ///
+    /// This is the Figure 6 treatment of the `Attributes` object itself.
+    FrozenHere,
+    /// The object *and everything below it* is known unmodified: the whole
+    /// subtree disappears from the specialized checkpointer.
+    ///
+    /// This is the Figure 6 treatment of the `se`/`et` subtrees during
+    /// binding-time analysis.
+    Unmodified,
+}
+
+/// Modification pattern for a linked list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListPattern {
+    /// Every element may be modified: unrolled test-record per element.
+    MayModify,
+    /// The whole list is known unmodified: not even traversed.
+    Unmodified,
+    /// Only the last element may be modified: the specialized code chains
+    /// `next` loads to the tail and tests/records only there (paper
+    /// Fig. 10's scenario).
+    LastOnly,
+    /// Only the listed element positions (0-based) may be modified.
+    Positions(Vec<usize>),
+}
+
+/// A declared static shape with its per-phase modification pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecShape {
+    /// An object whose exact class is statically known.
+    Object {
+        /// The object's exact class.
+        class: ClassId,
+        /// This node's modification pattern.
+        pattern: NodePattern,
+        /// Statically-shaped children: `(slot, child shape)`. Reference
+        /// slots not listed are assumed `null` in this structure (and are
+        /// guarded accordingly in checked execution).
+        children: Vec<(usize, SpecShape)>,
+    },
+    /// A nil-terminated singly linked list of statically known length.
+    ///
+    /// Elements have exact class `elem_class` and are linked through
+    /// `next_slot`; the element reached from the parent is position 0.
+    /// Element reference slots other than `next_slot` are assumed `null`.
+    List {
+        /// Exact class of every element.
+        elem_class: ClassId,
+        /// The slot holding the `next` reference.
+        next_slot: usize,
+        /// Static number of elements (≥ 1).
+        len: usize,
+        /// The list's modification pattern.
+        pattern: ListPattern,
+    },
+    /// A subtree whose shape is not static: the specialized code falls
+    /// back to the generic (virtual-dispatch) checkpointer here.
+    Dynamic,
+}
+
+impl SpecShape {
+    /// An object node that may be modified, with no static children.
+    pub fn leaf(class: ClassId) -> SpecShape {
+        SpecShape::Object { class, pattern: NodePattern::MayModify, children: Vec::new() }
+    }
+
+    /// An object node with the given pattern and children.
+    pub fn object(
+        class: ClassId,
+        pattern: NodePattern,
+        children: Vec<(usize, SpecShape)>,
+    ) -> SpecShape {
+        SpecShape::Object { class, pattern, children }
+    }
+
+    /// A list node.
+    pub fn list(elem_class: ClassId, next_slot: usize, len: usize, pattern: ListPattern) -> SpecShape {
+        SpecShape::List { elem_class, next_slot, len, pattern }
+    }
+
+    /// Validates the declaration against a class registry.
+    ///
+    /// Checks that every declared class exists, that every declared child
+    /// slot is a reference field whose static constraint (if any) admits
+    /// the declared child class, that lists are non-empty with a valid
+    /// `next` slot, and that position constraints fall inside the list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found.
+    pub fn validate(&self, registry: &ClassRegistry) -> Result<(), SpecError> {
+        match self {
+            SpecShape::Dynamic => Ok(()),
+            SpecShape::Object { class, children, .. } => {
+                let def = registry.class(*class)?;
+                for (slot, child) in children {
+                    let ty = def.slot_type(*slot)?;
+                    let constraint = match ty {
+                        FieldType::Ref(c) => c,
+                        _ => return Err(SpecError::NotARefSlot { class: *class, slot: *slot }),
+                    };
+                    if let Some(required) = constraint {
+                        if let Some(declared) = child.root_class() {
+                            if !registry.is_subclass(declared, required) {
+                                return Err(SpecError::IncompatibleChildClass {
+                                    class: *class,
+                                    slot: *slot,
+                                    declared,
+                                });
+                            }
+                        }
+                    }
+                    child.validate(registry)?;
+                }
+                Ok(())
+            }
+            SpecShape::List { elem_class, next_slot, len, pattern } => {
+                let def = registry.class(*elem_class)?;
+                if *len == 0 {
+                    return Err(SpecError::EmptyList { elem: *elem_class });
+                }
+                match def.slot_type(*next_slot)? {
+                    FieldType::Ref(_) => {}
+                    _ => {
+                        return Err(SpecError::NotARefSlot {
+                            class: *elem_class,
+                            slot: *next_slot,
+                        })
+                    }
+                }
+                if let ListPattern::Positions(ps) = pattern {
+                    for &p in ps {
+                        if p >= *len {
+                            return Err(SpecError::PositionOutOfRange { position: p, len: *len });
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The class at the root of this shape, when statically known.
+    pub fn root_class(&self) -> Option<ClassId> {
+        match self {
+            SpecShape::Object { class, .. } => Some(*class),
+            SpecShape::List { elem_class, .. } => Some(*elem_class),
+            SpecShape::Dynamic => None,
+        }
+    }
+
+    /// `true` if this entire subtree is declared unmodified (and therefore
+    /// vanishes from the specialized checkpointer).
+    pub fn is_fully_unmodified(&self) -> bool {
+        match self {
+            SpecShape::Object { pattern, children, .. } => match pattern {
+                NodePattern::Unmodified => true,
+                NodePattern::MayModify => false,
+                NodePattern::FrozenHere => {
+                    children.iter().all(|(_, c)| c.is_fully_unmodified())
+                }
+            },
+            SpecShape::List { pattern, .. } => match pattern {
+                ListPattern::Unmodified => true,
+                // No position may be modified: degenerate but equivalent.
+                ListPattern::Positions(ps) => ps.is_empty(),
+                _ => false,
+            },
+            SpecShape::Dynamic => false,
+        }
+    }
+
+    /// Counts the objects this shape statically covers (lists count their
+    /// length; `Dynamic` counts as one unknown node).
+    pub fn static_object_count(&self) -> usize {
+        match self {
+            SpecShape::Object { children, .. } => {
+                1 + children.iter().map(|(_, c)| c.static_object_count()).sum::<usize>()
+            }
+            SpecShape::List { len, .. } => *len,
+            SpecShape::Dynamic => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::ClassRegistry;
+
+    fn registry() -> (ClassRegistry, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder = reg
+            .define("Holder", None, &[("head", FieldType::Ref(Some(elem))), ("n", FieldType::Int)])
+            .unwrap();
+        (reg, elem, holder)
+    }
+
+    #[test]
+    fn valid_structure_passes_validation() {
+        let (reg, elem, holder) = registry();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::MayModify,
+            vec![(0, SpecShape::list(elem, 1, 5, ListPattern::MayModify))],
+        );
+        shape.validate(&reg).unwrap();
+        assert_eq!(shape.static_object_count(), 6);
+        assert_eq!(shape.root_class(), Some(holder));
+    }
+
+    #[test]
+    fn non_ref_child_slot_is_rejected() {
+        let (reg, _, holder) = registry();
+        let shape =
+            SpecShape::object(holder, NodePattern::MayModify, vec![(1, SpecShape::leaf(holder))]);
+        assert!(matches!(shape.validate(&reg), Err(SpecError::NotARefSlot { slot: 1, .. })));
+    }
+
+    #[test]
+    fn incompatible_child_class_is_rejected() {
+        let (reg, _, holder) = registry();
+        // Slot 0 of Holder requires Elem; declare a Holder child instead.
+        let shape =
+            SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::leaf(holder))]);
+        assert!(matches!(
+            shape.validate(&reg),
+            Err(SpecError::IncompatibleChildClass { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_list_is_rejected() {
+        let (reg, elem, _) = registry();
+        let shape = SpecShape::list(elem, 1, 0, ListPattern::MayModify);
+        assert!(matches!(shape.validate(&reg), Err(SpecError::EmptyList { .. })));
+    }
+
+    #[test]
+    fn list_next_slot_must_be_a_ref() {
+        let (reg, elem, _) = registry();
+        let shape = SpecShape::list(elem, 0, 3, ListPattern::MayModify);
+        assert!(matches!(shape.validate(&reg), Err(SpecError::NotARefSlot { .. })));
+    }
+
+    #[test]
+    fn out_of_range_position_is_rejected() {
+        let (reg, elem, _) = registry();
+        let shape = SpecShape::list(elem, 1, 3, ListPattern::Positions(vec![0, 3]));
+        assert_eq!(
+            shape.validate(&reg),
+            Err(SpecError::PositionOutOfRange { position: 3, len: 3 })
+        );
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let (reg, _, _) = registry();
+        let shape = SpecShape::leaf(ClassId::from_index(99));
+        assert!(matches!(shape.validate(&reg), Err(SpecError::Heap(_))));
+    }
+
+    #[test]
+    fn fully_unmodified_detection() {
+        let (_, elem, holder) = registry();
+        assert!(SpecShape::object(holder, NodePattern::Unmodified, vec![]).is_fully_unmodified());
+        assert!(SpecShape::list(elem, 1, 3, ListPattern::Unmodified).is_fully_unmodified());
+        assert!(!SpecShape::leaf(holder).is_fully_unmodified());
+        // FrozenHere is fully unmodified only if all children are.
+        let frozen_all = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::list(elem, 1, 2, ListPattern::Unmodified))],
+        );
+        assert!(frozen_all.is_fully_unmodified());
+        let frozen_some = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::list(elem, 1, 2, ListPattern::LastOnly))],
+        );
+        assert!(!frozen_some.is_fully_unmodified());
+    }
+
+    #[test]
+    fn dynamic_subtree_is_always_valid() {
+        let (reg, _, holder) = registry();
+        let shape =
+            SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::Dynamic)]);
+        shape.validate(&reg).unwrap();
+        assert_eq!(SpecShape::Dynamic.root_class(), None);
+        assert!(!SpecShape::Dynamic.is_fully_unmodified());
+    }
+}

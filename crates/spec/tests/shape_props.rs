@@ -1,0 +1,213 @@
+//! Property tests over *random specialization declarations*: any valid
+//! shape compiles, and its plan behaves correctly on a heap built to
+//! conform to it.
+
+use ickp_core::{CheckpointKind, StreamWriter, TraversalStats};
+use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, ObjectId, Value};
+use ickp_spec::{GuardMode, ListPattern, NodePattern, Op, SpecShape, Specializer};
+use proptest::prelude::*;
+
+/// Four classes, each with 2 int slots and 3 unconstrained ref slots
+/// (slot 2 doubles as a list `next` link).
+fn registry() -> (ClassRegistry, Vec<ClassId>) {
+    let mut reg = ClassRegistry::new();
+    let classes = (0..4)
+        .map(|i| {
+            reg.define(
+                &format!("C{i}"),
+                None,
+                &[
+                    ("a", FieldType::Int),
+                    ("b", FieldType::Int),
+                    ("r0", FieldType::Ref(None)),
+                    ("r1", FieldType::Ref(None)),
+                    ("r2", FieldType::Ref(None)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    (reg, classes)
+}
+
+fn arb_node_pattern() -> impl Strategy<Value = NodePattern> {
+    prop_oneof![
+        Just(NodePattern::MayModify),
+        Just(NodePattern::FrozenHere),
+        Just(NodePattern::Unmodified),
+    ]
+}
+
+fn arb_list_pattern(len: usize) -> impl Strategy<Value = ListPattern> {
+    prop_oneof![
+        Just(ListPattern::MayModify),
+        Just(ListPattern::Unmodified),
+        Just(ListPattern::LastOnly),
+        proptest::collection::vec(0..len, 0..=len).prop_map(ListPattern::Positions),
+    ]
+}
+
+/// Random shape over the class family; children occupy ref slots 3/4
+/// (slot 2 is reserved for list links).
+fn arb_shape() -> impl Strategy<Value = SpecShape> {
+    let leaf = (0usize..4, arb_node_pattern())
+        .prop_map(|(c, p)| SpecShape::object(ClassId::from_index(c), p, vec![]));
+    let list = (0usize..4, 1usize..5).prop_flat_map(|(c, len)| {
+        arb_list_pattern(len)
+            .prop_map(move |p| SpecShape::list(ClassId::from_index(c), 2, len, p))
+    });
+    prop_oneof![leaf, list.clone()].prop_recursive(3, 24, 2, move |inner| {
+        (
+            0usize..4,
+            arb_node_pattern(),
+            proptest::collection::vec(inner, 0..=2),
+        )
+            .prop_map(|(c, p, kids)| {
+                let children =
+                    kids.into_iter().enumerate().map(|(i, k)| (3 + i, k)).collect::<Vec<_>>();
+                SpecShape::object(ClassId::from_index(c), p, children)
+            })
+    })
+}
+
+/// Materializes a heap subgraph conforming to `shape`; returns its root.
+fn materialize(heap: &mut Heap, shape: &SpecShape) -> ObjectId {
+    match shape {
+        SpecShape::Object { class, children, .. } => {
+            let obj = heap.alloc(*class).unwrap();
+            for (slot, child) in children {
+                let c = materialize(heap, child);
+                heap.set_field(obj, *slot, Value::Ref(Some(c))).unwrap();
+            }
+            obj
+        }
+        SpecShape::List { elem_class, next_slot, len, .. } => {
+            let mut next: Option<ObjectId> = None;
+            for _ in 0..*len {
+                let e = heap.alloc(*elem_class).unwrap();
+                heap.set_field(e, *next_slot, Value::Ref(next)).unwrap();
+                next = Some(e);
+            }
+            next.expect("len >= 1")
+        }
+        SpecShape::Dynamic => {
+            // Conforming choice for a dynamic edge: a bare leaf.
+            heap.alloc(ClassId::from_index(0)).unwrap()
+        }
+    }
+}
+
+fn count_ops(shape: &SpecShape, reg: &ClassRegistry) -> (usize, usize) {
+    let plan = Specializer::new(reg).compile(shape).unwrap();
+    let tests =
+        plan.ops().iter().filter(|o| matches!(o, Op::TestModified { .. })).count();
+    let records = plan.ops().iter().filter(|o| matches!(o, Op::Record { .. })).count();
+    (tests, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated shape validates and compiles, with exactly one
+    /// record site per test site.
+    #[test]
+    fn every_shape_compiles(shape in arb_shape()) {
+        let (reg, _) = registry();
+        shape.validate(&reg).unwrap();
+        let (tests, records) = count_ops(&shape, &reg);
+        prop_assert_eq!(tests, records, "tests and records are paired");
+    }
+
+    /// On a clean conforming heap the plan records nothing; with every
+    /// object marked modified it records exactly its record-site count.
+    #[test]
+    fn plan_execution_matches_static_counts(shape in arb_shape()) {
+        // Roots must be objects or lists (the compiler rejects Dynamic
+        // roots); arb_shape never produces Dynamic at the root.
+        let (reg, _) = registry();
+        let plan = Specializer::new(&reg).compile(&shape).unwrap();
+        let mut heap = Heap::new(reg);
+        let root = materialize(&mut heap, &shape);
+
+        // Clean heap: nothing recorded.
+        heap.reset_all_modified();
+        let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+        let mut stats = TraversalStats::default();
+        plan.executor()
+            .run(&mut heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
+            .unwrap();
+        prop_assert_eq!(stats.objects_recorded, 0);
+
+        // Everything dirty: every record site fires exactly once.
+        heap.mark_all_modified();
+        let (tests, records) = {
+            let t = plan.ops().iter().filter(|o| matches!(o, Op::TestModified { .. })).count();
+            let r = plan.ops().iter().filter(|o| matches!(o, Op::Record { .. })).count();
+            (t, r)
+        };
+        let mut writer = StreamWriter::new(1, CheckpointKind::Incremental, &[]);
+        let mut stats = TraversalStats::default();
+        plan.executor()
+            .run(&mut heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
+            .unwrap();
+        prop_assert_eq!(stats.objects_recorded as usize, records);
+        prop_assert_eq!(stats.flag_tests as usize, tests);
+
+        // And the stream decodes.
+        let bytes = writer.finish();
+        let decoded = ickp_core::decode(&bytes, heap.registry()).unwrap();
+        prop_assert_eq!(decoded.objects.len(), records);
+    }
+
+    /// Register compaction preserves semantics on arbitrary shapes: the
+    /// optimized plan emits the identical stream with no more registers.
+    #[test]
+    fn register_compaction_is_semantics_preserving(shape in arb_shape()) {
+        let (reg, _) = registry();
+        let spec = Specializer::new(&reg);
+        let plan = spec.compile(&shape).unwrap();
+        let optimized = spec.compile_optimized(&shape).unwrap();
+        prop_assert!(optimized.num_regs() <= plan.num_regs());
+        prop_assert_eq!(optimized.ops().len(), plan.ops().len());
+
+        let mut heap = Heap::new(reg);
+        let root = materialize(&mut heap, &shape);
+        heap.mark_all_modified();
+        let mut heap2 = heap.clone();
+
+        let mut run = |plan: &ickp_spec::Plan, heap: &mut Heap| {
+            let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+            let mut stats = TraversalStats::default();
+            let table = ickp_core::MethodTable::derive(heap.registry());
+            plan.executor()
+                .run(heap, root, &mut writer, GuardMode::Checked, Some(&table), &mut stats)
+                .unwrap();
+            writer.finish()
+        };
+        prop_assert_eq!(run(&plan, &mut heap), run(&optimized, &mut heap2));
+    }
+
+    /// Plan execution is deterministic: two runs over the same dirty
+    /// state produce identical streams.
+    #[test]
+    fn plan_execution_is_deterministic(shape in arb_shape()) {
+        let (reg, _) = registry();
+        let plan = Specializer::new(&reg).compile(&shape).unwrap();
+        let mut heap = Heap::new(reg);
+        let root = materialize(&mut heap, &shape);
+        heap.mark_all_modified();
+
+        let run = |heap: &mut Heap| {
+            let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+            let mut stats = TraversalStats::default();
+            plan.executor()
+                .run(heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
+                .unwrap();
+            writer.finish()
+        };
+        let mut clone = heap.clone();
+        let a = run(&mut heap);
+        let b = run(&mut clone);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Checkpointing as serialization: migrating a "mobile agent" between
+//! hosts (paper §6 — "checkpointing is conceptually similar to
+//! serialization"; Java agent systems ship object state exactly this
+//! way).
+//!
+//! An agent is a compound object (itinerary + accumulated results). The
+//! origin host serializes it with a full checkpoint of its subgraph; the
+//! destination host — a completely separate heap — deserializes it with
+//! the restore machinery, and the agent continues its work there.
+//!
+//! ```text
+//! cargo run --example agent_migration
+//! ```
+
+use ickp::core::{
+    restore, CheckpointConfig, CheckpointStore, Checkpointer, MethodTable, RestorePolicy,
+};
+use ickp::heap::{ClassRegistry, FieldType, Heap, ObjectId, Value};
+
+/// Defines the agent's classes on a registry shared by all hosts (the
+/// class files travel with the agent system, not with the agent).
+fn agent_classes(registry: &mut ClassRegistry) -> Result<(), Box<dyn std::error::Error>> {
+    let stop = registry.define(
+        "Stop",
+        None,
+        &[("host", FieldType::Int), ("visited", FieldType::Bool), ("next", FieldType::Ref(None))],
+    )?;
+    registry.define(
+        "Agent",
+        None,
+        &[("sum", FieldType::Long), ("itinerary", FieldType::Ref(Some(stop)))],
+    )?;
+    Ok(())
+}
+
+/// The agent's work on one host: visit every unvisited stop matching the
+/// host id, accumulate, and mark it visited.
+fn work(heap: &mut Heap, agent: ObjectId, host: i32) -> Result<u32, Box<dyn std::error::Error>> {
+    let mut visited = 0;
+    let mut cur = heap.field_named(agent, "itinerary")?.as_ref_id();
+    while let Some(stop) = cur {
+        let stop_host = heap.field_named(stop, "host")?.as_int().unwrap_or(-1);
+        let seen = heap.field_named(stop, "visited")?.as_bool().unwrap_or(false);
+        if stop_host == host && !seen {
+            heap.set_field_named(stop, "visited", Value::Bool(true))?;
+            let sum = heap.field_named(agent, "sum")?.as_long().unwrap_or(0);
+            heap.set_field_named(agent, "sum", Value::Long(sum + host as i64 * 100))?;
+            visited += 1;
+        }
+        cur = heap.field_named(stop, "next")?.as_ref_id();
+    }
+    Ok(visited)
+}
+
+/// Serializes the agent's subgraph for transmission.
+fn serialize(heap: &mut Heap, agent: ObjectId) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let methods = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::full());
+    let rec = ckp.checkpoint(heap, &methods, &[agent])?;
+    Ok(rec.bytes().to_vec())
+}
+
+/// Deserializes the agent into a host's heap.
+fn deserialize(
+    host_heap_registry: &ClassRegistry,
+    wire: &[u8],
+) -> Result<(Heap, ObjectId), Box<dyn std::error::Error>> {
+    // A single full checkpoint is a complete serialized object graph.
+    let decoded = ickp::core::decode(wire, host_heap_registry)?;
+    let mut store = CheckpointStore::new();
+    store.push(ickp::core::CheckpointRecord::from_parts(
+        decoded.seq,
+        ickp::core::CheckpointKind::Full,
+        decoded.roots.clone(),
+        wire.to_vec(),
+        Default::default(),
+    ))?;
+    let rebuilt = restore(&store, host_heap_registry, RestorePolicy::RequireFullBase)?;
+    let agent = rebuilt.roots()[0];
+    Ok((rebuilt.into_heap(), agent))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut registry = ClassRegistry::new();
+    agent_classes(&mut registry)?;
+
+    // ---- Host 1: create the agent with a 6-stop itinerary -------------
+    let mut host1 = Heap::new(registry.clone());
+    let stop_class = host1.registry().id_of("Stop")?;
+    let agent_class = host1.registry().id_of("Agent")?;
+    let mut next: Option<ObjectId> = None;
+    for host in [3, 2, 1, 3, 2, 1] {
+        let s = host1.alloc(stop_class)?;
+        host1.set_field_named(s, "host", Value::Int(host))?;
+        host1.set_field_named(s, "next", Value::Ref(next))?;
+        next = Some(s);
+    }
+    let agent = host1.alloc(agent_class)?;
+    host1.set_field_named(agent, "itinerary", Value::Ref(next))?;
+
+    let visited = work(&mut host1, agent, 1)?;
+    println!("host 1: visited {visited} stops, sum = {}", host1.field_named(agent, "sum")?);
+
+    // ---- Migrate to host 2 --------------------------------------------
+    let wire = serialize(&mut host1, agent)?;
+    println!("serialized agent: {} bytes on the wire", wire.len());
+    drop(host1); // the origin host forgets the agent
+
+    let (mut host2, agent) = deserialize(&registry, &wire)?;
+    let visited = work(&mut host2, agent, 2)?;
+    println!("host 2: visited {visited} stops, sum = {}", host2.field_named(agent, "sum")?);
+
+    // ---- Migrate to host 3 --------------------------------------------
+    let wire = serialize(&mut host2, agent)?;
+    drop(host2);
+    let (mut host3, agent) = deserialize(&registry, &wire)?;
+    let visited = work(&mut host3, agent, 3)?;
+    let sum = host3.field_named(agent, "sum")?.as_long().unwrap();
+    println!("host 3: visited {visited} stops, sum = {sum}");
+
+    // 2 stops per host: 2*(100 + 200 + 300).
+    assert_eq!(sum, 1200, "agent accumulated the full itinerary");
+    println!("\nagent completed its itinerary across 3 hosts ✓");
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! The paper's realistic application: checkpointing a program-analysis
+//! engine, with a phase-specialized checkpointer per analysis phase.
+//!
+//! Analyzes the generated ≈750-line image-manipulation mini-C program,
+//! checkpoints after every fixpoint iteration of every phase, and prints
+//! the per-iteration incremental checkpoint sizes — watch them shrink as
+//! each analysis converges, and watch the specialized plans do the same
+//! work with no virtual dispatch and almost no flag tests.
+//!
+//! ```text
+//! cargo run --release --example program_analysis
+//! ```
+
+use ickp::analysis::{AnalysisEngine, Division, Phase};
+use ickp::core::{
+    restore, verify_restore, CheckpointConfig, CheckpointStore, Checkpointer, MethodTable,
+    RestorePolicy,
+};
+use ickp::minic::programs::image_program;
+use ickp::spec::{GuardMode, SpecializedCheckpointer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = image_program();
+    println!(
+        "analyzing generated image program: {} functions, {} statements",
+        program.functions.len(),
+        program.stmt_count
+    );
+
+    let mut engine = AnalysisEngine::new(
+        program,
+        Division { dynamic_globals: vec!["image".into(), "work".into()] },
+    )?;
+    println!("attributes structures allocated: {}\n", engine.roots().len());
+
+    let plans = engine.compile_phase_plans()?;
+    let methods = MethodTable::derive(engine.heap().registry());
+    let mut store = CheckpointStore::new();
+    let mut generic = Checkpointer::new(CheckpointConfig::incremental());
+
+    // Base checkpoint: the recovery line before any analysis runs.
+    let roots = engine.roots().to_vec();
+    let base = generic.checkpoint(engine.heap_mut(), &methods, &roots)?;
+    println!(
+        "base checkpoint: {} objects, {} bytes\n",
+        base.stats().objects_recorded,
+        base.len_bytes()
+    );
+    store.push(base)?;
+
+    // Side-effect analysis: its results are variable-length lists, so the
+    // generic (virtual-dispatch) checkpointer handles this phase.
+    let mut recs = Vec::new();
+    let report = engine.run_phase(Phase::SideEffect, |heap, roots, iter| {
+        let roots = roots.to_vec();
+        let rec = generic.checkpoint(heap, &methods, &roots)?;
+        println!(
+            "  seffect iter {iter}: {:>7} bytes, {:>4} objects recorded (generic)",
+            rec.len_bytes(),
+            rec.stats().objects_recorded
+        );
+        recs.push(rec);
+        Ok(())
+    })?;
+    for rec in recs.drain(..) {
+        store.push(rec)?;
+    }
+    println!("side-effect analysis: {} iterations\n", report.iterations);
+
+    // Binding-time and evaluation-time phases: the Figure 6 specialized
+    // plans, which skip the other phases' subtrees outright.
+    for phase in [Phase::BindingTime, Phase::EvalTime] {
+        let plan = plans.plan(phase.key()).expect("phase plan registered");
+        let mut spec = SpecializedCheckpointer::new(GuardMode::Checked);
+        // Continue the store's contiguous numbering from this driver.
+        spec.set_next_seq(store.len() as u64);
+        let report = engine.run_phase(phase, |heap, roots, iter| {
+            let roots = roots.to_vec();
+            let rec = spec.checkpoint(heap, plan, &roots, None)?;
+            println!(
+                "  {} iter {iter}: {:>7} bytes, {:>4} objects recorded, {} flag tests, {} virtual calls",
+                phase.key(),
+                rec.len_bytes(),
+                rec.stats().objects_recorded,
+                rec.stats().flag_tests,
+                rec.stats().virtual_calls,
+            );
+            recs.push(rec);
+            Ok(())
+        })?;
+        for rec in recs.drain(..) {
+            store.push(rec)?;
+        }
+        println!(
+            "{} phase: {} iterations, {} annotation writes\n",
+            phase.key(),
+            report.iterations,
+            report.annotation_writes
+        );
+    }
+
+    // Crash! Rebuild everything from the store and verify.
+    println!("store: {} checkpoints, {} total bytes", store.len(), store.total_bytes());
+    let rebuilt = restore(&store, engine.heap().registry(), RestorePolicy::Lenient)?;
+    match verify_restore(engine.heap(), &roots, &rebuilt)? {
+        None => println!("recovery verified: all {} attribute trees restored exactly", roots.len()),
+        Some(diff) => println!("recovery diverged: {diff}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # ickp — incremental checkpointing via program specialization
+//!
+//! Facade crate re-exporting the whole workspace. This is a from-scratch
+//! Rust reproduction of *Lawall & Muller, "Efficient Incremental
+//! Checkpointing of Java Programs" (DSN 2000)*: language-level incremental
+//! checkpointing of object graphs, made fast by compiling generic
+//! checkpointing code into specialized, straight-line *plans* based on
+//! declared structure and modification patterns.
+//!
+//! Crate map:
+//!
+//! * [`heap`] — managed object heap (classes, typed fields, write barrier).
+//! * [`core`] — generic full/incremental checkpointing, stream format,
+//!   checkpoint store, restore.
+//! * [`spec`] — the specializer: declarations → binding-time split →
+//!   flat plans → executors; residual-code printer.
+//! * [`minic`] — mini-C front end used as the realistic workload's input.
+//! * [`analysis`] — the program-analysis engine (side-effect, binding-time,
+//!   evaluation-time analyses) whose heap-backed results are checkpointed.
+//! * [`synth`] — the paper's synthetic benchmark generator.
+//! * [`backend`] — execution backends emulating JVM dispatch regimes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ickp::heap::{ClassRegistry, FieldType, Heap, Value};
+//! use ickp::core::{CheckpointConfig, Checkpointer, MethodTable};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut reg = ClassRegistry::new();
+//! let node = reg.define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])?;
+//! let mut heap = Heap::new(reg);
+//! let head = heap.alloc(node)?;
+//! heap.set_field(head, 0, Value::Int(42))?;
+//!
+//! let methods = MethodTable::derive(heap.registry());
+//! let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+//! let record = ckp.checkpoint(&mut heap, &methods, &[head])?;
+//! assert!(record.len_bytes() > 0);
+//! # Ok(()) }
+//! ```
+
+pub use ickp_analysis as analysis;
+pub use ickp_backend as backend;
+pub use ickp_core as core;
+pub use ickp_heap as heap;
+pub use ickp_minic as minic;
+pub use ickp_spec as spec;
+pub use ickp_synth as synth;

@@ -1,0 +1,148 @@
+//! Integration of the analysis engine with every checkpointing layer:
+//! the Table 1 pipeline as a correctness (not performance) test.
+
+use ickp::analysis::{AnalysisEngine, Division, Phase};
+use ickp::core::{
+    restore, verify_restore, CheckpointConfig, CheckpointRecord, CheckpointStore, Checkpointer,
+    MethodTable, RestorePolicy,
+};
+use ickp::minic::programs::image_program_source;
+use ickp::minic::parse;
+use ickp::spec::{render, GuardMode, SpecializedCheckpointer};
+
+fn engine() -> AnalysisEngine {
+    let program = parse(&image_program_source(4)).expect("program parses");
+    AnalysisEngine::new(
+        program,
+        Division { dynamic_globals: vec!["image".into(), "work".into()] },
+    )
+    .expect("engine builds")
+}
+
+#[test]
+fn full_three_phase_run_with_per_iteration_checkpoints_recovers_exactly() {
+    let mut engine = engine();
+    let roots = engine.roots().to_vec();
+    let table = MethodTable::derive(engine.heap().registry());
+    let mut store = CheckpointStore::new();
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+
+    store.push(ckp.checkpoint(engine.heap_mut(), &table, &roots).unwrap()).unwrap();
+    let mut recs: Vec<CheckpointRecord> = Vec::new();
+    for phase in [Phase::SideEffect, Phase::BindingTime, Phase::EvalTime] {
+        engine
+            .run_phase(phase, |heap, roots, _| {
+                let roots = roots.to_vec();
+                recs.push(ckp.checkpoint(heap, &table, &roots)?);
+                Ok(())
+            })
+            .unwrap();
+    }
+    for rec in recs {
+        store.push(rec).unwrap();
+    }
+
+    let rebuilt = restore(&store, engine.heap().registry(), RestorePolicy::Lenient).unwrap();
+    assert_eq!(verify_restore(engine.heap(), &roots, &rebuilt).unwrap(), None);
+
+    // The restored heap carries the final analysis results.
+    let schema = *engine.schema();
+    let live_bt: Vec<i32> = roots
+        .iter()
+        .map(|&a| schema.bt_ann(engine.heap(), a).unwrap())
+        .collect();
+    let restored_bt: Vec<i32> = roots
+        .iter()
+        .map(|&a| {
+            let sid = engine.heap().stable_id(a).unwrap();
+            let handle = rebuilt.lookup(sid).unwrap();
+            schema.bt_ann(rebuilt.heap(), handle).unwrap()
+        })
+        .collect();
+    assert_eq!(live_bt, restored_bt);
+    assert!(live_bt.iter().any(|&b| b != 0), "some statements are dynamic");
+    assert!(live_bt.iter().any(|&b| b == 0), "some statements are static");
+}
+
+#[test]
+fn phase_plans_and_generic_agree_on_every_iteration_of_every_phase() {
+    // Run two engines in lock-step over BTA + ETA; per iteration compare
+    // the object sets recorded by the generic and phase-specialized
+    // checkpointers.
+    let mut e_generic = engine();
+    let mut e_spec = engine();
+    for phase in [Phase::SideEffect] {
+        e_generic.run_phase(phase, |_, _, _| Ok(())).unwrap();
+        e_spec.run_phase(phase, |_, _, _| Ok(())).unwrap();
+    }
+    e_generic.heap_mut().reset_all_modified();
+    e_spec.heap_mut().reset_all_modified();
+
+    let table = MethodTable::derive(e_generic.heap().registry());
+    let plans = e_spec.compile_phase_plans().unwrap();
+
+    for phase in [Phase::BindingTime, Phase::EvalTime] {
+        let mut generic_sizes = Vec::new();
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        e_generic
+            .run_phase(phase, |heap, roots, _| {
+                let roots = roots.to_vec();
+                generic_sizes.push(ckp.checkpoint(heap, &table, &roots)?.len_bytes());
+                Ok(())
+            })
+            .unwrap();
+
+        let plan = plans.plan(phase.key()).unwrap();
+        let mut spec_sizes = Vec::new();
+        let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
+        e_spec
+            .run_phase(phase, |heap, roots, _| {
+                let roots = roots.to_vec();
+                spec_sizes.push(sc.checkpoint(heap, plan, &roots, None)?.len_bytes());
+                Ok(())
+            })
+            .unwrap();
+
+        assert_eq!(generic_sizes, spec_sizes, "{phase:?}");
+        assert!(spec_sizes.iter().rev().skip(1).all(|&s| s >= *spec_sizes.last().unwrap()),
+            "sizes shrink towards the fixpoint: {spec_sizes:?}");
+    }
+}
+
+#[test]
+fn residual_code_for_the_analysis_attributes_matches_the_paper_shape() {
+    let engine = engine();
+    let schema = engine.schema();
+    let registry = engine.heap().registry();
+
+    let fig5 = render(registry, &schema.shape_structure_only(), "checkpoint_attr");
+    assert!(fig5.contains("Attributes attributes = (Attributes)o;"));
+    assert!(fig5.contains("BTEntry btEntry = attributes.bt;"));
+    assert!(fig5.contains("c.checkpoint(attributes.se);"), "se lists stay generic");
+
+    let fig6 = render(registry, &schema.shape_bta_phase(), "checkpoint_attr_btmodif");
+    assert!(fig6.contains("btEntry"));
+    assert!(!fig6.contains("etEntry"), "et subtree elided in the BTA phase");
+    assert!(fig6.matches(".modified()").count() < fig5.matches(".modified()").count());
+}
+
+#[test]
+fn iteration_checkpoints_shrink_as_the_fixpoint_converges() {
+    let mut engine = engine();
+    let roots = engine.roots().to_vec();
+    let table = MethodTable::derive(engine.heap().registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+    ckp.checkpoint(engine.heap_mut(), &table, &roots).unwrap();
+
+    let mut recorded = Vec::new();
+    engine
+        .run_phase(Phase::SideEffect, |heap, roots, _| {
+            let roots = roots.to_vec();
+            recorded.push(ckp.checkpoint(heap, &table, &roots)?.stats().objects_recorded);
+            Ok(())
+        })
+        .unwrap();
+    assert!(recorded.len() >= 2);
+    assert_eq!(*recorded.last().unwrap(), 0, "converged iteration records nothing: {recorded:?}");
+    assert!(recorded[0] > 0);
+}

@@ -1,0 +1,166 @@
+//! Property-based cross-crate invariants, driven by randomized synthetic
+//! worlds and modification patterns.
+
+use ickp::core::{
+    decode, restore, verify_restore, CheckpointConfig, CheckpointStore, Checkpointer, MethodTable,
+    RestorePolicy,
+};
+use ickp::spec::{GuardMode, ListPattern, SpecializedCheckpointer, Specializer};
+use ickp::synth::{ModificationSpec, SynthConfig, SynthWorld};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (1usize..12, 1usize..4, 1usize..6, 1usize..4, any::<u64>()).prop_map(
+        |(structures, lists, len, ints, seed)| SynthConfig {
+            structures,
+            lists_per_structure: lists,
+            list_len: len,
+            ints_per_element: ints,
+            seed,
+        },
+    )
+}
+
+fn arb_mods(lists: usize) -> impl Strategy<Value = ModificationSpec> {
+    (0u8..=100, 0usize..=lists, any::<bool>()).prop_map(|(pct, k, last_only)| ModificationSpec {
+        pct_modified: pct,
+        modified_lists: k,
+        last_only,
+    })
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any world and any modification pattern, the structure-only
+    /// specialized checkpointer records exactly the objects the generic
+    /// incremental checkpointer records.
+    #[test]
+    fn spec_structure_equals_generic((config, pcts) in arb_config().prop_flat_map(|c| {
+        (Just(c), proptest::collection::vec(0u8..=100, 1..4))
+    })) {
+        let mut world = SynthWorld::build(config).unwrap();
+        let roots = world.roots().to_vec();
+        let registry = world.heap().registry().clone();
+        let table = MethodTable::derive(&registry);
+        let plan = Specializer::new(&registry)
+            .compile(&world.shape_structure_only())
+            .unwrap();
+
+        for pct in pcts {
+            world.apply_modifications(&ModificationSpec::uniform(pct));
+            let mut generic_heap = world.heap().clone();
+
+            let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
+            let spec_rec = sc.checkpoint(world.heap_mut(), &plan, &roots, None).unwrap();
+
+            let mut gc = Checkpointer::new(CheckpointConfig::incremental());
+            let gen_rec = gc.checkpoint(&mut generic_heap, &table, &roots).unwrap();
+
+            let ds = decode(spec_rec.bytes(), &registry).unwrap();
+            let dg = decode(gen_rec.bytes(), &registry).unwrap();
+            prop_assert_eq!(ds.objects, dg.objects);
+        }
+    }
+
+    /// Any sequence of modification rounds, each followed by an
+    /// incremental checkpoint, restores to exactly the live state.
+    #[test]
+    fn incremental_sequences_restore_exactly(
+        (config, rounds) in arb_config().prop_flat_map(|c| {
+            let lists = c.lists_per_structure;
+            (Just(c), proptest::collection::vec(arb_mods(lists), 1..5))
+        })
+    ) {
+        let mut world = SynthWorld::build(config).unwrap();
+        let roots = world.roots().to_vec();
+        let table = MethodTable::derive(world.heap().registry());
+        let mut store = CheckpointStore::new();
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+
+        world.heap_mut().mark_all_modified();
+        store.push(ckp.checkpoint(world.heap_mut(), &table, &roots).unwrap()).unwrap();
+        for mods in rounds {
+            world.apply_modifications(&mods);
+            let rec = ckp.checkpoint(world.heap_mut(), &table, &roots).unwrap();
+            store.push(rec).unwrap();
+        }
+
+        let rebuilt = restore(&store, world.heap().registry(), RestorePolicy::Lenient).unwrap();
+        prop_assert_eq!(verify_restore(world.heap(), &roots, &rebuilt).unwrap(), None);
+    }
+
+    /// A pattern-narrowed plan whose declaration covers all performed
+    /// modifications is interchangeable with the generic checkpointer in
+    /// a store (restore still exact).
+    #[test]
+    fn narrowed_plans_preserve_recoverability(
+        (config, k, last_only, pcts) in arb_config().prop_flat_map(|c| {
+            let lists = c.lists_per_structure;
+            (Just(c), 1..=lists, any::<bool>(), proptest::collection::vec(0u8..=100, 1..4))
+        })
+    ) {
+        let mut world = SynthWorld::build(config).unwrap();
+        let roots = world.roots().to_vec();
+        let registry = world.heap().registry().clone();
+        let table = MethodTable::derive(&registry);
+        let shape = world.shape_with_patterns(|l| {
+            if l >= k {
+                ListPattern::Unmodified
+            } else if last_only {
+                ListPattern::LastOnly
+            } else {
+                ListPattern::MayModify
+            }
+        });
+        let plan = Specializer::new(&registry).compile(&shape).unwrap();
+
+        let mut store = CheckpointStore::new();
+        let mut base = Checkpointer::new(CheckpointConfig::incremental());
+        world.heap_mut().mark_all_modified();
+        store.push(base.checkpoint(world.heap_mut(), &table, &roots).unwrap()).unwrap();
+
+        let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
+        sc.set_next_seq(store.len() as u64);
+        for pct in pcts {
+            // Modifications strictly within the declared pattern.
+            world.apply_modifications(&ModificationSpec {
+                pct_modified: pct,
+                modified_lists: k,
+                last_only,
+            });
+            let rec = sc.checkpoint(world.heap_mut(), &plan, &roots, None).unwrap();
+            store.push(rec).unwrap();
+        }
+
+        let rebuilt = restore(&store, &registry, RestorePolicy::Lenient).unwrap();
+        prop_assert_eq!(verify_restore(world.heap(), &roots, &rebuilt).unwrap(), None);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns an error.
+    #[test]
+    fn decode_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let world = SynthWorld::build(SynthConfig::small()).unwrap();
+        let _ = decode(&bytes, world.heap().registry());
+    }
+
+    /// Decoding is total even on streams with a valid header prefix.
+    #[test]
+    fn decode_is_total_on_corrupted_valid_streams(
+        (flip_at, flip_to) in (0usize..4096, any::<u8>())
+    ) {
+        let mut world = SynthWorld::build(SynthConfig::small()).unwrap();
+        let roots = world.roots().to_vec();
+        let table = MethodTable::derive(world.heap().registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        world.heap_mut().mark_all_modified();
+        let rec = ckp.checkpoint(world.heap_mut(), &table, &roots).unwrap();
+        let mut bytes = rec.bytes().to_vec();
+        if !bytes.is_empty() {
+            let i = flip_at % bytes.len();
+            bytes[i] = flip_to;
+        }
+        let _ = decode(&bytes, world.heap().registry());
+    }
+}

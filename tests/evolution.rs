@@ -1,0 +1,116 @@
+//! Program evolution end to end: a specialized plan goes stale, the
+//! guarded driver falls back safely, and re-profiling produces a fresh
+//! plan for the new shape — the full maintenance story the paper's §6
+//! contrasts against hand-written specialized routines.
+
+use ickp::core::{restore, verify_restore, CheckpointStore, MethodTable, RestorePolicy};
+use ickp::heap::{ClassRegistry, FieldType, Heap, ObjectId, Value};
+use ickp::spec::{GuardMode, ProfileRecorder, SpecializedCheckpointer, Specializer};
+
+struct App {
+    heap: Heap,
+    roots: Vec<ObjectId>,
+    elem: ickp::heap::ClassId,
+}
+
+/// Builds `n` holders each with a list of `len` elements.
+fn app(n: usize, len: usize) -> App {
+    let mut reg = ClassRegistry::new();
+    let elem = reg
+        .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+        .unwrap();
+    let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+    let mut heap = Heap::new(reg);
+    let mut roots = Vec::new();
+    for _ in 0..n {
+        let mut next = None;
+        for _ in 0..len {
+            let e = heap.alloc(elem).unwrap();
+            heap.set_field(e, 1, Value::Ref(next)).unwrap();
+            next = Some(e);
+        }
+        let h = heap.alloc(holder).unwrap();
+        heap.set_field(h, 0, Value::Ref(next)).unwrap();
+        roots.push(h);
+    }
+    App { heap, roots, elem }
+}
+
+fn dirty_tails(app: &mut App, round: i32) {
+    for &root in &app.roots.clone() {
+        let mut cur = app.heap.field(root, 0).unwrap().as_ref_id();
+        let mut last = None;
+        while let Some(e) = cur {
+            last = Some(e);
+            cur = app.heap.field(e, 1).unwrap().as_ref_id();
+        }
+        app.heap.set_field(last.unwrap(), 0, Value::Int(round)).unwrap();
+    }
+}
+
+#[test]
+fn evolve_fall_back_reprofile_respecialize() {
+    let mut app = app(10, 3);
+    let registry = app.heap.registry().clone();
+    let table = MethodTable::derive(&registry);
+    let mut store = CheckpointStore::new();
+    let mut driver = SpecializedCheckpointer::new(GuardMode::Trusting);
+
+    // Phase A: profile two rounds, infer, specialize.
+    let mut recorder = ProfileRecorder::new();
+    app.heap.mark_all_modified();
+    recorder.observe(&app.heap, &app.roots).unwrap();
+    app.heap.reset_all_modified();
+    dirty_tails(&mut app, 1);
+    recorder.observe(&app.heap, &app.roots).unwrap();
+    let plan_v1 = Specializer::new(&registry).compile(&recorder.infer().unwrap()).unwrap();
+
+    // Base checkpoint via fallback driver (everything is dirty at base).
+    app.heap.mark_all_modified();
+    let out = driver
+        .checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table)
+        .unwrap();
+    assert!(!out.fell_back);
+    store.push(out.record).unwrap();
+
+    // Steady state under plan v1.
+    dirty_tails(&mut app, 2);
+    let out = driver
+        .checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table)
+        .unwrap();
+    assert!(!out.fell_back);
+    store.push(out.record).unwrap();
+
+    // Phase B: the program evolves — every list grows by one element, so
+    // plan v1's compiled length is stale.
+    for &root in &app.roots.clone() {
+        let old_head = app.heap.field(root, 0).unwrap();
+        let e = app.heap.alloc(app.elem).unwrap();
+        app.heap.set_field(e, 0, Value::Int(-7)).unwrap();
+        app.heap.set_field(e, 1, old_head).unwrap();
+        app.heap.set_field(root, 0, Value::Ref(Some(e))).unwrap();
+    }
+    let out = driver
+        .checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table)
+        .unwrap();
+    assert!(out.fell_back, "grown lists must trip the guards");
+    store.push(out.record).unwrap();
+
+    // Phase C: re-profile the new shape and specialize again.
+    let mut recorder = ProfileRecorder::new();
+    dirty_tails(&mut app, 3);
+    recorder.observe(&app.heap, &app.roots).unwrap();
+    let plan_v2 = Specializer::new(&registry)
+        .compile_optimized(&recorder.infer().unwrap())
+        .unwrap();
+    let out = driver
+        .checkpoint_or_fallback(&mut app.heap, &plan_v2, &app.roots.clone(), &table)
+        .unwrap();
+    assert!(!out.fell_back, "fresh plan matches the evolved shape");
+    assert_eq!(out.record.stats().objects_recorded, 10, "one tail per structure");
+    store.push(out.record).unwrap();
+
+    // The whole history — specialized, fallback, re-specialized — recovers.
+    let rebuilt = restore(&store, &registry, RestorePolicy::Lenient).unwrap();
+    assert_eq!(verify_restore(&app.heap, &app.roots, &rebuilt).unwrap(), None);
+}

@@ -1,0 +1,123 @@
+//! Integration of profile-guided specialization-class inference (the
+//! paper's §7 future work) with the synthetic workload: profile a few
+//! rounds, infer the declaration, compile it, and show the inferred plan
+//! is as good as — and equivalent to — the hand-written one.
+
+use ickp::core::{decode, MethodTable};
+use ickp::spec::{GuardMode, ProfileRecorder, SpecializedCheckpointer, Specializer};
+use ickp::synth::{ModificationSpec, SynthConfig, SynthWorld};
+
+fn world() -> SynthWorld {
+    SynthWorld::build(SynthConfig {
+        structures: 20,
+        lists_per_structure: 4,
+        list_len: 5,
+        ints_per_element: 1,
+        seed: 2024,
+    })
+    .expect("world builds")
+}
+
+#[test]
+fn inferred_plan_matches_the_hand_written_declaration() {
+    let mut w = world();
+    let mods = ModificationSpec { pct_modified: 100, modified_lists: 2, last_only: true };
+
+    // Profile three rounds of the phase.
+    let mut recorder = ProfileRecorder::new();
+    for _ in 0..3 {
+        w.apply_modifications(&mods);
+        recorder.observe(w.heap(), w.roots()).expect("observe");
+        w.reset_modified();
+    }
+
+    let inferred = recorder.infer().expect("infer");
+    let handwritten = w.shape_last_only(2);
+    let spec = Specializer::new(w.heap().registry());
+    let plan_inferred = spec.compile(&inferred).expect("inferred compiles");
+    let plan_manual = spec.compile(&handwritten).expect("manual compiles");
+
+    // The inferred declaration is exactly the one a programmer would
+    // write for this phase, so the compiled plans coincide.
+    assert_eq!(plan_inferred, plan_manual);
+}
+
+#[test]
+fn inferred_plan_checkpoints_the_phase_correctly() {
+    let mut w = world();
+    // A quirkier phase: positions 0 and 3 of list 1 only. Inference must
+    // discover it without being told.
+    let dirty = |w: &mut SynthWorld, round: i32| {
+        for s in 0..20 {
+            for p in [0usize, 3] {
+                let e = w.element(s, 1, p);
+                w.heap_mut().set_field(e, 0, ickp::heap::Value::Int(round)).unwrap();
+            }
+        }
+    };
+
+    let mut recorder = ProfileRecorder::new();
+    for round in 0..2 {
+        dirty(&mut w, round);
+        recorder.observe(w.heap(), w.roots()).expect("observe");
+        w.reset_modified();
+    }
+    let plan = Specializer::new(w.heap().registry())
+        .compile(&recorder.infer().expect("infer"))
+        .expect("compiles");
+
+    // Run the phase once more; the inferred plan must capture exactly the
+    // generic checkpointer's records.
+    dirty(&mut w, 99);
+    let mut generic_heap = w.heap().clone();
+    let roots = w.roots().to_vec();
+
+    let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
+    let spec_rec = sc.checkpoint(w.heap_mut(), &plan, &roots, None).expect("spec checkpoint");
+
+    let table = MethodTable::derive(generic_heap.registry());
+    let mut gc = ickp::core::Checkpointer::new(ickp::core::CheckpointConfig::incremental());
+    let gen_rec = gc.checkpoint(&mut generic_heap, &table, &roots).expect("generic checkpoint");
+
+    let ds = decode(spec_rec.bytes(), w.heap().registry()).unwrap();
+    let dg = decode(gen_rec.bytes(), generic_heap.registry()).unwrap();
+    assert_eq!(ds.objects, dg.objects);
+    assert_eq!(ds.objects.len(), 20 * 2, "two records per structure");
+
+    // And it does radically less work: 2 tests per structure instead of
+    // a walk over all 21 objects.
+    assert_eq!(spec_rec.stats().flag_tests, 20 * 2);
+    assert_eq!(gen_rec.stats().flag_tests as usize, 20 * 21);
+}
+
+#[test]
+fn inference_over_shifting_patterns_widens_the_declaration() {
+    let mut w = world();
+    let mut recorder = ProfileRecorder::new();
+    // Round 1 dirties list 0's tails; round 2 dirties list 2's heads. The
+    // union must survive in the inferred pattern.
+    w.apply_modifications(&ModificationSpec { pct_modified: 100, modified_lists: 1, last_only: true });
+    recorder.observe(w.heap(), w.roots()).unwrap();
+    w.reset_modified();
+    for s in 0..20 {
+        let e = w.element(s, 2, 0);
+        w.heap_mut().set_field(e, 0, ickp::heap::Value::Int(5)).unwrap();
+    }
+    recorder.observe(w.heap(), w.roots()).unwrap();
+    w.reset_modified();
+
+    let plan = Specializer::new(w.heap().registry())
+        .compile(&recorder.infer().unwrap())
+        .unwrap();
+
+    // Both phases' modifications are now visible to one plan.
+    w.apply_modifications(&ModificationSpec { pct_modified: 100, modified_lists: 1, last_only: true });
+    for s in 0..20 {
+        let e = w.element(s, 2, 0);
+        w.heap_mut().set_field(e, 0, ickp::heap::Value::Int(9)).unwrap();
+    }
+    let roots = w.roots().to_vec();
+    let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
+    let rec = sc.checkpoint(w.heap_mut(), &plan, &roots, None).unwrap();
+    assert_eq!(rec.stats().objects_recorded, 20 * 2);
+}
