@@ -122,9 +122,7 @@ impl AttributesSchema {
     }
 
     fn entry(&self, heap: &Heap, attrs: ObjectId, slot: usize) -> Result<ObjectId, HeapError> {
-        heap.field(attrs, slot)?
-            .as_ref_id()
-            .ok_or(ickp_heap::HeapError::DanglingObject(attrs))
+        heap.field(attrs, slot)?.as_ref_id().ok_or(ickp_heap::HeapError::DanglingObject(attrs))
     }
 
     /// Reads the binding-time annotation of a statement's attributes.
@@ -146,7 +144,12 @@ impl AttributesSchema {
     /// # Errors
     ///
     /// Fails on dangling handles.
-    pub fn set_bt_ann(&self, heap: &mut Heap, attrs: ObjectId, value: i32) -> Result<bool, HeapError> {
+    pub fn set_bt_ann(
+        &self,
+        heap: &mut Heap,
+        attrs: ObjectId,
+        value: i32,
+    ) -> Result<bool, HeapError> {
         let bte = self.entry(heap, attrs, ATTR_BT)?;
         let ann = self.entry(heap, bte, ENTRY_CHILD)?;
         if heap.field(ann, ANN_VALUE)?.as_int() == Some(value) {
@@ -175,7 +178,12 @@ impl AttributesSchema {
     /// # Errors
     ///
     /// Fails on dangling handles.
-    pub fn set_et_ann(&self, heap: &mut Heap, attrs: ObjectId, value: i32) -> Result<bool, HeapError> {
+    pub fn set_et_ann(
+        &self,
+        heap: &mut Heap,
+        attrs: ObjectId,
+        value: i32,
+    ) -> Result<bool, HeapError> {
         let ete = self.entry(heap, attrs, ATTR_ET)?;
         let ann = self.entry(heap, ete, ENTRY_CHILD)?;
         if heap.field(ann, ANN_VALUE)?.as_int() == Some(value) {
@@ -192,7 +200,12 @@ impl AttributesSchema {
     /// # Errors
     ///
     /// Fails on dangling handles.
-    pub fn se_list(&self, heap: &Heap, attrs: ObjectId, writes: bool) -> Result<Vec<i32>, HeapError> {
+    pub fn se_list(
+        &self,
+        heap: &Heap,
+        attrs: ObjectId,
+        writes: bool,
+    ) -> Result<Vec<i32>, HeapError> {
         let se = self.entry(heap, attrs, ATTR_SE)?;
         let mut out = Vec::new();
         let mut cur = heap.field(se, if writes { SE_WR } else { SE_RD })?.as_ref_id();

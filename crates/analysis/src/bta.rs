@@ -94,14 +94,8 @@ impl BindingTimeAnalysis {
         let mut changed = false;
         let mut anns = vec![Bt::Static; program.stmt_count as usize];
         for func in &program.functions {
-            let mut walker = Walker {
-                bta: self,
-                vars,
-                program,
-                func,
-                changed: &mut changed,
-                anns: &mut anns,
-            };
+            let mut walker =
+                Walker { bta: self, vars, program, func, changed: &mut changed, anns: &mut anns };
             walker.block(&func.body, Bt::Static);
         }
         (anns, changed)
@@ -121,8 +115,8 @@ impl<'a> Walker<'a> {
     fn var_id(&mut self, name: &str) -> u32 {
         // Locals shadow globals; a name declared nowhere in this function
         // resolves as a global key (typecheck guarantees it exists).
-        let is_local = self.func.params.iter().any(|p| p.name == name)
-            || function_declares(self.func, name);
+        let is_local =
+            self.func.params.iter().any(|p| p.name == name) || function_declares(self.func, name);
         if is_local {
             self.vars.intern(&VarIndex::local_key(&self.func.name, name))
         } else {
@@ -205,12 +199,7 @@ impl<'a> Walker<'a> {
                     None => Bt::Static,
                 }
                 .join(context);
-                let old = self
-                    .bta
-                    .fn_ret
-                    .get(&self.func.name)
-                    .copied()
-                    .unwrap_or(Bt::Static);
+                let old = self.bta.fn_ret.get(&self.func.name).copied().unwrap_or(Bt::Static);
                 let new = old.join(bt);
                 if new != old {
                     self.bta.fn_ret.insert(self.func.name.clone(), new);
@@ -231,9 +220,7 @@ impl<'a> Walker<'a> {
         match &e.kind {
             ExprKind::IntLit(_) => Bt::Static,
             ExprKind::Var(name) => self.read(name),
-            ExprKind::Index { array, index } => {
-                self.expr(index, context).join(self.read(array))
-            }
+            ExprKind::Index { array, index } => self.expr(index, context).join(self.read(array)),
             ExprKind::Assign { target, value } => {
                 let bt = self.expr(value, context).join(context);
                 match target {

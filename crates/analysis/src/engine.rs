@@ -165,7 +165,11 @@ impl AnalysisEngine {
     /// * [`EngineError::PhaseOrder`] if `EvalTime` runs before
     ///   `BindingTime`.
     /// * Any error returned by the hook (e.g. a checkpoint failure).
-    pub fn run_phase<F>(&mut self, phase: Phase, mut after_iteration: F) -> Result<PhaseReport, EngineError>
+    pub fn run_phase<F>(
+        &mut self,
+        phase: Phase,
+        mut after_iteration: F,
+    ) -> Result<PhaseReport, EngineError>
     where
         F: FnMut(&mut Heap, &[ObjectId], usize) -> Result<(), CoreError>,
     {
@@ -216,10 +220,9 @@ impl AnalysisEngine {
                 }
             }
             Phase::EvalTime => {
-                let bt_anns = self
-                    .bt_anns
-                    .clone()
-                    .ok_or_else(|| EngineError::PhaseOrder("run BindingTime before EvalTime".into()))?;
+                let bt_anns = self.bt_anns.clone().ok_or_else(|| {
+                    EngineError::PhaseOrder("run BindingTime before EvalTime".into())
+                })?;
                 let mut eta = EvalTimeAnalysis::new();
                 loop {
                     let (anns, changed) = eta.pass(&self.program, &bt_anns, &mut self.vars);
@@ -356,7 +359,8 @@ mod tests {
         let mut gc = Checkpointer::new(CheckpointConfig::incremental());
         e2.run_phase(Phase::BindingTime, |heap, roots, _| {
             let roots = roots.to_vec();
-            generic_sizes.push(gc.checkpoint(heap, &table, &roots).unwrap().stats().objects_recorded);
+            generic_sizes
+                .push(gc.checkpoint(heap, &table, &roots).unwrap().stats().objects_recorded);
             Ok(())
         })
         .unwrap();
@@ -365,7 +369,8 @@ mod tests {
         let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
         e1.run_phase(Phase::BindingTime, |heap, roots, _| {
             let roots = roots.to_vec();
-            spec_sizes.push(sc.checkpoint(heap, plan, &roots, None).unwrap().stats().objects_recorded);
+            spec_sizes
+                .push(sc.checkpoint(heap, plan, &roots, None).unwrap().stats().objects_recorded);
             Ok(())
         })
         .unwrap();

@@ -72,14 +72,8 @@ impl EvalTimeAnalysis {
         let mut changed = false;
         let mut anns = vec![Et::SpecTime; program.stmt_count as usize];
         for func in &program.functions {
-            let mut w = Walker {
-                eta: self,
-                vars,
-                func,
-                bt_anns,
-                changed: &mut changed,
-                anns: &mut anns,
-            };
+            let mut w =
+                Walker { eta: self, vars, func, bt_anns, changed: &mut changed, anns: &mut anns };
             w.block(&func.body);
         }
         (anns, changed)
@@ -103,8 +97,8 @@ struct Walker<'a> {
 
 impl<'a> Walker<'a> {
     fn var_id(&mut self, name: &str) -> u32 {
-        let is_local = self.func.params.iter().any(|p| p.name == name)
-            || declares(&self.func.body, name);
+        let is_local =
+            self.func.params.iter().any(|p| p.name == name) || declares(&self.func.body, name);
         if is_local {
             self.vars.intern(&VarIndex::local_key(&self.func.name, name))
         } else {
@@ -251,8 +245,7 @@ fn declares(block: &Block, name: &str) -> bool {
     block.stmts.iter().any(|s| match &s.kind {
         StmtKind::Decl { name: n, .. } => n == name,
         StmtKind::If { then_branch, else_branch, .. } => {
-            declares(then_branch, name)
-                || else_branch.as_ref().is_some_and(|b| declares(b, name))
+            declares(then_branch, name) || else_branch.as_ref().is_some_and(|b| declares(b, name))
         }
         StmtKind::While { body, .. } | StmtKind::For { body, .. } => declares(body, name),
         StmtKind::Block(b) => declares(b, name),
@@ -307,10 +300,7 @@ mod tests {
         // `t = d` runs at run time, so `u = t + 1` cannot execute early
         // even though BTA alone also marks it dynamic through t; the key
         // observable is the var_init feedback converging.
-        let (anns, iters) = analyze(
-            "int d; int t; int u; void f() { t = d; u = t + 1; }",
-            &["d"],
-        );
+        let (anns, iters) = analyze("int d; int t; int u; void f() { t = d; u = t + 1; }", &["d"]);
         assert_eq!(anns[1], Et::RunTime);
         assert!(iters >= 1);
     }

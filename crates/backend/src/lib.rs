@@ -10,18 +10,23 @@
 //!
 //! [`GenericBackend`] runs unspecialized incremental checkpointing under
 //! an engine; [`SpecializedBackend`] runs a compiled plan under an
-//! engine. Both emit standard `CheckpointRecord`s, so every combination
-//! feeds the same store/restore path.
+//! engine; [`ParallelBackend`] runs the parallel sharded engine from
+//! `ickp-core` as a fourth implementation point (varying the execution
+//! *schedule* rather than the dispatch mechanism). All emit standard
+//! `CheckpointRecord`s, so every combination feeds the same store/restore
+//! path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
 mod generic;
+mod parallel;
 mod specialized;
 mod threaded;
 
 pub use engine::Engine;
 pub use generic::GenericBackend;
+pub use parallel::ParallelBackend;
 pub use specialized::SpecializedBackend;
 pub use threaded::{Ctx, ThreadedPlan};

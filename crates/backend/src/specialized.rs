@@ -47,6 +47,12 @@ impl SpecializedBackend {
         &self.plan
     }
 
+    /// Aligns the sequence counter with a store that already holds records
+    /// from another driver (mirrors `ickp_core::Checkpointer::set_next_seq`).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
     /// `true` once HotSpot has "compiled" the plan (after warmup).
     pub fn warmed_up(&self) -> bool {
         match self.engine {
@@ -125,8 +131,7 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
         let shape = SpecShape::object(
             holder,
             NodePattern::FrozenHere,
@@ -225,13 +230,9 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
-        let shape = SpecShape::object(
-            holder,
-            NodePattern::MayModify,
-            vec![(0, SpecShape::Dynamic)],
-        );
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let shape =
+            SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::Dynamic)]);
         let plan = Specializer::new(&reg).compile(&shape).unwrap();
         assert!(plan.has_dynamic());
 

@@ -139,6 +139,18 @@ impl ThreadedPlan {
                             Ok(0)
                         })
                     }
+                    Op::GuardListEnd { obj, slot } => Box::new(move |ctx| {
+                        if ctx.mode == GuardMode::Checked {
+                            let tail = reg(ctx, obj)?;
+                            if let Value::Ref(Some(_)) = ctx.heap.field(tail, slot as usize)? {
+                                return Err(CoreError::GuardFailed {
+                                    expected: "end of declared list (null next)".into(),
+                                    found: "a further element (list grew)".into(),
+                                });
+                            }
+                        }
+                        Ok(0)
+                    }),
                     Op::Generic { obj } => Box::new(move |ctx| {
                         let id = reg(ctx, obj)?;
                         let table = ctx.methods.ok_or_else(|| CoreError::GuardFailed {
@@ -146,7 +158,13 @@ impl ThreadedPlan {
                             found: "none supplied".into(),
                         })?;
                         generic_incremental_into(
-                            ctx.heap, table, id, ctx.writer, ctx.stats, ctx.scratch, ctx.seen,
+                            ctx.heap,
+                            table,
+                            id,
+                            ctx.writer,
+                            ctx.stats,
+                            ctx.scratch,
+                            ctx.seen,
                         )?;
                         Ok(0)
                     }),
@@ -219,8 +237,7 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
         let shape = SpecShape::object(
             holder,
             NodePattern::FrozenHere,
@@ -256,7 +273,17 @@ mod tests {
         let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
         let mut stats = TraversalStats::default();
         threaded
-            .run(heap, root, &mut writer, mode, None, &mut regs, &mut scratch, &mut seen, &mut stats)
+            .run(
+                heap,
+                root,
+                &mut writer,
+                mode,
+                None,
+                &mut regs,
+                &mut scratch,
+                &mut seen,
+                &mut stats,
+            )
             .unwrap();
         (writer.finish(), stats)
     }

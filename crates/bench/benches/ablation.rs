@@ -9,8 +9,8 @@
 //! 4. **flag tests** — traversal with flag tests vs the full incremental
 //!    checkpoint at 0% modified (the test-only residue).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ickp_backend::ThreadedPlan;
+use ickp_bench::BenchGroup;
 use ickp_core::{CheckpointKind, StreamWriter, TraversalStats};
 use ickp_heap::Value;
 use ickp_spec::{GuardMode, Specializer};
@@ -29,8 +29,8 @@ fn world() -> SynthWorld {
     .expect("world builds")
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
+fn main() {
+    let mut group = BenchGroup::new("ablation");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
@@ -44,57 +44,55 @@ fn bench(c: &mut Criterion) {
         ("plan/threaded-trusting", true, GuardMode::Trusting),
         ("plan/threaded-checked", true, GuardMode::Checked),
     ] {
-        group.bench_function(name, |b| {
-            let mut w = world();
-            let plan =
-                Specializer::new(w.heap().registry()).compile(&w.shape_structure_only()).unwrap();
-            let threaded_plan = ThreadedPlan::compile(&plan);
-            let roots = w.roots().to_vec();
-            b.iter_custom(|iters| {
-                let mut total = Duration::ZERO;
-                for _ in 0..iters {
-                    w.heap_mut().mark_all_modified();
-                    let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
-                    let mut stats = TraversalStats::default();
-                    let start = Instant::now();
-                    if threaded {
-                        let mut regs = vec![None; threaded_plan.num_regs() as usize];
-                        let mut scratch = Vec::new();
-                        let mut seen = HashSet::new();
-                        for &root in &roots {
-                            threaded_plan
-                                .run(
-                                    w.heap_mut(),
-                                    root,
-                                    &mut writer,
-                                    mode,
-                                    None,
-                                    &mut regs,
-                                    &mut scratch,
-                                    &mut seen,
-                                    &mut stats,
-                                )
-                                .expect("run");
-                        }
-                    } else {
-                        let mut exec = plan.executor();
-                        for &root in &roots {
-                            exec.run(w.heap_mut(), root, &mut writer, mode, None, &mut stats)
-                                .expect("run");
-                        }
+        let mut w = world();
+        let plan =
+            Specializer::new(w.heap().registry()).compile(&w.shape_structure_only()).unwrap();
+        let threaded_plan = ThreadedPlan::compile(&plan);
+        let roots = w.roots().to_vec();
+        group.bench_custom(name, |iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                w.heap_mut().mark_all_modified();
+                let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+                let mut stats = TraversalStats::default();
+                let start = Instant::now();
+                if threaded {
+                    let mut regs = vec![None; threaded_plan.num_regs() as usize];
+                    let mut scratch = Vec::new();
+                    let mut seen = HashSet::new();
+                    for &root in &roots {
+                        threaded_plan
+                            .run(
+                                w.heap_mut(),
+                                root,
+                                &mut writer,
+                                mode,
+                                None,
+                                &mut regs,
+                                &mut scratch,
+                                &mut seen,
+                                &mut stats,
+                            )
+                            .expect("run");
                     }
-                    total += start.elapsed();
+                } else {
+                    let mut exec = plan.executor();
+                    for &root in &roots {
+                        exec.run(w.heap_mut(), root, &mut writer, mode, None, &mut stats)
+                            .expect("run");
+                    }
                 }
-                total
-            })
+                total += start.elapsed();
+            }
+            total
         });
     }
 
     // 3: write barrier cost per store.
-    group.bench_function("barrier/set_field", |b| {
+    {
         let mut w = world();
         let targets: Vec<_> = (0..w.config().structures).map(|s| w.element(s, 0, 0)).collect();
-        b.iter_custom(|iters| {
+        group.bench_custom("barrier/set_field", |iters| {
             let start = Instant::now();
             for i in 0..iters {
                 for &t in &targets {
@@ -102,39 +100,34 @@ fn bench(c: &mut Criterion) {
                 }
             }
             start.elapsed()
-        })
-    });
-    group.bench_function("barrier/set_field_unbarriered", |b| {
+        });
+    }
+    {
         let mut w = world();
         let targets: Vec<_> = (0..w.config().structures).map(|s| w.element(s, 0, 0)).collect();
-        b.iter_custom(|iters| {
+        group.bench_custom("barrier/set_field_unbarriered", |iters| {
             let start = Instant::now();
             for i in 0..iters {
                 for &t in &targets {
-                    w.heap_mut()
-                        .set_field_unbarriered(t, 0, Value::Int(i as i32))
-                        .expect("store");
+                    w.heap_mut().set_field_unbarriered(t, 0, Value::Int(i as i32)).expect("store");
                 }
             }
             start.elapsed()
-        })
-    });
+        });
+    }
 
     // 4: the traversal+flag-test residue of incremental checkpointing
     // when nothing at all is modified.
-    group.bench_function("flags/traverse-clean-heap", |b| {
+    {
         let mut w = world();
         w.reset_modified();
         let table = ickp_core::MethodTable::derive(w.heap().registry());
         let roots = w.roots().to_vec();
-        b.iter(|| {
+        group.bench("flags/traverse-clean-heap", || {
             let mut ckp = ickp_core::Checkpointer::new(ickp_core::CheckpointConfig::incremental());
             ckp.traverse_only(w.heap(), &table, &roots).expect("traverse")
-        })
-    });
+        });
+    }
 
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
-//! Criterion tracking for Figure 10: specialization w.r.t. modified-list
-//! set *and* last-element-only positions.
+//! Bench tracking for Figure 10: specialization w.r.t. modified-list set
+//! *and* last-element-only positions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ickp_bench::{SynthRunner, Variant};
+use ickp_bench::{BenchGroup, SynthRunner, Variant};
 use ickp_synth::ModificationSpec;
 use std::time::Duration;
 
 const STRUCTURES: usize = 2_000;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10");
+fn main() {
+    let mut group = BenchGroup::new("fig10");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
@@ -19,20 +18,13 @@ fn bench(c: &mut Criterion) {
         for k in [1usize, 5] {
             let mods = ModificationSpec { pct_modified: 50, modified_lists: k, last_only: true };
             let label = format!("ints{ints}_lists{k}");
-            group.bench_function(BenchmarkId::new("incremental", &label), |b| {
-                b.iter_custom(|iters| {
-                    runner.time_rounds(Variant::Incremental, &mods, iters as usize)
-                })
+            group.bench_custom(&format!("incremental/{label}"), |iters| {
+                runner.time_rounds(Variant::Incremental, &mods, iters as usize)
             });
-            group.bench_function(BenchmarkId::new("spec-last-only", &label), |b| {
-                b.iter_custom(|iters| {
-                    runner.time_rounds(Variant::SpecLastOnly, &mods, iters as usize)
-                })
+            group.bench_custom(&format!("spec-last-only/{label}"), |iters| {
+                runner.time_rounds(Variant::SpecLastOnly, &mods, iters as usize)
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

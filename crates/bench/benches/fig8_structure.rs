@@ -1,15 +1,14 @@
-//! Criterion tracking for Figure 8: structure specialization vs the
-//! generic incremental checkpointer.
+//! Bench tracking for Figure 8: structure specialization vs the generic
+//! incremental checkpointer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ickp_bench::{SynthRunner, Variant};
+use ickp_bench::{BenchGroup, SynthRunner, Variant};
 use ickp_synth::ModificationSpec;
 use std::time::Duration;
 
 const STRUCTURES: usize = 2_000;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8");
+fn main() {
+    let mut group = BenchGroup::new("fig8");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
@@ -18,17 +17,12 @@ fn bench(c: &mut Criterion) {
         let mut runner = SynthRunner::new(STRUCTURES, len, ints);
         let mods = ModificationSpec { pct_modified: pct, modified_lists: 5, last_only: false };
         let label = format!("len{len}_ints{ints}_pct{pct}");
-        group.bench_function(BenchmarkId::new("incremental", &label), |b| {
-            b.iter_custom(|iters| runner.time_rounds(Variant::Incremental, &mods, iters as usize))
+        group.bench_custom(&format!("incremental/{label}"), |iters| {
+            runner.time_rounds(Variant::Incremental, &mods, iters as usize)
         });
-        group.bench_function(BenchmarkId::new("spec-structure", &label), |b| {
-            b.iter_custom(|iters| {
-                runner.time_rounds(Variant::SpecStructure, &mods, iters as usize)
-            })
+        group.bench_custom(&format!("spec-structure/{label}"), |iters| {
+            runner.time_rounds(Variant::SpecStructure, &mods, iters as usize)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

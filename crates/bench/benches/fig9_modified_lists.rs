@@ -1,15 +1,14 @@
-//! Criterion tracking for Figure 9: specialization w.r.t. the set of
-//! lists that may contain modified elements.
+//! Bench tracking for Figure 9: specialization w.r.t. the set of lists
+//! that may contain modified elements.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ickp_bench::{SynthRunner, Variant};
+use ickp_bench::{BenchGroup, SynthRunner, Variant};
 use ickp_synth::ModificationSpec;
 use std::time::Duration;
 
 const STRUCTURES: usize = 2_000;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9");
+fn main() {
+    let mut group = BenchGroup::new("fig9");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
@@ -18,17 +17,12 @@ fn bench(c: &mut Criterion) {
     for k in [1usize, 3, 5] {
         let mods = ModificationSpec { pct_modified: 50, modified_lists: k, last_only: false };
         let label = format!("lists{k}_pct50");
-        group.bench_function(BenchmarkId::new("incremental", &label), |b| {
-            b.iter_custom(|iters| runner.time_rounds(Variant::Incremental, &mods, iters as usize))
+        group.bench_custom(&format!("incremental/{label}"), |iters| {
+            runner.time_rounds(Variant::Incremental, &mods, iters as usize)
         });
-        group.bench_function(BenchmarkId::new("spec-lists", &label), |b| {
-            b.iter_custom(|iters| {
-                runner.time_rounds(Variant::SpecModifiedLists, &mods, iters as usize)
-            })
+        group.bench_custom(&format!("spec-lists/{label}"), |iters| {
+            runner.time_rounds(Variant::SpecModifiedLists, &mods, iters as usize)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

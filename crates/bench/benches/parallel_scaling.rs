@@ -1,0 +1,87 @@
+//! Scaling of the parallel sharded checkpoint engine over worker count.
+//!
+//! Workers 1/2/4/8 against the sequential incremental baseline, on a heap
+//! whose recording work (10 ints per element, every structure dirtied)
+//! dominates the sequential ownership pre-pass — the regime the engine is
+//! for. The 1-worker point isolates the sharding overhead itself: it runs
+//! the full pre-pass + merge machinery on a single worker thread.
+//!
+//! Wall-clock numbers only show a speedup when the host grants the process
+//! more than one CPU, so after the timed groups this bench decomposes the
+//! engine's serial fraction (the ownership pre-pass, measured directly) and
+//! prints the Amdahl projection `T(w) = T_pre + (T_1 − T_pre)/w` next to the
+//! per-shard load balance that the projection assumes.
+
+use ickp_bench::{BenchGroup, SynthRunner, Variant};
+use ickp_heap::partition_roots;
+use ickp_synth::ModificationSpec;
+use std::time::{Duration, Instant};
+
+const STRUCTURES: usize = 2_000;
+
+/// Median wall time of `f` over `samples` runs.
+fn time_median(samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut group = BenchGroup::new("parallel_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(400));
+    let mods = ModificationSpec { pct_modified: 100, modified_lists: 5, last_only: false };
+    let mut runner = SynthRunner::new(STRUCTURES, 5, 10);
+    group.bench_custom("sequential/baseline", |iters| {
+        runner.time_rounds(Variant::Incremental, &mods, iters as usize)
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_custom(&format!("parallel/{workers}workers"), |iters| {
+            runner.time_rounds(Variant::Parallel(workers), &mods, iters as usize)
+        });
+    }
+    group.finish();
+
+    // Serial-fraction decomposition. The only inherently sequential stage of
+    // `checkpoint_parallel` with real weight is the ownership pre-pass
+    // (stream merge is a memcpy, flag resets touch just the dirty objects),
+    // so measure it directly and project the multi-core wall time from the
+    // measured single-worker total.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let seq = runner.measure(Variant::Incremental, &mods, 9).time;
+    let par1 = runner.measure(Variant::Parallel(1), &mods, 9).time;
+    let (heap, roots) = (runner.world().heap(), runner.world().roots().to_vec());
+    let pre = time_median(9, || {
+        std::hint::black_box(partition_roots(heap, &roots, 4).expect("partition"));
+    });
+    let plan = partition_roots(heap, &roots, 4).expect("partition");
+
+    println!("\nparallel_scaling/decomposition ({cpus} CPU(s) visible to this process)");
+    println!("  sequential checkpoint        {seq:>10.3?}");
+    println!("  parallel, 1 worker           {par1:>10.3?}");
+    println!("  ownership pre-pass (serial)  {pre:>10.3?}");
+    println!("  objects per shard (4 shards) {:?}", plan.objects_per_shard());
+    println!("  Amdahl projection T(w) = pre + (T1 - pre)/w, speedup = seq/T(w):");
+    let t1 = par1.as_secs_f64();
+    let s = pre.as_secs_f64();
+    for w in [2usize, 4, 8] {
+        let proj = s + (t1 - s) / w as f64;
+        println!(
+            "    w={w}: projected {:>8.3} ms, projected speedup {:>5.2}x",
+            proj * 1e3,
+            seq.as_secs_f64() / proj
+        );
+    }
+    if cpus == 1 {
+        println!("  note: single-CPU host — wall-clock groups above cannot show scaling;");
+        println!("  the projection uses only quantities measured on this host.");
+    }
+}

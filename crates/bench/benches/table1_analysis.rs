@@ -1,9 +1,9 @@
-//! Criterion tracking for Table 1: per-iteration checkpoint cost of the
+//! Bench tracking for Table 1: per-iteration checkpoint cost of the
 //! program-analysis engine, per strategy, at a typical mid-phase dirty
 //! fraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ickp_analysis::{AnalysisEngine, Division, Phase};
+use ickp_bench::BenchGroup;
 use ickp_core::{CheckpointConfig, Checkpointer, MethodTable};
 use ickp_minic::parse;
 use ickp_minic::programs::image_program_source;
@@ -36,19 +36,19 @@ fn dirty_fraction(engine: &mut AnalysisEngine, toggle: &mut i32) {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    let mut group = BenchGroup::new("table1");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(400));
 
-    group.bench_function("bta-iteration/full", |b| {
+    {
         let mut engine = prepared_engine();
         let table = MethodTable::derive(engine.heap().registry());
         let roots = engine.roots().to_vec();
         let mut toggle = 0;
-        b.iter_custom(|iters| {
+        group.bench_custom("bta-iteration/full", |iters| {
             let mut total = Duration::ZERO;
             let mut ckp = Checkpointer::new(CheckpointConfig::full());
             for _ in 0..iters {
@@ -58,15 +58,15 @@ fn bench(c: &mut Criterion) {
                 total += start.elapsed();
             }
             total
-        })
-    });
+        });
+    }
 
-    group.bench_function("bta-iteration/incremental", |b| {
+    {
         let mut engine = prepared_engine();
         let table = MethodTable::derive(engine.heap().registry());
         let roots = engine.roots().to_vec();
         let mut toggle = 0;
-        b.iter_custom(|iters| {
+        group.bench_custom("bta-iteration/incremental", |iters| {
             let mut total = Duration::ZERO;
             let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
             for _ in 0..iters {
@@ -76,16 +76,16 @@ fn bench(c: &mut Criterion) {
                 total += start.elapsed();
             }
             total
-        })
-    });
+        });
+    }
 
-    group.bench_function("bta-iteration/specialized", |b| {
+    {
         let mut engine = prepared_engine();
         let plans = engine.compile_phase_plans().expect("plans compile");
         let plan = plans.plan(Phase::BindingTime.key()).expect("bta plan");
         let roots = engine.roots().to_vec();
         let mut toggle = 0;
-        b.iter_custom(|iters| {
+        group.bench_custom("bta-iteration/specialized", |iters| {
             let mut total = Duration::ZERO;
             let mut ckp = SpecializedCheckpointer::new(GuardMode::Trusting);
             for _ in 0..iters {
@@ -95,11 +95,8 @@ fn bench(c: &mut Criterion) {
                 total += start.elapsed();
             }
             total
-        })
-    });
+        });
+    }
 
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

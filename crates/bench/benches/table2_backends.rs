@@ -1,16 +1,16 @@
-//! Criterion tracking for Table 2: absolute checkpoint times across all
-//! three engines, unspecialized and specialized (10 ints per element).
+//! Bench tracking for Table 2: absolute checkpoint times across all
+//! three engines, unspecialized and specialized (10 ints per element),
+//! plus the parallel sharded engine as a fourth implementation point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ickp_backend::Engine;
-use ickp_bench::{SynthRunner, Variant};
+use ickp_bench::{BenchGroup, SynthRunner, Variant};
 use ickp_synth::ModificationSpec;
 use std::time::Duration;
 
 const STRUCTURES: usize = 2_000;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
+fn main() {
+    let mut group = BenchGroup::new("table2");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
@@ -18,20 +18,17 @@ fn bench(c: &mut Criterion) {
     let mods = ModificationSpec { pct_modified: 50, modified_lists: 5, last_only: true };
     let mut runner = SynthRunner::new(STRUCTURES, 5, 10);
     for engine in Engine::ALL {
-        let label = format!("{engine}");
-        group.bench_function(BenchmarkId::new("unspec", &label), |b| {
-            b.iter_custom(|iters| {
-                runner.time_rounds(Variant::EngineGeneric(engine), &mods, iters as usize)
-            })
+        group.bench_custom(&format!("unspec/{engine}"), |iters| {
+            runner.time_rounds(Variant::EngineGeneric(engine), &mods, iters as usize)
         });
-        group.bench_function(BenchmarkId::new("spec", &label), |b| {
-            b.iter_custom(|iters| {
-                runner.time_rounds(Variant::EngineSpecLastOnly(engine), &mods, iters as usize)
-            })
+        group.bench_custom(&format!("spec/{engine}"), |iters| {
+            runner.time_rounds(Variant::EngineSpecLastOnly(engine), &mods, iters as usize)
+        });
+    }
+    for workers in [1usize, 4] {
+        group.bench_custom(&format!("parallel/{workers}workers"), |iters| {
+            runner.time_rounds(Variant::Parallel(workers), &mods, iters as usize)
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -56,10 +56,7 @@ fn main() {
     }
 
     println!("# ickp reproduction — {experiment}");
-    println!(
-        "# structures={} rounds={} filters={}\n",
-        opts.structures, opts.rounds, opts.filters
-    );
+    println!("# structures={} rounds={} filters={}\n", opts.structures, opts.rounds, opts.filters);
     let run = |name: &str| experiment == name || experiment == "all";
     if run("table1") {
         table1(&opts);
@@ -282,8 +279,7 @@ fn fig11(opts: &Options) {
                 for pct in PCTS {
                     let m = mods(pct, k, true);
                     let unspec = runner.measure(Variant::EngineGeneric(engine), &m, opts.rounds);
-                    let spec =
-                        runner.measure(Variant::EngineSpecLastOnly(engine), &m, opts.rounds);
+                    let spec = runner.measure(Variant::EngineSpecLastOnly(engine), &m, opts.rounds);
                     grid.rows.push(format!(
                         "{:<34} {:>12} {:>12} {:>8.2}x",
                         format!("{engine} / {ints} int / {k} lists / {pct}%"),
@@ -342,8 +338,8 @@ fn recovery(opts: &Options) {
             let samples = (0..opts.rounds.max(2))
                 .map(|_| {
                     let start = Instant::now();
-                    let rebuilt =
-                        restore(s, world.heap().registry(), RestorePolicy::Lenient).expect("restore");
+                    let rebuilt = restore(s, world.heap().registry(), RestorePolicy::Lenient)
+                        .expect("restore");
                     let d = start.elapsed();
                     assert_eq!(
                         verify_restore(world.heap(), &roots, &rebuilt).expect("verify"),

@@ -1,0 +1,215 @@
+//! A minimal bench harness replacing Criterion, which this offline-built
+//! workspace cannot depend on (see README "Install & test").
+//!
+//! It keeps the two Criterion idioms the benches actually used —
+//! `iter_custom` (the closure is handed an iteration count and returns
+//! the total measured time) and plain `iter` — plus per-group sample
+//! count, warm-up and measurement budgets. Results are printed as
+//! `group/name  median  (min … max)  xN iters/sample`.
+//!
+//! Bench binaries are invoked by `cargo bench` with harness flags
+//! (`--bench`); those are ignored, and the first non-flag argument is
+//! treated as a substring filter on benchmark names.
+
+use crate::timing::{fmt_duration, median};
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing sampling parameters.
+///
+/// # Example
+///
+/// ```
+/// use ickp_bench::BenchGroup;
+/// use std::time::{Duration, Instant};
+///
+/// let mut group = BenchGroup::new("example");
+/// group.sample_size(3).measurement_time(Duration::from_millis(10));
+/// group.bench_custom("noop", |iters| {
+///     let start = Instant::now();
+///     for _ in 0..iters {
+///         std::hint::black_box(1 + 1);
+///     }
+///     start.elapsed()
+/// });
+/// group.finish();
+/// ```
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warmup: Duration,
+    filter: Option<String>,
+}
+
+/// One benchmark's aggregated timing result.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Fastest per-iteration sample.
+    pub min: Duration,
+    /// Slowest per-iteration sample.
+    pub max: Duration,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchGroup {
+    /// Creates a group with Criterion-like defaults (100 samples, 5 s
+    /// measurement, 3 s warm-up), taking the name filter from the
+    /// command line (first argument not starting with `-`).
+    pub fn new(name: &str) -> BenchGroup {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        BenchGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            measurement: Duration::from_secs(5),
+            warmup: Duration::from_secs(3),
+            filter,
+        }
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut BenchGroup {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut BenchGroup {
+        self.warmup = d;
+        self
+    }
+
+    /// Runs one benchmark in Criterion's `iter_custom` style: `f` receives
+    /// an iteration count and returns the time those iterations took
+    /// (excluding any per-round setup `f` chooses not to measure).
+    /// Returns `None` when the name does not match the CLI filter.
+    pub fn bench_custom<F>(&mut self, name: &str, mut f: F) -> Option<BenchResult>
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        let full = format!("{}/{name}", self.name);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return None;
+            }
+        }
+
+        // Warm-up, doubling as a per-iteration cost estimate.
+        let mut spent = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while spent < self.warmup || warm_iters == 0 {
+            spent += f(1).max(Duration::from_nanos(1));
+            warm_iters += 1;
+        }
+        let est = spent / warm_iters as u32;
+
+        // Size each sample so the whole run fits the measurement budget.
+        let per_sample = self.measurement / self.sample_size as u32;
+        let iters =
+            (per_sample.as_nanos() / est.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            samples.push(f(iters) / iters as u32);
+        }
+        let result = BenchResult {
+            median: median(samples.clone()),
+            min: samples.iter().copied().min().unwrap_or_default(),
+            max: samples.iter().copied().max().unwrap_or_default(),
+            iters_per_sample: iters,
+        };
+        println!(
+            "{full:<44} {:>12}  ({} … {})  x{iters}",
+            fmt_duration(result.median),
+            fmt_duration(result.min),
+            fmt_duration(result.max),
+        );
+        Some(result)
+    }
+
+    /// Runs one benchmark in Criterion's plain `iter` style: `f` is one
+    /// iteration, timed in bulk.
+    pub fn bench<F, R>(&mut self, name: &str, mut f: F) -> Option<BenchResult>
+    where
+        F: FnMut() -> R,
+    {
+        self.bench_custom(name, |iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed()
+        })
+    }
+
+    /// Ends the group (a visual separator; kept for call-site symmetry
+    /// with Criterion).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(name: &str) -> BenchGroup {
+        let mut g = BenchGroup {
+            name: name.into(),
+            sample_size: 1,
+            measurement: Duration::from_micros(200),
+            warmup: Duration::from_micros(50),
+            filter: None,
+        };
+        g.sample_size(2);
+        g
+    }
+
+    #[test]
+    fn custom_bench_reports_per_iteration_medians() {
+        let mut g = quick("t");
+        let r = g
+            .bench_custom("sleepless", |iters| Duration::from_micros(10) * iters as u32)
+            .expect("no filter set");
+        assert_eq!(r.median, Duration::from_micros(10));
+        assert_eq!(r.min, r.max);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn iter_style_runs_the_closure() {
+        let mut count = 0u64;
+        let mut g = quick("t");
+        g.bench("counting", || count += 1);
+        assert!(count > 0, "closure must have been invoked");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut g = quick("group");
+        g.filter = Some("other".into());
+        let mut ran = false;
+        let r = g.bench_custom("name", |_| {
+            ran = true;
+            Duration::from_micros(1)
+        });
+        assert!(r.is_none());
+        assert!(!ran);
+    }
+
+    #[test]
+    fn sample_size_is_clamped_to_one() {
+        let mut g = quick("t");
+        g.sample_size(0);
+        assert_eq!(g.sample_size, 1);
+    }
+}

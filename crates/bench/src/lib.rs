@@ -8,16 +8,20 @@
 //!   and Table 2;
 //! * [`timing`] — medians, speedups, and formatting.
 //!
+//! * [`harness`] — a dependency-free bench runner (Criterion stand-in).
+//!
 //! The `repro` binary (`cargo run -p ickp-bench --release --bin repro --
-//! all`) prints the paper-shaped tables; the Criterion benches under
-//! `benches/` track representative cells of each experiment.
+//! all`) prints the paper-shaped tables; the benches under `benches/`
+//! track representative cells of each experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod synthrun;
 pub mod table1;
 pub mod timing;
 
+pub use harness::{BenchGroup, BenchResult};
 pub use synthrun::{Measurement, SynthRunner, Variant};
 pub use table1::{run_table1, run_table1_default, PhaseRun, Strategy, Table1};

@@ -7,7 +7,7 @@
 //! over rounds is reported.
 
 use crate::timing::median;
-use ickp_backend::{Engine, GenericBackend, SpecializedBackend};
+use ickp_backend::{Engine, GenericBackend, ParallelBackend, SpecializedBackend};
 use ickp_core::{CheckpointConfig, Checkpointer, MethodTable, TraversalStats};
 use ickp_spec::{GuardMode, Plan, SpecializedCheckpointer, Specializer};
 use ickp_synth::{ModificationSpec, SynthConfig, SynthWorld};
@@ -32,6 +32,10 @@ pub enum Variant {
     EngineGeneric(Engine),
     /// Last-only specialized plan under an execution engine.
     EngineSpecLastOnly(Engine),
+    /// Parallel sharded incremental checkpointing with this many worker
+    /// threads (the `parallel_scaling` bench; fourth point in Fig. 11 /
+    /// Table 2).
+    Parallel(usize),
 }
 
 /// One measurement: median checkpoint time plus the final round's stats.
@@ -66,7 +70,8 @@ impl SynthRunner {
             lists_per_structure: 5,
             list_len,
             ints_per_element,
-            seed: 0xABCD ^ (structures as u64) << 20
+            seed: 0xABCD
+                ^ (structures as u64) << 20
                 ^ (list_len as u64) << 8
                 ^ ints_per_element as u64,
         };
@@ -86,9 +91,7 @@ impl SynthRunner {
         let shape = match variant {
             Variant::SpecStructure => self.world.shape_structure_only(),
             Variant::SpecModifiedLists => self.world.shape_modified_lists(k),
-            Variant::SpecLastOnly | Variant::EngineSpecLastOnly(_) => {
-                self.world.shape_last_only(k)
-            }
+            Variant::SpecLastOnly | Variant::EngineSpecLastOnly(_) => self.world.shape_last_only(k),
             _ => return None,
         };
         Some(spec.compile(&shape).expect("synthetic shapes compile"))
@@ -96,14 +99,24 @@ impl SynthRunner {
 
     /// Measures `variant` under `mods` over `rounds` modification+checkpoint
     /// rounds (plus warmup), returning the median checkpoint time.
-    pub fn measure(&mut self, variant: Variant, mods: &ModificationSpec, rounds: usize) -> Measurement {
+    pub fn measure(
+        &mut self,
+        variant: Variant,
+        mods: &ModificationSpec,
+        rounds: usize,
+    ) -> Measurement {
         let (samples, bytes, stats, modified) = self.samples(variant, mods, 2, rounds);
         Measurement { time: median(samples), bytes, stats, modified }
     }
 
     /// Total checkpoint time of `rounds` modification+checkpoint rounds,
     /// with no warmup — the raw quantity Criterion's `iter_custom` wants.
-    pub fn time_rounds(&mut self, variant: Variant, mods: &ModificationSpec, rounds: usize) -> Duration {
+    pub fn time_rounds(
+        &mut self,
+        variant: Variant,
+        mods: &ModificationSpec,
+        rounds: usize,
+    ) -> Duration {
         let (samples, _, _, _) = self.samples(variant, mods, 0, rounds);
         samples.into_iter().sum()
     }
@@ -126,6 +139,7 @@ impl SynthRunner {
             Spec(SpecializedCheckpointer),
             EngineGen(GenericBackend),
             EngineSpec(SpecializedBackend),
+            Par(ParallelBackend),
         }
         let mut driver = match variant {
             Variant::FullGeneric => Driver::Full(Checkpointer::new(CheckpointConfig::full())),
@@ -142,6 +156,9 @@ impl SynthRunner {
                 engine,
                 plan.clone().expect("engine-spec variant has a plan"),
             )),
+            Variant::Parallel(workers) => {
+                Driver::Par(ParallelBackend::new(workers, self.world.heap().registry()))
+            }
         };
 
         let roots = self.world.roots().to_vec();
@@ -162,6 +179,7 @@ impl SynthRunner {
                     .expect("checkpoint"),
                 Driver::EngineGen(b) => b.checkpoint(heap, &roots).expect("checkpoint"),
                 Driver::EngineSpec(b) => b.checkpoint(heap, &roots, None).expect("checkpoint"),
+                Driver::Par(b) => b.checkpoint(heap, &roots).expect("checkpoint"),
             };
             let elapsed = start.elapsed();
             if round >= warmup {
@@ -222,6 +240,19 @@ mod tests {
         assert_eq!(spec.stats.flag_tests, 30, "one test per structure");
         assert_eq!(incr.stats.flag_tests, 30 * 26, "incremental tests everything");
         assert!(spec.stats.refs_followed < incr.stats.refs_followed);
+    }
+
+    #[test]
+    fn parallel_variant_records_what_incremental_records() {
+        let m = mods(50, 5, false);
+        let mut runner = SynthRunner::new(20, 5, 1);
+        let incr = runner.measure(Variant::Incremental, &m, 1);
+        for workers in [1usize, 4] {
+            let par = runner.measure(Variant::Parallel(workers), &m, 1);
+            assert_eq!(par.stats.objects_recorded as usize, par.modified, "{workers} workers");
+            assert_eq!(par.stats.objects_visited, incr.stats.objects_visited);
+            assert_eq!(par.stats.flag_tests, incr.stats.flag_tests);
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use ickp_analysis::{AnalysisEngine, Division, Phase};
 use ickp_core::{CheckpointConfig, Checkpointer, MethodTable, TraversalStats};
-use ickp_minic::programs::{image_program_source, DEFAULT_FILTERS};
 use ickp_minic::parse;
+use ickp_minic::programs::{image_program_source, DEFAULT_FILTERS};
 use ickp_spec::{GuardMode, SpecializedCheckpointer};
 use std::time::{Duration, Instant};
 
@@ -113,8 +113,7 @@ pub fn run_table1(filters: usize) -> Table1 {
     for strategy in Strategy::ALL {
         for phase in [Phase::BindingTime, Phase::EvalTime] {
             let program = parse(&source).expect("generated program parses");
-            let mut engine =
-                AnalysisEngine::new(program, division()).expect("engine builds");
+            let mut engine = AnalysisEngine::new(program, division()).expect("engine builds");
             attributes = engine.roots().len();
             runs.push(measure_phase(&mut engine, strategy, phase));
         }
@@ -160,9 +159,7 @@ fn measure_phase(engine: &mut AnalysisEngine, strategy: Strategy, phase: Phase) 
             let rec = match strategy {
                 Strategy::Full => full.checkpoint(heap, &table, &roots)?,
                 Strategy::Incremental => incr.checkpoint(heap, &table, &roots)?,
-                Strategy::SpecializedIncremental => {
-                    spec.checkpoint(heap, plan, &roots, None)?
-                }
+                Strategy::SpecializedIncremental => spec.checkpoint(heap, plan, &roots, None)?,
             };
             times.push(start.elapsed());
             sizes.push(rec.len_bytes());

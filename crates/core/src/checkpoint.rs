@@ -113,9 +113,9 @@ impl CheckpointRecord {
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug)]
 pub struct Checkpointer {
-    config: CheckpointConfig,
-    next_seq: u64,
-    cumulative: TraversalStats,
+    pub(crate) config: CheckpointConfig,
+    pub(crate) next_seq: u64,
+    pub(crate) cumulative: TraversalStats,
 }
 
 impl Checkpointer {
@@ -418,10 +418,7 @@ mod tests {
         let b = heap.alloc(node).unwrap();
         let mut ckp = Checkpointer::new(CheckpointConfig::full());
         let rec = ckp.checkpoint(&mut heap, &table, &[a, b]).unwrap();
-        assert_eq!(
-            rec.roots(),
-            &[heap.stable_id(a).unwrap(), heap.stable_id(b).unwrap()]
-        );
+        assert_eq!(rec.roots(), &[heap.stable_id(a).unwrap(), heap.stable_id(b).unwrap()]);
         let d = decode(rec.bytes(), heap.registry()).unwrap();
         assert_eq!(d.roots, rec.roots());
     }

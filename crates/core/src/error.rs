@@ -61,10 +61,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownClassIndex(i) => {
                 write!(f, "checkpoint stream names unknown class index {i}")
             }
-            CoreError::FieldCountMismatch { class, recorded, expected } => write!(
-                f,
-                "class `{class}` records {recorded} fields but its layout has {expected}"
-            ),
+            CoreError::FieldCountMismatch { class, recorded, expected } => {
+                write!(f, "class `{class}` records {recorded} fields but its layout has {expected}")
+            }
             CoreError::MissingObject(id) => {
                 write!(f, "restore references {id}, which was never recorded")
             }

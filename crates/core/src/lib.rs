@@ -11,6 +11,10 @@
 //! the program state from the base-plus-increments sequence and
 //! [`verify_restore`] proves the rebuild exact.
 //!
+//! [`Checkpointer::checkpoint_parallel`] is the parallel sharded engine:
+//! the same traversal spread over worker threads via a root-set partition,
+//! producing byte-identical checkpoints (see the `parallel` module docs).
+//!
 //! The deliberate inefficiencies of this crate — one dynamic dispatch per
 //! object per method, a flag test per object, a full traversal even when
 //! nothing changed — are the paper's motivation; `ickp-spec` removes them
@@ -53,6 +57,7 @@ mod checkpoint;
 mod compact;
 mod error;
 mod methods;
+mod parallel;
 mod persist;
 mod restore;
 mod stats;

@@ -24,7 +24,11 @@ pub type RecordFn =
 
 /// Boxed `fold` method: applies the callback to each non-null child.
 pub type FoldFn = Box<
-    dyn Fn(&Heap, ObjectId, &mut dyn FnMut(ObjectId) -> Result<(), CoreError>) -> Result<(), CoreError>
+    dyn Fn(
+            &Heap,
+            ObjectId,
+            &mut dyn FnMut(ObjectId) -> Result<(), CoreError>,
+        ) -> Result<(), CoreError>
         + Send
         + Sync,
 >;
@@ -236,8 +240,8 @@ mod tests {
         let c = heap.alloc(node).unwrap();
         let obj = heap.alloc(node).unwrap();
         heap.set_field(obj, 1, Value::Ref(Some(c))).unwrap();
-        let err = table.fold(node).unwrap()(&heap, obj, &mut |_| Err(CoreError::EmptyStore))
-            .unwrap_err();
+        let err =
+            table.fold(node).unwrap()(&heap, obj, &mut |_| Err(CoreError::EmptyStore)).unwrap_err();
         assert_eq!(err, CoreError::EmptyStore);
     }
 

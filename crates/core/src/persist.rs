@@ -13,9 +13,9 @@
 
 use crate::checkpoint::CheckpointRecord;
 use crate::error::CoreError;
+use crate::stats::TraversalStats;
 use crate::store::CheckpointStore;
 use crate::stream::decode;
-use crate::stats::TraversalStats;
 use ickp_heap::ClassRegistry;
 use std::io::{Read, Write};
 
@@ -187,8 +187,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.icks");
         save_store(&store, std::fs::File::create(&path).unwrap()).unwrap();
-        let loaded =
-            load_store(std::fs::File::open(&path).unwrap(), heap.registry()).unwrap();
+        let loaded = load_store(std::fs::File::open(&path).unwrap(), heap.registry()).unwrap();
         let rebuilt = restore(&loaded, heap.registry(), RestorePolicy::Lenient).unwrap();
         assert_eq!(verify_restore(&heap, &roots, &rebuilt).unwrap(), None);
         let _ = std::fs::remove_file(&path);

@@ -213,8 +213,7 @@ mod tests {
     fn single_checkpoint_restores_exact_state() {
         let mut run = start_incremental_run();
         run.checkpoint();
-        let restored =
-            restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
+        let restored = restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
         assert_eq!(restored.len(), 2);
         assert_eq!(verify_restore(&run.heap, &[run.head], &restored).unwrap(), None);
     }
@@ -230,8 +229,7 @@ mod tests {
         run.heap.set_field(head, 0, Value::Int(-3)).unwrap();
         run.checkpoint();
 
-        let restored =
-            restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
+        let restored = restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
         assert_eq!(verify_restore(&run.heap, &[run.head], &restored).unwrap(), None);
 
         // Spot-check via stable ids.
@@ -244,8 +242,7 @@ mod tests {
     fn restored_objects_have_clear_modified_flags() {
         let mut run = start_incremental_run();
         run.checkpoint();
-        let restored =
-            restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
+        let restored = restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
         for id in restored.heap().iter_live() {
             assert!(!restored.heap().is_modified(id).unwrap());
         }
@@ -264,8 +261,7 @@ mod tests {
         run.heap.set_field(head, 1, Value::Ref(Some(extra))).unwrap();
         run.checkpoint();
 
-        let restored =
-            restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
+        let restored = restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
         assert_eq!(restored.len(), 3);
         assert_eq!(verify_restore(&run.heap, &[run.head], &restored).unwrap(), None);
     }
@@ -332,8 +328,7 @@ mod tests {
     fn verify_detects_post_checkpoint_divergence() {
         let mut run = start_incremental_run();
         run.checkpoint();
-        let restored =
-            restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
+        let restored = restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
         // Mutate the live heap *after* the checkpoint.
         let head = run.head;
         run.heap.set_field(head, 0, Value::Int(1000)).unwrap();
@@ -345,8 +340,7 @@ mod tests {
     fn restored_heap_supports_continued_execution_and_checkpointing() {
         let mut run = start_incremental_run();
         run.checkpoint();
-        let restored =
-            restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
+        let restored = restore(&run.store, run.heap.registry(), RestorePolicy::Lenient).unwrap();
         let roots = restored.roots().to_vec();
         let mut heap = restored.into_heap();
         // Keep running: mutate and take a fresh checkpoint.

@@ -91,9 +91,7 @@ impl CheckpointStore {
     /// `true` if the first stored checkpoint is a full one (the
     /// precondition for strict restore).
     pub fn starts_full(&self) -> bool {
-        self.records
-            .first()
-            .is_some_and(|r| r.kind() == CheckpointKind::Full)
+        self.records.first().is_some_and(|r| r.kind() == CheckpointKind::Full)
     }
 }
 

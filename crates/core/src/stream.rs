@@ -149,6 +149,57 @@ impl StreamWriter {
         self.finished = true;
         self.buf
     }
+
+    /// Starts a *shard body*: a headerless record sequence produced by one
+    /// worker of the parallel checkpointer. The records are byte-compatible
+    /// with the main stream, so a merging writer can splice them in with
+    /// [`StreamWriter::append_shard`] and the result is indistinguishable
+    /// from a sequentially written stream.
+    ///
+    /// A shard writer must be closed with [`StreamWriter::finish_shard`]
+    /// (never [`StreamWriter::finish`] — a bare body has no header for the
+    /// footer to terminate).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ickp_core::{decode, CheckpointKind, StreamWriter};
+    /// use ickp_heap::{ClassRegistry, FieldType, StableId};
+    ///
+    /// let mut reg = ClassRegistry::new();
+    /// let leaf = reg.define("Leaf", None, &[("v", FieldType::Int)]).unwrap();
+    ///
+    /// let mut shard = StreamWriter::new_shard();
+    /// shard.begin_object(StableId(1), leaf, 1);
+    /// shard.write_int(7);
+    /// let (body, records) = shard.finish_shard();
+    ///
+    /// let mut merged = StreamWriter::new(0, CheckpointKind::Full, &[]);
+    /// merged.append_shard(&body, records);
+    /// let decoded = decode(&merged.finish(), &reg).unwrap();
+    /// assert_eq!(decoded.objects.len(), 1);
+    /// ```
+    pub fn new_shard() -> StreamWriter {
+        StreamWriter { buf: Vec::with_capacity(64), records: 0, finished: false }
+    }
+
+    /// Closes a shard body, returning its raw record bytes and record
+    /// count. No footer is appended; the merging stream accounts for the
+    /// records via [`StreamWriter::append_shard`].
+    pub fn finish_shard(mut self) -> (Vec<u8>, u32) {
+        self.finished = true;
+        (self.buf, self.records)
+    }
+
+    /// Splices a finished shard body into this stream, as if its records
+    /// had been written here directly. `records` must be the count returned
+    /// by [`StreamWriter::finish_shard`] alongside `body`; it flows into
+    /// this stream's footer.
+    pub fn append_shard(&mut self, body: &[u8], records: u32) {
+        debug_assert!(!self.finished, "write after finish");
+        self.buf.extend_from_slice(body);
+        self.records += records;
+    }
 }
 
 /// A field value as recorded in a checkpoint: like
@@ -272,9 +323,8 @@ pub fn decode(bytes: &[u8], registry: &ClassRegistry) -> Result<DecodedCheckpoin
                 let stable = StableId(c.u64()?);
                 let class_index = c.u32()?;
                 let class = ClassId::from_index(class_index as usize);
-                let def = registry
-                    .class(class)
-                    .map_err(|_| CoreError::UnknownClassIndex(class_index))?;
+                let def =
+                    registry.class(class).map_err(|_| CoreError::UnknownClassIndex(class_index))?;
                 let nfields = c.u16()? as usize;
                 if nfields != def.num_slots() {
                     return Err(CoreError::FieldCountMismatch {
@@ -449,10 +499,7 @@ mod tests {
         w.write_int(0);
         w.write_long(0);
         let bytes = w.finish();
-        assert!(matches!(
-            decode(&bytes, &reg).unwrap_err(),
-            CoreError::FieldCountMismatch { .. }
-        ));
+        assert!(matches!(decode(&bytes, &reg).unwrap_err(), CoreError::FieldCountMismatch { .. }));
     }
 
     #[test]
@@ -493,6 +540,52 @@ mod tests {
         w.begin_object(StableId(1), node, 0);
         assert_eq!(w.record_count(), 1);
         assert!(w.len() > header);
+    }
+
+    #[test]
+    fn shard_merge_is_byte_identical_to_sequential_writing() {
+        let (reg, node) = registry();
+
+        // Sequential reference: both objects written into one stream.
+        let sequential = sample_stream(node);
+
+        // Sharded: the same two records written by two independent shard
+        // writers, spliced in shard order.
+        let mut shard0 = StreamWriter::new_shard();
+        shard0.begin_object(StableId(1), node, 5);
+        shard0.write_int(-7);
+        shard0.write_long(1 << 40);
+        shard0.write_double(2.5);
+        shard0.write_bool(true);
+        shard0.write_ref(Some(StableId(2)));
+        let mut shard1 = StreamWriter::new_shard();
+        shard1.begin_object(StableId(2), node, 5);
+        shard1.write_int(0);
+        shard1.write_long(0);
+        shard1.write_double(f64::NAN);
+        shard1.write_bool(false);
+        shard1.write_ref(None);
+
+        let mut merged = StreamWriter::new(3, CheckpointKind::Incremental, &[StableId(1)]);
+        for shard in [shard0, shard1] {
+            let (body, records) = shard.finish_shard();
+            merged.append_shard(&body, records);
+        }
+        assert_eq!(merged.record_count(), 2);
+        assert_eq!(merged.finish(), sequential);
+        let _ = reg;
+    }
+
+    #[test]
+    fn empty_shards_merge_to_an_empty_stream() {
+        let (reg, _) = registry();
+        let mut merged = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        let (body, records) = StreamWriter::new_shard().finish_shard();
+        assert!(body.is_empty());
+        assert_eq!(records, 0);
+        merged.append_shard(&body, records);
+        let d = decode(&merged.finish(), &reg).unwrap();
+        assert!(d.objects.is_empty());
     }
 
     #[test]

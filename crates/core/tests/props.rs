@@ -1,12 +1,16 @@
-//! Property tests: stream round-trips and checkpoint/restore on random
+//! Randomized tests: stream round-trips and checkpoint/restore on random
 //! object trees.
+//!
+//! Previously written with `proptest`; rewritten over the in-repo seeded
+//! PRNG so the suite builds with no network access. Each case is fully
+//! determined by its seed, named in the assertion message for replay.
 
 use ickp_core::{
     decode, restore, verify_restore, CheckpointConfig, CheckpointKind, CheckpointStore,
     Checkpointer, MethodTable, RecordedValue, RestorePolicy, StreamWriter,
 };
 use ickp_heap::{ClassRegistry, FieldType, Heap, ObjectId, StableId, Value};
-use proptest::prelude::*;
+use ickp_prng::Prng;
 
 /// A random primitive value paired with its field type.
 #[derive(Debug, Clone, Copy)]
@@ -17,22 +21,23 @@ enum PrimSpec {
     Bool(bool),
 }
 
-fn arb_prim() -> impl Strategy<Value = PrimSpec> {
-    prop_oneof![
-        any::<i32>().prop_map(PrimSpec::Int),
-        any::<i64>().prop_map(PrimSpec::Long),
-        any::<f64>().prop_map(PrimSpec::Double),
-        any::<bool>().prop_map(PrimSpec::Bool),
-    ]
+fn random_prim(rng: &mut Prng) -> PrimSpec {
+    match rng.below(4) {
+        0 => PrimSpec::Int(rng.next_i32()),
+        1 => PrimSpec::Long(rng.next_i64()),
+        2 => PrimSpec::Double(f64::from_bits(rng.next_u64())),
+        _ => PrimSpec::Bool(rng.next_bool()),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Any sequence of primitive fields round-trips bit-exactly through the
+/// stream encoder and decoder.
+#[test]
+fn stream_round_trips_arbitrary_layouts() {
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0xc0de_0000 + case);
+        let prims: Vec<PrimSpec> = (0..1 + rng.index(23)).map(|_| random_prim(&mut rng)).collect();
 
-    /// Any sequence of primitive fields round-trips bit-exactly through
-    /// the stream encoder and decoder.
-    #[test]
-    fn stream_round_trips_arbitrary_layouts(prims in proptest::collection::vec(arb_prim(), 1..24)) {
         let mut reg = ClassRegistry::new();
         let fields: Vec<(String, FieldType)> = prims
             .iter()
@@ -47,8 +52,7 @@ proptest! {
                 (format!("f{i}"), ty)
             })
             .collect();
-        let refs: Vec<(&str, FieldType)> =
-            fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let refs: Vec<(&str, FieldType)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let class = reg.define("X", None, &refs).unwrap();
 
         let mut w = StreamWriter::new(7, CheckpointKind::Full, &[StableId(1)]);
@@ -63,30 +67,32 @@ proptest! {
         }
         let bytes = w.finish();
         let d = decode(&bytes, &reg).unwrap();
-        prop_assert_eq!(d.objects.len(), 1);
+        assert_eq!(d.objects.len(), 1, "case {case}");
         for (p, r) in prims.iter().zip(&d.objects[0].fields) {
             match (p, r) {
-                (PrimSpec::Int(a), RecordedValue::Int(b)) => prop_assert_eq!(a, b),
-                (PrimSpec::Long(a), RecordedValue::Long(b)) => prop_assert_eq!(a, b),
+                (PrimSpec::Int(a), RecordedValue::Int(b)) => assert_eq!(a, b, "case {case}"),
+                (PrimSpec::Long(a), RecordedValue::Long(b)) => assert_eq!(a, b, "case {case}"),
                 (PrimSpec::Double(a), RecordedValue::Double(b)) => {
-                    prop_assert_eq!(a.to_bits(), b.to_bits())
+                    assert_eq!(a.to_bits(), b.to_bits(), "case {case}")
                 }
-                (PrimSpec::Bool(a), RecordedValue::Bool(b)) => prop_assert_eq!(a, b),
-                (p, r) => prop_assert!(false, "kind mismatch {p:?} vs {r:?}"),
+                (PrimSpec::Bool(a), RecordedValue::Bool(b)) => assert_eq!(a, b, "case {case}"),
+                (p, r) => panic!("case {case}: kind mismatch {p:?} vs {r:?}"),
             }
         }
     }
+}
 
-    /// Random binary trees checkpoint and restore exactly, under both
-    /// full-then-increment and all-increment protocols.
-    #[test]
-    fn random_trees_restore_exactly(
-        (structure, mutations, full_base) in (
-            proptest::collection::vec(any::<bool>(), 1..40),
-            proptest::collection::vec((any::<u16>(), any::<i32>()), 0..30),
-            any::<bool>(),
-        )
-    ) {
+/// Random binary trees checkpoint and restore exactly, under both
+/// full-then-increment and all-increment protocols.
+#[test]
+fn random_trees_restore_exactly() {
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0x7ee5_0000 + case);
+        let structure: Vec<bool> = (0..1 + rng.index(39)).map(|_| rng.next_bool()).collect();
+        let mutations: Vec<(u16, i32)> =
+            (0..rng.index(30)).map(|_| (rng.below(1 << 16) as u16, rng.next_i32())).collect();
+        let full_base = rng.next_bool();
+
         let mut reg = ClassRegistry::new();
         let node = reg
             .define(
@@ -134,20 +140,21 @@ proptest! {
             store.push(rec).unwrap();
         }
 
-        let policy = if full_base {
-            RestorePolicy::RequireFullBase
-        } else {
-            RestorePolicy::Lenient
-        };
+        let policy =
+            if full_base { RestorePolicy::RequireFullBase } else { RestorePolicy::Lenient };
         let rebuilt = restore(&store, heap.registry(), policy).unwrap();
-        prop_assert_eq!(verify_restore(&heap, &[root], &rebuilt).unwrap(), None);
+        assert_eq!(verify_restore(&heap, &[root], &rebuilt).unwrap(), None, "case {case}");
     }
+}
 
-    /// Compaction of any such store preserves the recovered state.
-    #[test]
-    fn compaction_is_semantics_preserving(
-        mutations in proptest::collection::vec((any::<u8>(), any::<i32>()), 1..25)
-    ) {
+/// Compaction of any such store preserves the recovered state.
+#[test]
+fn compaction_is_semantics_preserving() {
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0xc0ac_0000 + case);
+        let mutations: Vec<(u8, i32)> =
+            (0..1 + rng.index(24)).map(|_| (rng.below(256) as u8, rng.next_i32())).collect();
+
         let mut reg = ClassRegistry::new();
         let node = reg
             .define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
@@ -178,7 +185,7 @@ proptest! {
         let compacted = ickp_core::compact(&store, heap.registry()).unwrap();
         let a = restore(&store, heap.registry(), RestorePolicy::Lenient).unwrap();
         let b = restore(&compacted, heap.registry(), RestorePolicy::RequireFullBase).unwrap();
-        prop_assert_eq!(verify_restore(&heap, &[root], &a).unwrap(), None);
-        prop_assert_eq!(verify_restore(&heap, &[root], &b).unwrap(), None);
+        assert_eq!(verify_restore(&heap, &[root], &a).unwrap(), None, "case {case}");
+        assert_eq!(verify_restore(&heap, &[root], &b).unwrap(), None, "case {case}");
     }
 }

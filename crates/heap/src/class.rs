@@ -88,13 +88,10 @@ impl ClassDef {
     /// Returns [`HeapError::UnknownField`] if no field of that name exists
     /// anywhere in the layout.
     pub fn slot_of(&self, field: &str) -> Result<usize, HeapError> {
-        self.layout
-            .iter()
-            .position(|f| f.name() == field)
-            .ok_or_else(|| HeapError::UnknownField {
-                class: self.name.clone(),
-                field: field.to_string(),
-            })
+        self.layout.iter().position(|f| f.name() == field).ok_or_else(|| HeapError::UnknownField {
+            class: self.name.clone(),
+            field: field.to_string(),
+        })
     }
 
     /// The declared type of a slot.
@@ -105,13 +102,10 @@ impl ClassDef {
     /// (the object id is unknown at this level, so the field is reported by
     /// index).
     pub fn slot_type(&self, slot: usize) -> Result<FieldType, HeapError> {
-        self.layout
-            .get(slot)
-            .map(FieldDef::ty)
-            .ok_or_else(|| HeapError::UnknownField {
-                class: self.name.clone(),
-                field: format!("<slot {slot}>"),
-            })
+        self.layout.get(slot).map(FieldDef::ty).ok_or_else(|| HeapError::UnknownField {
+            class: self.name.clone(),
+            field: format!("<slot {slot}>"),
+        })
     }
 
     /// Total encoded size in bytes of one full record of this class's local
@@ -228,10 +222,7 @@ impl ClassRegistry {
     ///
     /// Returns [`HeapError::UnknownClassName`] if undefined.
     pub fn id_of(&self, name: &str) -> Result<ClassId, HeapError> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| HeapError::UnknownClassName(name.to_string()))
+        self.by_name.get(name).copied().ok_or_else(|| HeapError::UnknownClassName(name.to_string()))
     }
 
     /// Tests whether `sub` is `sup` or a (transitive) subclass of it.
@@ -270,9 +261,7 @@ mod tests {
 
     fn registry() -> (ClassRegistry, ClassId, ClassId) {
         let mut reg = ClassRegistry::new();
-        let base = reg
-            .define("Entry", None, &[("tag", FieldType::Int)])
-            .unwrap();
+        let base = reg.define("Entry", None, &[("tag", FieldType::Int)]).unwrap();
         let sub = reg
             .define(
                 "BTEntry",
@@ -305,27 +294,21 @@ mod tests {
     #[test]
     fn duplicate_class_names_are_rejected() {
         let (mut reg, _, _) = registry();
-        assert_eq!(
-            reg.define("Entry", None, &[]),
-            Err(HeapError::DuplicateClass("Entry".into()))
-        );
+        assert_eq!(reg.define("Entry", None, &[]), Err(HeapError::DuplicateClass("Entry".into())));
     }
 
     #[test]
     fn shadowing_an_inherited_field_is_rejected() {
         let (mut reg, base, _) = registry();
-        let err = reg
-            .define("Bad", Some(base), &[("tag", FieldType::Int)])
-            .unwrap_err();
+        let err = reg.define("Bad", Some(base), &[("tag", FieldType::Int)]).unwrap_err();
         assert!(matches!(err, HeapError::DuplicateField { .. }));
     }
 
     #[test]
     fn duplicate_own_field_is_rejected() {
         let mut reg = ClassRegistry::new();
-        let err = reg
-            .define("X", None, &[("a", FieldType::Int), ("a", FieldType::Int)])
-            .unwrap_err();
+        let err =
+            reg.define("X", None, &[("a", FieldType::Int), ("a", FieldType::Int)]).unwrap_err();
         assert!(matches!(err, HeapError::DuplicateField { .. }));
     }
 

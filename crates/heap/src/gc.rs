@@ -62,8 +62,7 @@ impl Heap {
             }
         }
         // Sweep.
-        let victims: Vec<ObjectId> =
-            self.iter_live().filter(|id| !marked.contains(id)).collect();
+        let victims: Vec<ObjectId> = self.iter_live().filter(|id| !marked.contains(id)).collect();
         let freed = victims.len();
         for id in victims {
             self.free(id).expect("victim was live when enumerated");

@@ -1,4 +1,5 @@
-//! Object-graph traversal utilities: reachability and acyclicity checks.
+//! Object-graph traversal utilities: reachability, acyclicity checks, and
+//! shard partitioning for the parallel checkpointer.
 //!
 //! The paper assumes checkpointed object graphs are acyclic (§2: "we assume
 //! that the checkpointed objects do not contain cycles"). The checkpointers
@@ -6,6 +7,13 @@
 //! [`validate_acyclic`] so callers can *check* it instead of diverging, and
 //! [`reachable_from`], which the full checkpointer and the restore verifier
 //! use to enumerate a compound structure.
+//!
+//! [`partition_roots`] is the ownership pre-pass behind
+//! `ickp_core::Checkpointer::checkpoint_parallel`: it splits a root set into
+//! contiguous shards and assigns every reachable object to exactly one shard
+//! (its *owner*), so independent workers can traverse and record disjoint
+//! slices of the graph whose concatenation reproduces the sequential
+//! traversal exactly.
 
 use crate::error::HeapError;
 use crate::heap::Heap;
@@ -129,6 +137,156 @@ pub fn validate_acyclic(heap: &Heap, roots: &[ObjectId]) -> Result<(), ReachErro
     Ok(())
 }
 
+/// A partition of a root set into disjoint ownership shards.
+///
+/// Produced by [`partition_roots`]. Shard `i` holds a contiguous slice of
+/// the original root order, and every object reachable from the whole root
+/// set is owned by exactly one shard: the shard whose roots reach it
+/// *first* in the sequential depth-first traversal order. Two invariants
+/// follow, and the parallel checkpointer in `ickp-core` relies on both:
+///
+/// 1. **Prunability** — a traversal from shard `i`'s roots can stop at any
+///    object it does not own: everything reachable through a foreign object
+///    is owned by an earlier shard (first-touch ownership is closed under
+///    reachability).
+/// 2. **Order** — concatenating the owned objects of shard `0, 1, …` in
+///    each shard's local depth-first order reproduces the global
+///    depth-first pre-order over all roots, object for object.
+///
+/// # Example
+///
+/// ```
+/// use ickp_heap::{partition_roots, ClassRegistry, FieldType, Heap};
+///
+/// # fn main() -> Result<(), ickp_heap::HeapError> {
+/// let mut reg = ClassRegistry::new();
+/// let leaf = reg.define("Leaf", None, &[("v", FieldType::Int)])?;
+/// let mut heap = Heap::new(reg);
+/// let roots: Vec<_> = (0..4).map(|_| heap.alloc(leaf)).collect::<Result<_, _>>()?;
+///
+/// let plan = partition_roots(&heap, &roots, 2)?;
+/// assert_eq!(plan.num_shards(), 2);
+/// assert_eq!(plan.roots(0), &roots[..2]);
+/// assert_eq!(plan.roots(1), &roots[2..]);
+/// assert_eq!(plan.owner_of(roots[3]), Some(1));
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: Vec<Vec<ObjectId>>,
+    /// Owner shard per arena slot ([`UNOWNED`] = unreachable). Dense
+    /// slot-indexed storage (see [`Heap::arena_size`]) keeps the per-object
+    /// ownership test branch-predictable and hash-free, since both the
+    /// pre-pass and every parallel worker consult it on each visit.
+    owner: Vec<u32>,
+    objects: usize,
+}
+
+/// Sentinel in [`ShardPlan::owner`] for slots not reachable from the roots.
+const UNOWNED: u32 = u32::MAX;
+
+impl ShardPlan {
+    /// Number of shards: at most the requested worker count, at most the
+    /// number of roots (and 0 for an empty root set).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The roots assigned to `shard`, in original root order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn roots(&self, shard: usize) -> &[ObjectId] {
+        &self.shards[shard]
+    }
+
+    /// The shard that owns `id`, or `None` if `id` was not reachable from
+    /// the partitioned root set.
+    pub fn owner_of(&self, id: ObjectId) -> Option<u32> {
+        self.owner.get(id.index()).copied().filter(|&s| s != UNOWNED)
+    }
+
+    /// `true` if `shard` owns `id`.
+    #[inline]
+    pub fn owns(&self, shard: usize, id: ObjectId) -> bool {
+        self.owner.get(id.index()) == Some(&(shard as u32))
+    }
+
+    /// Total number of owned (= reachable) objects across all shards.
+    pub fn num_objects(&self) -> usize {
+        self.objects
+    }
+
+    /// Owned-object count per shard — the load-balance picture.
+    pub fn objects_per_shard(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards.len()];
+        for &s in &self.owner {
+            if s != UNOWNED {
+                counts[s as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Splits `roots` into at most `shards` contiguous chunks and assigns every
+/// reachable object to its first-touch owner shard.
+///
+/// The pre-pass is one sequential depth-first traversal (the same order as
+/// [`reachable_from`]); an object shared between shards is owned by the
+/// lowest-index shard that reaches it, which keeps ownership deterministic
+/// and independent of any later parallel execution schedule. A `shards`
+/// value of 0 is treated as 1; empty chunks are dropped, so
+/// [`ShardPlan::num_shards`] may be less than `shards`.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object.
+pub fn partition_roots(
+    heap: &Heap,
+    roots: &[ObjectId],
+    shards: usize,
+) -> Result<ShardPlan, HeapError> {
+    let shards = shards.max(1).min(roots.len().max(1));
+    // Contiguous, balanced chunks: the first `len % shards` chunks get one
+    // extra root. Contiguity (not round-robin) is what makes shard-order
+    // concatenation equal the sequential traversal order.
+    let base = roots.len() / shards;
+    let extra = roots.len() % shards;
+    let mut chunks: Vec<Vec<ObjectId>> = Vec::with_capacity(shards);
+    let mut next = 0usize;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        chunks.push(roots[next..next + len].to_vec());
+        next += len;
+    }
+    chunks.retain(|c| !c.is_empty());
+
+    let mut owner: Vec<u32> = vec![UNOWNED; heap.arena_size()];
+    let mut objects = 0usize;
+    for (index, chunk) in chunks.iter().enumerate() {
+        let mut stack: Vec<ObjectId> = chunk.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            if owner[id.index()] != UNOWNED {
+                continue;
+            }
+            owner[id.index()] = index as u32;
+            objects += 1;
+            let obj = heap.object(id)?;
+            for value in obj.fields().iter().rev() {
+                if let Value::Ref(Some(child)) = value {
+                    if owner[child.index()] == UNOWNED {
+                        stack.push(*child);
+                    }
+                }
+            }
+        }
+    }
+    Ok(ShardPlan { shards: chunks, owner, objects })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +375,115 @@ mod tests {
         heap.free(child).unwrap();
         assert!(reachable_from(&heap, &[root]).is_err());
         assert!(matches!(validate_acyclic(&heap, &[root]), Err(ReachError::Heap(_))));
+    }
+
+    /// Builds `n` disjoint two-node chains and returns their heads.
+    fn chains(heap: &mut Heap, node: ClassId, n: usize) -> Vec<ObjectId> {
+        (0..n)
+            .map(|_| {
+                let tail = heap.alloc(node).unwrap();
+                let head = heap.alloc(node).unwrap();
+                heap.set_field(head, 1, Value::Ref(Some(tail))).unwrap();
+                head
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_covers_every_reachable_object_exactly_once() {
+        let (mut heap, node) = list_heap();
+        let roots = chains(&mut heap, node, 8);
+        let plan = partition_roots(&heap, &roots, 4).unwrap();
+        assert_eq!(plan.num_shards(), 4);
+        assert_eq!(plan.num_objects(), 16);
+        assert_eq!(plan.objects_per_shard(), vec![4, 4, 4, 4]);
+        for id in reachable_from(&heap, &roots).unwrap() {
+            assert!(plan.owner_of(id).is_some());
+        }
+    }
+
+    #[test]
+    fn chunks_are_contiguous_and_balanced() {
+        let (mut heap, node) = list_heap();
+        let roots = chains(&mut heap, node, 7);
+        let plan = partition_roots(&heap, &roots, 3).unwrap();
+        assert_eq!(plan.roots(0), &roots[0..3]);
+        assert_eq!(plan.roots(1), &roots[3..5]);
+        assert_eq!(plan.roots(2), &roots[5..7]);
+    }
+
+    #[test]
+    fn shared_objects_go_to_the_lowest_reaching_shard() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        heap.set_field(a, 1, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(b, 1, Value::Ref(Some(shared))).unwrap();
+        let plan = partition_roots(&heap, &[a, b], 2).unwrap();
+        assert!(plan.owns(0, a));
+        assert!(plan.owns(1, b));
+        assert!(plan.owns(0, shared), "first-touch owner is the earlier shard");
+        assert!(!plan.owns(1, shared));
+    }
+
+    #[test]
+    fn shard_concatenation_matches_the_sequential_preorder() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let mut roots = chains(&mut heap, node, 6);
+        // Cross-links: root 1 and root 4 both reach `shared`.
+        heap.set_field(roots[1], 2, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(roots[4], 2, Value::Ref(Some(shared))).unwrap();
+        // A duplicate root exercises within- and across-shard dedup.
+        roots.push(roots[0]);
+
+        let sequential = reachable_from(&heap, &roots).unwrap();
+        for shards in [1, 2, 3, 4, 7] {
+            let plan = partition_roots(&heap, &roots, shards).unwrap();
+            let mut merged = Vec::new();
+            for shard in 0..plan.num_shards() {
+                // Local traversal exactly as a parallel worker performs it:
+                // depth-first from the shard's roots, pruning at any object
+                // the shard does not own.
+                let mut stack: Vec<ObjectId> = plan.roots(shard).iter().rev().copied().collect();
+                let mut seen = HashSet::new();
+                while let Some(id) = stack.pop() {
+                    if !plan.owns(shard, id) || !seen.insert(id) {
+                        continue;
+                    }
+                    merged.push(id);
+                    let obj = heap.object(id).unwrap();
+                    for value in obj.fields().iter().rev() {
+                        if let Value::Ref(Some(child)) = value {
+                            stack.push(*child);
+                        }
+                    }
+                }
+            }
+            assert_eq!(merged, sequential, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn degenerate_shard_counts_are_clamped() {
+        let (mut heap, node) = list_heap();
+        let roots = chains(&mut heap, node, 2);
+        assert_eq!(partition_roots(&heap, &roots, 0).unwrap().num_shards(), 1);
+        assert_eq!(partition_roots(&heap, &roots, 9).unwrap().num_shards(), 2);
+        let empty = partition_roots(&heap, &[], 4).unwrap();
+        assert_eq!(empty.num_shards(), 0);
+        assert_eq!(empty.num_objects(), 0);
+    }
+
+    #[test]
+    fn partition_reports_dangling_references() {
+        let (mut heap, node) = list_heap();
+        let child = heap.alloc(node).unwrap();
+        let root = heap.alloc(node).unwrap();
+        heap.set_field(root, 1, Value::Ref(Some(child))).unwrap();
+        heap.free(child).unwrap();
+        assert!(partition_roots(&heap, &[root], 2).is_err());
     }
 
     #[test]

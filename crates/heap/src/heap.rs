@@ -305,10 +305,11 @@ impl Heap {
     /// [`HeapError::SlotOutOfBounds`].
     pub fn field(&self, id: ObjectId, slot: usize) -> Result<Value, HeapError> {
         let obj = self.object_ref(id)?;
-        obj.fields
-            .get(slot)
-            .copied()
-            .ok_or(HeapError::SlotOutOfBounds { object: id, slot, len: obj.fields.len() })
+        obj.fields.get(slot).copied().ok_or(HeapError::SlotOutOfBounds {
+            object: id,
+            slot,
+            len: obj.fields.len(),
+        })
     }
 
     /// Reads a field by name (slower; resolves the slot each call).
@@ -380,9 +381,11 @@ impl Heap {
         let class = self.object_ref(id)?.class;
         let def = self.registry.class(class)?;
         let len = def.num_slots();
-        let ty = def
-            .slot_type(slot)
-            .map_err(|_| HeapError::SlotOutOfBounds { object: id, slot, len })?;
+        let ty = def.slot_type(slot).map_err(|_| HeapError::SlotOutOfBounds {
+            object: id,
+            slot,
+            len,
+        })?;
         if !value.matches_kind(ty) {
             return Err(HeapError::TypeMismatch { object: id, slot, expected: ty });
         }
@@ -457,6 +460,14 @@ impl Heap {
                 obj.info.modified = false;
             }
         }
+    }
+
+    /// The number of arena slots (live or freed). Every slot index from
+    /// [`ObjectId::index`] is strictly below this bound, which lets graph
+    /// traversals use dense slot-indexed tables instead of hashing — the
+    /// parallel checkpointer's shard partitioner depends on it.
+    pub fn arena_size(&self) -> usize {
+        self.slots.len()
     }
 
     /// Iterates over the handles of all live objects, in slot order.
@@ -556,9 +567,7 @@ mod tests {
         let mut reg = ClassRegistry::new();
         let entry = reg.define("Entry", None, &[]).unwrap();
         let bt = reg.define("BTEntry", Some(entry), &[]).unwrap();
-        let holder = reg
-            .define("Holder", None, &[("e", FieldType::Ref(Some(entry)))])
-            .unwrap();
+        let holder = reg.define("Holder", None, &[("e", FieldType::Ref(Some(entry)))]).unwrap();
         let unrelated = reg.define("Unrelated", None, &[]).unwrap();
         let mut heap = Heap::new(reg);
         let h = heap.alloc(holder).unwrap();
@@ -595,14 +604,10 @@ mod tests {
     #[test]
     fn alloc_with_validates_arity_and_values() {
         let (mut heap, node, _) = small_heap();
-        let o = heap
-            .alloc_with(node, &[Value::Int(3), Value::Ref(None)])
-            .unwrap();
+        let o = heap.alloc_with(node, &[Value::Int(3), Value::Ref(None)]).unwrap();
         assert_eq!(heap.field(o, 0).unwrap(), Value::Int(3));
         assert!(heap.alloc_with(node, &[Value::Int(3)]).is_err());
-        assert!(heap
-            .alloc_with(node, &[Value::Bool(true), Value::Ref(None)])
-            .is_err());
+        assert!(heap.alloc_with(node, &[Value::Bool(true), Value::Ref(None)]).is_err());
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl HeapSnapshot {
     pub fn capture(heap: &Heap, roots: &[ObjectId]) -> Result<HeapSnapshot, HeapError> {
         let mut snapshot = HeapSnapshot {
             objects: BTreeMap::new(),
-            roots: roots
-                .iter()
-                .map(|&r| heap.stable_id(r))
-                .collect::<Result<Vec<_>, _>>()?,
+            roots: roots.iter().map(|&r| heap.stable_id(r)).collect::<Result<Vec<_>, _>>()?,
         };
         for id in reachable_from(heap, roots)? {
             let obj = heap.object(id)?;
@@ -83,9 +80,7 @@ impl HeapSnapshot {
                     Value::Ref(Some(child)) => AbstractValue::Ref(heap.stable_id(child)?),
                 });
             }
-            snapshot
-                .objects
-                .insert(heap.stable_id(id)?.raw(), ObjectState { class_name, fields });
+            snapshot.objects.insert(heap.stable_id(id)?.raw(), ObjectState { class_name, fields });
         }
         Ok(snapshot)
     }

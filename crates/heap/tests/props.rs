@@ -1,7 +1,12 @@
-//! Model-based property tests: the heap against a naive reference model.
+//! Model-based randomized tests: the heap against a naive reference model.
+//!
+//! Previously written with `proptest`; rewritten over the in-repo seeded
+//! PRNG so the suite runs with no network access (no external
+//! dev-dependencies). Each case is fully determined by its seed, so a
+//! failure message names the seed to replay.
 
 use ickp_heap::{ClassRegistry, FieldType, Heap, HeapError, ObjectId, Value};
-use proptest::prelude::*;
+use ickp_prng::Prng;
 use std::collections::HashMap;
 
 /// Operations the fuzzer drives.
@@ -15,15 +20,16 @@ enum Op {
     ResetModified(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Alloc),
-        1 => (0usize..64).prop_map(Op::Free),
-        3 => ((0usize..64), any::<i32>()).prop_map(|(i, v)| Op::SetInt(i, v)),
-        2 => ((0usize..64), (0usize..64)).prop_map(|(a, b)| Op::SetRef(a, b)),
-        1 => (0usize..64).prop_map(Op::SetRefNull),
-        1 => (0usize..64).prop_map(Op::ResetModified),
-    ]
+fn random_op(rng: &mut Prng) -> Op {
+    // Weights mirror the original proptest strategy: 2/1/3/2/1/1.
+    match rng.below(10) {
+        0 | 1 => Op::Alloc,
+        2 => Op::Free(rng.index(64)),
+        3..=5 => Op::SetInt(rng.index(64), rng.next_i32()),
+        6 | 7 => Op::SetRef(rng.index(64), rng.index(64)),
+        8 => Op::SetRefNull(rng.index(64)),
+        _ => Op::ResetModified(rng.index(64)),
+    }
 }
 
 /// Reference model of one object.
@@ -34,26 +40,25 @@ struct ModelObject {
     modified: bool,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every operation behaves exactly like a trivial in-memory model;
-    /// stale handles always error; flags track barriered writes.
-    #[test]
-    fn heap_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+/// Every operation behaves exactly like a trivial in-memory model; stale
+/// handles always error; flags track barriered writes.
+#[test]
+fn heap_agrees_with_reference_model() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0x6ea9_0000 + case);
+        let ops = 1 + rng.index(120);
         let mut reg = ClassRegistry::new();
-        let class = reg
-            .define("N", None, &[("v", FieldType::Int), ("r", FieldType::Ref(None))])
-            .unwrap();
+        let class =
+            reg.define("N", None, &[("v", FieldType::Int), ("r", FieldType::Ref(None))]).unwrap();
         let mut heap = Heap::new(reg);
         let mut model: HashMap<ObjectId, ModelObject> = HashMap::new();
         let mut handles: Vec<ObjectId> = Vec::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..ops {
+            match random_op(&mut rng) {
                 Op::Alloc => {
                     let id = heap.alloc(class).unwrap();
-                    prop_assert!(!model.contains_key(&id), "handles are never reissued");
+                    assert!(!model.contains_key(&id), "case {case}: handles are never reissued");
                     model.insert(id, ModelObject { value: 0, reference: None, modified: true });
                     handles.push(id);
                 }
@@ -65,7 +70,7 @@ proptest! {
                             // objects (dangling), as in the real system.
                         }
                         (Err(HeapError::DanglingObject(_)), None) => {}
-                        (h, m) => prop_assert!(false, "free mismatch: {h:?} vs {m:?}"),
+                        (h, m) => panic!("case {case}: free mismatch: {h:?} vs {m:?}"),
                     }
                 }
                 Op::SetInt(i, v) if !handles.is_empty() => {
@@ -76,7 +81,7 @@ proptest! {
                             m.modified = true;
                         }
                         (Err(HeapError::DanglingObject(_)), None) => {}
-                        (h, m) => prop_assert!(false, "set mismatch: {h:?} vs {m:?}"),
+                        (h, m) => panic!("case {case}: set mismatch: {h:?} vs {m:?}"),
                     }
                 }
                 Op::SetRef(a, b) if !handles.is_empty() => {
@@ -91,7 +96,7 @@ proptest! {
                             m.modified = true;
                         }
                         (Err(HeapError::DanglingObject(_)), None) => {}
-                        (h, m) => prop_assert!(false, "setref mismatch: {h:?} vs {m:?}"),
+                        (h, m) => panic!("case {case}: setref mismatch: {h:?} vs {m:?}"),
                     }
                 }
                 Op::SetRefNull(i) if !handles.is_empty() => {
@@ -102,7 +107,7 @@ proptest! {
                             m.modified = true;
                         }
                         (Err(HeapError::DanglingObject(_)), None) => {}
-                        (h, m) => prop_assert!(false, "setnull mismatch: {h:?} vs {m:?}"),
+                        (h, m) => panic!("case {case}: setnull mismatch: {h:?} vs {m:?}"),
                     }
                 }
                 Op::ResetModified(i) if !handles.is_empty() => {
@@ -110,43 +115,47 @@ proptest! {
                     match (heap.reset_modified(id), model.get_mut(&id)) {
                         (Ok(()), Some(m)) => m.modified = false,
                         (Err(HeapError::DanglingObject(_)), None) => {}
-                        (h, m) => prop_assert!(false, "reset mismatch: {h:?} vs {m:?}"),
+                        (h, m) => panic!("case {case}: reset mismatch: {h:?} vs {m:?}"),
                     }
                 }
                 _ => {}
             }
 
             // Full-state check after every operation.
-            prop_assert_eq!(heap.len(), model.len());
+            assert_eq!(heap.len(), model.len(), "case {case}");
             for (&id, m) in &model {
-                prop_assert_eq!(heap.field(id, 0).unwrap(), Value::Int(m.value));
-                prop_assert_eq!(heap.field(id, 1).unwrap(), Value::Ref(m.reference));
-                prop_assert_eq!(heap.is_modified(id).unwrap(), m.modified);
+                assert_eq!(heap.field(id, 0).unwrap(), Value::Int(m.value), "case {case}");
+                assert_eq!(heap.field(id, 1).unwrap(), Value::Ref(m.reference), "case {case}");
+                assert_eq!(heap.is_modified(id).unwrap(), m.modified, "case {case}");
             }
         }
 
         // Live iteration agrees with the model's key set.
         let live: Vec<ObjectId> = heap.iter_live().collect();
-        prop_assert_eq!(live.len(), model.len());
+        assert_eq!(live.len(), model.len(), "case {case}");
         for id in live {
-            prop_assert!(model.contains_key(&id));
+            assert!(model.contains_key(&id), "case {case}");
         }
     }
+}
 
-    /// Stable ids are unique across the lifetime of a heap, even with
-    /// slot reuse after frees.
-    #[test]
-    fn stable_ids_never_repeat(frees in proptest::collection::vec(any::<bool>(), 1..80)) {
+/// Stable ids are unique across the lifetime of a heap, even with slot
+/// reuse after frees.
+#[test]
+fn stable_ids_never_repeat() {
+    for case in 0..64u64 {
+        let mut rng = Prng::seed_from_u64(0x51ab_0000 + case);
+        let rounds = 1 + rng.index(80);
         let mut reg = ClassRegistry::new();
         let class = reg.define("N", None, &[("v", FieldType::Int)]).unwrap();
         let mut heap = Heap::new(reg);
         let mut seen = std::collections::HashSet::new();
         let mut live: Vec<ObjectId> = Vec::new();
-        for f in frees {
+        for _ in 0..rounds {
             let id = heap.alloc(class).unwrap();
-            prop_assert!(seen.insert(heap.stable_id(id).unwrap()), "stable id reused");
+            assert!(seen.insert(heap.stable_id(id).unwrap()), "case {case}: stable id reused");
             live.push(id);
-            if f && live.len() > 1 {
+            if rng.next_bool() && live.len() > 1 {
                 let victim = live.remove(0);
                 heap.free(victim).unwrap();
             }

@@ -122,9 +122,9 @@ impl<'p> Interp<'p> {
             return Err(MinicError::new(ErrorKind::Runtime, pos, "call depth exceeded"));
         }
         let program: &'p Program = self.program;
-        let func = program
-            .function(name)
-            .ok_or_else(|| MinicError::new(ErrorKind::Runtime, pos, format!("no function `{name}`")))?;
+        let func = program.function(name).ok_or_else(|| {
+            MinicError::new(ErrorKind::Runtime, pos, format!("no function `{name}`"))
+        })?;
         if func.params.len() != args.len() {
             return Err(MinicError::new(
                 ErrorKind::Runtime,
@@ -349,16 +349,13 @@ impl<'p> Interp<'p> {
             ExprKind::Index { array, index } => {
                 let i = self.eval(index, frame, depth)?;
                 self.with_array(array, frame, e.pos, |arr| {
-                    usize::try_from(i)
-                        .ok()
-                        .and_then(|i| arr.get(i).copied())
-                        .ok_or_else(|| {
-                            MinicError::new(
-                                ErrorKind::Runtime,
-                                e.pos,
-                                format!("index {i} out of bounds (len {})", arr.len()),
-                            )
-                        })
+                    usize::try_from(i).ok().and_then(|i| arr.get(i).copied()).ok_or_else(|| {
+                        MinicError::new(
+                            ErrorKind::Runtime,
+                            e.pos,
+                            format!("index {i} out of bounds (len {})", arr.len()),
+                        )
+                    })
                 })
             }
             ExprKind::Assign { target, value } => {
@@ -390,22 +387,26 @@ impl<'p> Interp<'p> {
                 // Short-circuit logic first.
                 match op {
                     BinOp::And => {
-                        return Ok(if self.eval(lhs, frame, depth)? != 0
-                            && self.eval(rhs, frame, depth)? != 0
-                        {
-                            1
-                        } else {
-                            0
-                        })
+                        return Ok(
+                            if self.eval(lhs, frame, depth)? != 0
+                                && self.eval(rhs, frame, depth)? != 0
+                            {
+                                1
+                            } else {
+                                0
+                            },
+                        )
                     }
                     BinOp::Or => {
-                        return Ok(if self.eval(lhs, frame, depth)? != 0
-                            || self.eval(rhs, frame, depth)? != 0
-                        {
-                            1
-                        } else {
-                            0
-                        })
+                        return Ok(
+                            if self.eval(lhs, frame, depth)? != 0
+                                || self.eval(rhs, frame, depth)? != 0
+                            {
+                                1
+                            } else {
+                                0
+                            },
+                        )
                     }
                     _ => {}
                 }
@@ -506,9 +507,9 @@ impl<'p> Interp<'p> {
             return Err(MinicError::new(ErrorKind::Runtime, pos, "call depth exceeded"));
         }
         let program: &'p Program = self.program;
-        let func = program
-            .function(name)
-            .ok_or_else(|| MinicError::new(ErrorKind::Runtime, pos, format!("no function `{name}`")))?;
+        let func = program.function(name).ok_or_else(|| {
+            MinicError::new(ErrorKind::Runtime, pos, format!("no function `{name}`"))
+        })?;
         let mut scope = HashMap::new();
         let mut it = scalars.iter();
         for p in &func.params {

@@ -63,23 +63,16 @@ pub fn lex(source: &str) -> Result<Vec<SpannedToken>, MinicError> {
                     bump!();
                 }
                 if !closed {
-                    return Err(MinicError::new(
-                        ErrorKind::Lex,
-                        pos,
-                        "unterminated block comment",
-                    ));
+                    return Err(MinicError::new(ErrorKind::Lex, pos, "unterminated block comment"));
                 }
             }
             c if c.is_ascii_digit() => {
                 let mut value: i64 = 0;
                 while i < chars.len() && chars[i].is_ascii_digit() {
                     let digit = (chars[i] as u8 - b'0') as i64;
-                    value = value
-                        .checked_mul(10)
-                        .and_then(|v| v.checked_add(digit))
-                        .ok_or_else(|| {
-                            MinicError::new(ErrorKind::Lex, pos, "integer literal overflows i64")
-                        })?;
+                    value = value.checked_mul(10).and_then(|v| v.checked_add(digit)).ok_or_else(
+                        || MinicError::new(ErrorKind::Lex, pos, "integer literal overflows i64"),
+                    )?;
                     bump!();
                 }
                 tokens.push(SpannedToken { token: Token::IntLit(value), pos });

@@ -62,11 +62,7 @@ impl Parser {
     }
 
     fn unexpected(&self, what: &str) -> MinicError {
-        MinicError::new(
-            ErrorKind::Parse,
-            self.pos(),
-            format!("{what}, found {}", self.peek()),
-        )
+        MinicError::new(ErrorKind::Parse, self.pos(), format!("{what}, found {}", self.peek()))
     }
 
     fn fresh_id(&mut self) -> NodeId {
@@ -230,22 +226,18 @@ impl Parser {
             Token::KwFor => {
                 self.bump();
                 self.eat(&Token::LParen)?;
-                let init =
-                    if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                let init = if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
                 self.eat(&Token::Semi)?;
-                let cond =
-                    if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                let cond = if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
                 self.eat(&Token::Semi)?;
-                let step =
-                    if *self.peek() == Token::RParen { None } else { Some(self.expr()?) };
+                let step = if *self.peek() == Token::RParen { None } else { Some(self.expr()?) };
                 self.eat(&Token::RParen)?;
                 let body = self.block_or_stmt()?;
                 StmtKind::For { init, cond, step, body }
             }
             Token::KwReturn => {
                 self.bump();
-                let value =
-                    if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
                 self.eat(&Token::Semi)?;
                 StmtKind::Return(value)
             }
@@ -343,7 +335,10 @@ impl Parser {
     }
 
     fn add_expr(&mut self) -> Result<Expr, MinicError> {
-        self.binary_level(&[(Token::Plus, BinOp::Add), (Token::Minus, BinOp::Sub)], Parser::mul_expr)
+        self.binary_level(
+            &[(Token::Plus, BinOp::Add), (Token::Minus, BinOp::Sub)],
+            Parser::mul_expr,
+        )
     }
 
     fn mul_expr(&mut self) -> Result<Expr, MinicError> {
@@ -432,10 +427,9 @@ mod tests {
 
     #[test]
     fn statement_ids_are_dense_preorder() {
-        let p = parse(
-            "void f() { int i; for (i = 0; i < 3; i = i + 1) { g(i); } if (i) { return; } }",
-        )
-        .unwrap();
+        let p =
+            parse("void f() { int i; for (i = 0; i < 3; i = i + 1) { g(i); } if (i) { return; } }")
+                .unwrap();
         // stmts: decl, for, call-expr, if, return
         assert_eq!(p.stmt_count, 5);
         assert_eq!(p.stmt_ids(), vec![0, 1, 2, 3, 4]);

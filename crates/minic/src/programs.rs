@@ -364,10 +364,7 @@ mod tests {
     fn image_program_is_about_750_lines() {
         let src = image_program_source(DEFAULT_FILTERS);
         let lines = src.lines().count();
-        assert!(
-            (600..=900).contains(&lines),
-            "expected roughly 750 lines, got {lines}"
-        );
+        assert!((600..=900).contains(&lines), "expected roughly 750 lines, got {lines}");
     }
 
     #[test]

@@ -139,9 +139,7 @@ impl Checker {
             }
             StmtKind::Return(value) => match (self.current_ret, value) {
                 (Type::Void, None) => Ok(()),
-                (Type::Void, Some(e)) => {
-                    Err(err(e.pos, "void function cannot return a value"))
-                }
+                (Type::Void, Some(e)) => Err(err(e.pos, "void function cannot return a value")),
                 (Type::Int, Some(e)) => self.expect_int(e),
                 (Type::Int, None) => Err(err(stmt.pos, "function must return a value")),
                 (Type::IntArray, _) => Err(err(stmt.pos, "functions cannot return arrays")),
@@ -172,9 +170,9 @@ impl Checker {
     fn expr(&mut self, e: &Expr) -> Result<Type, MinicError> {
         match &e.kind {
             ExprKind::IntLit(_) => Ok(Type::Int),
-            ExprKind::Var(name) => self
-                .lookup(name)
-                .ok_or_else(|| err(e.pos, format!("undefined variable `{name}`"))),
+            ExprKind::Var(name) => {
+                self.lookup(name).ok_or_else(|| err(e.pos, format!("undefined variable `{name}`")))
+            }
             ExprKind::Index { array, index } => {
                 match self.lookup(array) {
                     Some(Type::IntArray) => {}

@@ -84,8 +84,7 @@ fn break_in_while_terminates() {
 
 #[test]
 fn break_outside_a_loop_is_a_type_error() {
-    for src in ["void f() { break; }", "void f() { continue; }",
-                "void f() { if (1) { break; } }"] {
+    for src in ["void f() { break; }", "void f() { continue; }", "void f() { if (1) { break; } }"] {
         let p = parse(src).unwrap();
         assert!(typecheck(&p).is_err(), "{src}");
     }

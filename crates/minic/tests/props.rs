@@ -1,71 +1,80 @@
-//! Property tests for the mini-C front end and interpreter.
+//! Randomized tests for the mini-C front end and interpreter.
+//!
+//! Previously written with `proptest`; rewritten over the in-repo seeded
+//! PRNG so the suite builds with no network access. Each case is fully
+//! determined by its seed, named in the assertion message for replay.
 
 use ickp_minic::{lex, parse, pretty, typecheck, Interp, Limits};
-use proptest::prelude::*;
+use ickp_prng::Prng;
+
+const BINOPS: [&str; 13] = ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||"];
 
 /// Random expression source over the globals `a`, `b`, `c`.
-fn arb_expr() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(|v| v.to_string()),
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
-                Just("<"), Just("<="), Just(">"), Just(">="), Just("=="),
-                Just("!="), Just("&&"), Just("||"),
-            ], inner.clone())
-                .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
-            inner.clone().prop_map(|e| format!("(-{e})")),
-            inner.prop_map(|e| format!("(!{e})")),
-        ]
-    })
+fn random_expr(rng: &mut Prng, depth: usize) -> String {
+    if depth == 0 || rng.ratio(1, 3) {
+        // Leaf: a small literal or a global.
+        if rng.next_bool() {
+            rng.range_i64(-50, 50).to_string()
+        } else {
+            (*rng.choose(&["a", "b", "c"])).to_string()
+        }
+    } else {
+        match rng.below(4) {
+            0 => format!("(-{})", random_expr(rng, depth - 1)),
+            1 => format!("(!{})", random_expr(rng, depth - 1)),
+            _ => {
+                let l = random_expr(rng, depth - 1);
+                let op = *rng.choose(&BINOPS);
+                let r = random_expr(rng, depth - 1);
+                format!("({l} {op} {r})")
+            }
+        }
+    }
 }
 
 /// A random straight-line program assigning random expressions.
-fn arb_program() -> impl Strategy<Value = String> {
-    proptest::collection::vec(arb_expr(), 1..6).prop_map(|exprs| {
-        let mut body = String::new();
-        for (i, e) in exprs.iter().enumerate() {
-            let target = ["a", "b", "c"][i % 3];
-            body.push_str(&format!("    {target} = {e};\n"));
-        }
-        format!("int a;\nint b;\nint c;\nvoid main() {{\n{body}}}\n")
-    })
+fn random_program(rng: &mut Prng) -> String {
+    let n = 1 + rng.index(5);
+    let mut body = String::new();
+    for i in 0..n {
+        let target = ["a", "b", "c"][i % 3];
+        let e = random_expr(rng, 4);
+        body.push_str(&format!("    {target} = {e};\n"));
+    }
+    format!("int a;\nint b;\nint c;\nvoid main() {{\n{body}}}\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Pretty-printing is a fixpoint under re-parsing, and preserves
-    /// statement identity, for arbitrary generated programs.
-    #[test]
-    fn pretty_parse_fixpoint(src in arb_program()) {
+/// Pretty-printing is a fixpoint under re-parsing, and preserves
+/// statement identity, for arbitrary generated programs.
+#[test]
+fn pretty_parse_fixpoint() {
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0xf1c5_0000 + case);
+        let src = random_program(&mut rng);
         let p1 = parse(&src).unwrap();
         typecheck(&p1).unwrap();
         let printed = pretty(&p1);
         let p2 = parse(&printed).unwrap();
         typecheck(&p2).unwrap();
-        prop_assert_eq!(p1.stmt_ids(), p2.stmt_ids());
-        prop_assert_eq!(&printed, &pretty(&p2));
+        assert_eq!(p1.stmt_ids(), p2.stmt_ids(), "case {case}");
+        assert_eq!(&printed, &pretty(&p2), "case {case}");
     }
+}
 
-    /// The interpreter is deterministic, and pretty-printing preserves
-    /// program semantics (same final globals or the same error).
-    #[test]
-    fn interpretation_is_deterministic_and_print_stable(src in arb_program()) {
+/// The interpreter is deterministic, and pretty-printing preserves
+/// program semantics (same final globals or the same error).
+#[test]
+fn interpretation_is_deterministic_and_print_stable() {
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0xde7e_0000 + case);
+        let src = random_program(&mut rng);
         let p1 = parse(&src).unwrap();
         let p2 = parse(&pretty(&p1)).unwrap();
         let run = |p: &ickp_minic::Program| {
             let mut i = Interp::with_limits(p, Limits { max_steps: 200_000, max_depth: 16 });
-            let outcome = i.call("main", &[]).map(|_| {
-                (
-                    i.global_scalar("a"),
-                    i.global_scalar("b"),
-                    i.global_scalar("c"),
-                )
-            });
+            let outcome = i
+                .call("main", &[])
+                .map(|_| (i.global_scalar("a"), i.global_scalar("b"), i.global_scalar("c")));
             // Compare errors by message only: source positions legitimately
             // differ between the original and pretty-printed layouts.
             outcome.map_err(|e| e.message().to_string())
@@ -73,20 +82,34 @@ proptest! {
         let r1 = run(&p1);
         let r1_again = run(&p1);
         let r2 = run(&p2);
-        prop_assert_eq!(&r1, &r1_again, "determinism");
-        prop_assert_eq!(&r1, &r2, "pretty-printing preserves semantics");
+        assert_eq!(&r1, &r1_again, "case {case}: determinism");
+        assert_eq!(&r1, &r2, "case {case}: pretty-printing preserves semantics");
     }
+}
 
-    /// The lexer is total: arbitrary input errors gracefully, never
-    /// panics, and never loops.
-    #[test]
-    fn lexer_is_total(src in "[ -~\n\t]{0,200}") {
+/// The lexer is total: arbitrary printable input errors gracefully,
+/// never panics, and never loops.
+#[test]
+fn lexer_is_total() {
+    // Printable ASCII plus newline and tab, like the original `[ -~\n\t]`.
+    let alphabet: Vec<char> = (b' '..=b'~').map(char::from).chain(['\n', '\t']).collect();
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0x1e8e_0000 + case);
+        let len = rng.index(201);
+        let src: String = (0..len).map(|_| *rng.choose(&alphabet)).collect();
         let _ = lex(&src);
     }
+}
 
-    /// The parser is total on arbitrary token-ish text.
-    #[test]
-    fn parser_is_total(src in "[a-z0-9(){};=+*<>!&|,\\[\\] \n]{0,160}") {
+/// The parser is total on arbitrary token-ish text.
+#[test]
+fn parser_is_total() {
+    let alphabet: Vec<char> =
+        ('a'..='z').chain('0'..='9').chain("(){};=+*<>!&|,[] \n".chars()).collect();
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0x9a85_0000 + case);
+        let len = rng.index(161);
+        let src: String = (0..len).map(|_| *rng.choose(&alphabet)).collect();
         let _ = parse(&src);
     }
 }

@@ -146,13 +146,7 @@ fn walk(registry: &ClassRegistry, shape: &SpecShape, path: &str, d: &mut Divisio
                     .unwrap_or_else(|| format!("slot{slot}"));
                 let child_path = format!("{path}.{field}");
                 if child.is_fully_unmodified() {
-                    push(
-                        d,
-                        &child_path,
-                        "traversal of subtree",
-                        BindingTime::Static,
-                        true,
-                    );
+                    push(d, &child_path, "traversal of subtree", BindingTime::Static, true);
                 } else {
                     push(d, &child_path, "field load (inlined fold)", BindingTime::Static, false);
                     walk(registry, child, &child_path, d);
@@ -168,7 +162,13 @@ fn walk(registry: &ClassRegistry, shape: &SpecShape, path: &str, d: &mut Divisio
                     push(d, &lp, "traversal of list", BindingTime::Static, true);
                 }
                 ListPattern::MayModify => {
-                    push(d, &lp, &format!("{len} modified-flag tests"), BindingTime::Dynamic, false);
+                    push(
+                        d,
+                        &lp,
+                        &format!("{len} modified-flag tests"),
+                        BindingTime::Dynamic,
+                        false,
+                    );
                     push(d, &lp, "unrolled element traversal", BindingTime::Static, false);
                 }
                 ListPattern::LastOnly => {
@@ -221,8 +221,7 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
         let generic_shape = SpecShape::object(
             holder,
             NodePattern::MayModify,
@@ -240,11 +239,8 @@ mod tests {
     fn structure_specialization_makes_dispatch_static() {
         let (reg, shape, _) = setup();
         let div = divide(&reg, &shape);
-        let dispatch = div
-            .entries()
-            .iter()
-            .find(|e| e.action.contains("virtual dispatch"))
-            .unwrap();
+        let dispatch =
+            div.entries().iter().find(|e| e.action.contains("virtual dispatch")).unwrap();
         assert_eq!(dispatch.binding, BindingTime::Static);
         assert!(dispatch.eliminated);
     }

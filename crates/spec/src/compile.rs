@@ -39,8 +39,9 @@ use std::collections::HashMap;
 ///     vec![(0, SpecShape::list(elem, 1, 5, ListPattern::LastOnly))],
 /// );
 /// let plan = Specializer::new(&reg).compile(&shape)?;
-/// // 1 root bind + 5 loads to reach the tail + 1 test + 1 record:
-/// assert_eq!(plan.ops().len(), 8);
+/// // 1 root bind + 5 loads to reach the tail + 1 test + 1 record
+/// // + 1 end-of-list guard:
+/// assert_eq!(plan.ops().len(), 9);
 /// # Ok(()) }
 /// ```
 #[derive(Debug)]
@@ -232,6 +233,7 @@ impl<'r> Compiler<'r> {
                         cur = next;
                     }
                 }
+                self.ops.push(Op::GuardListEnd { obj: cur, slot: next_slot as u32 });
                 Ok(())
             }
             // Chase `next` to the tail with *no tests on the way* — the
@@ -248,7 +250,9 @@ impl<'r> Compiler<'r> {
                     });
                     cur = next;
                 }
-                self.emit_test_and_record(cur, elem)
+                self.emit_test_and_record(cur, elem)?;
+                self.ops.push(Op::GuardListEnd { obj: cur, slot: next_slot as u32 });
+                Ok(())
             }
             ListPattern::Positions(ps) => {
                 let mut positions: Vec<usize> = ps.clone();
@@ -274,6 +278,12 @@ impl<'r> Compiler<'r> {
                         });
                         cur = next;
                     }
+                }
+                // The dead-load elimination above stops at the deepest
+                // possibly-dirty position, so the tail (and its length
+                // guard) is only reachable when that position is the tail.
+                if max_pos == len - 1 {
+                    self.ops.push(Op::GuardListEnd { obj: cur, slot: next_slot as u32 });
                 }
                 Ok(())
             }
@@ -380,8 +390,8 @@ mod tests {
         let shape = two_list_shape(&f, 4, ListPattern::Unmodified, ListPattern::MayModify);
         let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
         // root bind + list1's (4 tests/records interleaved with 3 loads):
-        // 1 + 1(load head) + 4*2 + 3 = 13
-        assert_eq!(plan.ops().len(), 13);
+        // 1 + 1(load head) + 4*2 + 3 + 1(end guard) = 14
+        assert_eq!(plan.ops().len(), 14);
 
         f.heap.set_field(l1[3], 0, Value::Int(9)).unwrap();
         let (bytes, stats) = f.run(&plan, h);
@@ -397,8 +407,9 @@ mod tests {
         let (h, l0, _) = f.build(5);
         let shape = two_list_shape(&f, 5, ListPattern::LastOnly, ListPattern::Unmodified);
         let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
-        // 1 root + 1 head load + 4 next loads + 1 test + 1 record = 8
-        assert_eq!(plan.ops().len(), 8);
+        // 1 root + 1 head load + 4 next loads + 1 test + 1 record
+        // + 1 end guard = 9
+        assert_eq!(plan.ops().len(), 9);
 
         f.heap.set_field(l0[4], 0, Value::Int(1)).unwrap();
         let (bytes, stats) = f.run(&plan, h);
@@ -412,12 +423,8 @@ mod tests {
     fn positions_plan_stops_at_the_deepest_position() {
         let mut f = fixture();
         let (h, l0, _) = f.build(5);
-        let shape = two_list_shape(
-            &f,
-            5,
-            ListPattern::Positions(vec![2, 0]),
-            ListPattern::Unmodified,
-        );
+        let shape =
+            two_list_shape(&f, 5, ListPattern::Positions(vec![2, 0]), ListPattern::Unmodified);
         let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
         // 1 root + head load + [test+rec pos0] + load + [pos1: nothing] +
         // load + [test+rec pos2] = 1+1+2+1+1+2 = 8; no loads past pos 2.
@@ -436,7 +443,8 @@ mod tests {
     fn duplicate_and_unsorted_positions_are_normalized() {
         let mut f = fixture();
         let (_, _, _) = f.build(4);
-        let a = two_list_shape(&f, 4, ListPattern::Positions(vec![3, 1, 1]), ListPattern::Unmodified);
+        let a =
+            two_list_shape(&f, 4, ListPattern::Positions(vec![3, 1, 1]), ListPattern::Unmodified);
         let b = two_list_shape(&f, 4, ListPattern::Positions(vec![1, 3]), ListPattern::Unmodified);
         let spec = Specializer::new(f.heap.registry());
         assert_eq!(spec.compile(&a).unwrap(), spec.compile(&b).unwrap());
@@ -455,11 +463,7 @@ mod tests {
             NodePattern::MayModify,
             vec![(
                 0,
-                SpecShape::object(
-                    bt_entry,
-                    NodePattern::MayModify,
-                    vec![(0, SpecShape::leaf(bt))],
-                ),
+                SpecShape::object(bt_entry, NodePattern::MayModify, vec![(0, SpecShape::leaf(bt))]),
             )],
         );
         let plan = Specializer::new(&reg).compile(&shape).unwrap();
@@ -489,11 +493,8 @@ mod tests {
     fn dynamic_child_marks_plan_and_survives_compile() {
         let mut f = fixture();
         f.build(1);
-        let shape = SpecShape::object(
-            f.holder,
-            NodePattern::FrozenHere,
-            vec![(0, SpecShape::Dynamic)],
-        );
+        let shape =
+            SpecShape::object(f.holder, NodePattern::FrozenHere, vec![(0, SpecShape::Dynamic)]);
         let plan = Specializer::new(f.heap.registry()).compile(&shape).unwrap();
         assert!(plan.has_dynamic());
     }

@@ -90,10 +90,8 @@ impl SpecializedCheckpointer {
         I: IntoIterator<Item = (&'p Plan, ObjectId)>,
     {
         let assignments: Vec<(&Plan, ObjectId)> = assignments.into_iter().collect();
-        let root_ids: Vec<StableId> = assignments
-            .iter()
-            .map(|&(_, r)| heap.stable_id(r))
-            .collect::<Result<_, _>>()?;
+        let root_ids: Vec<StableId> =
+            assignments.iter().map(|&(_, r)| heap.stable_id(r)).collect::<Result<_, _>>()?;
         let seq = self.next_seq;
         let mut writer = StreamWriter::new(seq, CheckpointKind::Incremental, &root_ids);
         let mut stats = TraversalStats::default();
@@ -114,13 +112,7 @@ impl SpecializedCheckpointer {
         let bytes = writer.finish();
         self.next_seq += 1;
         self.cumulative += stats;
-        Ok(CheckpointRecord::from_parts(
-            seq,
-            CheckpointKind::Incremental,
-            root_ids,
-            bytes,
-            stats,
-        ))
+        Ok(CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats))
     }
 }
 
@@ -228,8 +220,7 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
         let mut heap = Heap::new(reg);
         let mut roots = Vec::new();
         let mut lists = Vec::new();
@@ -274,8 +265,9 @@ mod tests {
         modify(&mut w);
         modify(&mut w2);
 
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 3, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 3, ListPattern::MayModify))
+            .unwrap();
         let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
         let spec_rec = sc.checkpoint(&mut w.heap, &plan, &w.roots.clone(), None).unwrap();
 
@@ -296,8 +288,9 @@ mod tests {
         w.heap.reset_all_modified();
         w.heap.mark_all_modified(); // first checkpoint covers everything
 
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 4, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 4, ListPattern::MayModify))
+            .unwrap();
         let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
         let mut store = CheckpointStore::new();
         let roots = w.roots.clone();
@@ -315,8 +308,9 @@ mod tests {
     #[test]
     fn sequence_numbers_and_cumulative_stats_advance() {
         let mut w = world(2, 2);
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 2, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 2, ListPattern::MayModify))
+            .unwrap();
         let mut sc = SpecializedCheckpointer::new(GuardMode::Trusting);
         let roots = w.roots.clone();
         let r0 = sc.checkpoint(&mut w.heap, &plan, &roots, None).unwrap();
@@ -332,8 +326,9 @@ mod tests {
         let mut w = world(1, 2);
         // Break the shape: null out the list head.
         w.heap.set_field(w.roots[0], 0, Value::Ref(None)).unwrap();
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 2, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 2, ListPattern::MayModify))
+            .unwrap();
         let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
         let roots = w.roots.clone();
         assert!(sc.checkpoint(&mut w.heap, &plan, &roots, None).is_err());
@@ -345,8 +340,9 @@ mod tests {
         use ickp_core::{restore, verify_restore, RestorePolicy};
         let mut w = world(3, 2);
         let table = MethodTable::derive(w.heap.registry());
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 2, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 2, ListPattern::MayModify))
+            .unwrap();
         let mut sc = SpecializedCheckpointer::new(GuardMode::Trusting);
         let mut store = CheckpointStore::new();
 
@@ -373,8 +369,9 @@ mod tests {
     fn fallback_restores_the_configured_guard_mode() {
         let mut w = world(1, 2);
         let table = MethodTable::derive(w.heap.registry());
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 2, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 2, ListPattern::MayModify))
+            .unwrap();
         let mut sc = SpecializedCheckpointer::new(GuardMode::Trusting);
         let roots = w.roots.clone();
         sc.checkpoint_or_fallback(&mut w.heap, &plan, &roots, &table).unwrap();
@@ -385,8 +382,9 @@ mod tests {
     fn fallback_consumes_exactly_one_sequence_number() {
         let mut w = world(1, 2);
         let table = MethodTable::derive(w.heap.registry());
-        let plan =
-            Specializer::new(w.heap.registry()).compile(&shape(&w, 2, ListPattern::MayModify)).unwrap();
+        let plan = Specializer::new(w.heap.registry())
+            .compile(&shape(&w, 2, ListPattern::MayModify))
+            .unwrap();
         w.heap.set_field(w.roots[0], 0, Value::Ref(None)).unwrap(); // break shape
         let mut sc = SpecializedCheckpointer::new(GuardMode::Checked);
         let roots = w.roots.clone();

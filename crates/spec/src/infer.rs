@@ -238,10 +238,7 @@ fn same_slots(a: &[(usize, Option<ProfNode>)], b: &[(usize, Option<ProfNode>)]) 
 fn fully_unmodified(node: &ProfNode) -> bool {
     match node {
         ProfNode::Object { modified_seen, children, .. } => {
-            !modified_seen
-                && children
-                    .iter()
-                    .all(|(_, c)| c.as_ref().map_or(true, fully_unmodified))
+            !modified_seen && children.iter().all(|(_, c)| c.as_ref().is_none_or(fully_unmodified))
         }
         ProfNode::List { modified_at, .. } => modified_at.iter().all(|&m| !m),
         ProfNode::Dynamic => false,
@@ -467,9 +464,7 @@ mod tests {
         fn has_dynamic(s: &SpecShape) -> bool {
             match s {
                 SpecShape::Dynamic => true,
-                SpecShape::Object { children, .. } => {
-                    children.iter().any(|(_, c)| has_dynamic(c))
-                }
+                SpecShape::Object { children, .. } => children.iter().any(|(_, c)| has_dynamic(c)),
                 SpecShape::List { .. } => false,
             }
         }

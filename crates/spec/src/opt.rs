@@ -62,7 +62,9 @@ pub fn compact_registers(plan: &Plan) -> Plan {
                 // live through the whole region.
                 touch(*obj, (i + 1 + *skip as usize).min(n - 1), &mut last_use);
             }
-            Op::Record { obj, .. } | Op::Generic { obj } => touch(*obj, i, &mut last_use),
+            Op::Record { obj, .. } | Op::Generic { obj } | Op::GuardListEnd { obj, .. } => {
+                touch(*obj, i, &mut last_use)
+            }
         }
     }
 
@@ -96,32 +98,20 @@ pub fn compact_registers(plan: &Plan) -> Plan {
         .iter()
         .map(|op| match op {
             Op::LoadRoot { dst, class } => Op::LoadRoot { dst: remap(*dst), class: *class },
-            Op::LoadRef { dst, src, slot, class } => Op::LoadRef {
-                dst: remap(*dst),
-                src: remap(*src),
-                slot: *slot,
-                class: *class,
-            },
-            Op::LoadDyn { dst, src, slot, skip } => Op::LoadDyn {
-                dst: remap(*dst),
-                src: remap(*src),
-                slot: *slot,
-                skip: *skip,
-            },
-            Op::TestModified { obj, skip } => {
-                Op::TestModified { obj: remap(*obj), skip: *skip }
+            Op::LoadRef { dst, src, slot, class } => {
+                Op::LoadRef { dst: remap(*dst), src: remap(*src), slot: *slot, class: *class }
             }
+            Op::LoadDyn { dst, src, slot, skip } => {
+                Op::LoadDyn { dst: remap(*dst), src: remap(*src), slot: *slot, skip: *skip }
+            }
+            Op::TestModified { obj, skip } => Op::TestModified { obj: remap(*obj), skip: *skip },
             Op::Record { obj, template } => Op::Record { obj: remap(*obj), template: *template },
             Op::Generic { obj } => Op::Generic { obj: remap(*obj) },
+            Op::GuardListEnd { obj, slot } => Op::GuardListEnd { obj: remap(*obj), slot: *slot },
         })
         .collect();
 
-    Plan::new(
-        new_ops,
-        plan.templates().to_vec(),
-        slot_free_at.len() as u32,
-        plan.has_dynamic(),
-    )
+    Plan::new(new_ops, plan.templates().to_vec(), slot_free_at.len() as u32, plan.has_dynamic())
 }
 
 #[cfg(test)]
@@ -148,7 +138,12 @@ mod tests {
         (reg, elem, holder)
     }
 
-    fn build(heap: &mut Heap, elem: ClassId, holder: ClassId, len: usize) -> (ObjectId, Vec<ObjectId>) {
+    fn build(
+        heap: &mut Heap,
+        elem: ClassId,
+        holder: ClassId,
+        len: usize,
+    ) -> (ObjectId, Vec<ObjectId>) {
         let mut all = Vec::new();
         let h = heap.alloc(holder).unwrap();
         for l in 0..2 {
@@ -171,9 +166,7 @@ mod tests {
     fn run(plan: &Plan, heap: &mut Heap, root: ObjectId) -> Vec<u8> {
         let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
         let mut stats = TraversalStats::default();
-        plan.executor()
-            .run(heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
-            .unwrap();
+        plan.executor().run(heap, root, &mut writer, GuardMode::Checked, None, &mut stats).unwrap();
         writer.finish()
     }
 

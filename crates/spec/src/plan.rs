@@ -92,6 +92,17 @@ pub enum Op {
         /// Register holding the subtree root.
         obj: Reg,
     },
+    /// Verify that the declared list ends here: `obj.slots[slot]` must be
+    /// null. Emitted after the tail element of a fixed-length list so a
+    /// *grown* list trips the guards instead of being silently truncated
+    /// (its new elements would otherwise never be recorded). A shape
+    /// guard, so only enforced under [`GuardMode::Checked`].
+    GuardListEnd {
+        /// Register holding the declared tail element.
+        obj: Reg,
+        /// The list's `next` slot, expected to hold null.
+        slot: u32,
+    },
 }
 
 /// Precompiled field-writing recipe for one class.
@@ -288,6 +299,17 @@ impl<'p> PlanExecutor<'p> {
                     heap.reset_modified(id)?;
                     stats.objects_recorded += 1;
                 }
+                Op::GuardListEnd { obj, slot } => {
+                    if mode == GuardMode::Checked {
+                        let tail = self.reg(*obj)?;
+                        if let Value::Ref(Some(_)) = heap.field(tail, *slot as usize)? {
+                            return Err(CoreError::GuardFailed {
+                                expected: "end of declared list (null next)".into(),
+                                found: "a further element (list grew)".into(),
+                            });
+                        }
+                    }
+                }
                 Op::Generic { obj } => {
                     let id = self.reg(*obj)?;
                     let table = methods.expect("checked at entry");
@@ -317,9 +339,8 @@ impl<'p> PlanExecutor<'p> {
 }
 
 fn guard_class_error(heap: &Heap, expected: ClassId, actual: ClassId) -> CoreError {
-    let name = |c: ClassId| {
-        heap.class(c).map(|d| d.name().to_string()).unwrap_or_else(|_| c.to_string())
-    };
+    let name =
+        |c: ClassId| heap.class(c).map(|d| d.name().to_string()).unwrap_or_else(|_| c.to_string());
     CoreError::GuardFailed { expected: name(expected), found: name(actual) }
 }
 
@@ -477,9 +498,7 @@ mod tests {
             let mut exec = plan.executor();
             let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
             let mut stats = TraversalStats::default();
-            let err = exec
-                .run(&mut heap, root, &mut writer, mode, None, &mut stats)
-                .unwrap_err();
+            let err = exec.run(&mut heap, root, &mut writer, mode, None, &mut stats).unwrap_err();
             assert!(matches!(err, CoreError::GuardFailed { .. }), "{mode:?}");
         }
     }
@@ -487,7 +506,9 @@ mod tests {
     #[test]
     fn class_guard_fires_only_in_checked_mode() {
         let (mut heap, node) = setup();
-        let other = heap.define_class("Other", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
+        let other = heap
+            .define_class("Other", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
         let child = heap.alloc(other).unwrap();
         let root = heap.alloc(node).unwrap();
         heap.set_field(root, 1, Value::Ref(Some(child))).unwrap();

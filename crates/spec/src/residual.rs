@@ -20,12 +20,7 @@ use std::fmt::Write as _;
 /// `method_name` names the generated method (the paper uses names like
 /// `checkpoint_attr_btmodif`).
 pub fn render(registry: &ClassRegistry, shape: &SpecShape, method_name: &str) -> String {
-    let mut p = Printer {
-        registry,
-        out: String::new(),
-        indent: 1,
-        taken: HashMap::new(),
-    };
+    let mut p = Printer { registry, out: String::new(), indent: 1, taken: HashMap::new() };
     let root_class = shape.root_class();
     let root_name = match root_class {
         Some(c) => p.class_name(c),
@@ -112,7 +107,13 @@ impl<'r> Printer<'r> {
         }
     }
 
-    fn emit_child(&mut self, parent_class: ClassId, parent_var: &str, slot: usize, child: &SpecShape) {
+    fn emit_child(
+        &mut self,
+        parent_class: ClassId,
+        parent_var: &str,
+        slot: usize,
+        child: &SpecShape,
+    ) {
         let field = self.field_name(parent_class, slot);
         if child.is_fully_unmodified() {
             self.line(&format!(
@@ -298,7 +299,14 @@ mod tests {
                     SpecShape::object(
                         bt_entry,
                         NodePattern::MayModify,
-                        vec![(0, SpecShape::object(bt, NodePattern::MayModify, vec![(0, SpecShape::leaf(id))]))],
+                        vec![(
+                            0,
+                            SpecShape::object(
+                                bt,
+                                NodePattern::MayModify,
+                                vec![(0, SpecShape::leaf(id))],
+                            ),
+                        )],
                     ),
                 ),
                 (
@@ -306,7 +314,14 @@ mod tests {
                     SpecShape::object(
                         et_entry,
                         NodePattern::MayModify,
-                        vec![(0, SpecShape::object(et, NodePattern::MayModify, vec![(0, SpecShape::leaf(id))]))],
+                        vec![(
+                            0,
+                            SpecShape::object(
+                                et,
+                                NodePattern::MayModify,
+                                vec![(0, SpecShape::leaf(id))],
+                            ),
+                        )],
                     ),
                 ),
             ],
@@ -366,8 +381,7 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
         let shape = SpecShape::object(
             holder,
             NodePattern::FrozenHere,
@@ -399,13 +413,9 @@ mod tests {
         let elem = reg
             .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
             .unwrap();
-        let holder =
-            reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
-        let shape = SpecShape::object(
-            holder,
-            NodePattern::MayModify,
-            vec![(0, SpecShape::Dynamic)],
-        );
+        let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+        let shape =
+            SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::Dynamic)]);
         let src = render(&reg, &shape, "ckp");
         assert!(src.contains("c.checkpoint(holder.head);"));
     }

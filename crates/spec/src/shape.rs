@@ -103,7 +103,12 @@ impl SpecShape {
     }
 
     /// A list node.
-    pub fn list(elem_class: ClassId, next_slot: usize, len: usize, pattern: ListPattern) -> SpecShape {
+    pub fn list(
+        elem_class: ClassId,
+        next_slot: usize,
+        len: usize,
+        pattern: ListPattern,
+    ) -> SpecShape {
         SpecShape::List { elem_class, next_slot, len, pattern }
     }
 
@@ -151,10 +156,7 @@ impl SpecShape {
                 match def.slot_type(*next_slot)? {
                     FieldType::Ref(_) => {}
                     _ => {
-                        return Err(SpecError::NotARefSlot {
-                            class: *elem_class,
-                            slot: *next_slot,
-                        })
+                        return Err(SpecError::NotARefSlot { class: *elem_class, slot: *next_slot })
                     }
                 }
                 if let ListPattern::Positions(ps) = pattern {
@@ -185,9 +187,7 @@ impl SpecShape {
             SpecShape::Object { pattern, children, .. } => match pattern {
                 NodePattern::Unmodified => true,
                 NodePattern::MayModify => false,
-                NodePattern::FrozenHere => {
-                    children.iter().all(|(_, c)| c.is_fully_unmodified())
-                }
+                NodePattern::FrozenHere => children.iter().all(|(_, c)| c.is_fully_unmodified()),
             },
             SpecShape::List { pattern, .. } => match pattern {
                 ListPattern::Unmodified => true,
@@ -255,10 +255,7 @@ mod tests {
         // Slot 0 of Holder requires Elem; declare a Holder child instead.
         let shape =
             SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::leaf(holder))]);
-        assert!(matches!(
-            shape.validate(&reg),
-            Err(SpecError::IncompatibleChildClass { .. })
-        ));
+        assert!(matches!(shape.validate(&reg), Err(SpecError::IncompatibleChildClass { .. })));
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Property tests over *random specialization declarations*: any valid
+//! Randomized tests over *random specialization declarations*: any valid
 //! shape compiles, and its plan behaves correctly on a heap built to
 //! conform to it.
+//!
+//! Previously written with `proptest`; rewritten over the in-repo seeded
+//! PRNG so the suite builds with no network access. Each case is fully
+//! determined by its seed, named in the assertion message for replay.
 
 use ickp_core::{CheckpointKind, StreamWriter, TraversalStats};
 use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, ObjectId, Value};
+use ickp_prng::Prng;
 use ickp_spec::{GuardMode, ListPattern, NodePattern, Op, SpecShape, Specializer};
-use proptest::prelude::*;
 
 /// Four classes, each with 2 int slots and 3 unconstrained ref slots
 /// (slot 2 doubles as a list `next` link).
@@ -30,44 +34,49 @@ fn registry() -> (ClassRegistry, Vec<ClassId>) {
     (reg, classes)
 }
 
-fn arb_node_pattern() -> impl Strategy<Value = NodePattern> {
-    prop_oneof![
-        Just(NodePattern::MayModify),
-        Just(NodePattern::FrozenHere),
-        Just(NodePattern::Unmodified),
-    ]
+fn random_node_pattern(rng: &mut Prng) -> NodePattern {
+    match rng.below(3) {
+        0 => NodePattern::MayModify,
+        1 => NodePattern::FrozenHere,
+        _ => NodePattern::Unmodified,
+    }
 }
 
-fn arb_list_pattern(len: usize) -> impl Strategy<Value = ListPattern> {
-    prop_oneof![
-        Just(ListPattern::MayModify),
-        Just(ListPattern::Unmodified),
-        Just(ListPattern::LastOnly),
-        proptest::collection::vec(0..len, 0..=len).prop_map(ListPattern::Positions),
-    ]
+fn random_list_pattern(rng: &mut Prng, len: usize) -> ListPattern {
+    match rng.below(4) {
+        0 => ListPattern::MayModify,
+        1 => ListPattern::Unmodified,
+        2 => ListPattern::LastOnly,
+        _ => {
+            let n = rng.index(len + 1);
+            ListPattern::Positions((0..n).map(|_| rng.index(len)).collect())
+        }
+    }
+}
+
+fn random_list(rng: &mut Prng) -> SpecShape {
+    let class = ClassId::from_index(rng.index(4));
+    let len = 1 + rng.index(4);
+    let pattern = random_list_pattern(rng, len);
+    SpecShape::list(class, 2, len, pattern)
 }
 
 /// Random shape over the class family; children occupy ref slots 3/4
-/// (slot 2 is reserved for list links).
-fn arb_shape() -> impl Strategy<Value = SpecShape> {
-    let leaf = (0usize..4, arb_node_pattern())
-        .prop_map(|(c, p)| SpecShape::object(ClassId::from_index(c), p, vec![]));
-    let list = (0usize..4, 1usize..5).prop_flat_map(|(c, len)| {
-        arb_list_pattern(len)
-            .prop_map(move |p| SpecShape::list(ClassId::from_index(c), 2, len, p))
-    });
-    prop_oneof![leaf, list.clone()].prop_recursive(3, 24, 2, move |inner| {
-        (
-            0usize..4,
-            arb_node_pattern(),
-            proptest::collection::vec(inner, 0..=2),
-        )
-            .prop_map(|(c, p, kids)| {
-                let children =
-                    kids.into_iter().enumerate().map(|(i, k)| (3 + i, k)).collect::<Vec<_>>();
-                SpecShape::object(ClassId::from_index(c), p, children)
-            })
-    })
+/// (slot 2 is reserved for list links). Never `Dynamic` at the root.
+fn random_shape(rng: &mut Prng, depth: usize) -> SpecShape {
+    if depth == 0 || rng.ratio(1, 3) {
+        // Leaf: a bare object or a list.
+        if rng.next_bool() {
+            SpecShape::object(ClassId::from_index(rng.index(4)), random_node_pattern(rng), vec![])
+        } else {
+            random_list(rng)
+        }
+    } else {
+        let nkids = rng.index(3);
+        let children =
+            (0..nkids).map(|i| (3 + i, random_shape(rng, depth - 1))).collect::<Vec<_>>();
+        SpecShape::object(ClassId::from_index(rng.index(4)), random_node_pattern(rng), children)
+    }
 }
 
 /// Materializes a heap subgraph conforming to `shape`; returns its root.
@@ -99,31 +108,32 @@ fn materialize(heap: &mut Heap, shape: &SpecShape) -> ObjectId {
 
 fn count_ops(shape: &SpecShape, reg: &ClassRegistry) -> (usize, usize) {
     let plan = Specializer::new(reg).compile(shape).unwrap();
-    let tests =
-        plan.ops().iter().filter(|o| matches!(o, Op::TestModified { .. })).count();
+    let tests = plan.ops().iter().filter(|o| matches!(o, Op::TestModified { .. })).count();
     let records = plan.ops().iter().filter(|o| matches!(o, Op::Record { .. })).count();
     (tests, records)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every generated shape validates and compiles, with exactly one
-    /// record site per test site.
-    #[test]
-    fn every_shape_compiles(shape in arb_shape()) {
+/// Every generated shape validates and compiles, with exactly one record
+/// site per test site.
+#[test]
+fn every_shape_compiles() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0x5a9e_0000 + case);
+        let shape = random_shape(&mut rng, 3);
         let (reg, _) = registry();
         shape.validate(&reg).unwrap();
         let (tests, records) = count_ops(&shape, &reg);
-        prop_assert_eq!(tests, records, "tests and records are paired");
+        assert_eq!(tests, records, "case {case}: tests and records are paired");
     }
+}
 
-    /// On a clean conforming heap the plan records nothing; with every
-    /// object marked modified it records exactly its record-site count.
-    #[test]
-    fn plan_execution_matches_static_counts(shape in arb_shape()) {
-        // Roots must be objects or lists (the compiler rejects Dynamic
-        // roots); arb_shape never produces Dynamic at the root.
+/// On a clean conforming heap the plan records nothing; with every object
+/// marked modified it records exactly its record-site count.
+#[test]
+fn plan_execution_matches_static_counts() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0x3a71_0000 + case);
+        let shape = random_shape(&mut rng, 3);
         let (reg, _) = registry();
         let plan = Specializer::new(&reg).compile(&shape).unwrap();
         let mut heap = Heap::new(reg);
@@ -136,7 +146,7 @@ proptest! {
         plan.executor()
             .run(&mut heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
             .unwrap();
-        prop_assert_eq!(stats.objects_recorded, 0);
+        assert_eq!(stats.objects_recorded, 0, "case {case}");
 
         // Everything dirty: every record site fires exactly once.
         heap.mark_all_modified();
@@ -150,32 +160,36 @@ proptest! {
         plan.executor()
             .run(&mut heap, root, &mut writer, GuardMode::Checked, None, &mut stats)
             .unwrap();
-        prop_assert_eq!(stats.objects_recorded as usize, records);
-        prop_assert_eq!(stats.flag_tests as usize, tests);
+        assert_eq!(stats.objects_recorded as usize, records, "case {case}");
+        assert_eq!(stats.flag_tests as usize, tests, "case {case}");
 
         // And the stream decodes.
         let bytes = writer.finish();
         let decoded = ickp_core::decode(&bytes, heap.registry()).unwrap();
-        prop_assert_eq!(decoded.objects.len(), records);
+        assert_eq!(decoded.objects.len(), records, "case {case}");
     }
+}
 
-    /// Register compaction preserves semantics on arbitrary shapes: the
-    /// optimized plan emits the identical stream with no more registers.
-    #[test]
-    fn register_compaction_is_semantics_preserving(shape in arb_shape()) {
+/// Register compaction preserves semantics on arbitrary shapes: the
+/// optimized plan emits the identical stream with no more registers.
+#[test]
+fn register_compaction_is_semantics_preserving() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0x4e9c_0000 + case);
+        let shape = random_shape(&mut rng, 3);
         let (reg, _) = registry();
         let spec = Specializer::new(&reg);
         let plan = spec.compile(&shape).unwrap();
         let optimized = spec.compile_optimized(&shape).unwrap();
-        prop_assert!(optimized.num_regs() <= plan.num_regs());
-        prop_assert_eq!(optimized.ops().len(), plan.ops().len());
+        assert!(optimized.num_regs() <= plan.num_regs(), "case {case}");
+        assert_eq!(optimized.ops().len(), plan.ops().len(), "case {case}");
 
         let mut heap = Heap::new(reg);
         let root = materialize(&mut heap, &shape);
         heap.mark_all_modified();
         let mut heap2 = heap.clone();
 
-        let mut run = |plan: &ickp_spec::Plan, heap: &mut Heap| {
+        let run = |plan: &ickp_spec::Plan, heap: &mut Heap| {
             let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
             let mut stats = TraversalStats::default();
             let table = ickp_core::MethodTable::derive(heap.registry());
@@ -184,13 +198,17 @@ proptest! {
                 .unwrap();
             writer.finish()
         };
-        prop_assert_eq!(run(&plan, &mut heap), run(&optimized, &mut heap2));
+        assert_eq!(run(&plan, &mut heap), run(&optimized, &mut heap2), "case {case}");
     }
+}
 
-    /// Plan execution is deterministic: two runs over the same dirty
-    /// state produce identical streams.
-    #[test]
-    fn plan_execution_is_deterministic(shape in arb_shape()) {
+/// Plan execution is deterministic: two runs over the same dirty state
+/// produce identical streams.
+#[test]
+fn plan_execution_is_deterministic() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0xd7e2_0000 + case);
+        let shape = random_shape(&mut rng, 3);
         let (reg, _) = registry();
         let plan = Specializer::new(&reg).compile(&shape).unwrap();
         let mut heap = Heap::new(reg);
@@ -208,6 +226,6 @@ proptest! {
         let mut clone = heap.clone();
         let a = run(&mut heap);
         let b = run(&mut clone);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

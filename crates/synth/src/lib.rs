@@ -21,9 +21,8 @@
 #![warn(missing_docs)]
 
 use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, HeapError, ObjectId, Value};
+use ickp_prng::Prng;
 use ickp_spec::{ListPattern, NodePattern, SpecShape};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Static dimensions of the synthetic structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,10 +131,8 @@ impl SynthWorld {
 
         let list_names: Vec<String> =
             (0..config.lists_per_structure).map(|i| format!("l{i}")).collect();
-        let holder_fields: Vec<(&str, FieldType)> = list_names
-            .iter()
-            .map(|n| (n.as_str(), FieldType::Ref(Some(elem_class))))
-            .collect();
+        let holder_fields: Vec<(&str, FieldType)> =
+            list_names.iter().map(|n| (n.as_str(), FieldType::Ref(Some(elem_class)))).collect();
         let holder_class = registry.define("Structure", None, &holder_fields)?;
 
         let mut heap = Heap::new(registry);
@@ -235,7 +232,7 @@ impl SynthWorld {
     /// round number, so runs are reproducible.
     pub fn apply_modifications(&mut self, spec: &ModificationSpec) -> usize {
         self.round += 1;
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Prng::seed_from_u64(
             self.config.seed ^ (self.round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let k = spec.modified_lists.min(self.config.lists_per_structure);
@@ -244,7 +241,7 @@ impl SynthWorld {
         for s in 0..self.config.structures {
             for l in 0..k {
                 for p in first_pos..self.config.list_len {
-                    if spec.pct_modified >= 100 || rng.gen_ratio(spec.pct_modified as u32, 100) {
+                    if spec.pct_modified >= 100 || rng.ratio(spec.pct_modified as u32, 100) {
                         let e = self.elements[s][l][p];
                         self.heap
                             .set_field(e, 0, Value::Int(self.round))

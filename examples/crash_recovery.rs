@@ -47,10 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for round in 1..=ROUNDS {
         step(&mut ref_heap, &ref_cells, round)?;
     }
-    let expected: Vec<i64> = ref_cells
-        .iter()
-        .map(|&c| ref_heap.field(c, 0).unwrap().as_long().unwrap())
-        .collect();
+    let expected: Vec<i64> =
+        ref_cells.iter().map(|&c| ref_heap.field(c, 0).unwrap().as_long().unwrap()).collect();
 
     // ---- Fault-tolerant run. -------------------------------------------
     let (mut heap, mut cells) = build(registry.clone())?;
@@ -100,10 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         round += 1;
     }
 
-    let actual: Vec<i64> = cells
-        .iter()
-        .map(|&c| heap.field(c, 0).unwrap().as_long().unwrap())
-        .collect();
+    let actual: Vec<i64> =
+        cells.iter().map(|&c| heap.field(c, 0).unwrap().as_long().unwrap()).collect();
     assert_eq!(expected, actual, "recovered run must equal uninterrupted run");
     println!("\nrecovered run matches the uninterrupted run on all {CELLS} cells ✓");
     println!("store held {} checkpoints, {} bytes total", store.len(), store.total_bytes());

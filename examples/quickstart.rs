@@ -64,9 +64,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let tail_restored = rebuilt.lookup(heap.stable_id(tail)?).expect("tail exists");
-    println!(
-        "restored tail value = {}",
-        rebuilt.heap().field(tail_restored, 0)?
-    );
+    println!("restored tail value = {}", rebuilt.heap().field(tail_restored, 0)?);
     Ok(())
 }

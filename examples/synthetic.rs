@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<34} {:>10} {:>9} {:>9} {:>9} {:>8}",
         "variant", "bytes", "recorded", "visited", "tests", "time"
     );
-    let run = |name: &str, world: &mut SynthWorld, f: &mut dyn FnMut(&mut SynthWorld) -> ickp::core::CheckpointRecord| {
+    let run = |name: &str,
+               world: &mut SynthWorld,
+               f: &mut dyn FnMut(&mut SynthWorld) -> ickp::core::CheckpointRecord| {
         world.apply_modifications(&mods);
         let start = Instant::now();
         let rec = f(world);
@@ -80,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nNote how the structure+pattern plan tests exactly one object per");
     println!("structure (the only one this phase can modify) while the generic");
-    println!("incremental checkpointer still walks and tests all {} objects.", world.object_count());
+    println!(
+        "incremental checkpointer still walks and tests all {} objects.",
+        world.object_count()
+    );
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline-6f1e59cd8e573f7a.d: tests/analysis_pipeline.rs
+
+/root/repo/target/debug/deps/analysis_pipeline-6f1e59cd8e573f7a: tests/analysis_pipeline.rs
+
+tests/analysis_pipeline.rs:

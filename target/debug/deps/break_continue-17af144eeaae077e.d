@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/break_continue-17af144eeaae077e.d: crates/minic/tests/break_continue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreak_continue-17af144eeaae077e.rmeta: crates/minic/tests/break_continue.rs Cargo.toml
+
+crates/minic/tests/break_continue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

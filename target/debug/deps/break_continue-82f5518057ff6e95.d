@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/break_continue-82f5518057ff6e95.d: crates/minic/tests/break_continue.rs
+
+/root/repo/target/debug/deps/break_continue-82f5518057ff6e95: crates/minic/tests/break_continue.rs
+
+crates/minic/tests/break_continue.rs:

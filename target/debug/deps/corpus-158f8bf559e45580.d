@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus-158f8bf559e45580.d: crates/analysis/tests/corpus.rs
+
+/root/repo/target/debug/deps/corpus-158f8bf559e45580: crates/analysis/tests/corpus.rs
+
+crates/analysis/tests/corpus.rs:

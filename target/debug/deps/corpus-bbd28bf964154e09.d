@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corpus-bbd28bf964154e09.d: crates/analysis/tests/corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus-bbd28bf964154e09.rmeta: crates/analysis/tests/corpus.rs Cargo.toml
+
+crates/analysis/tests/corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine_equivalence-a4e5eaab59e92d26.d: tests/cross_engine_equivalence.rs
+
+/root/repo/target/debug/deps/cross_engine_equivalence-a4e5eaab59e92d26: tests/cross_engine_equivalence.rs
+
+tests/cross_engine_equivalence.rs:

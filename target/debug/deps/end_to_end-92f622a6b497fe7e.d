@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-92f622a6b497fe7e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-92f622a6b497fe7e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_prop-0cdca1294d156f6e.d: tests/equivalence_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_prop-0cdca1294d156f6e.rmeta: tests/equivalence_prop.rs Cargo.toml
+
+tests/equivalence_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

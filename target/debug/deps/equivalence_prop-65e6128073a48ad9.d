@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_prop-65e6128073a48ad9.d: tests/equivalence_prop.rs
+
+/root/repo/target/debug/deps/equivalence_prop-65e6128073a48ad9: tests/equivalence_prop.rs
+
+tests/equivalence_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evolution-56b49dda9239d727.d: tests/evolution.rs
+
+/root/repo/target/debug/deps/evolution-56b49dda9239d727: tests/evolution.rs
+
+tests/evolution.rs:

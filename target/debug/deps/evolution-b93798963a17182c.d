@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evolution-b93798963a17182c.d: tests/evolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevolution-b93798963a17182c.rmeta: tests/evolution.rs Cargo.toml
+
+tests/evolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_positions-1bf59d6b6f12a9a1.d: crates/bench/benches/fig10_positions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_positions-1bf59d6b6f12a9a1.rmeta: crates/bench/benches/fig10_positions.rs Cargo.toml
+
+crates/bench/benches/fig10_positions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_backends-5d89692a80f76c97.d: crates/bench/benches/fig11_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_backends-5d89692a80f76c97.rmeta: crates/bench/benches/fig11_backends.rs Cargo.toml
+
+crates/bench/benches/fig11_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_incremental-8b8dd565c525775d.d: crates/bench/benches/fig7_incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_incremental-8b8dd565c525775d.rmeta: crates/bench/benches/fig7_incremental.rs Cargo.toml
+
+crates/bench/benches/fig7_incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

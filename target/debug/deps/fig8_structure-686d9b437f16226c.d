@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_structure-686d9b437f16226c.d: crates/bench/benches/fig8_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_structure-686d9b437f16226c.rmeta: crates/bench/benches/fig8_structure.rs Cargo.toml
+
+crates/bench/benches/fig8_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

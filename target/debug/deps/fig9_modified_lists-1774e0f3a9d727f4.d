@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_modified_lists-1774e0f3a9d727f4.d: crates/bench/benches/fig9_modified_lists.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_modified_lists-1774e0f3a9d727f4.rmeta: crates/bench/benches/fig9_modified_lists.rs Cargo.toml
+
+crates/bench/benches/fig9_modified_lists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

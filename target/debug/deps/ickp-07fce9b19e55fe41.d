@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ickp-07fce9b19e55fe41.d: src/lib.rs
+
+/root/repo/target/debug/deps/libickp-07fce9b19e55fe41.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libickp-07fce9b19e55fe41.rmeta: src/lib.rs
+
+src/lib.rs:

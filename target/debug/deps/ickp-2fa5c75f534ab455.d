@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ickp-2fa5c75f534ab455.d: src/lib.rs
+
+/root/repo/target/debug/deps/ickp-2fa5c75f534ab455: src/lib.rs
+
+src/lib.rs:

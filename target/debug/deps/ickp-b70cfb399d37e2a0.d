@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ickp-b70cfb399d37e2a0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp-b70cfb399d37e2a0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

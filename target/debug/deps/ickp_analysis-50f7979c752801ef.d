@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ickp_analysis-50f7979c752801ef.d: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/debug/deps/ickp_analysis-50f7979c752801ef: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/attributes.rs:
+crates/analysis/src/bta.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/eta.rs:
+crates/analysis/src/seffect.rs:
+crates/analysis/src/vars.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ickp_analysis-ceb05b21345412c5.d: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_analysis-ceb05b21345412c5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/attributes.rs:
+crates/analysis/src/bta.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/eta.rs:
+crates/analysis/src/seffect.rs:
+crates/analysis/src/vars.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ickp_analysis-e38f8a37186ca524.d: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/debug/deps/libickp_analysis-e38f8a37186ca524.rlib: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/debug/deps/libickp_analysis-e38f8a37186ca524.rmeta: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/attributes.rs:
+crates/analysis/src/bta.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/eta.rs:
+crates/analysis/src/seffect.rs:
+crates/analysis/src/vars.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ickp_backend-172045a6b34a109a.d: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+/root/repo/target/debug/deps/libickp_backend-172045a6b34a109a.rlib: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+/root/repo/target/debug/deps/libickp_backend-172045a6b34a109a.rmeta: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/engine.rs:
+crates/backend/src/generic.rs:
+crates/backend/src/parallel.rs:
+crates/backend/src/specialized.rs:
+crates/backend/src/threaded.rs:

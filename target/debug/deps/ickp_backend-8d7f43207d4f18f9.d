@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ickp_backend-8d7f43207d4f18f9.d: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+/root/repo/target/debug/deps/ickp_backend-8d7f43207d4f18f9: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/engine.rs:
+crates/backend/src/generic.rs:
+crates/backend/src/parallel.rs:
+crates/backend/src/specialized.rs:
+crates/backend/src/threaded.rs:

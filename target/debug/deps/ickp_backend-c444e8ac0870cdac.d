@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ickp_backend-c444e8ac0870cdac.d: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_backend-c444e8ac0870cdac.rmeta: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs Cargo.toml
+
+crates/backend/src/lib.rs:
+crates/backend/src/engine.rs:
+crates/backend/src/generic.rs:
+crates/backend/src/parallel.rs:
+crates/backend/src/specialized.rs:
+crates/backend/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ickp_bench-4730648144d3a31a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libickp_bench-4730648144d3a31a.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libickp_bench-4730648144d3a31a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/synthrun.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ickp_bench-8466ee223afa2f43.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_bench-8466ee223afa2f43.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/synthrun.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

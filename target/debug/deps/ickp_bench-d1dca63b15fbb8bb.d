@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ickp_bench-d1dca63b15fbb8bb.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/ickp_bench-d1dca63b15fbb8bb: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/synthrun.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ickp_heap-04b9cb5999aae865.d: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_heap-04b9cb5999aae865.rmeta: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs Cargo.toml
+
+crates/heap/src/lib.rs:
+crates/heap/src/class.rs:
+crates/heap/src/error.rs:
+crates/heap/src/gc.rs:
+crates/heap/src/graph.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/ids.rs:
+crates/heap/src/snapshot.rs:
+crates/heap/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ickp_heap-2e76b236cc763974.d: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+/root/repo/target/debug/deps/ickp_heap-2e76b236cc763974: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/class.rs:
+crates/heap/src/error.rs:
+crates/heap/src/gc.rs:
+crates/heap/src/graph.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/ids.rs:
+crates/heap/src/snapshot.rs:
+crates/heap/src/value.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ickp_heap-939aa545a78fea81.d: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+/root/repo/target/debug/deps/libickp_heap-939aa545a78fea81.rlib: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+/root/repo/target/debug/deps/libickp_heap-939aa545a78fea81.rmeta: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/class.rs:
+crates/heap/src/error.rs:
+crates/heap/src/gc.rs:
+crates/heap/src/graph.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/ids.rs:
+crates/heap/src/snapshot.rs:
+crates/heap/src/value.rs:

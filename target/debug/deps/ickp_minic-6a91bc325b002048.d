@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ickp_minic-6a91bc325b002048.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+/root/repo/target/debug/deps/libickp_minic-6a91bc325b002048.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+/root/repo/target/debug/deps/libickp_minic-6a91bc325b002048.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/error.rs:
+crates/minic/src/interp.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/programs.rs:
+crates/minic/src/token.rs:
+crates/minic/src/typecheck.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ickp_minic-c22bb0e7a487d45e.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+/root/repo/target/debug/deps/ickp_minic-c22bb0e7a487d45e: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/error.rs:
+crates/minic/src/interp.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/programs.rs:
+crates/minic/src/token.rs:
+crates/minic/src/typecheck.rs:

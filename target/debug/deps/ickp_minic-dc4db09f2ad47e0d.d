@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ickp_minic-dc4db09f2ad47e0d.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_minic-dc4db09f2ad47e0d.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs Cargo.toml
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/error.rs:
+crates/minic/src/interp.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/programs.rs:
+crates/minic/src/token.rs:
+crates/minic/src/typecheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

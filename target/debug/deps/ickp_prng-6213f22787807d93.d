@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ickp_prng-6213f22787807d93.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/ickp_prng-6213f22787807d93: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

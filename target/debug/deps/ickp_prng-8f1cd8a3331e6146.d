@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ickp_prng-8f1cd8a3331e6146.d: crates/prng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_prng-8f1cd8a3331e6146.rmeta: crates/prng/src/lib.rs Cargo.toml
+
+crates/prng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

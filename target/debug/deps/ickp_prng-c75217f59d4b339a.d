@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ickp_prng-c75217f59d4b339a.d: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libickp_prng-c75217f59d4b339a.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/debug/deps/libickp_prng-c75217f59d4b339a.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ickp_spec-3ac0b8af30e79af8.d: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_spec-3ac0b8af30e79af8.rmeta: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs Cargo.toml
+
+crates/spec/src/lib.rs:
+crates/spec/src/bta.rs:
+crates/spec/src/compile.rs:
+crates/spec/src/driver.rs:
+crates/spec/src/error.rs:
+crates/spec/src/infer.rs:
+crates/spec/src/opt.rs:
+crates/spec/src/phase.rs:
+crates/spec/src/plan.rs:
+crates/spec/src/residual.rs:
+crates/spec/src/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ickp_spec-91c9cf04739325f6.d: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs
+
+/root/repo/target/debug/deps/libickp_spec-91c9cf04739325f6.rlib: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs
+
+/root/repo/target/debug/deps/libickp_spec-91c9cf04739325f6.rmeta: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/bta.rs:
+crates/spec/src/compile.rs:
+crates/spec/src/driver.rs:
+crates/spec/src/error.rs:
+crates/spec/src/infer.rs:
+crates/spec/src/opt.rs:
+crates/spec/src/phase.rs:
+crates/spec/src/plan.rs:
+crates/spec/src/residual.rs:
+crates/spec/src/shape.rs:

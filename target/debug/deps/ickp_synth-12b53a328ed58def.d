@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ickp_synth-12b53a328ed58def.d: crates/synth/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libickp_synth-12b53a328ed58def.rmeta: crates/synth/src/lib.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ickp_synth-6a27efd387ba222c.d: crates/synth/src/lib.rs
+
+/root/repo/target/debug/deps/ickp_synth-6a27efd387ba222c: crates/synth/src/lib.rs
+
+crates/synth/src/lib.rs:

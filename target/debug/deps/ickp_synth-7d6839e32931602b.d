@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ickp_synth-7d6839e32931602b.d: crates/synth/src/lib.rs
+
+/root/repo/target/debug/deps/libickp_synth-7d6839e32931602b.rlib: crates/synth/src/lib.rs
+
+/root/repo/target/debug/deps/libickp_synth-7d6839e32931602b.rmeta: crates/synth/src/lib.rs
+
+crates/synth/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inference-be2f0b8e1ce6ba12.d: tests/inference.rs
+
+/root/repo/target/debug/deps/inference-be2f0b8e1ce6ba12: tests/inference.rs
+
+tests/inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference-cea9edaee3e0655c.d: tests/inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference-cea9edaee3e0655c.rmeta: tests/inference.rs Cargo.toml
+
+tests/inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

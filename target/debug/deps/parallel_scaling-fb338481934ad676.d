@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_scaling-fb338481934ad676.d: crates/bench/benches/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_scaling-fb338481934ad676.rmeta: crates/bench/benches/parallel_scaling.rs Cargo.toml
+
+crates/bench/benches/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

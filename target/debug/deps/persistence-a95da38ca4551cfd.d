@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-a95da38ca4551cfd.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-a95da38ca4551cfd: tests/persistence.rs
+
+tests/persistence.rs:

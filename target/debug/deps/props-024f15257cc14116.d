@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-024f15257cc14116.d: crates/core/tests/props.rs
+
+/root/repo/target/debug/deps/props-024f15257cc14116: crates/core/tests/props.rs
+
+crates/core/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-117dc35046fded08.d: crates/heap/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-117dc35046fded08.rmeta: crates/heap/tests/props.rs Cargo.toml
+
+crates/heap/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-22c37f2cded73a6a.d: crates/heap/tests/props.rs
+
+/root/repo/target/debug/deps/props-22c37f2cded73a6a: crates/heap/tests/props.rs
+
+crates/heap/tests/props.rs:

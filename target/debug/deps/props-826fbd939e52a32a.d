@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-826fbd939e52a32a.d: crates/minic/tests/props.rs
+
+/root/repo/target/debug/deps/props-826fbd939e52a32a: crates/minic/tests/props.rs
+
+crates/minic/tests/props.rs:

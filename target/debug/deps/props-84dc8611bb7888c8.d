@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-84dc8611bb7888c8.d: crates/minic/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-84dc8611bb7888c8.rmeta: crates/minic/tests/props.rs Cargo.toml
+
+crates/minic/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

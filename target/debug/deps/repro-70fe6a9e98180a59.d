@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-70fe6a9e98180a59.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-70fe6a9e98180a59: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

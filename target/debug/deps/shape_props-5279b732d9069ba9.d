@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shape_props-5279b732d9069ba9.d: crates/spec/tests/shape_props.rs
+
+/root/repo/target/debug/deps/shape_props-5279b732d9069ba9: crates/spec/tests/shape_props.rs
+
+crates/spec/tests/shape_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shape_props-dca2fed4c60797a4.d: crates/spec/tests/shape_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshape_props-dca2fed4c60797a4.rmeta: crates/spec/tests/shape_props.rs Cargo.toml
+
+crates/spec/tests/shape_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_analysis-3e72839b195b2542.d: crates/bench/benches/table1_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_analysis-3e72839b195b2542.rmeta: crates/bench/benches/table1_analysis.rs Cargo.toml
+
+crates/bench/benches/table1_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_backends-764a7ad2816c1bac.d: crates/bench/benches/table2_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_backends-764a7ad2816c1bac.rmeta: crates/bench/benches/table2_backends.rs Cargo.toml
+
+crates/bench/benches/table2_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/agent_migration-1cfdbfa9a8d603b1.d: examples/agent_migration.rs
+
+/root/repo/target/debug/examples/agent_migration-1cfdbfa9a8d603b1: examples/agent_migration.rs
+
+examples/agent_migration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/agent_migration-f99963b14800d359.d: examples/agent_migration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libagent_migration-f99963b14800d359.rmeta: examples/agent_migration.rs Cargo.toml
+
+examples/agent_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

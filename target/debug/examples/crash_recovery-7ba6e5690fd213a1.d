@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-7ba6e5690fd213a1.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-7ba6e5690fd213a1: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_checkpoint-cbefa98295f334b2.d: examples/parallel_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_checkpoint-cbefa98295f334b2.rmeta: examples/parallel_checkpoint.rs Cargo.toml
+
+examples/parallel_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

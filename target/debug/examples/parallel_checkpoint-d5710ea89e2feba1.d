@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_checkpoint-d5710ea89e2feba1.d: examples/parallel_checkpoint.rs
+
+/root/repo/target/debug/examples/parallel_checkpoint-d5710ea89e2feba1: examples/parallel_checkpoint.rs
+
+examples/parallel_checkpoint.rs:

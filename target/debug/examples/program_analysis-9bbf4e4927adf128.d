@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/program_analysis-9bbf4e4927adf128.d: examples/program_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprogram_analysis-9bbf4e4927adf128.rmeta: examples/program_analysis.rs Cargo.toml
+
+examples/program_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/program_analysis-d30970451e442147.d: examples/program_analysis.rs
+
+/root/repo/target/debug/examples/program_analysis-d30970451e442147: examples/program_analysis.rs
+
+examples/program_analysis.rs:

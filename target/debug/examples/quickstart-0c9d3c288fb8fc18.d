@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0c9d3c288fb8fc18.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0c9d3c288fb8fc18: examples/quickstart.rs
+
+examples/quickstart.rs:

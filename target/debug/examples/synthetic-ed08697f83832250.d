@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/synthetic-ed08697f83832250.d: examples/synthetic.rs
+
+/root/repo/target/debug/examples/synthetic-ed08697f83832250: examples/synthetic.rs
+
+examples/synthetic.rs:

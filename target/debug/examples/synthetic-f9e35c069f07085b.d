@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/synthetic-f9e35c069f07085b.d: examples/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsynthetic-f9e35c069f07085b.rmeta: examples/synthetic.rs Cargo.toml
+
+examples/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-fbee0cccc9b35f59.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-fbee0cccc9b35f59: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

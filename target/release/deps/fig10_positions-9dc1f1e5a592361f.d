@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_positions-9dc1f1e5a592361f.d: crates/bench/benches/fig10_positions.rs
+
+/root/repo/target/release/deps/fig10_positions-9dc1f1e5a592361f: crates/bench/benches/fig10_positions.rs
+
+crates/bench/benches/fig10_positions.rs:

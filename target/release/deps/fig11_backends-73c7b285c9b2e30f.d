@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_backends-73c7b285c9b2e30f.d: crates/bench/benches/fig11_backends.rs
+
+/root/repo/target/release/deps/fig11_backends-73c7b285c9b2e30f: crates/bench/benches/fig11_backends.rs
+
+crates/bench/benches/fig11_backends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_incremental-70169853092dce2c.d: crates/bench/benches/fig7_incremental.rs
+
+/root/repo/target/release/deps/fig7_incremental-70169853092dce2c: crates/bench/benches/fig7_incremental.rs
+
+crates/bench/benches/fig7_incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_structure-0bbdea9805e19235.d: crates/bench/benches/fig8_structure.rs
+
+/root/repo/target/release/deps/fig8_structure-0bbdea9805e19235: crates/bench/benches/fig8_structure.rs
+
+crates/bench/benches/fig8_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_modified_lists-501ac7dd7a3a5a93.d: crates/bench/benches/fig9_modified_lists.rs
+
+/root/repo/target/release/deps/fig9_modified_lists-501ac7dd7a3a5a93: crates/bench/benches/fig9_modified_lists.rs
+
+crates/bench/benches/fig9_modified_lists.rs:

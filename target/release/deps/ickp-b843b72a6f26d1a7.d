@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ickp-b843b72a6f26d1a7.d: src/lib.rs
+
+/root/repo/target/release/deps/libickp-b843b72a6f26d1a7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libickp-b843b72a6f26d1a7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ickp-d20de26f67379ea9.d: src/lib.rs
+
+/root/repo/target/release/deps/ickp-d20de26f67379ea9: src/lib.rs
+
+src/lib.rs:

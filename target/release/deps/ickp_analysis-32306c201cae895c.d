@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ickp_analysis-32306c201cae895c.d: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/release/deps/libickp_analysis-32306c201cae895c.rlib: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/release/deps/libickp_analysis-32306c201cae895c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/attributes.rs:
+crates/analysis/src/bta.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/eta.rs:
+crates/analysis/src/seffect.rs:
+crates/analysis/src/vars.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ickp_analysis-43d6d7dbb3574591.d: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/release/deps/libickp_analysis-43d6d7dbb3574591.rlib: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+/root/repo/target/release/deps/libickp_analysis-43d6d7dbb3574591.rmeta: crates/analysis/src/lib.rs crates/analysis/src/attributes.rs crates/analysis/src/bta.rs crates/analysis/src/engine.rs crates/analysis/src/error.rs crates/analysis/src/eta.rs crates/analysis/src/seffect.rs crates/analysis/src/vars.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/attributes.rs:
+crates/analysis/src/bta.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/error.rs:
+crates/analysis/src/eta.rs:
+crates/analysis/src/seffect.rs:
+crates/analysis/src/vars.rs:

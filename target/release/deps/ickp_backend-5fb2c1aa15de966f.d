@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ickp_backend-5fb2c1aa15de966f.d: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+/root/repo/target/release/deps/ickp_backend-5fb2c1aa15de966f: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/engine.rs:
+crates/backend/src/generic.rs:
+crates/backend/src/parallel.rs:
+crates/backend/src/specialized.rs:
+crates/backend/src/threaded.rs:

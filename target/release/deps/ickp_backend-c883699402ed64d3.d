@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ickp_backend-c883699402ed64d3.d: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+/root/repo/target/release/deps/libickp_backend-c883699402ed64d3.rlib: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+/root/repo/target/release/deps/libickp_backend-c883699402ed64d3.rmeta: crates/backend/src/lib.rs crates/backend/src/engine.rs crates/backend/src/generic.rs crates/backend/src/parallel.rs crates/backend/src/specialized.rs crates/backend/src/threaded.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/engine.rs:
+crates/backend/src/generic.rs:
+crates/backend/src/parallel.rs:
+crates/backend/src/specialized.rs:
+crates/backend/src/threaded.rs:

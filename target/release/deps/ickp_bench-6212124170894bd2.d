@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ickp_bench-6212124170894bd2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libickp_bench-6212124170894bd2.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libickp_bench-6212124170894bd2.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/synthrun.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ickp_bench-be6f6cb7da8700e0.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libickp_bench-be6f6cb7da8700e0.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libickp_bench-be6f6cb7da8700e0.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/synthrun.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

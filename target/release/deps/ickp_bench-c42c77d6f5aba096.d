@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ickp_bench-c42c77d6f5aba096.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/ickp_bench-c42c77d6f5aba096: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/synthrun.rs crates/bench/src/table1.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/synthrun.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/timing.rs:

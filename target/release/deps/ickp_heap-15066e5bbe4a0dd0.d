@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ickp_heap-15066e5bbe4a0dd0.d: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+/root/repo/target/release/deps/ickp_heap-15066e5bbe4a0dd0: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/class.rs:
+crates/heap/src/error.rs:
+crates/heap/src/gc.rs:
+crates/heap/src/graph.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/ids.rs:
+crates/heap/src/snapshot.rs:
+crates/heap/src/value.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ickp_heap-ad3a4b7d82f763c6.d: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+/root/repo/target/release/deps/libickp_heap-ad3a4b7d82f763c6.rlib: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+/root/repo/target/release/deps/libickp_heap-ad3a4b7d82f763c6.rmeta: crates/heap/src/lib.rs crates/heap/src/class.rs crates/heap/src/error.rs crates/heap/src/gc.rs crates/heap/src/graph.rs crates/heap/src/heap.rs crates/heap/src/ids.rs crates/heap/src/snapshot.rs crates/heap/src/value.rs
+
+crates/heap/src/lib.rs:
+crates/heap/src/class.rs:
+crates/heap/src/error.rs:
+crates/heap/src/gc.rs:
+crates/heap/src/graph.rs:
+crates/heap/src/heap.rs:
+crates/heap/src/ids.rs:
+crates/heap/src/snapshot.rs:
+crates/heap/src/value.rs:

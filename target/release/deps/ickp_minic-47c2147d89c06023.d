@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ickp_minic-47c2147d89c06023.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+/root/repo/target/release/deps/libickp_minic-47c2147d89c06023.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+/root/repo/target/release/deps/libickp_minic-47c2147d89c06023.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/interp.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/programs.rs crates/minic/src/token.rs crates/minic/src/typecheck.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/error.rs:
+crates/minic/src/interp.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/programs.rs:
+crates/minic/src/token.rs:
+crates/minic/src/typecheck.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ickp_prng-11cd0d0e34cfbad8.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libickp_prng-11cd0d0e34cfbad8.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libickp_prng-11cd0d0e34cfbad8.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

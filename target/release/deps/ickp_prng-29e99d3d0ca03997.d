@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ickp_prng-29e99d3d0ca03997.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libickp_prng-29e99d3d0ca03997.rlib: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/libickp_prng-29e99d3d0ca03997.rmeta: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ickp_prng-dad01ac62f474250.d: crates/prng/src/lib.rs
+
+/root/repo/target/release/deps/ickp_prng-dad01ac62f474250: crates/prng/src/lib.rs
+
+crates/prng/src/lib.rs:

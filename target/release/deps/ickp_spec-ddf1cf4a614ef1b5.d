@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ickp_spec-ddf1cf4a614ef1b5.d: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs
+
+/root/repo/target/release/deps/libickp_spec-ddf1cf4a614ef1b5.rlib: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs
+
+/root/repo/target/release/deps/libickp_spec-ddf1cf4a614ef1b5.rmeta: crates/spec/src/lib.rs crates/spec/src/bta.rs crates/spec/src/compile.rs crates/spec/src/driver.rs crates/spec/src/error.rs crates/spec/src/infer.rs crates/spec/src/opt.rs crates/spec/src/phase.rs crates/spec/src/plan.rs crates/spec/src/residual.rs crates/spec/src/shape.rs
+
+crates/spec/src/lib.rs:
+crates/spec/src/bta.rs:
+crates/spec/src/compile.rs:
+crates/spec/src/driver.rs:
+crates/spec/src/error.rs:
+crates/spec/src/infer.rs:
+crates/spec/src/opt.rs:
+crates/spec/src/phase.rs:
+crates/spec/src/plan.rs:
+crates/spec/src/residual.rs:
+crates/spec/src/shape.rs:

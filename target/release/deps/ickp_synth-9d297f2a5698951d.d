@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ickp_synth-9d297f2a5698951d.d: crates/synth/src/lib.rs
+
+/root/repo/target/release/deps/libickp_synth-9d297f2a5698951d.rlib: crates/synth/src/lib.rs
+
+/root/repo/target/release/deps/libickp_synth-9d297f2a5698951d.rmeta: crates/synth/src/lib.rs
+
+crates/synth/src/lib.rs:

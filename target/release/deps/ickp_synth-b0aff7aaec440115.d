@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ickp_synth-b0aff7aaec440115.d: crates/synth/src/lib.rs
+
+/root/repo/target/release/deps/ickp_synth-b0aff7aaec440115: crates/synth/src/lib.rs
+
+crates/synth/src/lib.rs:

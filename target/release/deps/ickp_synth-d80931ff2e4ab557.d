@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ickp_synth-d80931ff2e4ab557.d: crates/synth/src/lib.rs
+
+/root/repo/target/release/deps/libickp_synth-d80931ff2e4ab557.rlib: crates/synth/src/lib.rs
+
+/root/repo/target/release/deps/libickp_synth-d80931ff2e4ab557.rmeta: crates/synth/src/lib.rs
+
+crates/synth/src/lib.rs:

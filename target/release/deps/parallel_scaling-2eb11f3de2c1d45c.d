@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_scaling-2eb11f3de2c1d45c.d: crates/bench/benches/parallel_scaling.rs
+
+/root/repo/target/release/deps/parallel_scaling-2eb11f3de2c1d45c: crates/bench/benches/parallel_scaling.rs
+
+crates/bench/benches/parallel_scaling.rs:

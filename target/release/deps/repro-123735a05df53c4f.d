@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-123735a05df53c4f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-123735a05df53c4f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-3f9091591534f931.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-3f9091591534f931: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9203e588d5c380af.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9203e588d5c380af: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

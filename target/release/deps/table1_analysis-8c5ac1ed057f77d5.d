@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_analysis-8c5ac1ed057f77d5.d: crates/bench/benches/table1_analysis.rs
+
+/root/repo/target/release/deps/table1_analysis-8c5ac1ed057f77d5: crates/bench/benches/table1_analysis.rs
+
+crates/bench/benches/table1_analysis.rs:

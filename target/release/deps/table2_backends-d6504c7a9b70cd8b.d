@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_backends-d6504c7a9b70cd8b.d: crates/bench/benches/table2_backends.rs
+
+/root/repo/target/release/deps/table2_backends-d6504c7a9b70cd8b: crates/bench/benches/table2_backends.rs
+
+crates/bench/benches/table2_backends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_checkpoint-ff869e55e050e8c5.d: examples/parallel_checkpoint.rs
+
+/root/repo/target/release/examples/parallel_checkpoint-ff869e55e050e8c5: examples/parallel_checkpoint.rs
+
+examples/parallel_checkpoint.rs:

@@ -21,7 +21,6 @@ fn small_world() -> SynthWorld {
     .expect("world builds")
 }
 
-
 #[test]
 fn specialized_checkpoint_stream_restores_across_many_rounds() {
     let mut world = small_world();
@@ -137,8 +136,7 @@ fn all_variants_emit_identical_record_sets_for_the_same_dirty_state() {
     let table = MethodTable::derive(&registry);
     let plan_structure =
         Specializer::new(&registry).compile(&world.shape_structure_only()).unwrap();
-    let plan_lists =
-        Specializer::new(&registry).compile(&world.shape_modified_lists(3)).unwrap();
+    let plan_lists = Specializer::new(&registry).compile(&world.shape_modified_lists(3)).unwrap();
 
     let mut record_sets: Vec<Vec<u64>> = Vec::new();
 
@@ -184,9 +182,8 @@ fn garbage_collection_checkpointing_and_compaction_compose() {
     use ickp::heap::{ClassRegistry, FieldType, Heap, Value};
 
     let mut reg = ClassRegistry::new();
-    let node = reg
-        .define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
-        .unwrap();
+    let node =
+        reg.define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
     let mut heap = Heap::new(reg);
     let head = heap.alloc(node).unwrap();
 

@@ -1,5 +1,9 @@
-//! Property-based cross-crate invariants, driven by randomized synthetic
-//! worlds and modification patterns.
+//! Randomized cross-crate invariants, driven by synthetic worlds and
+//! modification patterns.
+//!
+//! Previously written with `proptest`; rewritten over the in-repo seeded
+//! PRNG so the suite builds with no network access. Each case is fully
+//! determined by its seed, named in the assertion message for replay.
 
 use ickp::core::{
     decode, restore, verify_restore, CheckpointConfig, CheckpointStore, Checkpointer, MethodTable,
@@ -7,46 +11,41 @@ use ickp::core::{
 };
 use ickp::spec::{GuardMode, ListPattern, SpecializedCheckpointer, Specializer};
 use ickp::synth::{ModificationSpec, SynthConfig, SynthWorld};
-use proptest::prelude::*;
+use ickp_prng::Prng;
 
-fn arb_config() -> impl Strategy<Value = SynthConfig> {
-    (1usize..12, 1usize..4, 1usize..6, 1usize..4, any::<u64>()).prop_map(
-        |(structures, lists, len, ints, seed)| SynthConfig {
-            structures,
-            lists_per_structure: lists,
-            list_len: len,
-            ints_per_element: ints,
-            seed,
-        },
-    )
+fn random_config(rng: &mut Prng) -> SynthConfig {
+    SynthConfig {
+        structures: 1 + rng.index(11),
+        lists_per_structure: 1 + rng.index(3),
+        list_len: 1 + rng.index(5),
+        ints_per_element: 1 + rng.index(3),
+        seed: rng.next_u64(),
+    }
 }
 
-fn arb_mods(lists: usize) -> impl Strategy<Value = ModificationSpec> {
-    (0u8..=100, 0usize..=lists, any::<bool>()).prop_map(|(pct, k, last_only)| ModificationSpec {
-        pct_modified: pct,
-        modified_lists: k,
-        last_only,
-    })
+fn random_mods(rng: &mut Prng, lists: usize) -> ModificationSpec {
+    ModificationSpec {
+        pct_modified: rng.below(101) as u8,
+        modified_lists: rng.index(lists + 1),
+        last_only: rng.next_bool(),
+    }
 }
 
+/// For any world and any modification pattern, the structure-only
+/// specialized checkpointer records exactly the objects the generic
+/// incremental checkpointer records.
+#[test]
+fn spec_structure_equals_generic() {
+    for case in 0..48u64 {
+        let mut rng = Prng::seed_from_u64(0xe9a1_0000 + case);
+        let config = random_config(&mut rng);
+        let pcts: Vec<u8> = (0..1 + rng.index(3)).map(|_| rng.below(101) as u8).collect();
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// For any world and any modification pattern, the structure-only
-    /// specialized checkpointer records exactly the objects the generic
-    /// incremental checkpointer records.
-    #[test]
-    fn spec_structure_equals_generic((config, pcts) in arb_config().prop_flat_map(|c| {
-        (Just(c), proptest::collection::vec(0u8..=100, 1..4))
-    })) {
         let mut world = SynthWorld::build(config).unwrap();
         let roots = world.roots().to_vec();
         let registry = world.heap().registry().clone();
         let table = MethodTable::derive(&registry);
-        let plan = Specializer::new(&registry)
-            .compile(&world.shape_structure_only())
-            .unwrap();
+        let plan = Specializer::new(&registry).compile(&world.shape_structure_only()).unwrap();
 
         for pct in pcts {
             world.apply_modifications(&ModificationSpec::uniform(pct));
@@ -60,19 +59,22 @@ proptest! {
 
             let ds = decode(spec_rec.bytes(), &registry).unwrap();
             let dg = decode(gen_rec.bytes(), &registry).unwrap();
-            prop_assert_eq!(ds.objects, dg.objects);
+            assert_eq!(ds.objects, dg.objects, "case {case}");
         }
     }
+}
 
-    /// Any sequence of modification rounds, each followed by an
-    /// incremental checkpoint, restores to exactly the live state.
-    #[test]
-    fn incremental_sequences_restore_exactly(
-        (config, rounds) in arb_config().prop_flat_map(|c| {
-            let lists = c.lists_per_structure;
-            (Just(c), proptest::collection::vec(arb_mods(lists), 1..5))
-        })
-    ) {
+/// Any sequence of modification rounds, each followed by an incremental
+/// checkpoint, restores to exactly the live state.
+#[test]
+fn incremental_sequences_restore_exactly() {
+    for case in 0..48u64 {
+        let mut rng = Prng::seed_from_u64(0x1c8e_0000 + case);
+        let config = random_config(&mut rng);
+        let lists = config.lists_per_structure;
+        let rounds: Vec<ModificationSpec> =
+            (0..1 + rng.index(4)).map(|_| random_mods(&mut rng, lists)).collect();
+
         let mut world = SynthWorld::build(config).unwrap();
         let roots = world.roots().to_vec();
         let table = MethodTable::derive(world.heap().registry());
@@ -88,19 +90,23 @@ proptest! {
         }
 
         let rebuilt = restore(&store, world.heap().registry(), RestorePolicy::Lenient).unwrap();
-        prop_assert_eq!(verify_restore(world.heap(), &roots, &rebuilt).unwrap(), None);
+        assert_eq!(verify_restore(world.heap(), &roots, &rebuilt).unwrap(), None, "case {case}");
     }
+}
 
-    /// A pattern-narrowed plan whose declaration covers all performed
-    /// modifications is interchangeable with the generic checkpointer in
-    /// a store (restore still exact).
-    #[test]
-    fn narrowed_plans_preserve_recoverability(
-        (config, k, last_only, pcts) in arb_config().prop_flat_map(|c| {
-            let lists = c.lists_per_structure;
-            (Just(c), 1..=lists, any::<bool>(), proptest::collection::vec(0u8..=100, 1..4))
-        })
-    ) {
+/// A pattern-narrowed plan whose declaration covers all performed
+/// modifications is interchangeable with the generic checkpointer in a
+/// store (restore still exact).
+#[test]
+fn narrowed_plans_preserve_recoverability() {
+    for case in 0..48u64 {
+        let mut rng = Prng::seed_from_u64(0x9a88_0000 + case);
+        let config = random_config(&mut rng);
+        let lists = config.lists_per_structure;
+        let k = 1 + rng.index(lists);
+        let last_only = rng.next_bool();
+        let pcts: Vec<u8> = (0..1 + rng.index(3)).map(|_| rng.below(101) as u8).collect();
+
         let mut world = SynthWorld::build(config).unwrap();
         let roots = world.roots().to_vec();
         let registry = world.heap().registry().clone();
@@ -135,21 +141,30 @@ proptest! {
         }
 
         let rebuilt = restore(&store, &registry, RestorePolicy::Lenient).unwrap();
-        prop_assert_eq!(verify_restore(world.heap(), &roots, &rebuilt).unwrap(), None);
+        assert_eq!(verify_restore(world.heap(), &roots, &rebuilt).unwrap(), None, "case {case}");
     }
+}
 
-    /// Decoding never panics on arbitrary bytes — it returns an error.
-    #[test]
-    fn decode_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let world = SynthWorld::build(SynthConfig::small()).unwrap();
+/// Decoding never panics on arbitrary bytes — it returns an error.
+#[test]
+fn decode_is_total_on_garbage() {
+    let world = SynthWorld::build(SynthConfig::small()).unwrap();
+    for case in 0..48u64 {
+        let mut rng = Prng::seed_from_u64(0xdeca_0000 + case);
+        let len = rng.index(256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         let _ = decode(&bytes, world.heap().registry());
     }
+}
 
-    /// Decoding is total even on streams with a valid header prefix.
-    #[test]
-    fn decode_is_total_on_corrupted_valid_streams(
-        (flip_at, flip_to) in (0usize..4096, any::<u8>())
-    ) {
+/// Decoding is total even on streams with a valid header prefix.
+#[test]
+fn decode_is_total_on_corrupted_valid_streams() {
+    for case in 0..48u64 {
+        let mut rng = Prng::seed_from_u64(0xf11b_0000 + case);
+        let flip_at = rng.index(4096);
+        let flip_to = rng.below(256) as u8;
+
         let mut world = SynthWorld::build(SynthConfig::small()).unwrap();
         let roots = world.roots().to_vec();
         let table = MethodTable::derive(world.heap().registry());

@@ -16,9 +16,8 @@ struct App {
 /// Builds `n` holders each with a list of `len` elements.
 fn app(n: usize, len: usize) -> App {
     let mut reg = ClassRegistry::new();
-    let elem = reg
-        .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
-        .unwrap();
+    let elem =
+        reg.define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
     let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
     let mut heap = Heap::new(reg);
     let mut roots = Vec::new();
@@ -67,17 +66,15 @@ fn evolve_fall_back_reprofile_respecialize() {
 
     // Base checkpoint via fallback driver (everything is dirty at base).
     app.heap.mark_all_modified();
-    let out = driver
-        .checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table)
-        .unwrap();
+    let out =
+        driver.checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table).unwrap();
     assert!(!out.fell_back);
     store.push(out.record).unwrap();
 
     // Steady state under plan v1.
     dirty_tails(&mut app, 2);
-    let out = driver
-        .checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table)
-        .unwrap();
+    let out =
+        driver.checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table).unwrap();
     assert!(!out.fell_back);
     store.push(out.record).unwrap();
 
@@ -90,9 +87,8 @@ fn evolve_fall_back_reprofile_respecialize() {
         app.heap.set_field(e, 1, old_head).unwrap();
         app.heap.set_field(root, 0, Value::Ref(Some(e))).unwrap();
     }
-    let out = driver
-        .checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table)
-        .unwrap();
+    let out =
+        driver.checkpoint_or_fallback(&mut app.heap, &plan_v1, &app.roots.clone(), &table).unwrap();
     assert!(out.fell_back, "grown lists must trip the guards");
     store.push(out.record).unwrap();
 
@@ -100,12 +96,10 @@ fn evolve_fall_back_reprofile_respecialize() {
     let mut recorder = ProfileRecorder::new();
     dirty_tails(&mut app, 3);
     recorder.observe(&app.heap, &app.roots).unwrap();
-    let plan_v2 = Specializer::new(&registry)
-        .compile_optimized(&recorder.infer().unwrap())
-        .unwrap();
-    let out = driver
-        .checkpoint_or_fallback(&mut app.heap, &plan_v2, &app.roots.clone(), &table)
-        .unwrap();
+    let plan_v2 =
+        Specializer::new(&registry).compile_optimized(&recorder.infer().unwrap()).unwrap();
+    let out =
+        driver.checkpoint_or_fallback(&mut app.heap, &plan_v2, &app.roots.clone(), &table).unwrap();
     assert!(!out.fell_back, "fresh plan matches the evolved shape");
     assert_eq!(out.record.stats().objects_recorded, 10, "one tail per structure");
     store.push(out.record).unwrap();

@@ -96,7 +96,11 @@ fn inference_over_shifting_patterns_widens_the_declaration() {
     let mut recorder = ProfileRecorder::new();
     // Round 1 dirties list 0's tails; round 2 dirties list 2's heads. The
     // union must survive in the inferred pattern.
-    w.apply_modifications(&ModificationSpec { pct_modified: 100, modified_lists: 1, last_only: true });
+    w.apply_modifications(&ModificationSpec {
+        pct_modified: 100,
+        modified_lists: 1,
+        last_only: true,
+    });
     recorder.observe(w.heap(), w.roots()).unwrap();
     w.reset_modified();
     for s in 0..20 {
@@ -106,12 +110,14 @@ fn inference_over_shifting_patterns_widens_the_declaration() {
     recorder.observe(w.heap(), w.roots()).unwrap();
     w.reset_modified();
 
-    let plan = Specializer::new(w.heap().registry())
-        .compile(&recorder.infer().unwrap())
-        .unwrap();
+    let plan = Specializer::new(w.heap().registry()).compile(&recorder.infer().unwrap()).unwrap();
 
     // Both phases' modifications are now visible to one plan.
-    w.apply_modifications(&ModificationSpec { pct_modified: 100, modified_lists: 1, last_only: true });
+    w.apply_modifications(&ModificationSpec {
+        pct_modified: 100,
+        modified_lists: 1,
+        last_only: true,
+    });
     for s in 0..20 {
         let e = w.element(s, 2, 0);
         w.heap_mut().set_field(e, 0, ickp::heap::Value::Int(9)).unwrap();
