@@ -13,7 +13,8 @@
 
 use crate::engine::Engine;
 use ickp_core::{
-    CheckpointKind, CheckpointRecord, CoreError, MethodTable, StreamWriter, TraversalStats,
+    BufferPool, CheckpointKind, CheckpointRecord, CoreError, JournalCache, MethodTable,
+    StreamWriter, TraversalStats,
 };
 use ickp_heap::{ClassId, ClassRegistry, Heap, ObjectId, StableId};
 use std::collections::{HashMap, HashSet};
@@ -28,6 +29,13 @@ pub struct GenericBackend {
     /// HotSpot inline cache: the last class dispatched at this call site.
     cache: Option<ClassId>,
     next_seq: u64,
+    /// Traversal-order cache for the dirty-set journal fast path, rebuilt
+    /// by every slow-path checkpoint (see `ickp_core::JournalCache`).
+    journal_cache: Option<JournalCache>,
+    /// Recycles encode buffers between checkpoints.
+    pool: BufferPool,
+    /// Reusable `(position, id)` scratch for the fast path's sort.
+    scratch: Vec<(u32, ObjectId)>,
 }
 
 impl GenericBackend {
@@ -35,7 +43,16 @@ impl GenericBackend {
     pub fn new(engine: Engine, registry: &ClassRegistry) -> GenericBackend {
         let table = MethodTable::derive(registry);
         let itable = registry.iter().map(|d| (d.id().index() as u32, d.id())).collect();
-        GenericBackend { engine, table, itable, cache: None, next_seq: 0 }
+        GenericBackend {
+            engine,
+            table,
+            itable,
+            cache: None,
+            next_seq: 0,
+            journal_cache: None,
+            pool: BufferPool::default(),
+            scratch: Vec::new(),
+        }
     }
 
     /// The engine in force.
@@ -85,8 +102,16 @@ impl GenericBackend {
         let seq = self.next_seq;
         let root_ids: Vec<StableId> =
             roots.iter().map(|&r| heap.stable_id(r)).collect::<Result<_, _>>()?;
-        let mut writer = StreamWriter::new(seq, CheckpointKind::Incremental, &root_ids);
-        let mut stats = TraversalStats::default();
+        if let Some(cache) = self.journal_cache.take() {
+            if cache.is_valid(heap, roots) {
+                let result = self.checkpoint_from_journal(heap, &cache, root_ids);
+                self.journal_cache = Some(cache);
+                return result;
+            }
+        }
+        let (mut writer, reused) = self.writer_for(seq, &root_ids);
+        let mut stats = TraversalStats { bytes_reused: reused, ..TraversalStats::default() };
+        let mut builder = JournalCache::builder(heap, roots);
 
         let mut stack: Vec<ObjectId> = roots.iter().rev().copied().collect();
         let mut visited: HashSet<ObjectId> = HashSet::with_capacity(roots.len() * 4);
@@ -96,6 +121,7 @@ impl GenericBackend {
             }
             stats.objects_visited += 1;
             stats.flag_tests += 1;
+            builder.visit(id);
             let class = heap.class_of(id)?;
             if heap.is_modified(id)? {
                 let resolved = self.dispatch(class)?;
@@ -117,10 +143,68 @@ impl GenericBackend {
             stack[before..].reverse();
         }
 
+        self.journal_cache = Some(builder.finish());
+        heap.finish_journal_epoch();
         stats.bytes_written = writer.len() as u64;
         let bytes = writer.finish();
         self.next_seq += 1;
-        Ok(CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats))
+        Ok(CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats)
+            .with_pool(self.pool.clone()))
+    }
+
+    /// The journal fast path under this backend's dispatch regime: records
+    /// are emitted straight from the sorted dirty set, but each emission
+    /// still pays the engine's dispatch cost (itable lookup, inline cache,
+    /// or direct), so the engine axis stays measurable.
+    fn checkpoint_from_journal(
+        &mut self,
+        heap: &mut Heap,
+        cache: &JournalCache,
+        root_ids: Vec<StableId>,
+    ) -> Result<CheckpointRecord, CoreError> {
+        let seq = self.next_seq;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let scanned = cache.collect_dirty(heap, &mut scratch);
+        let hits = scratch.len() as u64;
+        let mut stats = TraversalStats {
+            flag_tests: scanned,
+            journal_hits: hits,
+            objects_visited: hits,
+            subtrees_pruned: cache.reachable_len().saturating_sub(hits),
+            ..TraversalStats::default()
+        };
+
+        let (mut writer, reused) = self.writer_for(seq, &root_ids);
+        stats.bytes_reused = reused;
+        for &(_, id) in &scratch {
+            let class = heap.class_of(id)?;
+            let resolved = self.dispatch(class)?;
+            let def = heap.class(resolved)?;
+            writer.begin_object(heap.stable_id(id)?, resolved, def.num_slots());
+            stats.virtual_calls += 1;
+            self.table.record(resolved)?(heap, id, &mut writer)?;
+            stats.objects_recorded += 1;
+            heap.reset_modified(id)?;
+        }
+        scratch.clear();
+        self.scratch = scratch;
+        heap.finish_journal_epoch();
+
+        stats.bytes_written = writer.len() as u64;
+        let bytes = writer.finish();
+        self.next_seq += 1;
+        Ok(CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats)
+            .with_pool(self.pool.clone()))
+    }
+
+    fn writer_for(&mut self, seq: u64, root_ids: &[StableId]) -> (StreamWriter, u64) {
+        match self.pool.acquire() {
+            Some(buf) => {
+                let reused = buf.capacity() as u64;
+                (StreamWriter::with_buffer(buf, seq, CheckpointKind::Incremental, root_ids), reused)
+            }
+            None => (StreamWriter::new(seq, CheckpointKind::Incremental, root_ids), 0),
+        }
     }
 }
 
@@ -176,7 +260,11 @@ mod tests {
             heap.set_field(roots[3], 0, Value::Int(99)).unwrap();
             let rec = backend.checkpoint(&mut heap, &roots).unwrap();
             assert_eq!(rec.stats().objects_recorded, 1, "{engine}");
-            assert_eq!(rec.stats().objects_visited, 20, "{engine}");
+            // The journal fast path visits only the dirty object and
+            // prunes the other 19 reachable ones.
+            assert_eq!(rec.stats().objects_visited, 1, "{engine}");
+            assert_eq!(rec.stats().journal_hits, 1, "{engine}");
+            assert_eq!(rec.stats().subtrees_pruned, 19, "{engine}");
             assert_eq!(rec.seq(), 1);
         }
     }

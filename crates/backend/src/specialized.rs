@@ -28,13 +28,20 @@ pub struct SpecializedBackend {
     plan: Plan,
     threaded: ThreadedPlan,
     next_seq: u64,
+    /// Key of the last successful run — `(structure_version, roots,
+    /// objects the plan visited)` — enabling the empty-dirty-set shortcut:
+    /// if nothing in the journal is dirty and the graph shape and roots
+    /// are unchanged, the plan's guards would pass exactly as before and
+    /// every `TestModified` would skip, so the stream is just the header
+    /// and footer and the plan need not run at all.
+    last_good: Option<(u64, Vec<ObjectId>, u64)>,
 }
 
 impl SpecializedBackend {
     /// Builds the backend around a compiled plan.
     pub fn new(engine: Engine, plan: Plan) -> SpecializedBackend {
         let threaded = ThreadedPlan::compile(&plan);
-        SpecializedBackend { engine, plan, threaded, next_seq: 0 }
+        SpecializedBackend { engine, plan, threaded, next_seq: 0, last_good: None }
     }
 
     /// The engine in force.
@@ -78,6 +85,34 @@ impl SpecializedBackend {
         let seq = self.next_seq;
         let root_ids: Vec<StableId> =
             roots.iter().map(|&r| heap.stable_id(r)).collect::<Result<_, _>>()?;
+        if let Some((version, good_roots, visited)) = &self.last_good {
+            if *version == heap.structure_version()
+                && good_roots == roots
+                && !heap.journal_has_dirty()
+            {
+                // Every record in a specialized plan sits behind a
+                // modified-flag test (unconditionally-frozen nodes emit
+                // nothing), so with zero dirty objects the plan would emit
+                // an empty stream — which we can write directly.
+                let writer = StreamWriter::new(seq, CheckpointKind::Incremental, &root_ids);
+                let mut stats = TraversalStats {
+                    flag_tests: heap.journal().len() as u64,
+                    subtrees_pruned: *visited,
+                    ..TraversalStats::default()
+                };
+                stats.bytes_written = writer.len() as u64;
+                let bytes = writer.finish();
+                self.next_seq += 1;
+                heap.finish_journal_epoch();
+                return Ok(CheckpointRecord::from_parts(
+                    seq,
+                    CheckpointKind::Incremental,
+                    root_ids,
+                    bytes,
+                    stats,
+                ));
+            }
+        }
         let mut writer = StreamWriter::new(seq, CheckpointKind::Incremental, &root_ids);
         let mut stats = TraversalStats::default();
 
@@ -115,6 +150,11 @@ impl SpecializedBackend {
         stats.bytes_written = writer.len() as u64;
         let bytes = writer.finish();
         self.next_seq += 1;
+        // A completed run is the proof the shortcut needs: guards passed
+        // on this shape, so an unchanged shape with nothing dirty would
+        // reproduce an empty stream.
+        self.last_good = Some((heap.structure_version(), roots.to_vec(), stats.objects_visited));
+        heap.finish_journal_epoch();
         Ok(CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats))
     }
 }

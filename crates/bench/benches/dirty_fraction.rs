@@ -1,0 +1,37 @@
+//! Dirty-fraction sweep: journal fast path vs flag-testing traversal.
+//!
+//! The dirty-set journal makes incremental checkpoint cost O(modified)
+//! instead of O(reachable). This bench sweeps the fraction of the heap
+//! dirtied per round — 0%, 1%, 10%, 50%, 100% — and times the generic
+//! incremental driver with the journal on (`journal/...`) and pinned off
+//! (`traversal/...`). Results are recorded in EXPERIMENTS.md; the win is
+//! largest at small fractions, where traversal visits everything to
+//! record almost nothing.
+
+use ickp_bench::{BenchGroup, SynthRunner, Variant};
+use ickp_synth::ModificationSpec;
+use std::time::Duration;
+
+const STRUCTURES: usize = 2_000;
+const LIST_LEN: usize = 5;
+const INTS: usize = 1;
+
+fn main() {
+    let mut group = BenchGroup::new("dirty_fraction");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
+    for pct in [0u8, 1, 10, 50, 100] {
+        let mods = ModificationSpec::uniform(pct);
+        let mut runner = SynthRunner::new(STRUCTURES, LIST_LEN, INTS);
+        group.bench_custom(&format!("traversal/pct{pct}"), |iters| {
+            runner.time_rounds(Variant::IncrementalNoJournal, &mods, iters as usize)
+        });
+        let mut runner = SynthRunner::new(STRUCTURES, LIST_LEN, INTS);
+        group.bench_custom(&format!("journal/pct{pct}"), |iters| {
+            runner.time_rounds(Variant::Incremental, &mods, iters as usize)
+        });
+    }
+    group.finish();
+}

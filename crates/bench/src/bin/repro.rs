@@ -50,7 +50,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--filters needs a number"))
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "all" => experiment = arg.clone(),
+            | "journal" | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -82,12 +82,15 @@ fn main() {
     if run("recovery") {
         recovery(&opts);
     }
+    if run("journal") {
+        journal(&opts);
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|all] \
          [--structures N] [--rounds R] [--filters F]"
     );
     std::process::exit(2);
@@ -400,4 +403,37 @@ fn table2(opts: &Options) {
         }
     }
     println!();
+}
+
+// ----------------------------------------------------- dirty-set journal
+
+fn journal(opts: &Options) {
+    let mut grid = Grid {
+        title: "Dirty-set journal — flag-testing traversal vs journal fast path".into(),
+        header: format!(
+            "{:<10} {:>12} {:>12} {:>9} {:>12} {:>12} {:>14}",
+            "% dirty", "traversal", "journal", "speedup", "hits", "pruned", "bytes reused"
+        ),
+        rows: Vec::new(),
+    };
+    for pct in [0u8, 1, 10, 50, 100] {
+        let m = ModificationSpec::uniform(pct);
+        // One runner per variant: same config, same seed, same per-round
+        // modification script, so the two columns are directly comparable.
+        let mut runner = SynthRunner::new(opts.structures, 5, 1);
+        let trav = runner.measure(Variant::IncrementalNoJournal, &m, opts.rounds);
+        let mut runner = SynthRunner::new(opts.structures, 5, 1);
+        let fast = runner.measure(Variant::Incremental, &m, opts.rounds);
+        grid.rows.push(format!(
+            "{:<10} {:>12} {:>12} {:>8.2}x {:>12} {:>12} {:>14}",
+            format!("{pct}%"),
+            fmt_duration(trav.time),
+            fmt_duration(fast.time),
+            speedup(trav.time, fast.time),
+            fast.stats.journal_hits,
+            fast.stats.subtrees_pruned,
+            fmt_bytes(fast.stats.bytes_reused as usize),
+        ));
+    }
+    grid.print();
 }

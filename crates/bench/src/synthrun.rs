@@ -18,8 +18,14 @@ use std::time::{Duration, Instant};
 pub enum Variant {
     /// Generic full checkpointing (records everything).
     FullGeneric,
-    /// Generic incremental checkpointing (the Figure 7 baseline).
+    /// Generic incremental checkpointing (the Figure 7 baseline). The
+    /// dirty-set journal is on, as in production: steady-state rounds are
+    /// served in O(modified) from the journal.
     Incremental,
+    /// Generic incremental checkpointing with the journal pinned off —
+    /// every round pays the full flag-testing traversal. The baseline the
+    /// `dirty_fraction` bench compares the journal against.
+    IncrementalNoJournal,
     /// Specialized w.r.t. structure only (Figure 8).
     SpecStructure,
     /// Specialized w.r.t. structure + the set of possibly-modified lists
@@ -146,6 +152,9 @@ impl SynthRunner {
             Variant::Incremental => {
                 Driver::Incr(Checkpointer::new(CheckpointConfig::incremental()))
             }
+            Variant::IncrementalNoJournal => {
+                Driver::Incr(Checkpointer::new(CheckpointConfig::incremental().without_journal()))
+            }
             Variant::SpecStructure | Variant::SpecModifiedLists | Variant::SpecLastOnly => {
                 Driver::Spec(SpecializedCheckpointer::new(GuardMode::Trusting))
             }
@@ -214,7 +223,13 @@ mod tests {
         assert_eq!(full.stats.objects_recorded, 40 * 26);
         assert!(incr.stats.objects_recorded < full.stats.objects_recorded);
         assert!(incr.bytes < full.bytes);
-        assert_eq!(incr.stats.objects_visited, 40 * 26, "traversal is not reduced");
+        // Steady-state rounds are served from the dirty-set journal: the
+        // driver visits exactly the modified objects and prunes the rest
+        // of the reachable heap without traversing it.
+        assert_eq!(incr.stats.objects_recorded as usize, incr.modified);
+        assert_eq!(incr.stats.journal_hits, incr.stats.objects_recorded);
+        assert_eq!(incr.stats.objects_visited, incr.stats.objects_recorded);
+        assert_eq!(incr.stats.subtrees_pruned, 40 * 26 - incr.stats.objects_recorded);
     }
 
     #[test]
@@ -238,8 +253,12 @@ mod tests {
         let incr = runner.measure(Variant::Incremental, &m, 1);
         let spec = runner.measure(Variant::SpecLastOnly, &m, 1);
         assert_eq!(spec.stats.flag_tests, 30, "one test per structure");
-        assert_eq!(incr.stats.flag_tests, 30 * 26, "incremental tests everything");
-        assert!(spec.stats.refs_followed < incr.stats.refs_followed);
+        // The journal narrows the generic driver even harder than the
+        // specialized plan: its scan touches only journaled entries and
+        // follows no references at all.
+        assert_eq!(incr.stats.flag_tests, incr.stats.journal_hits, "scan touches only the dirty");
+        assert_eq!(incr.stats.refs_followed, 0, "no pointer chasing on the fast path");
+        assert_eq!(spec.stats.objects_recorded as usize, spec.modified);
     }
 
     #[test]
@@ -247,11 +266,20 @@ mod tests {
         let m = mods(50, 5, false);
         let mut runner = SynthRunner::new(20, 5, 1);
         let incr = runner.measure(Variant::Incremental, &m, 1);
+        assert_eq!(incr.stats.objects_recorded as usize, incr.modified);
         for workers in [1usize, 4] {
+            // The RNG advances between measurements, so the two variants
+            // see different modification sets; compare each against the
+            // shared steady-state invariant instead: every round is served
+            // from the journal and records exactly what was modified.
             let par = runner.measure(Variant::Parallel(workers), &m, 1);
             assert_eq!(par.stats.objects_recorded as usize, par.modified, "{workers} workers");
-            assert_eq!(par.stats.objects_visited, incr.stats.objects_visited);
-            assert_eq!(par.stats.flag_tests, incr.stats.flag_tests);
+            assert_eq!(par.stats.objects_visited, par.stats.journal_hits, "{workers} workers");
+            assert_eq!(
+                par.stats.subtrees_pruned,
+                20 * 26 - par.stats.objects_visited,
+                "{workers} workers"
+            );
         }
     }
 

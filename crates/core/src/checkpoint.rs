@@ -16,7 +16,9 @@
 //! just assert them.
 
 use crate::error::CoreError;
+use crate::journal::JournalCache;
 use crate::methods::MethodTable;
+use crate::pool::BufferPool;
 use crate::stats::TraversalStats;
 use crate::stream::{CheckpointKind, StreamWriter};
 use ickp_heap::{Heap, ObjectId, StableId};
@@ -27,28 +29,79 @@ use std::collections::HashSet;
 pub struct CheckpointConfig {
     /// Full or incremental checkpointing.
     pub kind: CheckpointKind,
+    /// Whether incremental checkpoints may use the dirty-set journal fast
+    /// path (on by default). With the journal off, every checkpoint
+    /// performs the paper's full flag-test traversal — useful as the
+    /// reference behaviour in equivalence tests and benchmarks.
+    pub journal: bool,
 }
 
 impl CheckpointConfig {
     /// Configuration for full checkpointing (record everything).
     pub fn full() -> CheckpointConfig {
-        CheckpointConfig { kind: CheckpointKind::Full }
+        CheckpointConfig { kind: CheckpointKind::Full, journal: true }
     }
 
     /// Configuration for incremental checkpointing (record modified only).
     pub fn incremental() -> CheckpointConfig {
-        CheckpointConfig { kind: CheckpointKind::Incremental }
+        CheckpointConfig { kind: CheckpointKind::Incremental, journal: true }
+    }
+
+    /// Disables the dirty-set journal fast path, forcing the flag-test
+    /// traversal on every checkpoint.
+    pub fn without_journal(mut self) -> CheckpointConfig {
+        self.journal = false;
+        self
     }
 }
 
 /// One completed checkpoint: its bytes plus bookkeeping.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A record produced by a pooled checkpointer returns its byte buffer to
+/// the producer's [`BufferPool`] when dropped; use
+/// [`CheckpointRecord::into_parts`] to take the bytes out instead.
+#[derive(Debug)]
 pub struct CheckpointRecord {
     seq: u64,
     kind: CheckpointKind,
     roots: Vec<StableId>,
     bytes: Vec<u8>,
     stats: TraversalStats,
+    pool: Option<BufferPool>,
+}
+
+impl Clone for CheckpointRecord {
+    /// Clones the record's data; the clone is detached from any buffer
+    /// pool (only the original returns its buffer).
+    fn clone(&self) -> CheckpointRecord {
+        CheckpointRecord {
+            seq: self.seq,
+            kind: self.kind,
+            roots: self.roots.clone(),
+            bytes: self.bytes.clone(),
+            stats: self.stats,
+            pool: None,
+        }
+    }
+}
+
+impl PartialEq for CheckpointRecord {
+    /// Records compare by content; buffer-pool attachment is ignored.
+    fn eq(&self, other: &CheckpointRecord) -> bool {
+        self.seq == other.seq
+            && self.kind == other.kind
+            && self.roots == other.roots
+            && self.bytes == other.bytes
+            && self.stats == other.stats
+    }
+}
+
+impl Drop for CheckpointRecord {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(std::mem::take(&mut self.bytes));
+        }
+    }
 }
 
 impl CheckpointRecord {
@@ -64,17 +117,41 @@ impl CheckpointRecord {
         bytes: Vec<u8>,
         stats: TraversalStats,
     ) -> CheckpointRecord {
-        CheckpointRecord { seq, kind, roots, bytes, stats }
+        CheckpointRecord { seq, kind, roots, bytes, stats, pool: None }
     }
 
-    pub(crate) fn new(
+    pub(crate) fn pooled(
         seq: u64,
         kind: CheckpointKind,
         roots: Vec<StableId>,
         bytes: Vec<u8>,
         stats: TraversalStats,
+        pool: BufferPool,
     ) -> CheckpointRecord {
-        CheckpointRecord { seq, kind, roots, bytes, stats }
+        CheckpointRecord { seq, kind, roots, bytes, stats, pool: Some(pool) }
+    }
+
+    /// Attaches a [`BufferPool`]: when this record is dropped, its byte
+    /// buffer is recycled into `pool` instead of being freed. Producers
+    /// outside this crate (the engine backends) use this to close their
+    /// allocation loop; clones of the record stay detached.
+    pub fn with_pool(mut self, pool: BufferPool) -> CheckpointRecord {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Dismantles the record into `(seq, kind, roots, bytes, stats)`,
+    /// transferring ownership of the roots and bytes without cloning (and
+    /// without returning the buffer to any pool).
+    pub fn into_parts(mut self) -> (u64, CheckpointKind, Vec<StableId>, Vec<u8>, TraversalStats) {
+        self.pool = None;
+        (
+            self.seq,
+            self.kind,
+            std::mem::take(&mut self.roots),
+            std::mem::take(&mut self.bytes),
+            self.stats,
+        )
     }
 
     /// Sequence number within the producing run.
@@ -116,12 +193,29 @@ pub struct Checkpointer {
     pub(crate) config: CheckpointConfig,
     pub(crate) next_seq: u64,
     pub(crate) cumulative: TraversalStats,
+    /// Traversal-order cache backing the journal fast path; rebuilt by
+    /// every slow-path checkpoint, invalidated by structure changes.
+    pub(crate) cache: Option<JournalCache>,
+    /// Shard-plan cache for `checkpoint_parallel` (same validity rule).
+    pub(crate) plan_cache: Option<crate::parallel::PlanCache>,
+    /// Recycles encode buffers between checkpoints (see [`BufferPool`]).
+    pub(crate) pool: BufferPool,
+    /// Reusable `(position, id)` scratch for the fast path's sort.
+    pub(crate) scratch: Vec<(u32, ObjectId)>,
 }
 
 impl Checkpointer {
     /// Creates a checkpointer with sequence numbers starting at 0.
     pub fn new(config: CheckpointConfig) -> Checkpointer {
-        Checkpointer { config, next_seq: 0, cumulative: TraversalStats::default() }
+        Checkpointer {
+            config,
+            next_seq: 0,
+            cumulative: TraversalStats::default(),
+            cache: None,
+            plan_cache: None,
+            pool: BufferPool::default(),
+            scratch: Vec::new(),
+        }
     }
 
     /// The configuration in force.
@@ -174,8 +268,15 @@ impl Checkpointer {
         let seq = self.next_seq;
         let root_ids: Vec<StableId> =
             roots.iter().map(|&r| heap.stable_id(r)).collect::<Result<_, _>>()?;
-        let mut writer = StreamWriter::new(seq, self.config.kind, &root_ids);
-        let mut stats = TraversalStats::default();
+        if self.journal_usable(heap, roots) {
+            return self.checkpoint_from_journal(heap, methods, root_ids);
+        }
+        let (mut writer, reused) = self.writer_for(seq, self.config.kind, &root_ids);
+        let mut stats = TraversalStats { bytes_reused: reused, ..TraversalStats::default() };
+        // Only incremental drivers can consume the cache; a full-kind
+        // checkpoint would rebuild it for nothing.
+        let journal_on = self.config.journal && self.config.kind == CheckpointKind::Incremental;
+        let mut builder = journal_on.then(|| JournalCache::builder(heap, roots));
 
         let mut stack: Vec<ObjectId> = roots.iter().rev().copied().collect();
         let mut visited: HashSet<ObjectId> = HashSet::with_capacity(roots.len() * 4);
@@ -184,6 +285,9 @@ impl Checkpointer {
                 continue;
             }
             stats.objects_visited += 1;
+            if let Some(builder) = &mut builder {
+                builder.visit(id);
+            }
 
             let record_it = match self.config.kind {
                 CheckpointKind::Full => true,
@@ -215,11 +319,99 @@ impl Checkpointer {
             stack[before..].reverse();
         }
 
+        if let Some(builder) = builder {
+            self.cache = Some(builder.finish());
+            heap.finish_journal_epoch();
+        }
         stats.bytes_written = writer.len() as u64;
         let bytes = writer.finish();
         self.next_seq += 1;
         self.cumulative += stats;
-        Ok(CheckpointRecord::new(seq, self.config.kind, root_ids, bytes, stats))
+        Ok(CheckpointRecord::pooled(
+            seq,
+            self.config.kind,
+            root_ids,
+            bytes,
+            stats,
+            self.pool.clone(),
+        ))
+    }
+
+    /// `true` if this checkpoint can skip the traversal and be served from
+    /// the dirty-set journal: incremental mode, journal enabled, and a
+    /// traversal-order cache that is still valid for this heap and root
+    /// set.
+    pub(crate) fn journal_usable(&self, heap: &Heap, roots: &[ObjectId]) -> bool {
+        self.config.journal
+            && self.config.kind == CheckpointKind::Incremental
+            && self.cache.as_ref().is_some_and(|c| c.is_valid(heap, roots))
+    }
+
+    /// The journal fast path: O(modified log modified) instead of
+    /// O(reachable). Emits the byte-identical stream the flag-test
+    /// traversal would have produced, because the cached pre-order
+    /// positions reproduce traversal order exactly and the journal is a
+    /// complete membership filter for modified objects.
+    pub(crate) fn checkpoint_from_journal(
+        &mut self,
+        heap: &mut Heap,
+        methods: &MethodTable,
+        root_ids: Vec<StableId>,
+    ) -> Result<CheckpointRecord, CoreError> {
+        let seq = self.next_seq;
+        let kind = self.config.kind;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let cache = self.cache.as_ref().expect("journal_usable checked");
+        let scanned = cache.collect_dirty(heap, &mut scratch);
+        let hits = scratch.len() as u64;
+
+        // Flag tests moved from the traversal to the journal scan; visits
+        // shrink to the objects actually emitted.
+        let mut stats = TraversalStats {
+            flag_tests: scanned,
+            journal_hits: hits,
+            objects_visited: hits,
+            subtrees_pruned: cache.reachable_len().saturating_sub(hits),
+            ..TraversalStats::default()
+        };
+
+        let (mut writer, reused) = self.writer_for(seq, kind, &root_ids);
+        stats.bytes_reused = reused;
+        for &(_, id) in &scratch {
+            let class = heap.class_of(id)?;
+            let def = heap.class(class)?;
+            writer.begin_object(heap.stable_id(id)?, class, def.num_slots());
+            stats.virtual_calls += 1;
+            methods.record(class)?(heap, id, &mut writer)?;
+            stats.objects_recorded += 1;
+            heap.reset_modified(id)?;
+        }
+        scratch.clear();
+        self.scratch = scratch;
+        heap.finish_journal_epoch();
+
+        stats.bytes_written = writer.len() as u64;
+        let bytes = writer.finish();
+        self.next_seq += 1;
+        self.cumulative += stats;
+        Ok(CheckpointRecord::pooled(seq, kind, root_ids, bytes, stats, self.pool.clone()))
+    }
+
+    /// Starts a stream, reusing a pooled buffer when one is idle. Returns
+    /// the writer and the recycled capacity (for `bytes_reused`).
+    pub(crate) fn writer_for(
+        &mut self,
+        seq: u64,
+        kind: CheckpointKind,
+        root_ids: &[StableId],
+    ) -> (StreamWriter, u64) {
+        match self.pool.acquire() {
+            Some(buf) => {
+                let reused = buf.capacity() as u64;
+                (StreamWriter::with_buffer(buf, seq, kind, root_ids), reused)
+            }
+            None => (StreamWriter::new(seq, kind, root_ids), 0),
+        }
     }
 
     /// Performs the traversal and flag tests of an incremental checkpoint
@@ -314,17 +506,21 @@ mod tests {
         assert_eq!(rec1.stats().objects_recorded, 3);
         assert!(!heap.is_modified(head).unwrap());
 
-        // No mutation: second checkpoint records nothing but still visits.
+        // No mutation: the second checkpoint is served by the journal fast
+        // path — nothing is dirty, so nothing is visited at all.
         let rec2 = ckp.checkpoint(&mut heap, &table, &[head]).unwrap();
         assert_eq!(rec2.stats().objects_recorded, 0);
-        assert_eq!(rec2.stats().objects_visited, 3);
-        assert_eq!(rec2.stats().flag_tests, 3);
+        assert_eq!(rec2.stats().objects_visited, 0);
+        assert_eq!(rec2.stats().flag_tests, 0);
+        assert_eq!(rec2.stats().subtrees_pruned, 3);
         assert!(rec2.len_bytes() < rec1.len_bytes());
 
-        // Modify only the middle node: exactly one record.
+        // Modify only the middle node: exactly one record, one visit.
         heap.set_field(mid, 0, Value::Int(5)).unwrap();
         let rec3 = ckp.checkpoint(&mut heap, &table, &[head]).unwrap();
         assert_eq!(rec3.stats().objects_recorded, 1);
+        assert_eq!(rec3.stats().objects_visited, 1);
+        assert_eq!(rec3.stats().journal_hits, 1);
         let d = decode(rec3.bytes(), heap.registry()).unwrap();
         assert_eq!(d.objects[0].stable, heap.stable_id(mid).unwrap());
         assert_eq!(d.objects[0].fields[0], RecordedValue::Int(5));
@@ -334,10 +530,11 @@ mod tests {
     #[test]
     fn traversal_visits_children_of_unmodified_parents() {
         // The paper is explicit: incrementality skips *recording*, never
-        // *traversal* — a clean parent may hold a dirty child.
+        // *traversal* — a clean parent may hold a dirty child. With the
+        // journal disabled, the driver keeps exactly that behaviour.
         let (mut heap, node, table) = setup();
         let (head, _, tail) = chain(&mut heap, node);
-        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental().without_journal());
         ckp.checkpoint(&mut heap, &table, &[head]).unwrap();
         heap.set_field(tail, 0, Value::Int(9)).unwrap();
         let rec = ckp.checkpoint(&mut heap, &table, &[head]).unwrap();
@@ -407,8 +604,11 @@ mod tests {
         let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
         ckp.checkpoint(&mut heap, &table, &[o]).unwrap();
         ckp.checkpoint(&mut heap, &table, &[o]).unwrap();
-        assert_eq!(ckp.cumulative_stats().objects_visited, 2);
-        assert_eq!(ckp.cumulative_stats().flag_tests, 2);
+        // First checkpoint traverses (1 visit, 1 flag test); the second is
+        // a journal fast path over an empty dirty set (0 of each).
+        assert_eq!(ckp.cumulative_stats().objects_visited, 1);
+        assert_eq!(ckp.cumulative_stats().flag_tests, 1);
+        assert_eq!(ckp.cumulative_stats().subtrees_pruned, 1);
     }
 
     #[test]

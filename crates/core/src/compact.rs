@@ -40,13 +40,15 @@ pub fn compact(
     let table = MethodTable::derive(heap.registry());
     let mut ckp = Checkpointer::new(CheckpointConfig::full());
     let rec = ckp.checkpoint(&mut heap, &table, &roots)?;
-    // Carry the original sequence number so producers can keep appending.
+    // Carry the original sequence number so producers can keep appending;
+    // into_parts moves the roots and bytes instead of cloning them.
+    let (_, _, rec_roots, rec_bytes, rec_stats) = rec.into_parts();
     let rec = CheckpointRecord::from_parts(
         latest_seq,
         CheckpointKind::Full,
-        rec.roots().to_vec(),
-        rec.bytes().to_vec(),
-        rec.stats(),
+        rec_roots,
+        rec_bytes,
+        rec_stats,
     );
     let mut compacted = CheckpointStore::new();
     compacted.push(rec)?;
@@ -130,13 +132,9 @@ mod tests {
         heap.set_field(roots[0], 0, Value::Int(-1)).unwrap();
         let mut producer = Checkpointer::new(CheckpointConfig::incremental());
         let rec = producer.checkpoint(&mut heap, &table, &roots).unwrap();
-        let rec = CheckpointRecord::from_parts(
-            latest_seq + 1,
-            rec.kind(),
-            rec.roots().to_vec(),
-            rec.bytes().to_vec(),
-            rec.stats(),
-        );
+        let (_, kind, rec_roots, rec_bytes, rec_stats) = rec.into_parts();
+        let rec =
+            CheckpointRecord::from_parts(latest_seq + 1, kind, rec_roots, rec_bytes, rec_stats);
         compacted.push(rec).unwrap();
 
         let rebuilt = restore(&compacted, heap.registry(), RestorePolicy::RequireFullBase).unwrap();

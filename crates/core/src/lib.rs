@@ -56,9 +56,11 @@
 mod checkpoint;
 mod compact;
 mod error;
+mod journal;
 mod methods;
 mod parallel;
 mod persist;
+mod pool;
 mod restore;
 mod stats;
 mod store;
@@ -67,8 +69,10 @@ mod stream;
 pub use checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer};
 pub use compact::compact;
 pub use error::CoreError;
+pub use journal::{JournalCache, JournalCacheBuilder};
 pub use methods::{FoldFn, MethodTable, RecordFn};
 pub use persist::{load_store, save_store};
+pub use pool::BufferPool;
 pub use restore::{restore, verify_restore, RestorePolicy, RestoredHeap};
 pub use stats::TraversalStats;
 pub use store::CheckpointStore;

@@ -26,10 +26,30 @@
 
 use crate::checkpoint::{CheckpointRecord, Checkpointer};
 use crate::error::CoreError;
+use crate::journal::JournalCache;
 use crate::methods::MethodTable;
 use crate::stats::TraversalStats;
 use crate::stream::{CheckpointKind, StreamWriter};
 use ickp_heap::{partition_roots, Heap, ObjectId, ShardPlan, StableId};
+
+/// A [`ShardPlan`] cached across parallel checkpoints, valid while the
+/// heap structure, root set, and worker count are unchanged (the same
+/// validity rule as [`JournalCache`]).
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    structure_version: u64,
+    roots: Vec<ObjectId>,
+    workers: usize,
+    plan: ShardPlan,
+}
+
+impl PlanCache {
+    fn matches(&self, heap: &Heap, roots: &[ObjectId], workers: usize) -> bool {
+        self.structure_version == heap.structure_version()
+            && self.workers == workers
+            && self.roots == roots
+    }
+}
 
 /// What one worker hands back: its record bytes plus deferred bookkeeping.
 struct ShardOutput {
@@ -39,6 +59,11 @@ struct ShardOutput {
     /// Objects recorded by this shard, whose modified flags still need
     /// resetting (workers cannot: they hold the heap immutably).
     recorded: Vec<ObjectId>,
+    /// Every object this shard visited, in visit order — concatenated in
+    /// shard order this reproduces the sequential depth-first pre-order
+    /// (merge invariant 3), which is what the journal cache needs.
+    /// Collected only when the driver has the journal enabled.
+    visit_order: Vec<ObjectId>,
 }
 
 /// One shard's traversal: the sequential checkpoint loop restricted to the
@@ -49,10 +74,12 @@ fn shard_worker(
     plan: &ShardPlan,
     shard: usize,
     kind: CheckpointKind,
+    collect_order: bool,
 ) -> Result<ShardOutput, CoreError> {
     let mut writer = StreamWriter::new_shard();
     let mut stats = TraversalStats::default();
     let mut recorded = Vec::new();
+    let mut visit_order = Vec::new();
     let mut stack: Vec<ObjectId> = plan.roots(shard).iter().rev().copied().collect();
     // Dense slot-indexed visited set (see `Heap::arena_size`): cheaper per
     // step than hashing, and allocated per worker so shards stay independent.
@@ -64,6 +91,9 @@ fn shard_worker(
             continue;
         }
         stats.objects_visited += 1;
+        if collect_order {
+            visit_order.push(id);
+        }
 
         let record_it = match kind {
             CheckpointKind::Full => true,
@@ -92,7 +122,7 @@ fn shard_worker(
         stack[before..].reverse();
     }
     let (body, records) = writer.finish_shard();
-    Ok(ShardOutput { body, records, stats, recorded })
+    Ok(ShardOutput { body, records, stats, recorded, visit_order })
 }
 
 impl Checkpointer {
@@ -151,35 +181,69 @@ impl Checkpointer {
         let kind = self.config.kind;
         let root_ids: Vec<StableId> =
             roots.iter().map(|&r| heap.stable_id(r)).collect::<Result<_, _>>()?;
-        let plan = partition_roots(heap, roots, workers)?;
+        if self.journal_usable(heap, roots) {
+            // The fast path emits O(modified) records sequentially; there
+            // is nothing left to parallelize, and the output is the same
+            // byte-identical stream either way.
+            return self.checkpoint_from_journal(heap, methods, root_ids);
+        }
+        let plan = match self.plan_cache.take() {
+            Some(cached) if cached.matches(heap, roots, workers) => cached.plan,
+            _ => partition_roots(heap, roots, workers)?,
+        };
+        let collect_order = self.config.journal && kind == CheckpointKind::Incremental;
 
         let outputs: Vec<Result<ShardOutput, CoreError>> = std::thread::scope(|scope| {
             let heap = &*heap;
             let plan = &plan;
             let handles: Vec<_> = (0..plan.num_shards())
-                .map(|shard| scope.spawn(move || shard_worker(heap, methods, plan, shard, kind)))
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard_worker(heap, methods, plan, shard, kind, collect_order)
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard worker does not panic")).collect()
         });
 
-        let mut writer = StreamWriter::new(seq, kind, &root_ids);
+        let (mut writer, reused) = self.writer_for(seq, kind, &root_ids);
         let mut stats = TraversalStats::default();
         let mut to_reset: Vec<ObjectId> = Vec::new();
+        let mut builder = collect_order.then(|| JournalCache::builder(heap, roots));
         for output in outputs {
             let out = output?;
             writer.append_shard(&out.body, out.records);
             stats += out.stats;
             to_reset.extend(out.recorded);
+            if let Some(builder) = &mut builder {
+                // Shard visit orders concatenated in shard order are the
+                // sequential depth-first pre-order (merge invariant 3), so
+                // the cache built here equals the sequential driver's.
+                for id in out.visit_order {
+                    builder.visit(id);
+                }
+            }
         }
         for id in to_reset {
             heap.reset_modified(id)?;
         }
+        if let Some(builder) = builder {
+            self.cache = Some(builder.finish());
+            heap.finish_journal_epoch();
+        }
+        stats.bytes_reused = reused;
+        self.plan_cache = Some(PlanCache {
+            structure_version: heap.structure_version(),
+            roots: roots.to_vec(),
+            workers,
+            plan,
+        });
 
         stats.bytes_written = writer.len() as u64;
         let bytes = writer.finish();
         self.next_seq += 1;
         self.cumulative += stats;
-        Ok(CheckpointRecord::new(seq, kind, root_ids, bytes, stats))
+        Ok(CheckpointRecord::pooled(seq, kind, root_ids, bytes, stats, self.pool.clone()))
     }
 }
 
@@ -320,6 +384,9 @@ mod tests {
         ckp.checkpoint_parallel(&mut heap, &table, &roots, 2).unwrap();
         ckp.checkpoint_parallel(&mut heap, &table, &roots, 2).unwrap();
         assert_eq!(ckp.next_seq(), 2);
-        assert_eq!(ckp.cumulative_stats().objects_visited, 2 * 15);
+        // The second round rides the journal fast path: nothing dirty,
+        // nothing visited.
+        assert_eq!(ckp.cumulative_stats().objects_visited, 15);
+        assert_eq!(ckp.cumulative_stats().subtrees_pruned, 15);
     }
 }

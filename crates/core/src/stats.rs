@@ -23,6 +23,18 @@ pub struct TraversalStats {
     pub refs_followed: u64,
     /// Bytes appended to the checkpoint stream.
     pub bytes_written: u64,
+    /// Journal entries that were live, still modified, and reachable —
+    /// i.e. dirty objects the journal fast path recorded without
+    /// traversing to them. Zero on slow-path checkpoints.
+    pub journal_hits: u64,
+    /// Reachable objects the journal fast path did *not* visit (the
+    /// traversal and flag tests a slow-path checkpoint would have spent on
+    /// them). Zero on slow-path checkpoints.
+    pub subtrees_pruned: u64,
+    /// Capacity (bytes) of the recycled encode buffer this checkpoint
+    /// started from, courtesy of the [`BufferPool`](crate::BufferPool);
+    /// zero when the stream had to allocate fresh.
+    pub bytes_reused: u64,
 }
 
 impl Add for TraversalStats {
@@ -36,6 +48,9 @@ impl Add for TraversalStats {
             virtual_calls: self.virtual_calls + rhs.virtual_calls,
             refs_followed: self.refs_followed + rhs.refs_followed,
             bytes_written: self.bytes_written + rhs.bytes_written,
+            journal_hits: self.journal_hits + rhs.journal_hits,
+            subtrees_pruned: self.subtrees_pruned + rhs.subtrees_pruned,
+            bytes_reused: self.bytes_reused + rhs.bytes_reused,
         }
     }
 }
@@ -59,11 +74,17 @@ mod tests {
             virtual_calls: 4,
             refs_followed: 5,
             bytes_written: 6,
+            journal_hits: 7,
+            subtrees_pruned: 8,
+            bytes_reused: 9,
         };
         let b = a;
         let c = a + b;
         assert_eq!(c.objects_visited, 2);
         assert_eq!(c.bytes_written, 12);
+        assert_eq!(c.journal_hits, 14);
+        assert_eq!(c.subtrees_pruned, 16);
+        assert_eq!(c.bytes_reused, 18);
         let mut d = a;
         d += b;
         assert_eq!(d, c);

@@ -73,7 +73,21 @@ pub struct StreamWriter {
 impl StreamWriter {
     /// Starts a checkpoint stream with its header.
     pub fn new(seq: u64, kind: CheckpointKind, roots: &[StableId]) -> StreamWriter {
-        let mut buf = Vec::with_capacity(64);
+        StreamWriter::with_buffer(Vec::with_capacity(64), seq, kind, roots)
+    }
+
+    /// Starts a checkpoint stream reusing an existing allocation, e.g. a
+    /// buffer recycled through a [`BufferPool`](crate::BufferPool). The
+    /// buffer is cleared (capacity retained) and then written exactly like
+    /// [`StreamWriter::new`], so the resulting stream is byte-identical to
+    /// a freshly allocated one.
+    pub fn with_buffer(
+        mut buf: Vec<u8>,
+        seq: u64,
+        kind: CheckpointKind,
+        roots: &[StableId],
+    ) -> StreamWriter {
+        buf.clear();
         buf.extend_from_slice(&MAGIC);
         buf.extend_from_slice(&VERSION.to_be_bytes());
         buf.extend_from_slice(&seq.to_be_bytes());

@@ -15,6 +15,10 @@ use crate::value::{FieldType, Value};
 pub struct CheckpointInfo {
     stable: StableId,
     modified: bool,
+    /// Whether the object currently has an entry in the heap's dirty-set
+    /// journal (see [`Heap::journal`]). Kept alongside `modified` so the
+    /// clean→dirty transition can deduplicate journal appends in O(1).
+    journaled: bool,
 }
 
 impl CheckpointInfo {
@@ -26,6 +30,12 @@ impl CheckpointInfo {
     /// Whether the object has been modified since the last reset.
     pub fn modified(&self) -> bool {
         self.modified
+    }
+
+    /// Whether the object has an entry in the heap's dirty-set journal for
+    /// the current journal epoch.
+    pub fn journaled(&self) -> bool {
+        self.journaled
     }
 }
 
@@ -92,6 +102,17 @@ pub struct Heap {
     next_stable: u64,
     live: usize,
     stats: HeapStats,
+    /// The dirty-set journal: every object that transitioned clean→dirty
+    /// since the last [`Heap::finish_journal_epoch`], each at most once
+    /// (deduplicated by [`CheckpointInfo::journaled`]). Incremental
+    /// checkpointers consume this instead of traversing the whole graph.
+    journal: Vec<ObjectId>,
+    /// Monotonic count of completed journal epochs.
+    journal_epoch: u64,
+    /// Bumped by every allocation, free, and reference-slot store — i.e.
+    /// whenever the object graph's *shape* may have changed. Checkpoint
+    /// fast paths cache traversal orders keyed on this counter.
+    structure_version: u64,
 }
 
 impl Heap {
@@ -104,6 +125,9 @@ impl Heap {
             next_stable: 1,
             live: 0,
             stats: HeapStats::default(),
+            journal: Vec::new(),
+            journal_epoch: 0,
+            structure_version: 0,
         }
     }
 
@@ -208,7 +232,11 @@ impl Heap {
                 s
             }
         };
-        let object = Object { class, info: CheckpointInfo { stable, modified }, fields };
+        let object = Object {
+            class,
+            info: CheckpointInfo { stable, modified, journaled: modified },
+            fields,
+        };
         let id = match self.free.pop() {
             Some(index) => {
                 let slot = &mut self.slots[index as usize];
@@ -221,8 +249,12 @@ impl Heap {
                 ObjectId { index, generation: 0 }
             }
         };
+        if modified {
+            self.journal.push(id);
+        }
         self.live += 1;
         self.stats.allocs += 1;
+        self.structure_version = self.structure_version.wrapping_add(1);
         Ok(id)
     }
 
@@ -246,6 +278,7 @@ impl Heap {
         self.free.push(id.index);
         self.live -= 1;
         self.stats.frees += 1;
+        self.structure_version = self.structure_version.wrapping_add(1);
         Ok(object)
     }
 
@@ -400,15 +433,28 @@ impl Heap {
                 });
             }
         }
+        let is_ref = matches!(ty, FieldType::Ref(_));
         let obj = self.object_mut(id).expect("existence checked above");
         obj.fields[slot] = value;
         let newly_marked = barrier && !obj.info.modified;
+        let newly_journaled = newly_marked && !obj.info.journaled;
         if barrier {
             obj.info.modified = true;
+        }
+        if newly_journaled {
+            obj.info.journaled = true;
+            self.journal.push(id);
+        }
+        if barrier {
             self.stats.field_writes += 1;
         }
         if newly_marked {
             self.stats.barrier_marks += 1;
+        }
+        if is_ref {
+            // A rewired reference can change what is reachable and in what
+            // order, so cached traversal orders must be rebuilt.
+            self.structure_version = self.structure_version.wrapping_add(1);
         }
         Ok(())
     }
@@ -428,7 +474,12 @@ impl Heap {
     ///
     /// Returns [`HeapError::DanglingObject`] if the handle is stale.
     pub fn set_modified(&mut self, id: ObjectId) -> Result<(), HeapError> {
-        self.object_mut(id)?.info.modified = true;
+        let info = &mut self.object_mut(id)?.info;
+        info.modified = true;
+        if !info.journaled {
+            info.journaled = true;
+            self.journal.push(id);
+        }
         Ok(())
     }
 
@@ -446,9 +497,14 @@ impl Heap {
     /// Marks every live object modified (forces the next incremental
     /// checkpoint to be a full one).
     pub fn mark_all_modified(&mut self) {
-        for slot in &mut self.slots {
+        let journal = &mut self.journal;
+        for (index, slot) in self.slots.iter_mut().enumerate() {
             if let Some(obj) = &mut slot.object {
                 obj.info.modified = true;
+                if !obj.info.journaled {
+                    obj.info.journaled = true;
+                    journal.push(ObjectId { index: index as u32, generation: slot.generation });
+                }
             }
         }
     }
@@ -490,6 +546,69 @@ impl Heap {
     /// Cumulative activity counters.
     pub fn stats(&self) -> HeapStats {
         self.stats
+    }
+
+    /// The dirty-set journal for the current epoch: every object that
+    /// transitioned clean→dirty since the last
+    /// [`Heap::finish_journal_epoch`], each listed at most once, in the
+    /// order the transitions happened. Entries may be stale (the object was
+    /// freed since) or refer to objects that have meanwhile been recorded
+    /// and reset; consumers must re-check liveness and the modified flag.
+    ///
+    /// The invariant the write barrier maintains is one-directional: every
+    /// *modified* live object has an entry here (so the journal is a sound
+    /// membership filter for "what can an incremental checkpoint record"),
+    /// but not every entry is still modified.
+    pub fn journal(&self) -> &[ObjectId] {
+        &self.journal
+    }
+
+    /// Number of completed journal epochs (bumped by
+    /// [`Heap::finish_journal_epoch`]).
+    pub fn journal_epoch(&self) -> u64 {
+        self.journal_epoch
+    }
+
+    /// A counter that changes whenever the object graph's *shape* may have
+    /// changed: any allocation, any free, and any store to a reference
+    /// slot (barriered or not). Two observations of the same value around
+    /// unchanged roots guarantee an unchanged depth-first traversal order,
+    /// which is what lets checkpointers cache and replay traversal orders.
+    pub fn structure_version(&self) -> u64 {
+        self.structure_version
+    }
+
+    /// `true` if any journal entry still refers to a live, modified object
+    /// — i.e. the next incremental checkpoint would record something.
+    pub fn journal_has_dirty(&self) -> bool {
+        self.journal.iter().any(|&id| self.is_modified(id).unwrap_or(false))
+    }
+
+    /// Closes the current journal epoch: drops entries whose object is dead
+    /// or no longer modified (clearing their journaled bit so a later
+    /// re-dirtying re-journals them), keeps entries that are still dirty,
+    /// and bumps the epoch counter. Checkpointers call this after a
+    /// successful checkpoint; the retained entries are exactly the dirty
+    /// objects the checkpoint did not cover (e.g. currently unreachable
+    /// ones). Returns the number of entries carried into the new epoch.
+    pub fn finish_journal_epoch(&mut self) -> usize {
+        let slots = &mut self.slots;
+        self.journal.retain(|id| {
+            let obj = slots
+                .get_mut(id.index())
+                .filter(|s| s.generation == id.generation)
+                .and_then(|s| s.object.as_mut());
+            match obj {
+                Some(obj) if obj.info.modified => true,
+                Some(obj) => {
+                    obj.info.journaled = false;
+                    false
+                }
+                None => false,
+            }
+        });
+        self.journal_epoch += 1;
+        self.journal.len()
     }
 }
 
@@ -653,6 +772,83 @@ mod tests {
         assert_eq!(s.allocs, 1);
         assert_eq!(s.field_writes, 2);
         assert_eq!(s.barrier_marks, 1);
+    }
+
+    #[test]
+    fn journal_records_each_clean_to_dirty_transition_once() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap(); // fresh => journaled
+        let b = heap.alloc(node).unwrap();
+        assert_eq!(heap.journal(), &[a, b]);
+        heap.reset_all_modified();
+        // Still journaled from the allocs: re-dirtying must not duplicate.
+        heap.set_field(a, 0, Value::Int(1)).unwrap();
+        heap.set_field(a, 0, Value::Int(2)).unwrap();
+        heap.set_modified(b).unwrap();
+        assert_eq!(heap.journal(), &[a, b]);
+        assert!(heap.journal_has_dirty());
+    }
+
+    #[test]
+    fn finish_journal_epoch_drops_clean_and_dead_entries() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        let c = heap.alloc(node).unwrap();
+        heap.reset_modified(a).unwrap(); // recorded => clean
+        heap.free(b).unwrap(); // dead
+        assert_eq!(heap.finish_journal_epoch(), 1, "only the dirty survivor");
+        assert_eq!(heap.journal(), &[c]);
+        assert_eq!(heap.journal_epoch(), 1);
+        // The dropped-but-live entry was un-journaled, so a new transition
+        // re-journals it in the new epoch.
+        heap.set_field(a, 0, Value::Int(5)).unwrap();
+        assert_eq!(heap.journal(), &[c, a]);
+    }
+
+    #[test]
+    fn journal_tolerates_slot_reuse() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        heap.free(a).unwrap();
+        let b = heap.alloc(node).unwrap(); // reuses a's slot, new generation
+        assert_eq!(heap.journal(), &[a, b]);
+        heap.reset_modified(b).unwrap();
+        assert!(!heap.journal_has_dirty(), "stale entry must not read through to b");
+        heap.finish_journal_epoch();
+        assert!(heap.journal().is_empty());
+        assert!(!heap.object(b).unwrap().info().journaled());
+    }
+
+    #[test]
+    fn mark_all_modified_journals_every_live_object_once() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        heap.reset_all_modified();
+        heap.finish_journal_epoch();
+        assert!(heap.journal().is_empty());
+        heap.mark_all_modified();
+        heap.mark_all_modified();
+        assert_eq!(heap.journal(), &[a, b]);
+    }
+
+    #[test]
+    fn structure_version_tracks_shape_changes_only() {
+        let (mut heap, node, _) = small_heap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        let v = heap.structure_version();
+        heap.set_field(a, 0, Value::Int(1)).unwrap(); // scalar store
+        assert_eq!(heap.structure_version(), v, "scalar stores keep the shape");
+        heap.set_field(a, 1, Value::Ref(Some(b))).unwrap(); // ref store
+        assert_ne!(heap.structure_version(), v);
+        let v = heap.structure_version();
+        heap.free(b).unwrap();
+        assert_ne!(heap.structure_version(), v);
+        let v = heap.structure_version();
+        heap.alloc(node).unwrap();
+        assert_ne!(heap.structure_version(), v);
     }
 
     #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dirty_fraction-9001d27944889171.d: crates/bench/benches/dirty_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdirty_fraction-9001d27944889171.rmeta: crates/bench/benches/dirty_fraction.rs Cargo.toml
+
+crates/bench/benches/dirty_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/ickp_core-19cbc48b2bb48246.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs Cargo.toml
+/root/repo/target/debug/deps/ickp_core-19cbc48b2bb48246.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs Cargo.toml
 
-/root/repo/target/debug/deps/libickp_core-19cbc48b2bb48246.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs Cargo.toml
+/root/repo/target/debug/deps/libickp_core-19cbc48b2bb48246.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/checkpoint.rs:
 crates/core/src/compact.rs:
 crates/core/src/error.rs:
+crates/core/src/journal.rs:
 crates/core/src/methods.rs:
 crates/core/src/parallel.rs:
 crates/core/src/persist.rs:
+crates/core/src/pool.rs:
 crates/core/src/restore.rs:
 crates/core/src/stats.rs:
 crates/core/src/store.rs:

@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/ickp_core-b213d65aa8445af3.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
+/root/repo/target/debug/deps/ickp_core-b213d65aa8445af3.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
 
-/root/repo/target/debug/deps/ickp_core-b213d65aa8445af3: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
+/root/repo/target/debug/deps/ickp_core-b213d65aa8445af3: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
 
 crates/core/src/lib.rs:
 crates/core/src/checkpoint.rs:
 crates/core/src/compact.rs:
 crates/core/src/error.rs:
+crates/core/src/journal.rs:
 crates/core/src/methods.rs:
 crates/core/src/parallel.rs:
 crates/core/src/persist.rs:
+crates/core/src/pool.rs:
 crates/core/src/restore.rs:
 crates/core/src/stats.rs:
 crates/core/src/store.rs:

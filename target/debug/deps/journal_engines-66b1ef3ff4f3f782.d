@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/journal_engines-66b1ef3ff4f3f782.d: crates/backend/tests/journal_engines.rs
+
+/root/repo/target/debug/deps/journal_engines-66b1ef3ff4f3f782: crates/backend/tests/journal_engines.rs
+
+crates/backend/tests/journal_engines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/journal_engines-943024b7b8bf4fce.d: crates/backend/tests/journal_engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjournal_engines-943024b7b8bf4fce.rmeta: crates/backend/tests/journal_engines.rs Cargo.toml
+
+crates/backend/tests/journal_engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

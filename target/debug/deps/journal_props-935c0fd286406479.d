@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/journal_props-935c0fd286406479.d: crates/core/tests/journal_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjournal_props-935c0fd286406479.rmeta: crates/core/tests/journal_props.rs Cargo.toml
+
+crates/core/tests/journal_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/journal_props-b38c5673f6727a87.d: crates/core/tests/journal_props.rs
+
+/root/repo/target/debug/deps/journal_props-b38c5673f6727a87: crates/core/tests/journal_props.rs
+
+crates/core/tests/journal_props.rs:

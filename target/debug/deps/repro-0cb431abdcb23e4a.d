@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0cb431abdcb23e4a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0cb431abdcb23e4a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

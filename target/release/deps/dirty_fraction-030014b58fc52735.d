@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dirty_fraction-030014b58fc52735.d: crates/bench/benches/dirty_fraction.rs
+
+/root/repo/target/release/deps/dirty_fraction-030014b58fc52735: crates/bench/benches/dirty_fraction.rs
+
+crates/bench/benches/dirty_fraction.rs:

@@ -1,16 +1,18 @@
-/root/repo/target/release/deps/ickp_core-d2c3592bc1535e75.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
+/root/repo/target/release/deps/ickp_core-d2c3592bc1535e75.d: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
 
-/root/repo/target/release/deps/libickp_core-d2c3592bc1535e75.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
+/root/repo/target/release/deps/libickp_core-d2c3592bc1535e75.rlib: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
 
-/root/repo/target/release/deps/libickp_core-d2c3592bc1535e75.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
+/root/repo/target/release/deps/libickp_core-d2c3592bc1535e75.rmeta: crates/core/src/lib.rs crates/core/src/checkpoint.rs crates/core/src/compact.rs crates/core/src/error.rs crates/core/src/journal.rs crates/core/src/methods.rs crates/core/src/parallel.rs crates/core/src/persist.rs crates/core/src/pool.rs crates/core/src/restore.rs crates/core/src/stats.rs crates/core/src/store.rs crates/core/src/stream.rs
 
 crates/core/src/lib.rs:
 crates/core/src/checkpoint.rs:
 crates/core/src/compact.rs:
 crates/core/src/error.rs:
+crates/core/src/journal.rs:
 crates/core/src/methods.rs:
 crates/core/src/parallel.rs:
 crates/core/src/persist.rs:
+crates/core/src/pool.rs:
 crates/core/src/restore.rs:
 crates/core/src/stats.rs:
 crates/core/src/store.rs:

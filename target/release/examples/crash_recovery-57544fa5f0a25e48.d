@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_recovery-57544fa5f0a25e48.d: examples/crash_recovery.rs
+
+/root/repo/target/release/examples/crash_recovery-57544fa5f0a25e48: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fedda114d605dde0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fedda114d605dde0: examples/quickstart.rs
+
+examples/quickstart.rs:

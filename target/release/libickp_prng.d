@@ -1,0 +1,1 @@
+/root/repo/target/release/libickp_prng.rlib: /root/repo/crates/prng/src/lib.rs
