@@ -60,6 +60,15 @@ const VAR_VALUE: usize = 0;
 const VAR_NEXT: usize = 1;
 
 impl AttributesSchema {
+    /// Slot of `Attributes` holding the `SEEntry` (side-effect) subtree.
+    pub const SLOT_SE: usize = ATTR_SE;
+    /// Slot of `Attributes` holding the `BTEntry` (binding-time) subtree.
+    pub const SLOT_BT: usize = ATTR_BT;
+    /// Slot of `Attributes` holding the `ETEntry` (eval-time) subtree.
+    pub const SLOT_ET: usize = ATTR_ET;
+    /// Slot of `BTEntry`/`ETEntry` holding the annotation object.
+    pub const SLOT_ENTRY_CHILD: usize = ENTRY_CHILD;
+
     /// Defines the `Attributes` class family on a heap.
     ///
     /// # Errors

@@ -150,9 +150,14 @@ impl AnalysisEngine {
     pub fn compile_phase_plans(&self) -> Result<PhasePlans, SpecError> {
         let spec = Specializer::new(self.heap.registry());
         let mut plans = PhasePlans::new();
-        plans.insert("structure", spec.compile(&self.schema.shape_structure_only())?);
-        plans.insert(Phase::BindingTime.key(), spec.compile(&self.schema.shape_bta_phase())?);
-        plans.insert(Phase::EvalTime.key(), spec.compile(&self.schema.shape_eta_phase())?);
+        for (key, shape) in [
+            ("structure", self.schema.shape_structure_only()),
+            (Phase::BindingTime.key(), self.schema.shape_bta_phase()),
+            (Phase::EvalTime.key(), self.schema.shape_eta_phase()),
+        ] {
+            let plan = spec.compile(&shape)?;
+            plans.insert_with_shape(key, shape, plan);
+        }
         Ok(plans)
     }
 

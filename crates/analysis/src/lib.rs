@@ -24,6 +24,7 @@ mod error;
 mod eta;
 mod seffect;
 mod vars;
+mod writeset;
 
 pub use attributes::AttributesSchema;
 pub use bta::{BindingTimeAnalysis, Bt, Division};
@@ -32,3 +33,4 @@ pub use error::EngineError;
 pub use eta::{Et, EvalTimeAnalysis};
 pub use seffect::{Effects, SideEffectAnalysis};
 pub use vars::VarIndex;
+pub use writeset::{infer_phase_writes, PhaseWriteSet, PhaseWrites};

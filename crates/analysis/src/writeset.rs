@@ -1,0 +1,218 @@
+//! Static inference of per-phase heap write-sets.
+//!
+//! The engine's phase map is fixed — side-effect analysis writes the `se`
+//! subtree of every `Attributes`, binding-time analysis the `bt` subtree,
+//! evaluation-time analysis the `et` subtree — but whether a phase writes
+//! *at all* for a given program is a static question: the engine's setters
+//! ([`crate::AttributesSchema`]) only dirty objects whose value actually
+//! changes, and every attribute starts at its bottom value (empty lists,
+//! annotation `0`). All three analyses are monotone, so a phase whose
+//! fixpoint leaves every attribute at bottom provably never performs a
+//! heap write.
+//!
+//! [`infer_phase_writes`] runs the three analyses to fixpoint (pure
+//! computation, no attribute heap involved) and reports, per phase, the
+//! write-set the phase can produce. `ickp-audit` cross-checks these
+//! against the declared [`ickp_spec::SpecShape`] modification patterns:
+//! a phase that writes a subtree its declaration freezes is *unsound*; a
+//! declaration that leaves a subtree modifiable for a phase that provably
+//! never writes it is a missed-pruning perf lint.
+
+use crate::bta::{BindingTimeAnalysis, Bt, Division};
+use crate::engine::Phase;
+use crate::error::EngineError;
+use crate::eta::{Et, EvalTimeAnalysis};
+use crate::seffect::SideEffectAnalysis;
+use crate::vars::VarIndex;
+use ickp_minic::{typecheck, Program};
+
+/// Iteration bound for the fixpoint loops; the analyses are monotone over
+/// finite lattices, so this only guards against bugs, not semantics.
+const MAX_PASSES: usize = 1_000;
+
+/// The statically inferred write behaviour of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseWriteSet {
+    /// The phase this summary describes.
+    pub phase: Phase,
+    /// `true` if the phase can write its `Attributes` subtree for at
+    /// least one statement of the program. `false` is a *proof* of
+    /// absence: every attribute the phase owns stays at its initial
+    /// value through every iteration.
+    pub writes_own_subtree: bool,
+    /// Statements whose attribute the phase can write (upper bound).
+    pub stmts_written: usize,
+}
+
+/// Per-phase write-sets for one program, inferred without running the
+/// engine or touching an attribute heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseWrites {
+    sets: [PhaseWriteSet; 3],
+}
+
+impl PhaseWrites {
+    /// The write-set of `phase`.
+    pub fn get(&self, phase: Phase) -> PhaseWriteSet {
+        self.sets[match phase {
+            Phase::SideEffect => 0,
+            Phase::BindingTime => 1,
+            Phase::EvalTime => 2,
+        }]
+    }
+
+    /// All three write-sets, in canonical phase order.
+    pub fn iter(&self) -> impl Iterator<Item = PhaseWriteSet> + '_ {
+        self.sets.iter().copied()
+    }
+}
+
+/// Infers, for each of the engine's three phases, whether running the
+/// phase on `program` can write the phase's `Attributes` subtree.
+///
+/// # Errors
+///
+/// Fails if the program does not typecheck (mirroring
+/// [`crate::AnalysisEngine::new`]) or a fixpoint exceeds the iteration
+/// bound (which would indicate a non-monotone analysis bug).
+pub fn infer_phase_writes(
+    program: &Program,
+    division: &Division,
+) -> Result<PhaseWrites, EngineError> {
+    typecheck(program)?;
+    let mut vars = VarIndex::new();
+
+    // Side-effect analysis: an `SEEntry` is written exactly when a
+    // statement's read/write sets leave their initial (empty) value.
+    let mut se = SideEffectAnalysis::new();
+    let mut passes = 0;
+    while se.pass(program, &mut vars) {
+        passes += 1;
+        if passes > MAX_PASSES {
+            return Err(EngineError::PhaseOrder("side-effect fixpoint diverged".into()));
+        }
+    }
+    let se_written = se
+        .stmt_effects(program, &mut vars)
+        .iter()
+        .filter(|(r, w)| !r.is_empty() || !w.is_empty())
+        .count();
+
+    // Binding-time analysis: `BT` annotations start at `Static` (0); a
+    // write happens only for statements whose fixpoint annotation is
+    // `Dynamic` (the lattice is monotone, so the fixpoint is an upper
+    // bound on every intermediate value).
+    let mut bta = BindingTimeAnalysis::new(division.clone());
+    let bt_anns = loop {
+        let (anns, changed) = bta.pass(program, &mut vars);
+        if !changed {
+            break anns;
+        }
+        passes += 1;
+        if passes > MAX_PASSES {
+            return Err(EngineError::PhaseOrder("binding-time fixpoint diverged".into()));
+        }
+    };
+    let bt_written = bt_anns.iter().filter(|bt| **bt != Bt::Static).count();
+
+    // Evaluation-time analysis, over the final binding times.
+    let mut eta = EvalTimeAnalysis::new();
+    let et_anns = loop {
+        let (anns, changed) = eta.pass(program, &bt_anns, &mut vars);
+        if !changed {
+            break anns;
+        }
+        passes += 1;
+        if passes > MAX_PASSES {
+            return Err(EngineError::PhaseOrder("eval-time fixpoint diverged".into()));
+        }
+    };
+    let et_written = et_anns.iter().filter(|et| **et != Et::SpecTime).count();
+
+    Ok(PhaseWrites {
+        sets: [
+            PhaseWriteSet {
+                phase: Phase::SideEffect,
+                writes_own_subtree: se_written > 0,
+                stmts_written: se_written,
+            },
+            PhaseWriteSet {
+                phase: Phase::BindingTime,
+                writes_own_subtree: bt_written > 0,
+                stmts_written: bt_written,
+            },
+            PhaseWriteSet {
+                phase: Phase::EvalTime,
+                writes_own_subtree: et_written > 0,
+                stmts_written: et_written,
+            },
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AnalysisEngine;
+    use ickp_minic::parse;
+
+    fn division(dynamic: &[&str]) -> Division {
+        Division { dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect() }
+    }
+
+    #[test]
+    fn global_free_program_proves_no_seffect_writes() {
+        let p = parse("void main() { int x; x = 1; }").unwrap();
+        let w = infer_phase_writes(&p, &division(&[])).unwrap();
+        assert!(!w.get(Phase::SideEffect).writes_own_subtree);
+    }
+
+    #[test]
+    fn fully_static_program_proves_no_bta_or_eta_writes() {
+        let p = parse("int s; void main() { s = 1; }").unwrap();
+        let w = infer_phase_writes(&p, &division(&[])).unwrap();
+        assert!(w.get(Phase::SideEffect).writes_own_subtree, "s is read/written");
+        assert!(!w.get(Phase::BindingTime).writes_own_subtree, "no dynamic globals");
+        assert!(!w.get(Phase::EvalTime).writes_own_subtree);
+    }
+
+    #[test]
+    fn dynamic_division_makes_bta_and_eta_write() {
+        let p = parse("int d; int s; void main() { s = d + 1; }").unwrap();
+        let w = infer_phase_writes(&p, &division(&["d"])).unwrap();
+        assert!(w.get(Phase::BindingTime).writes_own_subtree);
+        assert!(w.get(Phase::EvalTime).writes_own_subtree);
+        assert!(w.get(Phase::BindingTime).stmts_written >= 1);
+    }
+
+    /// The inference is a sound upper bound on the engine's actual
+    /// annotation writes: a phase the inference proves write-free
+    /// performs zero writes when really run.
+    #[test]
+    fn inference_upper_bounds_engine_writes() {
+        for (src, dynamic) in [
+            ("int s; void main() { s = 1; }", &[][..]),
+            ("int d; int s; void main() { s = d + 1; }", &["d"][..]),
+            ("void main() { int x; x = 3; }", &[][..]),
+        ] {
+            let p = parse(src).unwrap();
+            let w = infer_phase_writes(&p, &division(dynamic)).unwrap();
+            let mut engine = AnalysisEngine::new(p, division(dynamic)).unwrap();
+            for phase in [Phase::SideEffect, Phase::BindingTime, Phase::EvalTime] {
+                let report = engine.run_phase(phase, |_, _, _| Ok(())).unwrap();
+                if !w.get(phase).writes_own_subtree {
+                    assert_eq!(report.annotation_writes, 0, "{src}: {phase:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn image_program_writes_all_three_phases() {
+        let p = ickp_minic::programs::image_program();
+        let w = infer_phase_writes(&p, &division(&["image", "work"])).unwrap();
+        for set in w.iter() {
+            assert!(set.writes_own_subtree, "{:?}", set.phase);
+        }
+    }
+}

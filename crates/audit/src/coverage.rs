@@ -1,0 +1,335 @@
+//! Coverage derivation: the traversal a declaration *promises*.
+//!
+//! [`expected_events`] replays the static part of the plan compiler over a
+//! [`SpecShape`] and emits the **maximal-path event stream**: the sequence
+//! of object visits, test/record sites, generic fallbacks, and list-end
+//! guards the compiled plan must perform when every flag is dirty and
+//! every dynamic edge is non-null. Two invariants make this the right
+//! oracle for coverage equivalence:
+//!
+//! 1. every object/field the generic traversal would visit *under the
+//!    declared pattern* appears exactly once, in depth-first pre-order
+//!    (the stream format is order-sensitive); and
+//! 2. subtrees the pattern proves unmodified appear not at all — their
+//!    absence is the specialization, not a gap.
+//!
+//! The plan verifier ([`crate::verify_plan`]) symbolically executes the
+//! compiled ops along the same maximal path and compares the two streams;
+//! any divergence is a structured diagnostic.
+
+use ickp_heap::ClassId;
+use ickp_spec::{ListPattern, NodePattern, SpecShape};
+use std::fmt;
+
+/// One step of a path into a declared shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Descend into the child declared at this slot.
+    Child(usize),
+    /// The list element at this 0-based position.
+    Elem(usize),
+}
+
+/// A path from the declaration root to a node, e.g. `$.s3[2]` for "the
+/// element at position 2 of the list declared at slot 3 of the root".
+pub type Path = Vec<Step>;
+
+/// Renders a path in the `$.s<slot>[<pos>]` notation used by diagnostics.
+pub fn fmt_path(path: &[Step]) -> String {
+    let mut out = String::from("$");
+    for step in path {
+        match step {
+            Step::Child(slot) => out.push_str(&format!(".s{slot}")),
+            Step::Elem(pos) => out.push_str(&format!("[{pos}]")),
+        }
+    }
+    out
+}
+
+/// One event of the maximal-path traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The traversal binds the object at this path (a load).
+    Visit(Path),
+    /// The traversal tests the object's modified flag and records it when
+    /// set. `class` is the statically declared class being recorded.
+    TestRecord {
+        /// Path of the tested object.
+        path: Path,
+        /// Declared class at that path.
+        class: ClassId,
+    },
+    /// The traversal hands the subtree under this dynamic edge to the
+    /// generic checkpointer.
+    Generic {
+        /// Path of the dynamic edge (parent path plus child slot).
+        path: Path,
+    },
+    /// The traversal verifies the declared list really ends at this tail.
+    ListEnd {
+        /// Path of the declared tail element.
+        path: Path,
+    },
+}
+
+impl Event {
+    /// The event's path.
+    pub fn path(&self) -> &[Step] {
+        match self {
+            Event::Visit(p) => p,
+            Event::TestRecord { path, .. } => path,
+            Event::Generic { path } => path,
+            Event::ListEnd { path } => path,
+        }
+    }
+
+    /// `true` for events that affect the checkpoint stream or guards
+    /// (everything except pure visits).
+    pub fn is_stream_event(&self) -> bool {
+        !matches!(self, Event::Visit(_))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Visit(p) => write!(f, "visit {}", fmt_path(p)),
+            Event::TestRecord { path, class } => {
+                write!(f, "test+record {} ({class})", fmt_path(path))
+            }
+            Event::Generic { path } => write!(f, "generic fallback {}", fmt_path(path)),
+            Event::ListEnd { path } => write!(f, "list-end guard {}", fmt_path(path)),
+        }
+    }
+}
+
+/// Derives the maximal-path event stream a plan compiled from `shape`
+/// must produce. Mirrors the compiler's emission order exactly:
+/// pre-order, children in declaration order, fully-unmodified subtrees
+/// skipped, list dead-loads eliminated past the deepest dirty position.
+pub fn expected_events(shape: &SpecShape) -> Vec<Event> {
+    let mut ev = Vec::new();
+    match shape {
+        // A fully dynamic root never compiles; no events.
+        SpecShape::Dynamic => {}
+        SpecShape::Object { class, pattern, children } => {
+            ev.push(Event::Visit(Vec::new()));
+            object_events(&mut ev, &[], *class, *pattern, children);
+        }
+        SpecShape::List { elem_class, len, pattern, .. } => {
+            // A bare list root: the checkpoint root is element 0, bound
+            // unconditionally even when the pattern prunes everything.
+            ev.push(Event::Visit(vec![Step::Elem(0)]));
+            list_events(&mut ev, &[], *elem_class, *len, pattern);
+        }
+    }
+    ev
+}
+
+fn join(base: &[Step], step: Step) -> Path {
+    let mut p = base.to_vec();
+    p.push(step);
+    p
+}
+
+fn object_events(
+    ev: &mut Vec<Event>,
+    path: &[Step],
+    class: ClassId,
+    pattern: NodePattern,
+    children: &[(usize, SpecShape)],
+) {
+    match pattern {
+        NodePattern::MayModify => {
+            ev.push(Event::TestRecord { path: path.to_vec(), class });
+        }
+        NodePattern::FrozenHere => {}
+        // An unmodified object root binds but descends nowhere.
+        NodePattern::Unmodified => return,
+    }
+    for (slot, child) in children {
+        child_events(ev, path, *slot, child);
+    }
+}
+
+fn child_events(ev: &mut Vec<Event>, base: &[Step], slot: usize, shape: &SpecShape) {
+    // Modification-pattern specialization: a statically-unmodified child
+    // subtree generates no loads, tests, or records at all.
+    if shape.is_fully_unmodified() {
+        return;
+    }
+    match shape {
+        SpecShape::Object { class, pattern, children } => {
+            let p = join(base, Step::Child(slot));
+            ev.push(Event::Visit(p.clone()));
+            object_events(ev, &p, *class, *pattern, children);
+        }
+        SpecShape::List { elem_class, len, pattern, .. } => {
+            let list_base = join(base, Step::Child(slot));
+            ev.push(Event::Visit(join(&list_base, Step::Elem(0))));
+            list_events(ev, &list_base, *elem_class, *len, pattern);
+        }
+        SpecShape::Dynamic => {
+            ev.push(Event::Generic { path: join(base, Step::Child(slot)) });
+        }
+    }
+}
+
+fn list_events(
+    ev: &mut Vec<Event>,
+    base: &[Step],
+    elem_class: ClassId,
+    len: usize,
+    pattern: &ListPattern,
+) {
+    let elem = |i: usize| join(base, Step::Elem(i));
+    match pattern {
+        ListPattern::Unmodified => {}
+        ListPattern::MayModify => {
+            for i in 0..len {
+                ev.push(Event::TestRecord { path: elem(i), class: elem_class });
+                if i + 1 < len {
+                    ev.push(Event::Visit(elem(i + 1)));
+                }
+            }
+            ev.push(Event::ListEnd { path: elem(len - 1) });
+        }
+        ListPattern::LastOnly => {
+            for i in 1..len {
+                ev.push(Event::Visit(elem(i)));
+            }
+            ev.push(Event::TestRecord { path: elem(len - 1), class: elem_class });
+            ev.push(Event::ListEnd { path: elem(len - 1) });
+        }
+        ListPattern::Positions(ps) => {
+            let mut positions: Vec<usize> = ps.clone();
+            positions.sort_unstable();
+            positions.dedup();
+            let Some(&max_pos) = positions.last() else {
+                return;
+            };
+            // Dead-load elimination: the traversal stops at the deepest
+            // possibly-dirty position.
+            for i in 0..=max_pos {
+                if positions.binary_search(&i).is_ok() {
+                    ev.push(Event::TestRecord { path: elem(i), class: elem_class });
+                }
+                if i < max_pos {
+                    ev.push(Event::Visit(elem(i + 1)));
+                }
+            }
+            if max_pos == len - 1 {
+                ev.push(Event::ListEnd { path: elem(max_pos) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::{ClassRegistry, FieldType};
+
+    fn classes() -> (ClassRegistry, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let holder = reg
+            .define(
+                "Holder",
+                None,
+                &[("l0", FieldType::Ref(Some(elem))), ("l1", FieldType::Ref(Some(elem)))],
+            )
+            .unwrap();
+        (reg, elem, holder)
+    }
+
+    #[test]
+    fn path_formatting() {
+        assert_eq!(fmt_path(&[]), "$");
+        assert_eq!(fmt_path(&[Step::Child(3), Step::Elem(2)]), "$.s3[2]");
+    }
+
+    #[test]
+    fn unmodified_subtrees_vanish_from_the_stream() {
+        let (_, elem, holder) = classes();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![
+                (0, SpecShape::list(elem, 1, 4, ListPattern::Unmodified)),
+                (1, SpecShape::list(elem, 1, 2, ListPattern::MayModify)),
+            ],
+        );
+        let ev = expected_events(&shape);
+        // Root visit, list-1 head visit, 2 test/records, 1 inter-element
+        // visit, 1 end guard. Nothing for list 0 at all.
+        assert_eq!(ev.len(), 6);
+        assert!(ev.iter().all(|e| e.path().first() != Some(&Step::Child(0))));
+        assert_eq!(ev.iter().filter(|e| matches!(e, Event::TestRecord { .. })).count(), 2);
+        assert_eq!(ev.iter().filter(|e| matches!(e, Event::ListEnd { .. })).count(), 1);
+    }
+
+    #[test]
+    fn positions_stop_at_the_deepest_position() {
+        let (_, elem, holder) = classes();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::FrozenHere,
+            vec![(0, SpecShape::list(elem, 1, 5, ListPattern::Positions(vec![2, 0, 2])))],
+        );
+        let ev = expected_events(&shape);
+        // $: visit; [0]: visit + test; [1]: visit; [2]: visit + test.
+        // No visit past position 2, no end guard (2 != len-1).
+        assert_eq!(ev.iter().filter(|e| matches!(e, Event::Visit(_))).count(), 4);
+        assert_eq!(ev.iter().filter(|e| matches!(e, Event::TestRecord { .. })).count(), 2);
+        assert!(!ev.iter().any(|e| matches!(e, Event::ListEnd { .. })));
+        let deepest = ev.iter().map(|e| e.path().to_vec()).max_by_key(|p| p.len()).unwrap();
+        assert_eq!(deepest, vec![Step::Child(0), Step::Elem(2)]);
+    }
+
+    #[test]
+    fn last_only_visits_every_link_but_tests_only_the_tail() {
+        let (_, elem, _) = classes();
+        let shape = SpecShape::list(elem, 1, 3, ListPattern::LastOnly);
+        let ev = expected_events(&shape);
+        assert_eq!(
+            ev,
+            vec![
+                Event::Visit(vec![Step::Elem(0)]),
+                Event::Visit(vec![Step::Elem(1)]),
+                Event::Visit(vec![Step::Elem(2)]),
+                Event::TestRecord { path: vec![Step::Elem(2)], class: elem },
+                Event::ListEnd { path: vec![Step::Elem(2)] },
+            ]
+        );
+    }
+
+    #[test]
+    fn dynamic_children_become_generic_events() {
+        let (_, _, holder) = classes();
+        let shape =
+            SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::Dynamic)]);
+        let ev = expected_events(&shape);
+        assert_eq!(
+            ev,
+            vec![
+                Event::Visit(vec![]),
+                Event::TestRecord { path: vec![], class: holder },
+                Event::Generic { path: vec![Step::Child(0)] },
+            ]
+        );
+    }
+
+    #[test]
+    fn unmodified_root_is_visit_only() {
+        let (_, elem, holder) = classes();
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::Unmodified,
+            vec![(0, SpecShape::list(elem, 1, 3, ListPattern::MayModify))],
+        );
+        assert_eq!(expected_events(&shape), vec![Event::Visit(vec![])]);
+    }
+}

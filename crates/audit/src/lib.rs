@@ -1,0 +1,88 @@
+//! # ickp-audit — static soundness verifier for checkpoint specialization
+//!
+//! The specializer in `ickp-spec` is only as good as what it is told: the
+//! paper's contract is that declarations of structure and per-phase
+//! modification patterns are *trusted*, and a wrong declaration silently
+//! produces checkpoints that miss modifications. This crate closes that
+//! gap with three cooperating passes:
+//!
+//! 1. **Plan verifier** ([`verify_plan`]) — an abstract interpreter over
+//!    compiled [`Plan`](ickp_spec::Plan) ops that, given the
+//!    [`SpecShape`](ickp_spec::SpecShape) the plan was compiled from,
+//!    proves register well-formedness (no use-before-def on any path, no
+//!    clobbered live register), class-guard consistency, and **coverage
+//!    equivalence**: every object and field the generic traversal would
+//!    visit under the declared pattern is emitted exactly once, in
+//!    pre-order. Any divergence is a structured [`Diagnostic`].
+//! 2. **Pattern soundness checker** ([`audit_phase_patterns`]) — lowers
+//!    the write-set inference of `ickp-analysis` into per-phase
+//!    [`PhaseFootprint`]s and cross-checks them against declared
+//!    [`PhasePlans`](ickp_spec::PhasePlans): under-declarations are
+//!    errors (`AUD101`), over-declarations are perf lints quantified in
+//!    statically skippable record bytes (`AUD102`).
+//! 3. **Dynamic cross-validator** ([`cross_validate`]) — a debug-only
+//!    oracle that executes the audited plan on a scratch heap and
+//!    reconciles the stream against the journal's dirty set, backing the
+//!    static verdicts in tests.
+//!
+//! Diagnostics carry stable `AUDnnn` codes, severities, locations, and
+//! suggestions; [`AuditReport::render`] prints them one per line and
+//! [`AuditReport::has_errors`] is the CI gate (`repro audit`).
+//!
+//! ## Example
+//!
+//! ```
+//! use ickp_audit::audit_plan;
+//! use ickp_heap::{ClassRegistry, FieldType};
+//! use ickp_spec::{ListPattern, NodePattern, SpecShape, Specializer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut reg = ClassRegistry::new();
+//! let elem = reg.define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])?;
+//! let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))])?;
+//! let shape = SpecShape::object(
+//!     holder,
+//!     NodePattern::FrozenHere,
+//!     vec![(0, SpecShape::list(elem, 1, 3, ListPattern::LastOnly))],
+//! );
+//! let plan = Specializer::new(&reg).compile(&shape)?;
+//!
+//! // A freshly compiled plan audits clean against its own declaration…
+//! assert!(audit_plan(&plan, &shape, &reg).is_clean());
+//!
+//! // …but not against a declaration it was not compiled from.
+//! let stale = SpecShape::object(
+//!     holder,
+//!     NodePattern::FrozenHere,
+//!     vec![(0, SpecShape::list(elem, 1, 4, ListPattern::MayModify))],
+//! );
+//! assert!(audit_plan(&plan, &stale, &reg).has_errors());
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coverage;
+mod diag;
+mod oracle;
+mod soundness;
+mod verify;
+
+pub use coverage::{expected_events, fmt_path, Event, Path, Step};
+pub use diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
+pub use oracle::{cross_validate, OracleReport};
+pub use soundness::{
+    audit_phase_patterns, engine_footprints, recordable_bytes, PhaseFootprint, RECORD_HEADER_BYTES,
+};
+pub use verify::verify_plan;
+
+/// Convenience alias for [`verify_plan`]: audits one compiled plan against
+/// the declaration it claims to implement.
+pub fn audit_plan(
+    plan: &ickp_spec::Plan,
+    shape: &ickp_spec::SpecShape,
+    registry: &ickp_heap::ClassRegistry,
+) -> AuditReport {
+    verify_plan(plan, shape, registry)
+}

@@ -1,0 +1,328 @@
+//! The pattern soundness checker: per-phase write-sets vs declared
+//! modification patterns.
+//!
+//! The plan verifier proves a plan faithful to its declaration; this pass
+//! asks whether the *declaration itself* tells the truth about the
+//! program. [`engine_footprints`] lowers the static write-set inference of
+//! `ickp-analysis` ([`infer_phase_writes`]) into per-phase
+//! [`PhaseFootprint`]s — which `Attributes` subtree each phase can write,
+//! and for how many statements. [`audit_phase_patterns`] then
+//! cross-checks every declared phase plan against every footprint:
+//!
+//! * a phase that **writes** a subtree its declaration freezes is an
+//!   **under-declaration** (`AUD101`, error): the specialized checkpoint
+//!   silently drops those modifications;
+//! * a declaration that leaves a subtree **modifiable** for a phase that
+//!   provably never writes it is an **over-declaration** (`AUD102`, perf
+//!   lint), quantified in statically-known skippable record bytes;
+//! * a phase with writes but **no declared plan** falls back to the
+//!   generic checkpointer (`AUD103`, warning) — correct, just slow.
+
+use crate::diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
+use ickp_analysis::{infer_phase_writes, AttributesSchema, Division, EngineError, Phase};
+use ickp_heap::ClassRegistry;
+use ickp_minic::Program;
+use ickp_spec::{ListPattern, NodePattern, PhasePlans, SpecShape};
+
+/// Bytes of the per-record stream header (tag, stable id, class id, field
+/// count — see `ickp-core`'s stream format).
+pub const RECORD_HEADER_BYTES: usize = 15;
+
+/// What one analysis phase can do to the shared `Attributes` structure:
+/// which root subtree it owns and whether the program makes it write
+/// there at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseFootprint {
+    /// The phase's plan-registry key (see `ickp_analysis::Phase::key`).
+    pub phase: String,
+    /// Human-readable name of the subtree the phase owns.
+    pub subtree: &'static str,
+    /// Root slot of `Attributes` holding that subtree.
+    pub subtree_slot: usize,
+    /// `true` if the phase can write the subtree for this program;
+    /// `false` is a static proof of absence.
+    pub writes: bool,
+    /// Upper bound on the number of statements whose subtree the phase
+    /// writes.
+    pub stmts_written: usize,
+}
+
+/// Derives the three engine-phase footprints for `program` under
+/// `division`, without running the engine or building an attribute heap.
+///
+/// # Errors
+///
+/// Propagates [`infer_phase_writes`] failures (ill-typed program or a
+/// diverging fixpoint).
+pub fn engine_footprints(
+    program: &Program,
+    division: &Division,
+) -> Result<Vec<PhaseFootprint>, EngineError> {
+    let writes = infer_phase_writes(program, division)?;
+    Ok(writes
+        .iter()
+        .map(|w| {
+            let (subtree, subtree_slot) = match w.phase {
+                Phase::SideEffect => ("side-effect", AttributesSchema::SLOT_SE),
+                Phase::BindingTime => ("binding-time", AttributesSchema::SLOT_BT),
+                Phase::EvalTime => ("eval-time", AttributesSchema::SLOT_ET),
+            };
+            PhaseFootprint {
+                phase: w.phase.key().to_string(),
+                subtree,
+                subtree_slot,
+                writes: w.writes_own_subtree,
+                stmts_written: w.stmts_written,
+            }
+        })
+        .collect())
+}
+
+/// Cross-checks every declared phase plan in `plans` against the inferred
+/// `footprints`. See the module docs for the verdict taxonomy.
+pub fn audit_phase_patterns(
+    plans: &PhasePlans,
+    footprints: &[PhaseFootprint],
+    registry: &ClassRegistry,
+) -> AuditReport {
+    let mut diags = Vec::new();
+    for p in footprints {
+        let Some(shape) = plans.shape(&p.phase) else {
+            if p.writes {
+                diags.push(
+                    Diagnostic::new(
+                        Severity::Warning,
+                        DiagCode::UndeclaredPhase,
+                        Location::Phase(p.phase.clone()),
+                        format!(
+                            "the {} phase writes {} statement(s) but has no declared plan: \
+                             every checkpoint during it pays full generic traversal",
+                            p.subtree, p.stmts_written
+                        ),
+                    )
+                    .with_suggestion("register a phase plan via PhasePlans::insert_with_shape"),
+                );
+            }
+            continue;
+        };
+        // Engine invariant: during phase `p`, only `p`'s own subtree is
+        // written — so `p`'s declaration must leave exactly the written
+        // subtrees modifiable.
+        for g in footprints {
+            let child = root_child(shape, g.subtree_slot);
+            let modifiable = child.is_some_and(|c| !c.is_fully_unmodified());
+            let written = g.phase == p.phase && g.writes;
+            if written && !modifiable {
+                diags.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        DiagCode::UnderDeclaredPattern,
+                        Location::Phase(p.phase.clone()),
+                        format!(
+                            "the declaration freezes the {} subtree (slot {}), but the phase \
+                             writes it for {} statement(s): those modifications are silently \
+                             missing from every specialized checkpoint",
+                            g.subtree, g.subtree_slot, g.stmts_written
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "declare slot {} modifiable (or dynamic) in this phase's shape",
+                        g.subtree_slot
+                    )),
+                );
+            } else if !written && modifiable {
+                let quantified = child
+                    .and_then(|c| recordable_bytes(c, registry))
+                    .map(|b| format!("~{b} bytes of records per checkpoint are statically dead"))
+                    .unwrap_or_else(|| {
+                        "the subtree is partly dynamic, so the savings are unquantifiable \
+                         statically"
+                            .to_string()
+                    });
+                diags.push(
+                    Diagnostic::new(
+                        Severity::PerfLint,
+                        DiagCode::OverDeclaredPattern,
+                        Location::Phase(p.phase.clone()),
+                        format!(
+                            "the declaration leaves the {} subtree (slot {}) modifiable, but \
+                             this phase provably never writes it: {quantified}",
+                            g.subtree, g.subtree_slot
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "freeze slot {} to Unmodified in this phase's shape",
+                        g.subtree_slot
+                    )),
+                );
+            }
+        }
+    }
+    AuditReport::from_diagnostics(diags)
+}
+
+fn root_child(shape: &SpecShape, slot: usize) -> Option<&SpecShape> {
+    match shape {
+        SpecShape::Object { children, .. } => {
+            children.iter().find(|(s, _)| *s == slot).map(|(_, c)| c)
+        }
+        _ => None,
+    }
+}
+
+/// Upper bound, in stream bytes, on what one checkpoint records if every
+/// test/record site of `shape` fires: record sites × (record header +
+/// encoded field state). Returns `None` when the subtree contains a
+/// dynamic edge, whose record volume is not statically known.
+pub fn recordable_bytes(shape: &SpecShape, registry: &ClassRegistry) -> Option<usize> {
+    let record = |class, sites: usize| {
+        registry
+            .class(class)
+            .ok()
+            .map(|def| sites * (RECORD_HEADER_BYTES + def.encoded_state_size()))
+    };
+    match shape {
+        SpecShape::Dynamic => None,
+        SpecShape::Object { class, pattern, children } => {
+            let own = match pattern {
+                NodePattern::MayModify => record(*class, 1)?,
+                NodePattern::FrozenHere => 0,
+                NodePattern::Unmodified => return Some(0),
+            };
+            let mut total = own;
+            for (_, child) in children {
+                total += recordable_bytes(child, registry)?;
+            }
+            Some(total)
+        }
+        SpecShape::List { elem_class, len, pattern, .. } => {
+            let sites = match pattern {
+                ListPattern::Unmodified => 0,
+                ListPattern::MayModify => *len,
+                ListPattern::LastOnly => 1,
+                ListPattern::Positions(ps) => {
+                    let mut ps: Vec<usize> = ps.clone();
+                    ps.sort_unstable();
+                    ps.dedup();
+                    ps.len()
+                }
+            };
+            record(*elem_class, sites)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_heap::{ClassRegistry, FieldType, Heap};
+    use ickp_minic::parse;
+
+    fn division(dynamic: &[&str]) -> Division {
+        Division { dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect() }
+    }
+
+    fn schema_heap() -> (Heap, AttributesSchema) {
+        let mut heap = Heap::new(ClassRegistry::new());
+        let schema = AttributesSchema::define(&mut heap).unwrap();
+        (heap, schema)
+    }
+
+    #[test]
+    fn footprints_cover_all_three_phases() {
+        let p = parse("int d; int s; void main() { s = d + 1; }").unwrap();
+        let fps = engine_footprints(&p, &division(&["d"])).unwrap();
+        assert_eq!(fps.len(), 3);
+        let by_key = |k: &str| fps.iter().find(|f| f.phase == k).unwrap();
+        assert!(by_key("seffect").writes, "s and d are touched");
+        assert!(by_key("bta").writes, "d is dynamic");
+        assert!(by_key("eta").writes);
+        assert_eq!(by_key("bta").subtree_slot, AttributesSchema::SLOT_BT);
+    }
+
+    #[test]
+    fn recordable_bytes_counts_header_plus_state() {
+        let mut reg = ClassRegistry::new();
+        let elem = reg
+            .define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        // One element: 15-byte header + 4 (int) + 8 (ref) = 27.
+        let one = SpecShape::list(elem, 1, 4, ListPattern::LastOnly);
+        assert_eq!(recordable_bytes(&one, &reg), Some(27));
+        let all = SpecShape::list(elem, 1, 4, ListPattern::MayModify);
+        assert_eq!(recordable_bytes(&all, &reg), Some(4 * 27));
+        let none = SpecShape::list(elem, 1, 4, ListPattern::Unmodified);
+        assert_eq!(recordable_bytes(&none, &reg), Some(0));
+        assert_eq!(recordable_bytes(&SpecShape::Dynamic, &reg), None);
+    }
+
+    #[test]
+    fn well_matched_declarations_are_clean() {
+        use ickp_spec::Specializer;
+        let (heap, schema) = schema_heap();
+        let p = parse("int d; int s; void main() { s = d + 1; }").unwrap();
+        let fps = engine_footprints(&p, &division(&["d"])).unwrap();
+        let spec = Specializer::new(heap.registry());
+        let mut plans = PhasePlans::new();
+        for (key, shape) in [("bta", schema.shape_bta_phase()), ("eta", schema.shape_eta_phase())] {
+            let plan = spec.compile(&shape).unwrap();
+            plans.insert_with_shape(key, shape, plan);
+        }
+        let report = audit_phase_patterns(&plans, &fps, heap.registry());
+        // seffect writes but has no plan: exactly one benign warning.
+        assert!(!report.has_errors(), "{}", report.render());
+        assert_eq!(report.count(Severity::Warning), 1);
+        assert_eq!(report.count(Severity::PerfLint), 0);
+        assert!(report.diagnostics()[0].code == DiagCode::UndeclaredPhase);
+    }
+
+    #[test]
+    fn under_declared_phase_is_an_error() {
+        use ickp_spec::Specializer;
+        let (heap, schema) = schema_heap();
+        let p = parse("int d; int s; void main() { s = d + 1; }").unwrap();
+        let fps = engine_footprints(&p, &division(&["d"])).unwrap();
+        // Seed the bug: register the *eta* shape (bt frozen) for the bta
+        // phase, which provably writes bt.
+        let shape = schema.shape_eta_phase();
+        let plan = Specializer::new(heap.registry()).compile(&shape).unwrap();
+        let mut plans = PhasePlans::new();
+        plans.insert_with_shape("bta", shape, plan);
+        let report = audit_phase_patterns(&plans, &fps, heap.registry());
+        assert!(report.has_errors(), "{}", report.render());
+        let under: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::UnderDeclaredPattern)
+            .collect();
+        assert_eq!(under.len(), 1);
+        assert!(under[0].message.contains("binding-time"), "{}", under[0]);
+        // The same seeding also over-declares et (modifiable but unwritten
+        // during bta).
+        assert!(report.count(Severity::PerfLint) >= 1);
+    }
+
+    #[test]
+    fn over_declared_phase_is_a_quantified_perf_lint() {
+        use ickp_spec::Specializer;
+        let (heap, schema) = schema_heap();
+        // No dynamic globals: bta provably writes nothing.
+        let p = parse("int s; void main() { s = 1; }").unwrap();
+        let fps = engine_footprints(&p, &division(&[])).unwrap();
+        let shape = schema.shape_bta_phase();
+        let plan = Specializer::new(heap.registry()).compile(&shape).unwrap();
+        let mut plans = PhasePlans::new();
+        plans.insert_with_shape("bta", shape, plan);
+        let report = audit_phase_patterns(&plans, &fps, heap.registry());
+        assert!(!report.has_errors(), "{}", report.render());
+        let lints: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::OverDeclaredPattern)
+            .collect();
+        assert_eq!(lints.len(), 1, "{}", report.render());
+        // BTEntry (int 4 + ref 8) and BT (int 4), each with a 15-byte
+        // header: 27 + 19 = 46 dead bytes per checkpoint.
+        assert!(lints[0].message.contains("~46 bytes"), "{}", lints[0]);
+    }
+}

@@ -1,0 +1,802 @@
+//! The plan verifier: proves a compiled [`Plan`] sound against the
+//! [`SpecShape`] it claims to implement.
+//!
+//! Four passes, each feeding structured diagnostics into an
+//! [`AuditReport`]:
+//!
+//! 1. **Structural** — register indices inside the register file, record
+//!    template indices in bounds, template layouts matching the class
+//!    registry, skip targets inside the plan, and the `has_dynamic` flag
+//!    agreeing with the instruction stream. Violations here are executor
+//!    panics or stream corruption waiting to happen, so later passes only
+//!    run on structurally sound plans.
+//! 2. **Must-defined dataflow** — an edge-sensitive forward analysis over
+//!    the plan's (acyclic, forward-skip) control flow proving every
+//!    register read is dominated by a definition on *every* path.
+//!    `LoadDyn` defines its destination only on the non-null fallthrough
+//!    edge — the subtlety that makes edge-sensitivity necessary.
+//! 3. **Clobber** — no conditionally-executed instruction may redefine a
+//!    register that is live across its skip region (the two executions of
+//!    the region's tail would then see different objects).
+//! 4. **Coverage equivalence** — symbolic execution of the plan along the
+//!    maximal path (every flag dirty, every dynamic edge non-null),
+//!    tracking the shape-path each register holds, and comparison of the
+//!    resulting event stream against [`expected_events`]. Record-level
+//!    divergence (missing, extra, or reordered records; misplaced guards)
+//!    is an error — the checkpoint stream would be wrong; visit-level
+//!    divergence is a warning — the stream is right but the traversal is
+//!    not the one the compiler would emit.
+
+use crate::coverage::{expected_events, fmt_path, Event, Path, Step};
+use crate::diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
+use ickp_heap::{ClassId, ClassRegistry};
+use ickp_spec::{Op, Plan, SpecShape};
+
+/// Verifies `plan` against the declaration it was (claimed to be)
+/// compiled from. See the module docs for the pass pipeline.
+pub fn verify_plan(plan: &Plan, shape: &SpecShape, registry: &ClassRegistry) -> AuditReport {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    if let Err(e) = shape.validate(registry) {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            DiagCode::InvalidShape,
+            Location::General,
+            format!("declaration fails validation: {e}"),
+        ));
+        return AuditReport::from_diagnostics(diags);
+    }
+
+    structural(plan, registry, &mut diags);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return AuditReport::from_diagnostics(diags);
+    }
+
+    let ins = must_defined(plan, &mut diags);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return AuditReport::from_diagnostics(diags);
+    }
+
+    clobber(plan, &ins, &mut diags);
+
+    let before = diags.len();
+    let actual = symbolic_exec(plan, shape, registry, &mut diags);
+    let nav_errors = diags[before..].iter().any(|d| d.severity == Severity::Error);
+    if !nav_errors {
+        // Navigation agreed with the declaration; now the streams must too.
+        compare_events(&expected_events(shape), &actual, &mut diags);
+    }
+
+    AuditReport::from_diagnostics(diags)
+}
+
+fn class_name(registry: &ClassRegistry, id: ClassId) -> String {
+    registry.class(id).map(|d| d.name().to_string()).unwrap_or_else(|_| id.to_string())
+}
+
+// ------------------------------------------------------------- structural
+
+fn structural(plan: &Plan, registry: &ClassRegistry, diags: &mut Vec<Diagnostic>) {
+    let n = plan.ops().len();
+    let num_regs = plan.num_regs();
+    let mut has_generic = false;
+
+    let check_reg = |r: u32, pc: usize, diags: &mut Vec<Diagnostic>| {
+        if r >= num_regs {
+            diags.push(Diagnostic::new(
+                Severity::Error,
+                DiagCode::RegisterOutOfRange,
+                Location::PlanOp(pc),
+                format!("register r{r} outside the plan's register file of {num_regs}"),
+            ));
+        }
+    };
+    let check_skip = |skip: u32, pc: usize, diags: &mut Vec<Diagnostic>| {
+        if pc + 1 + skip as usize > n {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                DiagCode::SkipPastEnd,
+                Location::PlanOp(pc),
+                format!("skip of {skip} jumps past the end of the {n}-op plan"),
+            ));
+        }
+    };
+
+    for (pc, op) in plan.ops().iter().enumerate() {
+        match op {
+            Op::LoadRoot { dst, .. } => check_reg(*dst, pc, diags),
+            Op::LoadRef { dst, src, .. } => {
+                check_reg(*dst, pc, diags);
+                check_reg(*src, pc, diags);
+            }
+            Op::LoadDyn { dst, src, skip, .. } => {
+                check_reg(*dst, pc, diags);
+                check_reg(*src, pc, diags);
+                check_skip(*skip, pc, diags);
+            }
+            Op::TestModified { obj, skip } => {
+                check_reg(*obj, pc, diags);
+                check_skip(*skip, pc, diags);
+            }
+            Op::Record { obj, template } => {
+                check_reg(*obj, pc, diags);
+                if *template as usize >= plan.templates().len() {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        DiagCode::TemplateOutOfRange,
+                        Location::PlanOp(pc),
+                        format!(
+                            "record template {template} out of bounds ({} templates)",
+                            plan.templates().len()
+                        ),
+                    ));
+                }
+            }
+            Op::Generic { obj } => {
+                check_reg(*obj, pc, diags);
+                has_generic = true;
+            }
+            Op::GuardListEnd { obj, .. } => check_reg(*obj, pc, diags),
+        }
+    }
+
+    if has_generic && !plan.has_dynamic() {
+        diags.push(Diagnostic::new(
+            Severity::Error,
+            DiagCode::DynamicFlagMismatch,
+            Location::General,
+            "plan contains a generic fallback but has_dynamic is false: executing it \
+             without a method table panics",
+        ));
+    } else if !has_generic && plan.has_dynamic() {
+        diags.push(Diagnostic::new(
+            Severity::Warning,
+            DiagCode::DynamicFlagMismatch,
+            Location::General,
+            "has_dynamic is set but no instruction uses the generic fallback",
+        ));
+    }
+
+    for (i, t) in plan.templates().iter().enumerate() {
+        match registry.class(t.class()) {
+            Err(e) => diags.push(Diagnostic::new(
+                Severity::Error,
+                DiagCode::TemplateLayoutMismatch,
+                Location::General,
+                format!("record template {i} names an unknown class: {e}"),
+            )),
+            Ok(def) => {
+                let layout: Vec<_> = def.layout().iter().map(|f| f.ty()).collect();
+                if layout != t.kinds() {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        DiagCode::TemplateLayoutMismatch,
+                        Location::General,
+                        format!(
+                            "record template {i} disagrees with the layout of {}: \
+                             records would fail or write wrong field kinds",
+                            def.name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- must-defined dataflow
+
+fn defined_reg(op: &Op) -> Option<u32> {
+    match op {
+        Op::LoadRoot { dst, .. } | Op::LoadRef { dst, .. } | Op::LoadDyn { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn used_regs(op: &Op) -> Vec<u32> {
+    match op {
+        Op::LoadRoot { .. } => vec![],
+        Op::LoadRef { src, .. } | Op::LoadDyn { src, .. } => vec![*src],
+        Op::TestModified { obj, .. }
+        | Op::Record { obj, .. }
+        | Op::Generic { obj }
+        | Op::GuardListEnd { obj, .. } => vec![*obj],
+    }
+}
+
+/// Forward must-defined analysis. All skips jump forward, so one pass in
+/// instruction order reaches the fixpoint: a program point's in-set is the
+/// intersection of the out-sets of every incoming edge. Returns the in-set
+/// per instruction for reuse by the clobber pass.
+fn must_defined(plan: &Plan, diags: &mut Vec<Diagnostic>) -> Vec<Vec<bool>> {
+    let ops = plan.ops();
+    let n = ops.len();
+    let nregs = plan.num_regs() as usize;
+    // `ins[pc]` = registers definitely defined on entry; None = no edge
+    // reaches pc yet. Entry starts with nothing defined.
+    let mut ins: Vec<Option<Vec<bool>>> = vec![None; n + 1];
+    ins[0] = Some(vec![false; nregs]);
+
+    let merge = |slot: &mut Option<Vec<bool>>, incoming: &[bool]| match slot {
+        None => *slot = Some(incoming.to_vec()),
+        Some(cur) => {
+            for (c, i) in cur.iter_mut().zip(incoming) {
+                *c = *c && *i;
+            }
+        }
+    };
+
+    for pc in 0..n {
+        let at = match ins[pc].clone() {
+            Some(s) => s,
+            None => continue, // unreachable instruction
+        };
+        for r in used_regs(&ops[pc]) {
+            if !at[r as usize] {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    DiagCode::UseBeforeDef,
+                    Location::PlanOp(pc),
+                    format!(
+                        "register r{r} is read but not defined on every path reaching this \
+                         instruction"
+                    ),
+                ));
+            }
+        }
+        let mut fall = at.clone();
+        if let Some(d) = defined_reg(&ops[pc]) {
+            // LoadDyn defines dst only on the non-null fallthrough edge;
+            // LoadRoot/LoadRef have no other edge, so this is uniform.
+            fall[d as usize] = true;
+        }
+        merge(&mut ins[pc + 1], &fall);
+        match &ops[pc] {
+            Op::TestModified { skip, .. } | Op::LoadDyn { skip, .. } => {
+                let target = (pc + 1 + *skip as usize).min(n);
+                // The skip edge carries the *pre-definition* state.
+                merge(&mut ins[target], &at);
+            }
+            _ => {}
+        }
+    }
+
+    (0..n).map(|pc| ins[pc].clone().unwrap_or_else(|| vec![false; nregs])).collect()
+}
+
+// --------------------------------------------------------------- clobber
+
+/// Flags conditional redefinitions of live registers: an instruction
+/// inside a skip region that redefines either (a) the region's tested
+/// register while a later in-region instruction still reads it, or (b) a
+/// register that was defined before the region and is read after it. In
+/// both cases the two paths through the region disagree about which
+/// object the register holds.
+fn clobber(plan: &Plan, ins: &[Vec<bool>], diags: &mut Vec<Diagnostic>) {
+    let ops = plan.ops();
+    let n = ops.len();
+    for (pc, op) in ops.iter().enumerate() {
+        let (guard_reg, skip) = match op {
+            Op::TestModified { obj, skip } => (Some(*obj), *skip),
+            Op::LoadDyn { skip, .. } => (None, *skip),
+            _ => continue,
+        };
+        let end = (pc + 1 + skip as usize).min(n);
+        for q in pc + 1..end {
+            let Some(d) = defined_reg(&ops[q]) else { continue };
+            if Some(d) == guard_reg && (q + 1..end).any(|r| used_regs(&ops[r]).contains(&d)) {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    DiagCode::ClobberedLiveRegister,
+                    Location::PlanOp(q),
+                    format!(
+                        "r{d} is the register tested at op {pc} but is redefined inside the \
+                         guarded region before being read again"
+                    ),
+                ));
+            }
+            if ins[pc][d as usize] && (end..n).any(|r| used_regs(&ops[r]).contains(&d)) {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    DiagCode::ClobberedLiveRegister,
+                    Location::PlanOp(q),
+                    format!(
+                        "r{d} is live across the skip region starting at op {pc} but is \
+                         conditionally redefined inside it: the two paths disagree about \
+                         its contents"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- symbolic execution
+
+/// Where a register points within the declaration.
+#[derive(Clone)]
+enum NodeRef<'s> {
+    /// An `Object` declaration node.
+    Obj(&'s SpecShape),
+    /// Element `pos` of a `List` declaration node.
+    Elem {
+        list: &'s SpecShape,
+        pos: usize,
+    },
+    Dyn,
+}
+
+#[derive(Clone)]
+struct SymVal<'s> {
+    path: Path,
+    node: NodeRef<'s>,
+}
+
+impl<'s> SymVal<'s> {
+    fn class(&self) -> Option<ClassId> {
+        match &self.node {
+            NodeRef::Obj(s) | NodeRef::Elem { list: s, .. } => s.root_class(),
+            NodeRef::Dyn => None,
+        }
+    }
+}
+
+/// Executes the plan along the maximal path — every modified-flag test
+/// falls through (all dirty) and every *declared* dynamic edge is
+/// non-null — while tracking the shape-path each register holds. Emits
+/// the actual event stream; navigation that contradicts the declaration
+/// becomes diagnostics.
+fn symbolic_exec<'s>(
+    plan: &Plan,
+    shape: &'s SpecShape,
+    registry: &ClassRegistry,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Event> {
+    let ops = plan.ops();
+    let n = ops.len();
+    let mut regs: Vec<Option<SymVal<'s>>> = vec![None; plan.num_regs() as usize];
+    let mut events = Vec::new();
+
+    // Which instructions are dominated by a modified-flag test.
+    let mut guarded = vec![false; n];
+    for (pc, op) in ops.iter().enumerate() {
+        if let Op::TestModified { skip, .. } = op {
+            for g in guarded.iter_mut().take((pc + 1 + *skip as usize).min(n)).skip(pc + 1) {
+                *g = true;
+            }
+        }
+    }
+
+    let mut pc = 0usize;
+    while pc < n {
+        match &ops[pc] {
+            Op::LoadRoot { dst, class } => {
+                let (node, path) = match shape {
+                    SpecShape::Object { .. } => (NodeRef::Obj(shape), Vec::new()),
+                    SpecShape::List { .. } => {
+                        (NodeRef::Elem { list: shape, pos: 0 }, vec![Step::Elem(0)])
+                    }
+                    SpecShape::Dynamic => {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            DiagCode::InvalidShape,
+                            Location::PlanOp(pc),
+                            "a fully dynamic root has no specialized plan to verify against",
+                        ));
+                        return events;
+                    }
+                };
+                if let Some(declared) = shape.root_class() {
+                    if declared != *class {
+                        diags.push(class_guard_diag(pc, registry, *class, declared, &[]));
+                    }
+                }
+                events.push(Event::Visit(path.clone()));
+                regs[*dst as usize] = Some(SymVal { path, node });
+            }
+            Op::LoadRef { dst, src, slot, class } => {
+                let Some(srcv) = regs[*src as usize].clone() else {
+                    return events; // dataflow already reported this
+                };
+                match follow_edge(&srcv, *slot as usize, pc, registry, *class, diags) {
+                    Some(val) => {
+                        events.push(Event::Visit(val.path.clone()));
+                        regs[*dst as usize] = Some(val);
+                    }
+                    None => return events, // unrecoverable navigation error
+                }
+            }
+            Op::LoadDyn { dst, src, slot, skip } => {
+                let Some(srcv) = regs[*src as usize].clone() else {
+                    return events;
+                };
+                match &srcv.node {
+                    NodeRef::Obj(SpecShape::Object { children, .. }) => {
+                        match children.iter().find(|(s, _)| *s == *slot as usize) {
+                            Some((_, SpecShape::Dynamic)) => {
+                                let path = joined(&srcv.path, Step::Child(*slot as usize));
+                                regs[*dst as usize] = Some(SymVal { path, node: NodeRef::Dyn });
+                            }
+                            Some((_, child)) => {
+                                diags.push(Diagnostic::new(
+                                    Severity::Warning,
+                                    DiagCode::DynamicLoadOnStaticEdge,
+                                    Location::PlanOp(pc),
+                                    format!(
+                                        "dynamic load of slot {slot}, but the declaration gives \
+                                         it a static shape: class guards are skipped here",
+                                    ),
+                                ));
+                                let path = child_path(&srcv.path, *slot as usize, child);
+                                events.push(Event::Visit(path.clone()));
+                                regs[*dst as usize] =
+                                    Some(SymVal { path, node: node_for_child(child) });
+                            }
+                            None => {
+                                // Declared null: the maximal path consistent
+                                // with the declaration takes the skip.
+                                diags.push(Diagnostic::new(
+                                    Severity::Warning,
+                                    DiagCode::UndeclaredEdge,
+                                    Location::PlanOp(pc),
+                                    format!(
+                                        "dynamic load of slot {slot}, which the declaration \
+                                         assumes null: the fallback in its shadow never runs",
+                                    ),
+                                ));
+                                pc += *skip as usize;
+                            }
+                        }
+                    }
+                    _ => {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            DiagCode::UndeclaredEdge,
+                            Location::PlanOp(pc),
+                            format!(
+                                "dynamic load of slot {slot} from {}, which is not a declared \
+                                 object node",
+                                fmt_path(&srcv.path)
+                            ),
+                        ));
+                        return events;
+                    }
+                }
+            }
+            Op::TestModified { .. } => {
+                // Maximal path: the flag is dirty, fall through.
+            }
+            Op::Record { obj, template } => {
+                let Some(objv) = regs[*obj as usize].clone() else {
+                    return events;
+                };
+                let tclass = plan.templates()[*template as usize].class();
+                match objv.class() {
+                    Some(declared) if declared == tclass => {
+                        events.push(Event::TestRecord { path: objv.path.clone(), class: declared });
+                        if !guarded[pc] {
+                            diags.push(Diagnostic::new(
+                                Severity::Warning,
+                                DiagCode::UnguardedRecord,
+                                Location::PlanOp(pc),
+                                format!(
+                                    "{} is recorded without a modified-flag test: clean \
+                                     objects would be re-recorded every checkpoint",
+                                    fmt_path(&objv.path)
+                                ),
+                            ));
+                        }
+                    }
+                    Some(declared) => {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            DiagCode::TemplateClassMismatch,
+                            Location::PlanOp(pc),
+                            format!(
+                                "record template is for {} but the declaration puts a {} at {}",
+                                class_name(registry, tclass),
+                                class_name(registry, declared),
+                                fmt_path(&objv.path)
+                            ),
+                        ));
+                        return events;
+                    }
+                    None => {
+                        diags.push(Diagnostic::new(
+                            Severity::Error,
+                            DiagCode::TemplateClassMismatch,
+                            Location::PlanOp(pc),
+                            format!(
+                                "static record of {}, whose shape the declaration leaves \
+                                 dynamic",
+                                fmt_path(&objv.path)
+                            ),
+                        ));
+                        return events;
+                    }
+                }
+            }
+            Op::Generic { obj } => {
+                let Some(objv) = regs[*obj as usize].clone() else {
+                    return events;
+                };
+                if !matches!(objv.node, NodeRef::Dyn) {
+                    diags.push(Diagnostic::new(
+                        Severity::Warning,
+                        DiagCode::DynamicLoadOnStaticEdge,
+                        Location::PlanOp(pc),
+                        format!(
+                            "generic fallback over {}, which the declaration shapes \
+                             statically: dispatch the specializer promised to remove",
+                            fmt_path(&objv.path)
+                        ),
+                    ));
+                }
+                events.push(Event::Generic { path: objv.path.clone() });
+            }
+            Op::GuardListEnd { obj, slot } => {
+                let Some(objv) = regs[*obj as usize].clone() else {
+                    return events;
+                };
+                let ok = match &objv.node {
+                    NodeRef::Elem { list: SpecShape::List { next_slot, len, .. }, pos } => {
+                        *pos == len - 1 && *slot as usize == *next_slot
+                    }
+                    _ => false,
+                };
+                if ok {
+                    events.push(Event::ListEnd { path: objv.path.clone() });
+                } else {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        DiagCode::MisplacedListGuard,
+                        Location::PlanOp(pc),
+                        format!(
+                            "list-end guard at {}, which the declaration does not mark as a \
+                             list tail: on a conforming heap this guard fails",
+                            fmt_path(&objv.path)
+                        ),
+                    ));
+                    return events;
+                }
+            }
+        }
+        pc += 1;
+    }
+    events
+}
+
+fn joined(base: &[Step], step: Step) -> Path {
+    let mut p = base.to_vec();
+    p.push(step);
+    p
+}
+
+fn child_path(base: &[Step], slot: usize, child: &SpecShape) -> Path {
+    let mut p = joined(base, Step::Child(slot));
+    if matches!(child, SpecShape::List { .. }) {
+        p.push(Step::Elem(0));
+    }
+    p
+}
+
+fn node_for_child(child: &SpecShape) -> NodeRef<'_> {
+    match child {
+        SpecShape::Object { .. } => NodeRef::Obj(child),
+        SpecShape::List { .. } => NodeRef::Elem { list: child, pos: 0 },
+        SpecShape::Dynamic => NodeRef::Dyn,
+    }
+}
+
+fn class_guard_diag(
+    pc: usize,
+    registry: &ClassRegistry,
+    op_class: ClassId,
+    declared: ClassId,
+    path: &[Step],
+) -> Diagnostic {
+    Diagnostic::new(
+        Severity::Error,
+        DiagCode::ClassGuardMismatch,
+        Location::PlanOp(pc),
+        format!(
+            "plan expects {} at {} but the declaration puts a {} there: the plan is stale",
+            class_name(registry, op_class),
+            fmt_path(path),
+            class_name(registry, declared),
+        ),
+    )
+    .with_suggestion("recompile the plan from the current declaration")
+}
+
+/// Follows a static load from `src` through `slot`, producing the new
+/// symbolic value or an unrecoverable diagnostic.
+fn follow_edge<'s>(
+    src: &SymVal<'s>,
+    slot: usize,
+    pc: usize,
+    registry: &ClassRegistry,
+    op_class: ClassId,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<SymVal<'s>> {
+    match &src.node {
+        NodeRef::Obj(SpecShape::Object { children, .. }) => {
+            match children.iter().find(|(s, _)| *s == slot) {
+                None => {
+                    diags.push(Diagnostic::new(
+                        Severity::Error,
+                        DiagCode::UndeclaredEdge,
+                        Location::PlanOp(pc),
+                        format!(
+                            "static load of slot {slot} of {}, which the declaration assumes \
+                             null: on a conforming heap this load fails",
+                            fmt_path(&src.path)
+                        ),
+                    ));
+                    None
+                }
+                Some((_, SpecShape::Dynamic)) => {
+                    diags.push(Diagnostic::new(
+                        Severity::Warning,
+                        DiagCode::StaticLoadOnDynamicEdge,
+                        Location::PlanOp(pc),
+                        format!(
+                            "static load of slot {slot} of {}, which the declaration leaves \
+                             dynamic: a null here fails instead of being skipped",
+                            fmt_path(&src.path)
+                        ),
+                    ));
+                    Some(SymVal { path: joined(&src.path, Step::Child(slot)), node: NodeRef::Dyn })
+                }
+                Some((_, child)) => {
+                    if let Some(declared) = child.root_class() {
+                        if declared != op_class {
+                            let path = joined(&src.path, Step::Child(slot));
+                            diags.push(class_guard_diag(pc, registry, op_class, declared, &path));
+                            return None;
+                        }
+                    }
+                    Some(SymVal {
+                        path: child_path(&src.path, slot, child),
+                        node: node_for_child(child),
+                    })
+                }
+            }
+        }
+        NodeRef::Elem { list, pos } => {
+            let SpecShape::List { elem_class, next_slot, len, .. } = list else { unreachable!() };
+            if slot != *next_slot {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    DiagCode::UndeclaredEdge,
+                    Location::PlanOp(pc),
+                    format!(
+                        "load of slot {slot} from list element {}, but the declared link \
+                         slot is {next_slot}",
+                        fmt_path(&src.path)
+                    ),
+                ));
+                return None;
+            }
+            if pos + 1 >= *len {
+                diags.push(Diagnostic::new(
+                    Severity::Error,
+                    DiagCode::ListOverrun,
+                    Location::PlanOp(pc),
+                    format!(
+                        "load past the declared tail: {} is the last of {len} elements, so \
+                         its next link is null on a conforming heap",
+                        fmt_path(&src.path)
+                    ),
+                ));
+                return None;
+            }
+            if *elem_class != op_class {
+                let mut path = src.path.clone();
+                path.pop();
+                path.push(Step::Elem(pos + 1));
+                diags.push(class_guard_diag(pc, registry, op_class, *elem_class, &path));
+                return None;
+            }
+            let mut path = src.path.clone();
+            path.pop();
+            path.push(Step::Elem(pos + 1));
+            Some(SymVal { path, node: NodeRef::Elem { list, pos: pos + 1 } })
+        }
+        NodeRef::Obj(_) => unreachable!("Obj always wraps the Object variant"),
+        NodeRef::Dyn => {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                DiagCode::StaticLoadOnDynamicEdge,
+                Location::PlanOp(pc),
+                format!(
+                    "static load from {}, whose shape the declaration leaves dynamic",
+                    fmt_path(&src.path)
+                ),
+            ));
+            Some(SymVal { path: joined(&src.path, Step::Child(slot)), node: NodeRef::Dyn })
+        }
+    }
+}
+
+// ------------------------------------------------------------- comparison
+
+fn compare_events(expected: &[Event], actual: &[Event], diags: &mut Vec<Diagnostic>) {
+    let e_stream: Vec<&Event> = expected.iter().filter(|e| e.is_stream_event()).collect();
+    let a_stream: Vec<&Event> = actual.iter().filter(|e| e.is_stream_event()).collect();
+    compare_seq(&e_stream, &a_stream, true, diags);
+
+    let e_visit: Vec<&Event> = expected.iter().filter(|e| !e.is_stream_event()).collect();
+    let a_visit: Vec<&Event> = actual.iter().filter(|e| !e.is_stream_event()).collect();
+    compare_seq(&e_visit, &a_visit, false, diags);
+}
+
+fn compare_seq(expected: &[&Event], actual: &[&Event], stream: bool, diags: &mut Vec<Diagnostic>) {
+    let mismatch = expected.iter().zip(actual.iter()).position(|(e, a)| e != a).or(
+        if expected.len() != actual.len() { Some(expected.len().min(actual.len())) } else { None },
+    );
+    let Some(i) = mismatch else { return };
+
+    let at = |events: &[&Event], i: usize| {
+        events.get(i).map(|e| e.to_string()).unwrap_or_else(|| "<end>".into())
+    };
+    let loc = |events: &[&Event], i: usize| {
+        Location::Shape(
+            events.get(i).map(|e| fmt_path(e.path())).unwrap_or_else(|| "$".to_string()),
+        )
+    };
+    let d = if !stream {
+        Diagnostic::new(
+            Severity::Warning,
+            DiagCode::VisitMismatch,
+            loc(expected, i),
+            format!(
+                "traversal diverges from the declaration at visit {i}: declared {}, plan \
+                 performs {} ({} vs {} visits total)",
+                at(expected, i),
+                at(actual, i),
+                expected.len(),
+                actual.len(),
+            ),
+        )
+    } else if i >= actual.len() {
+        Diagnostic::new(
+            Severity::Error,
+            DiagCode::MissingCoverage,
+            loc(expected, i),
+            format!(
+                "plan never performs declared `{}` ({} declared, {} emitted): modifications \
+                 there are silently dropped from the checkpoint",
+                at(expected, i),
+                expected.len(),
+                actual.len(),
+            ),
+        )
+        .with_suggestion("recompile the plan, or weaken the declared modification pattern")
+    } else if i >= expected.len() {
+        Diagnostic::new(
+            Severity::Error,
+            DiagCode::ExtraCoverage,
+            loc(actual, i),
+            format!(
+                "plan performs `{}` beyond the declared traversal ({} declared, {} emitted)",
+                at(actual, i),
+                expected.len(),
+                actual.len(),
+            ),
+        )
+    } else {
+        Diagnostic::new(
+            Severity::Error,
+            DiagCode::CoverageMismatch,
+            loc(expected, i),
+            format!(
+                "stream diverges from the declared pre-order at event {i}: declared `{}`, \
+                 plan performs `{}`",
+                at(expected, i),
+                at(actual, i),
+            ),
+        )
+    };
+    diags.push(d);
+}

@@ -1,0 +1,210 @@
+//! Property tests for the auditor over *random specialization
+//! declarations* — the same generator family as
+//! `crates/spec/tests/shape_props.rs`, driven by the in-repo seeded PRNG.
+//!
+//! The two load-bearing properties:
+//!
+//! 1. **Zero false positives**: a plan freshly compiled from a shape
+//!    (plain or register-compacted) audits *completely clean* against
+//!    that shape — not even a warning.
+//! 2. **Stale plans are caught twice**: a plan verified against a
+//!    declaration it was not compiled from is flagged statically, and the
+//!    same staleness surfaces dynamically as a `GuardMode::Checked`
+//!    failure when the plan runs on a heap conforming to the new
+//!    declaration.
+
+use ickp_audit::{cross_validate, verify_plan, DiagCode, Diagnostic};
+use ickp_core::{CheckpointKind, StreamWriter, TraversalStats};
+use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, ObjectId, Value};
+use ickp_prng::Prng;
+use ickp_spec::{GuardMode, ListPattern, NodePattern, SpecShape, Specializer};
+
+/// Four classes, each with 2 int slots and 3 unconstrained ref slots
+/// (slot 2 doubles as a list `next` link).
+fn registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    for i in 0..4 {
+        reg.define(
+            &format!("C{i}"),
+            None,
+            &[
+                ("a", FieldType::Int),
+                ("b", FieldType::Int),
+                ("r0", FieldType::Ref(None)),
+                ("r1", FieldType::Ref(None)),
+                ("r2", FieldType::Ref(None)),
+            ],
+        )
+        .unwrap();
+    }
+    reg
+}
+
+fn random_node_pattern(rng: &mut Prng) -> NodePattern {
+    match rng.below(3) {
+        0 => NodePattern::MayModify,
+        1 => NodePattern::FrozenHere,
+        _ => NodePattern::Unmodified,
+    }
+}
+
+fn random_list_pattern(rng: &mut Prng, len: usize) -> ListPattern {
+    match rng.below(4) {
+        0 => ListPattern::MayModify,
+        1 => ListPattern::Unmodified,
+        2 => ListPattern::LastOnly,
+        _ => {
+            let n = rng.index(len + 1);
+            ListPattern::Positions((0..n).map(|_| rng.index(len)).collect())
+        }
+    }
+}
+
+fn random_list(rng: &mut Prng) -> SpecShape {
+    let class = ClassId::from_index(rng.index(4));
+    let len = 1 + rng.index(4);
+    SpecShape::list(class, 2, len, random_list_pattern(rng, len))
+}
+
+/// Random shape over the class family; children occupy ref slots 3/4
+/// (slot 2 is reserved for list links). Never `Dynamic` at the root.
+fn random_shape(rng: &mut Prng, depth: usize) -> SpecShape {
+    if depth == 0 || rng.ratio(1, 3) {
+        if rng.next_bool() {
+            SpecShape::object(ClassId::from_index(rng.index(4)), random_node_pattern(rng), vec![])
+        } else {
+            random_list(rng)
+        }
+    } else {
+        let nkids = rng.index(3);
+        let children =
+            (0..nkids).map(|i| (3 + i, random_shape(rng, depth - 1))).collect::<Vec<_>>();
+        SpecShape::object(ClassId::from_index(rng.index(4)), random_node_pattern(rng), children)
+    }
+}
+
+/// Materializes a heap subgraph conforming to `shape`; returns its root.
+fn materialize(heap: &mut Heap, shape: &SpecShape) -> ObjectId {
+    match shape {
+        SpecShape::Object { class, children, .. } => {
+            let obj = heap.alloc(*class).unwrap();
+            for (slot, child) in children {
+                let c = materialize(heap, child);
+                heap.set_field(obj, *slot, Value::Ref(Some(c))).unwrap();
+            }
+            obj
+        }
+        SpecShape::List { elem_class, next_slot, len, .. } => {
+            let mut next: Option<ObjectId> = None;
+            for _ in 0..*len {
+                let e = heap.alloc(*elem_class).unwrap();
+                heap.set_field(e, *next_slot, Value::Ref(next)).unwrap();
+                next = Some(e);
+            }
+            next.expect("len >= 1")
+        }
+        SpecShape::Dynamic => heap.alloc(ClassId::from_index(0)).unwrap(),
+    }
+}
+
+/// Replaces the root class of a shape with the next class in the family —
+/// the minimal "structure changed under a compiled plan" edit.
+fn reclass_root(shape: &SpecShape) -> SpecShape {
+    let bump = |c: &ClassId| ClassId::from_index((c.index() + 1) % 4);
+    let mut s = shape.clone();
+    match &mut s {
+        SpecShape::Object { class, .. } => *class = bump(class),
+        SpecShape::List { elem_class, .. } => *elem_class = bump(elem_class),
+        SpecShape::Dynamic => unreachable!("generator never yields a dynamic root"),
+    }
+    s
+}
+
+/// **Acceptance criterion**: the verifier proves coverage equivalence for
+/// every generated shape with zero false positives — the report for a
+/// freshly compiled plan (plain and register-compacted alike) is
+/// completely empty.
+#[test]
+fn compiled_plans_audit_clean_with_zero_false_positives() {
+    for case in 0..256u64 {
+        let mut rng = Prng::seed_from_u64(0xa0d1_0000 + case);
+        let shape = random_shape(&mut rng, 3);
+        let reg = registry();
+        let spec = Specializer::new(&reg);
+        let plan = spec.compile(&shape).unwrap();
+        let report = verify_plan(&plan, &shape, &reg);
+        assert!(report.is_clean(), "case {case} (plain):\n{}", report.render());
+
+        // Register compaction renames registers without touching coverage;
+        // the verifier's symbolic execution is register-name agnostic.
+        let optimized = spec.compile_optimized(&shape).unwrap();
+        let report = verify_plan(&optimized, &shape, &reg);
+        assert!(report.is_clean(), "case {case} (optimized):\n{}", report.render());
+    }
+}
+
+/// A plan compiled for one declaration, audited against a re-classed
+/// declaration, is flagged statically — and running it on a heap
+/// conforming to the *new* declaration always fails under
+/// `GuardMode::Checked`. The static and dynamic verdicts agree.
+#[test]
+fn stale_plans_are_flagged_statically_and_fail_checked_execution() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0xb3c5_0000 + case);
+        let shape = random_shape(&mut rng, 3);
+        let rewired = reclass_root(&shape);
+        let reg = registry();
+        let plan = Specializer::new(&reg).compile(&shape).unwrap();
+
+        // Static: the auditor pinpoints the stale class guard.
+        let report = verify_plan(&plan, &rewired, &reg);
+        assert!(report.has_errors(), "case {case}:\n{}", report.render());
+        assert!(
+            report
+                .diagnostics()
+                .iter()
+                .any(|d: &Diagnostic| d.code == DiagCode::ClassGuardMismatch),
+            "case {case}: expected AUD021, got:\n{}",
+            report.render()
+        );
+
+        // Dynamic: checked execution on the re-wired heap refuses to run.
+        let mut heap = Heap::new(registry());
+        let root = materialize(&mut heap, &rewired);
+        heap.mark_all_modified();
+        let mut writer = StreamWriter::new(0, CheckpointKind::Incremental, &[]);
+        let mut stats = TraversalStats::default();
+        let result =
+            plan.executor().run(&mut heap, root, &mut writer, GuardMode::Checked, None, &mut stats);
+        assert!(result.is_err(), "case {case}: checked run must fail on the re-wired heap");
+    }
+}
+
+/// The dynamic oracle backs the static verdict: for clean compiled plans,
+/// executing on a conforming heap with an arbitrary dirty subset never
+/// misses a covered object and never records a clean one.
+#[test]
+fn oracle_reconciles_every_compiled_plan_with_its_declaration() {
+    for case in 0..128u64 {
+        let mut rng = Prng::seed_from_u64(0xc4f7_0000 + case);
+        let shape = random_shape(&mut rng, 3);
+        let reg = registry();
+        let plan = Specializer::new(&reg).compile(&shape).unwrap();
+        let mut heap = Heap::new(reg);
+        let root = materialize(&mut heap, &shape);
+        heap.reset_all_modified();
+
+        // Dirty a random subset of live objects through real field writes.
+        let live: Vec<ObjectId> = heap.iter_live().collect();
+        for obj in live {
+            if rng.next_bool() {
+                heap.set_field(obj, 0, Value::Int(rng.index(1 << 16) as i32)).unwrap();
+            }
+        }
+
+        let r = cross_validate(&heap, &plan, &shape, &[root], GuardMode::Checked).unwrap();
+        assert!(r.is_consistent(), "case {case}: missed={:?} spurious={:?}", r.missed, r.spurious);
+        // Sanity: everything dirty is accounted for in some bucket.
+        assert!(r.recorded + r.declared_clean_dirty >= r.dirty - r.missed.len(), "case {case}");
+    }
+}

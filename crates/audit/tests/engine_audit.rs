@@ -1,0 +1,125 @@
+//! End-to-end audit of the analysis engine's own declarations: the
+//! in-repo `Attributes` phase plans must audit clean, seeded declaration
+//! bugs must be caught, and the dynamic oracle must reconcile a real
+//! phase run with its declared plan.
+
+use ickp_analysis::{AnalysisEngine, AttributesSchema, Division, Phase};
+use ickp_audit::{
+    audit_phase_patterns, cross_validate, engine_footprints, verify_plan, DiagCode, Severity,
+};
+use ickp_heap::{ClassRegistry, Heap};
+use ickp_minic::parse;
+use ickp_spec::{GuardMode, PhasePlans, Specializer};
+
+const SAMPLE: &str = "int d; int s; void main() { s = d + 1; }";
+
+fn division(dynamic: &[&str]) -> Division {
+    Division { dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect() }
+}
+
+/// Every phase plan the engine compiles for itself — including the
+/// dynamic-fallback structure plan — audits completely clean against the
+/// declaration it was compiled from.
+#[test]
+fn engine_phase_plans_audit_clean() {
+    let engine = AnalysisEngine::new(parse(SAMPLE).unwrap(), division(&["d"])).unwrap();
+    let plans = engine.compile_phase_plans().unwrap();
+    assert!(plans.len() >= 3);
+    for phase in plans.phases() {
+        let plan = plans.plan(phase).unwrap();
+        let shape = plans.shape(phase).expect("engine registers shapes with its plans");
+        let report = verify_plan(plan, shape, engine.heap().registry());
+        assert!(report.is_clean(), "phase `{phase}`:\n{}", report.render());
+    }
+}
+
+/// The pattern soundness checker accepts the engine's own declarations
+/// for a program that exercises all three phases: no errors, and the only
+/// warning is the (intentionally) undeclared side-effect phase.
+#[test]
+fn engine_declarations_are_sound_for_a_three_phase_program() {
+    let engine = AnalysisEngine::new(parse(SAMPLE).unwrap(), division(&["d"])).unwrap();
+    let plans = engine.compile_phase_plans().unwrap();
+    let footprints = engine_footprints(engine.program(), &division(&["d"])).unwrap();
+    let report = audit_phase_patterns(&plans, &footprints, engine.heap().registry());
+    assert!(!report.has_errors(), "{}", report.render());
+    let warnings: Vec<_> =
+        report.diagnostics().iter().filter(|d| d.severity == Severity::Warning).collect();
+    assert_eq!(warnings.len(), 1, "{}", report.render());
+    assert_eq!(warnings[0].code, DiagCode::UndeclaredPhase);
+    assert!(warnings[0].message.contains("side-effect"));
+}
+
+/// **Acceptance criterion (seeded under-declaration)**: registering the
+/// eval-time shape for the binding-time phase — which provably writes the
+/// `bt` subtree for this program — is an `AUD101` error.
+#[test]
+fn seeded_under_declaration_is_an_error() {
+    let mut heap = Heap::new(ClassRegistry::new());
+    let schema = AttributesSchema::define(&mut heap).unwrap();
+    let shape = schema.shape_eta_phase(); // freezes bt
+    let plan = Specializer::new(heap.registry()).compile(&shape).unwrap();
+    let mut plans = PhasePlans::new();
+    plans.insert_with_shape(Phase::BindingTime.key(), shape, plan);
+
+    let footprints = engine_footprints(&parse(SAMPLE).unwrap(), &division(&["d"])).unwrap();
+    let report = audit_phase_patterns(&plans, &footprints, heap.registry());
+    assert!(report.has_errors(), "{}", report.render());
+    assert!(
+        report.diagnostics().iter().any(|d| d.code == DiagCode::UnderDeclaredPattern),
+        "{}",
+        report.render()
+    );
+}
+
+/// **Acceptance criterion (seeded over-declaration)**: registering the
+/// structure-only shape (everything modifiable) for the binding-time
+/// phase yields `AUD102` perf lints for the subtrees the phase provably
+/// never writes — quantified in statically dead record bytes where the
+/// subtree is static.
+#[test]
+fn seeded_over_declaration_is_a_quantified_perf_lint() {
+    let mut heap = Heap::new(ClassRegistry::new());
+    let schema = AttributesSchema::define(&mut heap).unwrap();
+    let shape = schema.shape_structure_only(); // everything modifiable
+    let plan = Specializer::new(heap.registry()).compile(&shape).unwrap();
+    let mut plans = PhasePlans::new();
+    plans.insert_with_shape(Phase::BindingTime.key(), shape, plan);
+
+    let footprints = engine_footprints(&parse(SAMPLE).unwrap(), &division(&["d"])).unwrap();
+    let report = audit_phase_patterns(&plans, &footprints, heap.registry());
+    assert!(!report.has_errors(), "over-declaration is waste, not unsoundness");
+    let lints: Vec<_> =
+        report.diagnostics().iter().filter(|d| d.code == DiagCode::OverDeclaredPattern).collect();
+    // Two over-declared subtrees during bta: se (dynamic, unquantifiable)
+    // and et (static, quantified in bytes).
+    assert_eq!(lints.len(), 2, "{}", report.render());
+    assert!(lints.iter().any(|d| d.message.contains("bytes")), "{}", report.render());
+    assert!(lints.iter().any(|d| d.message.contains("dynamic")), "{}", report.render());
+}
+
+/// The dynamic oracle backs the static verdict on a real engine run: a
+/// binding-time fixpoint's dirty set reconciles exactly with what the
+/// audited `bta` plan records.
+#[test]
+fn oracle_reconciles_a_real_bta_run_with_the_declared_plan() {
+    let mut engine = AnalysisEngine::new(parse(SAMPLE).unwrap(), division(&["d"])).unwrap();
+    let plans = engine.compile_phase_plans().unwrap();
+    engine.heap_mut().reset_all_modified();
+    let report = engine.run_phase(Phase::BindingTime, |_, _, _| Ok(())).unwrap();
+    assert!(report.annotation_writes > 0, "the dynamic division forces bt writes");
+
+    let roots = engine.roots().to_vec();
+    let key = Phase::BindingTime.key();
+    let r = cross_validate(
+        engine.heap(),
+        plans.plan(key).unwrap(),
+        plans.shape(key).unwrap(),
+        &roots,
+        GuardMode::Checked,
+    )
+    .unwrap();
+    assert!(r.is_consistent(), "missed={:?} spurious={:?}", r.missed, r.spurious);
+    assert!(r.recorded > 0, "the run dirtied bt entries; the plan must see them");
+    assert_eq!(r.declared_clean_dirty, 0, "bta writes only its declared subtree");
+}

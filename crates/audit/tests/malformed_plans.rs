@@ -1,0 +1,160 @@
+//! Hand-assembled malformed plans (via `Plan::from_raw_parts`) exercising
+//! the verifier's structural, dataflow, and clobber passes — the
+//! instruction sequences the compiler can never emit but tooling or
+//! future optimizers could.
+
+use ickp_audit::{verify_plan, DiagCode, Severity};
+use ickp_heap::{ClassId, ClassRegistry, FieldType};
+use ickp_spec::{NodePattern, Op, Plan, RecordTemplate, SpecShape};
+
+fn registry() -> (ClassRegistry, ClassId, ClassId) {
+    let mut reg = ClassRegistry::new();
+    let elem =
+        reg.define("Elem", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
+    let holder = reg.define("Holder", None, &[("head", FieldType::Ref(Some(elem)))]).unwrap();
+    (reg, elem, holder)
+}
+
+fn template_for(reg: &ClassRegistry, class: ClassId) -> RecordTemplate {
+    let kinds = reg.class(class).unwrap().layout().iter().map(|f| f.ty()).collect();
+    RecordTemplate::new(class, kinds)
+}
+
+fn has_code(report: &ickp_audit::AuditReport, code: DiagCode) -> bool {
+    report.diagnostics().iter().any(|d| d.code == code)
+}
+
+#[test]
+fn register_out_of_range_is_an_error() {
+    let (reg, _, holder) = registry();
+    let plan = Plan::from_raw_parts(vec![Op::LoadRoot { dst: 7, class: holder }], vec![], 1, false);
+    let report = verify_plan(&plan, &SpecShape::leaf(holder), &reg);
+    assert!(has_code(&report, DiagCode::RegisterOutOfRange), "{}", report.render());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn use_before_def_is_caught_on_the_skipping_path() {
+    let (reg, elem, holder) = registry();
+    let shape = SpecShape::object(
+        holder,
+        NodePattern::MayModify,
+        vec![(0, SpecShape::object(elem, NodePattern::MayModify, vec![]))],
+    );
+    let templates = vec![template_for(&reg, holder), template_for(&reg, elem)];
+    // r1 is defined only inside the skip region of the r0 test, then read
+    // unconditionally after it: the clean path reads an unbound register.
+    let ops = vec![
+        Op::LoadRoot { dst: 0, class: holder },
+        Op::TestModified { obj: 0, skip: 2 },
+        Op::Record { obj: 0, template: 0 },
+        Op::LoadRef { dst: 1, src: 0, slot: 0, class: elem },
+        Op::TestModified { obj: 1, skip: 1 },
+        Op::Record { obj: 1, template: 1 },
+    ];
+    let plan = Plan::from_raw_parts(ops, templates, 2, false);
+    let report = verify_plan(&plan, &shape, &reg);
+    assert!(has_code(&report, DiagCode::UseBeforeDef), "{}", report.render());
+}
+
+#[test]
+fn generic_without_the_dynamic_flag_is_an_error() {
+    let (reg, _, holder) = registry();
+    let ops = vec![Op::LoadRoot { dst: 0, class: holder }, Op::Generic { obj: 0 }];
+    let plan = Plan::from_raw_parts(ops, vec![], 1, false);
+    let report = verify_plan(&plan, &SpecShape::leaf(holder), &reg);
+    assert!(has_code(&report, DiagCode::DynamicFlagMismatch), "{}", report.render());
+    assert!(report.has_errors(), "executing this plan panics; must gate hard");
+}
+
+#[test]
+fn template_layout_mismatch_is_an_error() {
+    let (reg, elem, holder) = registry();
+    // Record the holder through the *elem* field kinds: stream corruption.
+    let bad = RecordTemplate::new(holder, vec![FieldType::Int, FieldType::Int]);
+    let ops = vec![
+        Op::LoadRoot { dst: 0, class: holder },
+        Op::TestModified { obj: 0, skip: 1 },
+        Op::Record { obj: 0, template: 0 },
+    ];
+    let plan = Plan::from_raw_parts(ops, vec![bad], 1, false);
+    let report = verify_plan(&plan, &SpecShape::leaf(holder), &reg);
+    assert!(has_code(&report, DiagCode::TemplateLayoutMismatch), "{}", report.render());
+    let _ = elem;
+}
+
+#[test]
+fn clobbering_a_live_register_inside_a_guarded_region_is_an_error() {
+    let (reg, _, holder) = registry();
+    let templates = vec![template_for(&reg, holder)];
+    // r0 is live across the test's skip region but conditionally rebound
+    // inside it: the two paths disagree about what op 3 records.
+    let ops = vec![
+        Op::LoadRoot { dst: 0, class: holder },
+        Op::TestModified { obj: 0, skip: 1 },
+        Op::LoadRoot { dst: 0, class: holder },
+        Op::Record { obj: 0, template: 0 },
+    ];
+    let plan = Plan::from_raw_parts(ops, templates, 1, false);
+    let report = verify_plan(&plan, &SpecShape::leaf(holder), &reg);
+    assert!(has_code(&report, DiagCode::ClobberedLiveRegister), "{}", report.render());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn unguarded_record_is_a_warning_not_an_error() {
+    let (reg, _, holder) = registry();
+    let templates = vec![template_for(&reg, holder)];
+    // Record with no modified-flag test: correct stream (a superset), but
+    // it re-records clean objects — exactly what specialization exists to
+    // avoid.
+    let ops = vec![Op::LoadRoot { dst: 0, class: holder }, Op::Record { obj: 0, template: 0 }];
+    let plan = Plan::from_raw_parts(ops, templates, 1, false);
+    let report = verify_plan(&plan, &SpecShape::leaf(holder), &reg);
+    assert!(has_code(&report, DiagCode::UnguardedRecord), "{}", report.render());
+    assert!(!report.has_errors(), "{}", report.render());
+    assert!(report.count(Severity::Warning) >= 1);
+}
+
+#[test]
+fn a_dropped_record_site_is_missing_coverage() {
+    let (reg, elem, holder) = registry();
+    let shape = SpecShape::object(
+        holder,
+        NodePattern::MayModify,
+        vec![(0, SpecShape::object(elem, NodePattern::MayModify, vec![]))],
+    );
+    // The child's test/record was "optimized away": modifications to the
+    // elem never reach the checkpoint.
+    let ops = vec![
+        Op::LoadRoot { dst: 0, class: holder },
+        Op::TestModified { obj: 0, skip: 1 },
+        Op::Record { obj: 0, template: 0 },
+    ];
+    let plan = Plan::from_raw_parts(ops, vec![template_for(&reg, holder)], 1, false);
+    let report = verify_plan(&plan, &shape, &reg);
+    assert!(has_code(&report, DiagCode::MissingCoverage), "{}", report.render());
+    assert!(report.has_errors());
+}
+
+#[test]
+fn a_list_overrun_is_pinpointed() {
+    let (reg, elem, holder) = registry();
+    // Plan compiled for a 3-list, declaration now says 2: the third load
+    // runs off the declared tail.
+    let spec = ickp_spec::Specializer::new(&reg);
+    let long = SpecShape::object(
+        holder,
+        NodePattern::FrozenHere,
+        vec![(0, SpecShape::list(elem, 1, 3, ickp_spec::ListPattern::MayModify))],
+    );
+    let short = SpecShape::object(
+        holder,
+        NodePattern::FrozenHere,
+        vec![(0, SpecShape::list(elem, 1, 2, ickp_spec::ListPattern::MayModify))],
+    );
+    let plan = spec.compile(&long).unwrap();
+    let report = verify_plan(&plan, &short, &reg);
+    assert!(has_code(&report, DiagCode::ListOverrun), "{}", report.render());
+    assert!(report.has_errors());
+}

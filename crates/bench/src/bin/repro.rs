@@ -50,9 +50,15 @@ fn main() {
                     .unwrap_or_else(|| usage("--filters needs a number"))
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "journal" | "all" => experiment = arg.clone(),
+            | "journal" | "audit" | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
+    }
+
+    // The auditor is a static gate, not a benchmark: it runs alone (not
+    // under `all`) and its exit code feeds CI.
+    if experiment == "audit" {
+        std::process::exit(audit());
     }
 
     println!("# ickp reproduction — {experiment}");
@@ -90,10 +96,94 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|all] \
          [--structures N] [--rounds R] [--filters F]"
     );
     std::process::exit(2);
+}
+
+// ------------------------------------------------------------------ audit
+
+/// Statically audits every specialization declaration the repo ships:
+/// the analysis engine's phase plans (for a small program and the paper's
+/// image workload) and the synthetic benchmark's shape family, each
+/// compiled plain and register-compacted. Prints one report per subject
+/// and returns the process exit code (1 if any error-severity finding).
+fn audit() -> i32 {
+    use ickp_analysis::{AnalysisEngine, Division};
+    use ickp_audit::{audit_phase_patterns, engine_footprints, verify_plan, AuditReport};
+    use ickp_spec::Specializer;
+    use ickp_synth::{SynthConfig, SynthWorld};
+
+    println!("# ickp audit — static soundness of in-repo declarations\n");
+    let mut errors = 0usize;
+    let mut report_on = |subject: &str, report: &AuditReport| {
+        let verdict =
+            if report.is_clean() { "clean".to_string() } else { format!("\n{}", report.render()) };
+        println!("{subject}: {verdict}");
+        if report.has_errors() {
+            errors += 1;
+        }
+    };
+
+    // 1. The analysis engine's own phase declarations, over both a small
+    //    three-phase program and the paper's image workload.
+    let division = |dynamic: &[&str]| Division {
+        dynamic_globals: dynamic.iter().map(|s| s.to_string()).collect(),
+    };
+    let workloads = [
+        (
+            "sample",
+            ickp_minic::parse("int d; int s; void main() { s = d + 1; }").expect("parses"),
+            division(&["d"]),
+        ),
+        ("image", ickp_minic::programs::image_program(), division(&["image", "work"])),
+    ];
+    for (name, program, div) in workloads {
+        let engine = AnalysisEngine::new(program, div.clone()).expect("engine builds");
+        let plans = engine.compile_phase_plans().expect("plans compile");
+        let mut phases: Vec<&str> = plans.phases().collect();
+        phases.sort_unstable();
+        for phase in phases {
+            let plan = plans.plan(phase).expect("listed");
+            let shape = plans.shape(phase).expect("engine registers shapes");
+            report_on(
+                &format!("engine[{name}] plan `{phase}`"),
+                &verify_plan(plan, shape, engine.heap().registry()),
+            );
+        }
+        let footprints = engine_footprints(engine.program(), &div).expect("inference runs");
+        report_on(
+            &format!("engine[{name}] phase patterns"),
+            &audit_phase_patterns(&plans, &footprints, engine.heap().registry()),
+        );
+    }
+
+    // 2. The synthetic benchmark's declared shape family.
+    let world = SynthWorld::build(SynthConfig::small()).expect("world builds");
+    let spec = Specializer::new(world.heap().registry());
+    let shapes = [
+        ("structure-only", world.shape_structure_only()),
+        ("modified-lists k=3", world.shape_modified_lists(3)),
+        ("last-only k=3", world.shape_last_only(3)),
+    ];
+    for (name, shape) in shapes {
+        let plan = spec.compile(&shape).expect("compiles");
+        report_on(&format!("synth `{name}`"), &verify_plan(&plan, &shape, world.heap().registry()));
+        let optimized = spec.compile_optimized(&shape).expect("compiles");
+        report_on(
+            &format!("synth `{name}` (compacted)"),
+            &verify_plan(&optimized, &shape, world.heap().registry()),
+        );
+    }
+
+    if errors == 0 {
+        println!("\naudit passed: no error-severity findings");
+        0
+    } else {
+        println!("\naudit FAILED: {errors} subject(s) with error-severity findings");
+        1
+    }
 }
 
 fn mods(pct: u8, lists: usize, last_only: bool) -> ModificationSpec {

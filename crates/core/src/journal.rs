@@ -90,6 +90,20 @@ impl JournalCache {
     }
 }
 
+/// Reads the heap's write-barrier journal and returns the *dirty set* it
+/// currently describes: every live, still-modified object with a journal
+/// entry for the open epoch, in journal (first-dirtied) order.
+///
+/// This is the raw material both of the journal fast path (which re-sorts
+/// it into traversal order via a [`JournalCache`]) and of dynamic
+/// cross-validation in `ickp-audit`, which compares it against the set of
+/// objects an audited plan would record. Entries whose object has since
+/// been freed or reset clean are filtered out, so the result is exactly
+/// the set an exhaustive flag-testing sweep of the journal would find.
+pub fn journal_dirty_set(heap: &Heap) -> Vec<ObjectId> {
+    heap.journal().iter().copied().filter(|&id| heap.is_modified(id).unwrap_or(false)).collect()
+}
+
 /// Accumulates pre-order positions during one slow-path traversal.
 #[derive(Debug)]
 pub struct JournalCacheBuilder {
@@ -180,5 +194,10 @@ mod tests {
         let scanned = cache.collect_dirty(&heap, &mut out);
         assert_eq!(scanned, 3);
         assert_eq!(out, vec![(2, ids[2])], "clean and unreachable entries filtered");
+
+        // The raw dirty-set read keeps the unreachable-but-dirty entry
+        // (reachability is the cache's concern, not the journal's) and
+        // still drops the reset-clean one.
+        assert_eq!(journal_dirty_set(&heap), vec![ids[2], unreachable]);
     }
 }

@@ -69,7 +69,7 @@ mod stream;
 pub use checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer};
 pub use compact::compact;
 pub use error::CoreError;
-pub use journal::{JournalCache, JournalCacheBuilder};
+pub use journal::{journal_dirty_set, JournalCache, JournalCacheBuilder};
 pub use methods::{FoldFn, MethodTable, RecordFn};
 pub use persist::{load_store, save_store};
 pub use pool::BufferPool;

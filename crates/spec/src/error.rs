@@ -14,6 +14,15 @@ use std::fmt;
 pub enum SpecError {
     /// A declaration named a class unknown to the registry.
     Heap(HeapError),
+    /// The same slot was declared as a child twice: the compiled plan
+    /// would traverse (and record) the subtree once per declaration,
+    /// corrupting the order-sensitive stream.
+    DuplicateChildSlot {
+        /// Class whose slot was declared twice.
+        class: ClassId,
+        /// The offending slot.
+        slot: usize,
+    },
     /// A declared child slot is not a reference field.
     NotARefSlot {
         /// Class whose slot was declared.
@@ -57,6 +66,9 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::Heap(e) => write!(f, "heap error during specialization: {e}"),
+            SpecError::DuplicateChildSlot { class, slot } => {
+                write!(f, "slot {slot} of {class} declared as a child more than once")
+            }
             SpecError::NotARefSlot { class, slot } => {
                 write!(f, "slot {slot} of {class} is not a reference field")
             }
@@ -101,6 +113,7 @@ mod tests {
     fn display_is_nonempty_for_every_variant() {
         let errors: Vec<SpecError> = vec![
             SpecError::Heap(HeapError::UnknownClassName("X".into())),
+            SpecError::DuplicateChildSlot { class: ClassId::from_index(0), slot: 1 },
             SpecError::NotARefSlot { class: ClassId::from_index(0), slot: 1 },
             SpecError::IncompatibleChildClass {
                 class: ClassId::from_index(0),

@@ -9,7 +9,20 @@
 //! back to the generic one for phases nobody declared.
 
 use crate::plan::Plan;
+use crate::shape::SpecShape;
 use std::collections::HashMap;
+
+/// A compiled phase plan together with the declaration it came from.
+///
+/// Keeping the source [`SpecShape`] next to the [`Plan`] is what makes
+/// the plans *auditable*: a static verifier (`ickp-audit`) can re-derive
+/// the traversal the declaration promises and prove the compiled ops
+/// deliver exactly that.
+#[derive(Debug, Clone)]
+struct PhaseDecl {
+    plan: Plan,
+    shape: Option<SpecShape>,
+}
 
 /// A named collection of phase-specific checkpoint plans.
 ///
@@ -23,15 +36,17 @@ use std::collections::HashMap;
 /// let mut reg = ClassRegistry::new();
 /// let c = reg.define("C", None, &[("v", FieldType::Int)])?;
 /// let spec = Specializer::new(&reg);
+/// let shape = SpecShape::leaf(c);
 /// let mut phases = PhasePlans::new();
-/// phases.insert("bta", spec.compile(&SpecShape::leaf(c))?);
+/// phases.insert_with_shape("bta", shape.clone(), spec.compile(&shape)?);
 /// assert!(phases.plan("bta").is_some());
+/// assert!(phases.shape("bta").is_some());
 /// assert!(phases.plan("seffect").is_none()); // generic fallback
 /// # Ok(()) }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhasePlans {
-    plans: HashMap<String, Plan>,
+    plans: HashMap<String, PhaseDecl>,
 }
 
 impl PhasePlans {
@@ -41,20 +56,38 @@ impl PhasePlans {
     }
 
     /// Registers (or replaces) the plan for a phase; returns the previous
-    /// plan if one existed.
+    /// plan if one existed. The phase has no recorded declaration; prefer
+    /// [`PhasePlans::insert_with_shape`] so the plan stays auditable.
     pub fn insert(&mut self, phase: impl Into<String>, plan: Plan) -> Option<Plan> {
-        self.plans.insert(phase.into(), plan)
+        self.plans.insert(phase.into(), PhaseDecl { plan, shape: None }).map(|d| d.plan)
+    }
+
+    /// Registers (or replaces) the plan for a phase along with the
+    /// declaration it was compiled from; returns the previous plan.
+    pub fn insert_with_shape(
+        &mut self,
+        phase: impl Into<String>,
+        shape: SpecShape,
+        plan: Plan,
+    ) -> Option<Plan> {
+        self.plans.insert(phase.into(), PhaseDecl { plan, shape: Some(shape) }).map(|d| d.plan)
     }
 
     /// The plan for a phase, if one was declared.
     pub fn plan(&self, phase: &str) -> Option<&Plan> {
-        self.plans.get(phase)
+        self.plans.get(phase).map(|d| &d.plan)
+    }
+
+    /// The declaration a phase's plan was compiled from, when it was
+    /// registered via [`PhasePlans::insert_with_shape`].
+    pub fn shape(&self, phase: &str) -> Option<&SpecShape> {
+        self.plans.get(phase).and_then(|d| d.shape.as_ref())
     }
 
     /// Removes a phase's plan (e.g. after the structure it was compiled
     /// for changed), returning it.
     pub fn remove(&mut self, phase: &str) -> Option<Plan> {
-        self.plans.remove(phase)
+        self.plans.remove(phase).map(|d| d.plan)
     }
 
     /// Phase names with registered plans, in arbitrary order.
@@ -105,6 +138,19 @@ mod tests {
         phases.insert("bta", plan());
         assert!(phases.insert("bta", plan()).is_some());
         assert_eq!(phases.len(), 1);
+    }
+
+    #[test]
+    fn shapes_are_retained_only_when_registered() {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("C", None, &[("v", FieldType::Int)]).unwrap();
+        let shape = SpecShape::leaf(c);
+        let compiled = Specializer::new(&reg).compile(&shape).unwrap();
+        let mut phases = PhasePlans::new();
+        phases.insert("bare", compiled.clone());
+        phases.insert_with_shape("declared", shape.clone(), compiled);
+        assert!(phases.shape("bare").is_none());
+        assert_eq!(phases.shape("declared"), Some(&shape));
     }
 
     #[test]

@@ -151,6 +151,23 @@ impl Plan {
         Plan { ops, templates, num_regs, has_dynamic }
     }
 
+    /// Assembles a plan directly from its parts, with **no validation**.
+    ///
+    /// [`crate::Specializer::compile`] is the supported way to obtain a
+    /// plan; this constructor exists for tooling that needs to build plans
+    /// by hand — notably the static verifier in `ickp-audit`, whose test
+    /// suite feeds it deliberately malformed instruction sequences. A plan
+    /// built here may panic or corrupt the stream when executed; run it
+    /// through the auditor first.
+    pub fn from_raw_parts(
+        ops: Vec<Op>,
+        templates: Vec<RecordTemplate>,
+        num_regs: u32,
+        has_dynamic: bool,
+    ) -> Plan {
+        Plan::new(ops, templates, num_regs, has_dynamic)
+    }
+
     /// The instruction sequence.
     pub fn ops(&self) -> &[Op] {
         &self.ops

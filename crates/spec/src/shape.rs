@@ -127,7 +127,11 @@ impl SpecShape {
             SpecShape::Dynamic => Ok(()),
             SpecShape::Object { class, children, .. } => {
                 let def = registry.class(*class)?;
+                let mut seen = std::collections::HashSet::new();
                 for (slot, child) in children {
+                    if !seen.insert(*slot) {
+                        return Err(SpecError::DuplicateChildSlot { class: *class, slot: *slot });
+                    }
                     let ty = def.slot_type(*slot)?;
                     let constraint = match ty {
                         FieldType::Ref(c) => c,
@@ -256,6 +260,24 @@ mod tests {
         let shape =
             SpecShape::object(holder, NodePattern::MayModify, vec![(0, SpecShape::leaf(holder))]);
         assert!(matches!(shape.validate(&reg), Err(SpecError::IncompatibleChildClass { .. })));
+    }
+
+    #[test]
+    fn duplicate_child_slot_is_rejected() {
+        let (reg, elem, holder) = registry();
+        // Slot 0 declared twice: the plan would double-emit the subtree.
+        let shape = SpecShape::object(
+            holder,
+            NodePattern::MayModify,
+            vec![
+                (0, SpecShape::list(elem, 1, 2, ListPattern::MayModify)),
+                (0, SpecShape::list(elem, 1, 2, ListPattern::Unmodified)),
+            ],
+        );
+        assert_eq!(
+            shape.validate(&reg),
+            Err(SpecError::DuplicateChildSlot { class: holder, slot: 0 })
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`minic`] — mini-C front end used as the realistic workload's input.
 //! * [`analysis`] — the program-analysis engine (side-effect, binding-time,
 //!   evaluation-time analyses) whose heap-backed results are checkpointed.
+//! * [`audit`] — static soundness verifier for specialization declarations
+//!   and compiled plans (`repro audit`).
 //! * [`synth`] — the paper's synthetic benchmark generator.
 //! * [`backend`] — execution backends emulating JVM dispatch regimes.
 //!
@@ -41,6 +43,7 @@
 //! ```
 
 pub use ickp_analysis as analysis;
+pub use ickp_audit as audit;
 pub use ickp_backend as backend;
 pub use ickp_core as core;
 pub use ickp_heap as heap;
