@@ -7,7 +7,10 @@
 //! `CheckpointRecord`s — byte-identical to the sequential generic driver —
 //! so it slots into the same benchmark tables as the other engines.
 
-use ickp_core::{CheckpointConfig, CheckpointRecord, Checkpointer, CoreError, MethodTable};
+use ickp_core::{
+    CheckpointConfig, CheckpointRecord, Checkpointer, CoreError, MethodTable, RecordSink,
+    TraversalStats,
+};
 use ickp_heap::{ClassRegistry, Heap, ObjectId};
 
 /// Generic incremental checkpointing parallelized over `workers` threads.
@@ -91,6 +94,31 @@ impl ParallelBackend {
     ) -> Result<CheckpointRecord, CoreError> {
         self.driver.checkpoint_parallel(heap, &self.table, roots, self.workers)
     }
+
+    /// Takes one incremental checkpoint and streams the record straight
+    /// into `sink` — a `CheckpointStore`, or a durable store writing to
+    /// disk — returning the traversal statistics.
+    ///
+    /// The record is handed to the sink even if the sink then fails, so
+    /// a storage error means the checkpoint was *taken* (flags reset,
+    /// sequence advanced) but not *stored*; callers that must not lose
+    /// it re-dirty the captured objects and retry.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`ParallelBackend::checkpoint`], or with the sink's
+    /// error (for the durable store, [`CoreError::Storage`]).
+    pub fn checkpoint_into(
+        &mut self,
+        heap: &mut Heap,
+        roots: &[ObjectId],
+        sink: &mut dyn RecordSink,
+    ) -> Result<TraversalStats, CoreError> {
+        let record = self.checkpoint(heap, roots)?;
+        let stats = record.stats();
+        sink.append_record(record)?;
+        Ok(stats)
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +159,21 @@ mod tests {
             assert_eq!(da.objects, db.objects, "{workers} workers");
             assert_eq!(a.stats(), b.stats(), "{workers} workers");
         }
+    }
+
+    #[test]
+    fn checkpoint_into_streams_to_a_sink() {
+        use ickp_core::CheckpointStore;
+        let (mut heap, roots) = world();
+        let mut backend = ParallelBackend::new(2, heap.registry());
+        let mut store = CheckpointStore::new();
+        let full = backend.checkpoint_into(&mut heap, &roots, &mut store).unwrap();
+        assert_eq!(full.objects_recorded, 24);
+        heap.set_field(roots[3], 0, Value::Int(-1)).unwrap();
+        let incr = backend.checkpoint_into(&mut heap, &roots, &mut store).unwrap();
+        assert_eq!(incr.objects_recorded, 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.latest().unwrap().seq(), 1);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Durable-write throughput: what does crash safety cost per checkpoint?
+//!
+//! Appends a pre-built stream of incremental checkpoint records through
+//! three sinks:
+//!
+//! * `memory/store-push` — the in-memory `CheckpointStore` (the floor:
+//!   no framing, no I/O);
+//! * `memfs/...` — the durable store over the deterministic in-memory
+//!   filesystem, isolating the protocol cost (CRC framing, manifest
+//!   encode, namespace bookkeeping) from device speed;
+//! * `stdfs/...` — the durable store over a real temp directory,
+//!   including genuine fsyncs; this is the number a deployment sees.
+//!
+//! Segment targets of 64 KiB and 4 MiB bracket the roll frequency. The
+//! interesting ratio is memfs vs memory (protocol overhead) and stdfs vs
+//! memfs (the price of real fsyncs).
+
+use ickp_bench::BenchGroup;
+use ickp_core::{CheckpointConfig, MethodTable};
+use ickp_core::{CheckpointRecord, CheckpointStore, Checkpointer};
+use ickp_durable::{DurableConfig, DurableStore, MemFs, StdFs};
+use ickp_synth::{ModificationSpec, SynthConfig, SynthWorld};
+use std::time::{Duration, Instant};
+
+/// A realistic record stream: one full base plus incremental rounds.
+fn build_records(rounds: usize) -> Vec<CheckpointRecord> {
+    let mut world = SynthWorld::build(SynthConfig {
+        structures: 400,
+        lists_per_structure: 5,
+        list_len: 5,
+        ints_per_element: 2,
+        seed: 41,
+    })
+    .expect("world builds");
+    let roots = world.roots().to_vec();
+    let table = MethodTable::derive(world.heap().registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+    let mut records = Vec::new();
+    world.heap_mut().mark_all_modified();
+    for round in 0..rounds {
+        if round > 0 {
+            world.apply_modifications(&ModificationSpec::uniform(20));
+        }
+        records.push(ckp.checkpoint(world.heap_mut(), &table, &roots).expect("checkpoint"));
+    }
+    records
+}
+
+/// Re-sequences `records` so iteration `i` of a timing loop can append
+/// the same payloads with contiguous sequence numbers.
+fn reseq(records: &[CheckpointRecord], base: u64) -> Vec<CheckpointRecord> {
+    records
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, r)| {
+            let (_, kind, roots, bytes, stats) = r.into_parts();
+            CheckpointRecord::from_parts(base + i as u64, kind, roots, bytes, stats)
+        })
+        .collect()
+}
+
+fn main() {
+    let records = build_records(16);
+    let payload: usize = records.iter().map(CheckpointRecord::len_bytes).sum();
+    println!("durable_write: {} records, {} payload bytes per iteration", records.len(), payload);
+
+    let mut group = BenchGroup::new("durable_write");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    group.bench_custom("memory/store-push", |iters| {
+        let mut total = Duration::ZERO;
+        for i in 0..iters {
+            let batch = reseq(&records, 0);
+            let mut store = CheckpointStore::new();
+            let start = Instant::now();
+            for r in batch {
+                store.push(r).expect("push");
+            }
+            total += start.elapsed();
+            let _ = i;
+        }
+        total
+    });
+
+    for (label, target) in [("64k", 64 * 1024u64), ("4m", 4 * 1024 * 1024)] {
+        group.bench_custom(&format!("memfs/seg-{label}"), |iters| {
+            let config = DurableConfig { segment_target_bytes: target };
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let batch = reseq(&records, 0);
+                let mut fs = MemFs::new();
+                let mut store = DurableStore::create(&mut fs, config).expect("create");
+                let start = Instant::now();
+                for r in &batch {
+                    store.append(r).expect("append");
+                }
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    let dir = std::env::temp_dir().join(format!("ickp-durable-bench-{}", std::process::id()));
+    for (label, target) in [("64k", 64 * 1024u64), ("4m", 4 * 1024 * 1024)] {
+        group.bench_custom(&format!("stdfs/seg-{label}"), |iters| {
+            let config = DurableConfig { segment_target_bytes: target };
+            let mut total = Duration::ZERO;
+            for i in 0..iters {
+                let batch = reseq(&records, 0);
+                let sub = dir.join(format!("{label}-{i}"));
+                let fs = StdFs::new(&sub).expect("temp dir");
+                let mut store = DurableStore::create(fs, config).expect("create");
+                let start = Instant::now();
+                for r in &batch {
+                    store.append(r).expect("append");
+                }
+                total += start.elapsed();
+                let _ = std::fs::remove_dir_all(&sub);
+            }
+            total
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}

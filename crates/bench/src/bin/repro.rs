@@ -50,7 +50,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--filters needs a number"))
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "journal" | "audit" | "all" => experiment = arg.clone(),
+            | "journal" | "audit" | "crashes" | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -59,6 +59,13 @@ fn main() {
     // under `all`) and its exit code feeds CI.
     if experiment == "audit" {
         std::process::exit(audit());
+    }
+
+    // Likewise the crash matrix: a deterministic correctness gate (every
+    // I/O operation of two workloads crashed and recovered), not a
+    // benchmark. Runs alone; its exit code feeds CI.
+    if experiment == "crashes" {
+        std::process::exit(crashes());
     }
 
     println!("# ickp reproduction — {experiment}");
@@ -96,7 +103,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|all] \
          [--structures N] [--rounds R] [--filters F]"
     );
     std::process::exit(2);
@@ -182,6 +189,105 @@ fn audit() -> i32 {
         0
     } else {
         println!("\naudit FAILED: {errors} subject(s) with error-severity findings");
+        1
+    }
+}
+
+// --------------------------------------------------------------- crashes
+
+/// Enumerates every crash point of two real workloads against the
+/// durable store (see `ickp_durable::enumerate_crash_points`): for each
+/// mutating I/O operation, crash there, recover, and require exactly the
+/// acknowledged checkpoints back — byte-identical and restorable to the
+/// matching program state. Deterministic (no timing dependence); returns
+/// the process exit code.
+fn crashes() -> i32 {
+    use ickp_analysis::{AnalysisEngine, Division};
+    use ickp_backend::{GenericBackend, ParallelBackend};
+    use ickp_core::{verify_restore, CheckpointRecord};
+    use ickp_durable::{enumerate_crash_points, CrashMatrixReport, DurableConfig};
+    use ickp_heap::{ClassRegistry, Heap, ObjectId};
+    use ickp_synth::{SynthConfig, SynthWorld};
+
+    type Workload = (ClassRegistry, Vec<(Heap, Vec<ObjectId>)>, Vec<CheckpointRecord>);
+
+    println!("# ickp crashes — crash-point enumeration over the durable store\n");
+
+    let synthetic: Workload = {
+        let mut world = SynthWorld::build(SynthConfig {
+            structures: 10,
+            lists_per_structure: 3,
+            list_len: 4,
+            ints_per_element: 1,
+            seed: 23,
+        })
+        .expect("world builds");
+        let registry = world.heap().registry().clone();
+        let roots = world.roots().to_vec();
+        let mut backend = ParallelBackend::new(2, &registry);
+        let mut states = Vec::new();
+        let mut records = Vec::new();
+        world.heap_mut().mark_all_modified();
+        for round in 0..5 {
+            if round > 0 {
+                world.apply_modifications(&mods(40, 3, false));
+            }
+            records.push(backend.checkpoint(world.heap_mut(), &roots).expect("checkpoint"));
+            states.push((world.heap().clone(), roots.clone()));
+        }
+        (registry, states, records)
+    };
+
+    let analysis: Workload = {
+        let program =
+            ickp_minic::parse("int d; int s; void main() { s = d + 1; }").expect("parses");
+        let division = Division { dynamic_globals: vec!["d".to_string()] };
+        let mut engine = AnalysisEngine::new(program, division).expect("engine builds");
+        let registry = engine.heap().registry().clone();
+        let mut backend = GenericBackend::new(Engine::Jdk12, &registry);
+        let mut states = Vec::new();
+        let mut records = Vec::new();
+        for phase in [Phase::SideEffect, Phase::BindingTime, Phase::EvalTime] {
+            engine
+                .run_phase(phase, |heap, attrs, _| {
+                    records.push(backend.checkpoint(heap, attrs)?);
+                    states.push((heap.clone(), attrs.to_vec()));
+                    Ok(())
+                })
+                .expect("phase runs");
+        }
+        (registry, states, records)
+    };
+
+    let mut failures = 0usize;
+    for (name, (registry, states, records)) in
+        [("synthetic", synthetic), ("analysis-engine", analysis)]
+    {
+        // Small segment target so the matrix also crosses segment rolls.
+        let config = DurableConfig { segment_target_bytes: 512 };
+        let outcome = enumerate_crash_points(&registry, &records, config, |acked, restored| {
+            let (heap, roots) = &states[acked - 1];
+            verify_restore(heap, roots, restored).expect("verify_restore runs")
+        });
+        match outcome {
+            Ok(CrashMatrixReport { total_ops, records, .. }) => {
+                println!(
+                    "{name}: {records} checkpoints, {total_ops} I/O ops — every crash point \
+                     recovered exactly the acknowledged prefix"
+                );
+            }
+            Err(e) => {
+                println!("{name}: FAILED — {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!("\ncrash matrix passed");
+        0
+    } else {
+        println!("\ncrash matrix FAILED: {failures} workload(s)");
         1
     }
 }

@@ -9,12 +9,11 @@
 //! subsequent incremental checkpoint from the producing run still
 //! appends contiguously.
 
-use crate::checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer};
+use crate::checkpoint::{CheckpointConfig, Checkpointer};
 use crate::error::CoreError;
 use crate::methods::MethodTable;
 use crate::restore::{restore, RestorePolicy};
 use crate::store::CheckpointStore;
-use crate::stream::CheckpointKind;
 use ickp_heap::ClassRegistry;
 
 /// Collapses `store` into an equivalent single-full-checkpoint store.
@@ -39,17 +38,13 @@ pub fn compact(
 
     let table = MethodTable::derive(heap.registry());
     let mut ckp = Checkpointer::new(CheckpointConfig::full());
+    // Carry the original sequence number so producers can keep appending.
+    // Seeding the counter (rather than rewriting the record header after
+    // the fact) keeps the wire bytes and the header in agreement, so the
+    // sequence number survives persistence, which recovers it by decoding
+    // the bytes.
+    ckp.set_next_seq(latest_seq);
     let rec = ckp.checkpoint(&mut heap, &table, &roots)?;
-    // Carry the original sequence number so producers can keep appending;
-    // into_parts moves the roots and bytes instead of cloning them.
-    let (_, _, rec_roots, rec_bytes, rec_stats) = rec.into_parts();
-    let rec = CheckpointRecord::from_parts(
-        latest_seq,
-        CheckpointKind::Full,
-        rec_roots,
-        rec_bytes,
-        rec_stats,
-    );
     let mut compacted = CheckpointStore::new();
     compacted.push(rec)?;
     Ok(compacted)
@@ -58,6 +53,7 @@ pub fn compact(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::CheckpointRecord;
     use crate::restore::verify_restore;
     use ickp_heap::{ClassId, ClassRegistry, FieldType, Heap, ObjectId, Value};
 
@@ -139,6 +135,26 @@ mod tests {
 
         let rebuilt = restore(&compacted, heap.registry(), RestorePolicy::RequireFullBase).unwrap();
         assert_eq!(verify_restore(&heap, &roots, &rebuilt).unwrap(), None);
+    }
+
+    #[test]
+    fn carried_sequence_number_survives_persistence() {
+        use crate::persist::{load_store, save_store};
+        use crate::stream::decode;
+        let (heap, _, store) = run_with_churn();
+        let latest_seq = store.latest().unwrap().seq();
+        assert!(latest_seq > 0, "churn must advance the sequence");
+        let compacted = compact(&store, heap.registry()).unwrap();
+        let rec = compacted.latest().unwrap();
+        // Header and wire bytes agree on the carried sequence number...
+        assert_eq!(rec.seq(), latest_seq);
+        assert_eq!(decode(rec.bytes(), heap.registry()).unwrap().seq, latest_seq);
+        // ...so persistence, which recovers headers by decoding the
+        // bytes, round-trips it.
+        let mut disk = Vec::new();
+        save_store(&compacted, &mut disk).unwrap();
+        let loaded = load_store(disk.as_slice(), heap.registry()).unwrap();
+        assert_eq!(loaded.latest().unwrap().seq(), latest_seq);
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod parallel;
 mod persist;
 mod pool;
 mod restore;
+mod sink;
 mod stats;
 mod store;
 mod stream;
@@ -71,9 +72,10 @@ pub use compact::compact;
 pub use error::CoreError;
 pub use journal::{journal_dirty_set, JournalCache, JournalCacheBuilder};
 pub use methods::{FoldFn, MethodTable, RecordFn};
-pub use persist::{load_store, save_store};
+pub use persist::{load_store, save_store, MAX_RECORD_LEN};
 pub use pool::BufferPool;
 pub use restore::{restore, verify_restore, RestorePolicy, RestoredHeap};
+pub use sink::RecordSink;
 pub use stats::TraversalStats;
 pub use store::CheckpointStore;
 pub use stream::{

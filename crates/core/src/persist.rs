@@ -22,6 +22,13 @@ use std::io::{Read, Write};
 const STORE_MAGIC: [u8; 4] = *b"ICKS";
 const STORE_VERSION: u16 = 1;
 
+/// Upper bound on a single persisted record's length prefix.
+///
+/// A length prefix is attacker-/corruption-controlled data; a store is
+/// never allowed to make the loader allocate more than this per record,
+/// whatever the prefix claims.
+pub const MAX_RECORD_LEN: u64 = 1 << 30;
+
 fn io_err(e: std::io::Error) -> CoreError {
     CoreError::Decode { offset: 0, what: format!("stable-storage I/O failed: {e}") }
 }
@@ -68,12 +75,20 @@ pub fn load_store<R: Read>(
     let count = u32::from_be_bytes(n) as usize;
 
     let mut store = CheckpointStore::new();
-    for _ in 0..count {
+    for index in 0..count {
         let mut len = [0u8; 4];
         source.read_exact(&mut len).map_err(io_err)?;
-        let len = u32::from_be_bytes(len) as usize;
-        let mut bytes = vec![0u8; len];
-        source.read_exact(&mut bytes).map_err(io_err)?;
+        let claimed = u32::from_be_bytes(len) as u64;
+        if claimed > MAX_RECORD_LEN {
+            return Err(CoreError::OversizedRecord { index, claimed, max: MAX_RECORD_LEN });
+        }
+        // Read through `take` so a lying prefix costs at most the bytes the
+        // source actually has, never an up-front `claimed`-sized allocation.
+        let mut bytes = Vec::new();
+        let got = source.by_ref().take(claimed).read_to_end(&mut bytes).map_err(io_err)? as u64;
+        if got < claimed {
+            return Err(CoreError::TruncatedRecord { index, claimed, got });
+        }
         // Validate and recover the header metadata from the record itself.
         let decoded = decode(&bytes, registry)?;
         store.push(CheckpointRecord::from_parts(
@@ -169,6 +184,68 @@ mod tests {
         let mid = corrupt.len() / 2;
         corrupt[mid] ^= 0xFF;
         assert!(load_store(corrupt.as_slice(), heap.registry()).is_err());
+    }
+
+    /// Byte offset of the first record's length prefix: magic (4) +
+    /// version (2) + count (4).
+    const FIRST_LEN_PREFIX: usize = 10;
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let (heap, _, store) = run();
+        let mut disk = Vec::new();
+        save_store(&store, &mut disk).unwrap();
+        // Claim u32::MAX bytes for the first record: must be rejected from
+        // the prefix alone, without reading or allocating that much.
+        disk[FIRST_LEN_PREFIX..FIRST_LEN_PREFIX + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = load_store(disk.as_slice(), heap.registry()).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::OversizedRecord { index: 0, claimed: u32::MAX as u64, max: MAX_RECORD_LEN }
+        );
+    }
+
+    #[test]
+    fn truncated_record_reports_claimed_and_actual_bytes() {
+        let (heap, _, store) = run();
+        let mut disk = Vec::new();
+        save_store(&store, &mut disk).unwrap();
+        // Cut the container 3 bytes into the first record's body.
+        let first_len =
+            u32::from_be_bytes(disk[FIRST_LEN_PREFIX..FIRST_LEN_PREFIX + 4].try_into().unwrap())
+                as u64;
+        disk.truncate(FIRST_LEN_PREFIX + 4 + 3);
+        let err = load_store(disk.as_slice(), heap.registry()).unwrap_err();
+        assert_eq!(err, CoreError::TruncatedRecord { index: 0, claimed: first_len, got: 3 });
+    }
+
+    #[test]
+    fn length_prefix_pointing_past_the_container_is_truncation_not_decode() {
+        let (heap, _, store) = run();
+        let mut disk = Vec::new();
+        save_store(&store, &mut disk).unwrap();
+        // Inflate the first record's claimed length so it swallows the whole
+        // rest of the container (but stays under the allocation cap).
+        let rest = (disk.len() - FIRST_LEN_PREFIX - 4) as u64;
+        let claimed = rest + 1000;
+        disk[FIRST_LEN_PREFIX..FIRST_LEN_PREFIX + 4]
+            .copy_from_slice(&(claimed as u32).to_be_bytes());
+        let err = load_store(disk.as_slice(), heap.registry()).unwrap_err();
+        assert_eq!(err, CoreError::TruncatedRecord { index: 0, claimed, got: rest });
+    }
+
+    #[test]
+    fn huge_record_count_with_no_data_does_not_preallocate() {
+        let (heap, _, _) = run();
+        // Header claiming u32::MAX records, then nothing: the loader must
+        // fail on the missing first prefix, not reserve space for billions
+        // of records.
+        let mut disk = Vec::new();
+        disk.extend_from_slice(&STORE_MAGIC);
+        disk.extend_from_slice(&STORE_VERSION.to_be_bytes());
+        disk.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = load_store(disk.as_slice(), heap.registry()).unwrap_err();
+        assert!(matches!(err, CoreError::Decode { .. }), "missing prefix is an I/O-level decode");
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Destination abstraction for produced checkpoints.
+//!
+//! Engines produce [`CheckpointRecord`]s; where they go is the sink's
+//! business: an in-memory [`CheckpointStore`], or a durable segmented
+//! store (`ickp-durable`) that frames, checksums and fsyncs each record
+//! before acknowledging it. Having the trait here lets every producer —
+//! the sequential driver, the parallel sharded engine, the specialized
+//! backends — stream records straight to stable storage without holding
+//! the whole run in memory.
+
+use crate::checkpoint::CheckpointRecord;
+use crate::error::CoreError;
+use crate::store::CheckpointStore;
+
+/// Accepts a stream of checkpoints, in sequence order.
+pub trait RecordSink {
+    /// Accepts the next checkpoint.
+    ///
+    /// Ownership transfers on success *and* on failure: a sink that could
+    /// not durably accept the record reports the error and drops the
+    /// record (releasing its buffer back to any pool); producers that need
+    /// the bytes for retry or re-dirtying must keep their own copy.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::SequenceGap`] if the record does not extend the
+    ///   sink's sequence contiguously.
+    /// * [`CoreError::Storage`] if the sink's backing storage failed.
+    fn append_record(&mut self, record: CheckpointRecord) -> Result<(), CoreError>;
+}
+
+impl RecordSink for CheckpointStore {
+    fn append_record(&mut self, record: CheckpointRecord) -> Result<(), CoreError> {
+        self.push(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{CheckpointConfig, Checkpointer};
+    use crate::methods::MethodTable;
+    use ickp_heap::{ClassRegistry, FieldType, Heap};
+
+    #[test]
+    fn checkpoint_store_is_a_sink() {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("C", None, &[("v", FieldType::Int)]).unwrap();
+        let mut heap = Heap::new(reg);
+        let o = heap.alloc(c).unwrap();
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut store = CheckpointStore::new();
+        let sink: &mut dyn RecordSink = &mut store;
+        sink.append_record(ckp.checkpoint(&mut heap, &table, &[o]).unwrap()).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+}

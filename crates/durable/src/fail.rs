@@ -1,0 +1,256 @@
+//! Deterministic fault injection over [`MemFs`].
+//!
+//! [`FailFs`] numbers every *mutating* VFS operation (0-based, in
+//! execution order) and can make exactly one of them misbehave:
+//!
+//! * **crash** — the operation takes partial effect (appends apply half
+//!   their bytes; an fsync makes half the pending bytes durable; renames
+//!   and directory syncs do not happen at all), then the machine dies:
+//!   [`MemFs::crash`] semantics apply and every later operation returns
+//!   [`FsError::Crashed`].
+//! * **error** — the operation fails with [`FsError::Injected`] and takes
+//!   no effect, but the machine keeps running (a transient I/O error).
+//!
+//! Because the schedule is a pure function of the operation index, a
+//! workload that performs N mutating operations defines exactly N crash
+//! scenarios — the crash-point enumeration the
+//! [`harness`](crate::harness) iterates.
+
+use crate::vfs::{FsError, MemFs, Vfs};
+
+/// What, if anything, to do to the I/O stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash at this mutating-operation index.
+    pub crash_at: Option<u64>,
+    /// Fail this mutating-operation index with an injected error.
+    pub error_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// No faults: every operation succeeds.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Crash at mutating operation `k`.
+    pub fn crash_at(k: u64) -> FaultPlan {
+        FaultPlan { crash_at: Some(k), ..FaultPlan::default() }
+    }
+
+    /// Inject a transient error at mutating operation `k`.
+    pub fn error_at(k: u64) -> FaultPlan {
+        FaultPlan { error_at: Some(k), ..FaultPlan::default() }
+    }
+}
+
+/// [`MemFs`] wrapped with an operation counter and a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FailFs {
+    inner: MemFs,
+    plan: FaultPlan,
+    ops: u64,
+    crashed: bool,
+}
+
+enum Gate {
+    Proceed,
+    Crash,
+}
+
+impl FailFs {
+    /// An empty filesystem under the given plan.
+    pub fn new(plan: FaultPlan) -> FailFs {
+        FailFs { inner: MemFs::new(), plan, ops: 0, crashed: false }
+    }
+
+    /// Wraps an existing filesystem image (e.g. one recovered from an
+    /// earlier crash) under a new plan, with the counter reset to 0.
+    pub fn resume(fs: MemFs, plan: FaultPlan) -> FailFs {
+        FailFs { inner: fs, plan, ops: 0, crashed: false }
+    }
+
+    /// Mutating operations performed so far (including the faulted one).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Consumes the wrapper and returns what a restarted process would
+    /// find on disk: if the crash fired, the post-crash image (volatile
+    /// state lost); otherwise the filesystem as-is (clean shutdown).
+    pub fn into_recovered(self) -> MemFs {
+        self.inner
+    }
+
+    /// Checks this operation against the plan. `Ok(Gate::Crash)` means
+    /// the caller must apply the operation's *partial* effect, then call
+    /// [`FailFs::die`].
+    fn gate(&mut self, op: &'static str) -> Result<Gate, FsError> {
+        if self.crashed {
+            return Err(FsError::Crashed);
+        }
+        let index = self.ops;
+        self.ops += 1;
+        if self.plan.crash_at == Some(index) {
+            return Ok(Gate::Crash);
+        }
+        if self.plan.error_at == Some(index) {
+            return Err(FsError::Injected { op_index: index, op });
+        }
+        Ok(Gate::Proceed)
+    }
+
+    fn die(&mut self) -> FsError {
+        self.crashed = true;
+        self.inner.crash();
+        FsError::Crashed
+    }
+}
+
+impl Vfs for FailFs {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        match self.gate("write_file")? {
+            Gate::Proceed => self.inner.write_file(name, data),
+            Gate::Crash => {
+                // Half the bytes land, all volatile — gone after the crash.
+                let _ = self.inner.write_file(name, &data[..data.len() / 2]);
+                Err(self.die())
+            }
+        }
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        match self.gate("append")? {
+            Gate::Proceed => self.inner.append(name, data),
+            Gate::Crash => {
+                let _ = self.inner.append(name, &data[..data.len() / 2]);
+                Err(self.die())
+            }
+        }
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), FsError> {
+        match self.gate("sync")? {
+            Gate::Proceed => self.inner.sync(name),
+            Gate::Crash => {
+                // A crash mid-fsync leaves an arbitrary durable prefix;
+                // the deterministic model picks half the pending bytes,
+                // which is how torn frame tails reach recovery.
+                self.inner.partial_sync(name);
+                Err(self.die())
+            }
+        }
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        match self.gate("rename")? {
+            Gate::Proceed => self.inner.rename(from, to),
+            Gate::Crash => Err(self.die()), // atomic: simply did not happen
+        }
+    }
+
+    fn sync_dir(&mut self) -> Result<(), FsError> {
+        match self.gate("sync_dir")? {
+            Gate::Proceed => self.inner.sync_dir(),
+            Gate::Crash => Err(self.die()),
+        }
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), FsError> {
+        match self.gate("truncate")? {
+            Gate::Proceed => self.inner.truncate(name, len),
+            Gate::Crash => Err(self.die()),
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        match self.gate("remove")? {
+            Gate::Proceed => self.inner.remove(name),
+            Gate::Crash => Err(self.die()),
+        }
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        if self.crashed {
+            return Err(FsError::Crashed);
+        }
+        self.inner.read(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        !self.crashed && self.inner.exists(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        if self.crashed {
+            return Err(FsError::Crashed);
+        }
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_count_only_mutations() {
+        let mut fs = FailFs::new(FaultPlan::none());
+        fs.write_file("a", b"x").unwrap(); // 1
+        fs.append("a", b"y").unwrap(); // 2
+        fs.sync("a").unwrap(); // 3
+        let _ = fs.read("a").unwrap(); // not counted
+        assert!(fs.exists("a")); // not counted
+        fs.sync_dir().unwrap(); // 4
+        assert_eq!(fs.ops(), 4);
+    }
+
+    #[test]
+    fn crash_at_append_applies_half_then_kills_the_fs() {
+        let mut fs = FailFs::new(FaultPlan::crash_at(2));
+        fs.append("f", b"base").unwrap();
+        fs.sync("f").unwrap();
+        // Op 2: this append crashes after 4 of 8 bytes (all volatile).
+        assert_eq!(fs.append("f", b"ABCDEFGH"), Err(FsError::Crashed));
+        assert!(fs.crashed());
+        assert_eq!(fs.append("f", b"later"), Err(FsError::Crashed));
+        // Name was never durable (no sync_dir) — nothing survives.
+        let recovered = fs.into_recovered();
+        assert!(!recovered.exists("f"));
+    }
+
+    #[test]
+    fn crash_at_sync_leaves_a_torn_durable_prefix() {
+        let mut fs = FailFs::new(FaultPlan::crash_at(4));
+        fs.append("f", b"AAAA").unwrap(); // 0
+        fs.sync("f").unwrap(); // 1
+        fs.sync_dir().unwrap(); // 2
+        fs.append("f", b"BBBBBBBB").unwrap(); // 3
+        assert_eq!(fs.sync("f"), Err(FsError::Crashed)); // 4: torn
+        let recovered = fs.into_recovered();
+        assert_eq!(recovered.read("f").unwrap(), b"AAAABBBB");
+    }
+
+    #[test]
+    fn injected_error_does_not_crash() {
+        let mut fs = FailFs::new(FaultPlan::error_at(1));
+        fs.append("f", b"ok").unwrap();
+        assert_eq!(fs.append("f", b"fails"), Err(FsError::Injected { op_index: 1, op: "append" }));
+        assert!(!fs.crashed());
+        fs.append("f", b"!").unwrap();
+        assert_eq!(fs.read("f").unwrap(), b"ok!");
+    }
+
+    #[test]
+    fn clean_shutdown_preserves_volatile_state() {
+        let mut fs = FailFs::new(FaultPlan::none());
+        fs.append("f", b"volatile").unwrap();
+        let recovered = fs.into_recovered();
+        assert_eq!(recovered.read("f").unwrap(), b"volatile");
+    }
+}

@@ -1,0 +1,686 @@
+//! The segmented, append-only durable checkpoint store.
+//!
+//! ## On-disk layout
+//!
+//! A store is one flat directory holding numbered **segment** files plus
+//! one **manifest**:
+//!
+//! ```text
+//! seg-000000.ickd   header | frame | frame | ...
+//! seg-000001.ickd
+//! MANIFEST          the committed frontier (atomically swapped)
+//! ```
+//!
+//! Segment header (10 bytes): magic `ICKD`, format version `u16`,
+//! segment index `u32` (all big-endian). Each frame is
+//! `len: u32 | crc: u32 | payload`, where `payload` is one checkpoint
+//! record's ICKP stream and `crc` is the IEEE CRC-32 of the length bytes
+//! followed by the payload.
+//!
+//! The manifest (magic `ICKM`) carries the record count, the last
+//! sequence number, and per segment its index and **committed length** —
+//! the byte frontier up to which that segment's content has been
+//! fsync-acknowledged. A trailing CRC-32 covers the whole manifest.
+//!
+//! ## The append protocol
+//!
+//! Every [`DurableStore::append`] performs, in order: append the frame to
+//! the tail segment (preceded, on a roll, by creating the new segment),
+//! fsync the segment, write the new manifest to `MANIFEST.tmp`, fsync it,
+//! rename it over `MANIFEST`, fsync the directory. Only when the final
+//! directory sync returns is the checkpoint *acknowledged*.
+//!
+//! ## Recovery
+//!
+//! [`DurableStore::open`] treats the manifest as the single source of
+//! committed truth. No manifest means nothing was ever acknowledged:
+//! leftovers are deleted and a fresh store is initialized. Otherwise the
+//! manifest is CRC-validated, orphan files are removed, every segment is
+//! truncated back to its committed length (bytes past the frontier are a
+//! torn tail from a crash mid-append — expected, and discarded), and the
+//! frames inside the frontier are CRC-checked and decoded. Any anomaly
+//! *inside* the frontier — missing segment, short segment, bad CRC — is
+//! real corruption and surfaces as [`DurableError::Corrupt`] rather than
+//! being silently dropped.
+
+use std::collections::BTreeSet;
+
+use crate::crc::crc32;
+use crate::error::DurableError;
+use crate::vfs::Vfs;
+use ickp_core::{decode, CheckpointRecord, CheckpointStore, CoreError, RecordSink, TraversalStats};
+use ickp_heap::ClassRegistry;
+
+const SEGMENT_MAGIC: [u8; 4] = *b"ICKD";
+const MANIFEST_MAGIC: [u8; 4] = *b"ICKM";
+
+/// On-disk format version shared by segments and the manifest.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// File name of the manifest.
+pub const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// Length of a segment header: magic + version + index.
+const SEGMENT_HEADER_LEN: u64 = 10;
+/// Length of a frame header: length + CRC.
+const FRAME_HEADER_LEN: u64 = 8;
+
+/// File name of segment `index`.
+pub fn segment_name(index: u32) -> String {
+    format!("seg-{index:06}.ickd")
+}
+
+/// Tuning knobs for the durable store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Once a segment's committed length reaches this, the next append
+    /// starts a new segment. Small values force frequent rolls (useful in
+    /// tests); the default keeps segments around a megabyte.
+    pub segment_target_bytes: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> DurableConfig {
+        DurableConfig { segment_target_bytes: 1 << 20 }
+    }
+}
+
+/// One segment's entry in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegmentEntry {
+    index: u32,
+    committed_len: u64,
+}
+
+/// The committed frontier: what the store acknowledges as durable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Manifest {
+    record_count: u64,
+    last_seq: Option<u64>,
+    segments: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(27 + self.segments.len() * 12 + 4);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_be_bytes());
+        out.extend_from_slice(&self.record_count.to_be_bytes());
+        out.push(self.last_seq.is_some() as u8);
+        out.extend_from_slice(&self.last_seq.unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_be_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(&seg.index.to_be_bytes());
+            out.extend_from_slice(&seg.committed_len.to_be_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, DurableError> {
+        let corrupt = |offset: u64, what: &str| DurableError::Corrupt {
+            file: MANIFEST.to_string(),
+            offset,
+            what: what.to_string(),
+        };
+        // magic + version + count + flag + seq + nsegs + crc
+        if bytes.len() < 4 + 2 + 8 + 1 + 8 + 4 + 4 {
+            return Err(corrupt(0, "manifest shorter than its fixed header"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_be_bytes(crc_bytes.try_into().expect("4-byte split"));
+        if crc32(body) != stored {
+            return Err(corrupt(0, "manifest checksum mismatch"));
+        }
+        if body[0..4] != MANIFEST_MAGIC {
+            return Err(corrupt(0, "bad manifest magic"));
+        }
+        if u16::from_be_bytes(body[4..6].try_into().expect("2 bytes")) != FORMAT_VERSION {
+            return Err(corrupt(4, "unsupported manifest version"));
+        }
+        let record_count = u64::from_be_bytes(body[6..14].try_into().expect("8 bytes"));
+        let has_seq = body[14] != 0;
+        let seq = u64::from_be_bytes(body[15..23].try_into().expect("8 bytes"));
+        let nsegs = u32::from_be_bytes(body[23..27].try_into().expect("4 bytes")) as usize;
+        if body.len() != 27 + nsegs * 12 {
+            return Err(corrupt(23, "manifest segment table has the wrong length"));
+        }
+        let mut segments = Vec::with_capacity(nsegs);
+        for i in 0..nsegs {
+            let at = 27 + i * 12;
+            segments.push(SegmentEntry {
+                index: u32::from_be_bytes(body[at..at + 4].try_into().expect("4 bytes")),
+                committed_len: u64::from_be_bytes(
+                    body[at + 4..at + 12].try_into().expect("8 bytes"),
+                ),
+            });
+        }
+        Ok(Manifest { record_count, last_seq: has_seq.then_some(seq), segments })
+    }
+}
+
+fn segment_header(index: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_be_bytes());
+    out.extend_from_slice(&index.to_be_bytes());
+    out
+}
+
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let len = (payload.len() as u32).to_be_bytes();
+    let mut covered = Vec::with_capacity(4 + payload.len());
+    covered.extend_from_slice(&len);
+    covered.extend_from_slice(payload);
+    let crc = crc32(&covered);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload.len());
+    frame.extend_from_slice(&len);
+    frame.extend_from_slice(&crc.to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// A crash-safe, segmented, append-only checkpoint store over a [`Vfs`].
+///
+/// See the module docs for the on-disk format and the protocol. The
+/// store owns its filesystem handle; pass `&mut fs` (the [`Vfs`] blanket
+/// impl for `&mut F`) to keep ownership outside, as the crash harness
+/// does.
+#[derive(Debug)]
+pub struct DurableStore<F: Vfs> {
+    fs: F,
+    config: DurableConfig,
+    manifest: Manifest,
+    /// Set when an append failed partway: the tail segment may hold bytes
+    /// past the committed frontier. The next append truncates them first.
+    tail_dirty: bool,
+}
+
+impl<F: Vfs> DurableStore<F> {
+    /// Initializes a fresh store in an empty (or leftover-strewn)
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::AlreadyExists`] if a manifest is present, or
+    /// [`DurableError::Fs`] on I/O failure.
+    pub fn create(fs: F, config: DurableConfig) -> Result<DurableStore<F>, DurableError> {
+        let mut store =
+            DurableStore { fs, config, manifest: Manifest::default(), tail_dirty: false };
+        if store.fs.exists(MANIFEST) {
+            return Err(DurableError::AlreadyExists);
+        }
+        store.clear_directory()?;
+        store.swap_manifest(Manifest::default())?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, running crash recovery, and returns it
+    /// together with the recovered in-memory [`CheckpointStore`].
+    ///
+    /// An absent manifest means no checkpoint was ever acknowledged: any
+    /// leftover files are deleted and an empty store is initialized.
+    ///
+    /// # Errors
+    ///
+    /// * [`DurableError::Corrupt`] for damage inside the committed
+    ///   frontier (never auto-repaired).
+    /// * [`DurableError::SequenceGap`] if the recovered records are not
+    ///   contiguous.
+    /// * [`DurableError::Fs`] / [`DurableError::Core`] for I/O and decode
+    ///   failures.
+    pub fn open(
+        fs: F,
+        config: DurableConfig,
+        registry: &ClassRegistry,
+    ) -> Result<(DurableStore<F>, CheckpointStore), DurableError> {
+        let mut store =
+            DurableStore { fs, config, manifest: Manifest::default(), tail_dirty: false };
+        if !store.fs.exists(MANIFEST) {
+            store.clear_directory()?;
+            store.swap_manifest(Manifest::default())?;
+            return Ok((store, CheckpointStore::new()));
+        }
+
+        let manifest = Manifest::decode(&store.fs.read(MANIFEST)?)?;
+
+        // Files the manifest does not claim are un-acknowledged debris
+        // from a crash (a half-written next segment, a stray tmp file).
+        let expected: BTreeSet<String> = manifest
+            .segments
+            .iter()
+            .map(|s| segment_name(s.index))
+            .chain([MANIFEST.to_string()])
+            .collect();
+        let mut removed = false;
+        for name in store.fs.list()? {
+            if !expected.contains(&name) {
+                store.fs.remove(&name)?;
+                removed = true;
+            }
+        }
+        if removed {
+            store.fs.sync_dir()?;
+        }
+
+        let mut recovered = CheckpointStore::new();
+        for seg in &manifest.segments {
+            let name = segment_name(seg.index);
+            let corrupt = |offset: u64, what: String| DurableError::Corrupt {
+                file: name.clone(),
+                offset,
+                what,
+            };
+            if !store.fs.exists(&name) {
+                return Err(corrupt(0, "segment referenced by the manifest is missing".into()));
+            }
+            let content = store.fs.read(&name)?;
+            let actual = content.len() as u64;
+            if actual < seg.committed_len {
+                return Err(corrupt(
+                    actual,
+                    format!(
+                        "segment shorter than its committed length ({actual} < {})",
+                        seg.committed_len
+                    ),
+                ));
+            }
+            if actual > seg.committed_len {
+                // Torn tail beyond the acknowledged frontier: expected
+                // after a crash mid-append; cut it off, durably.
+                store.fs.truncate(&name, seg.committed_len)?;
+                store.fs.sync(&name)?;
+            }
+            let committed = &content[..seg.committed_len as usize];
+            if (committed.len() as u64) < SEGMENT_HEADER_LEN {
+                return Err(corrupt(0, "committed length shorter than the segment header".into()));
+            }
+            if committed[0..4] != SEGMENT_MAGIC {
+                return Err(corrupt(0, "bad segment magic".into()));
+            }
+            if u16::from_be_bytes(committed[4..6].try_into().expect("2 bytes")) != FORMAT_VERSION {
+                return Err(corrupt(4, "unsupported segment version".into()));
+            }
+            if u32::from_be_bytes(committed[6..10].try_into().expect("4 bytes")) != seg.index {
+                return Err(corrupt(6, "segment index does not match its manifest entry".into()));
+            }
+
+            let mut offset = SEGMENT_HEADER_LEN as usize;
+            while offset < committed.len() {
+                if offset + FRAME_HEADER_LEN as usize > committed.len() {
+                    return Err(corrupt(
+                        offset as u64,
+                        "frame header overruns the committed length".into(),
+                    ));
+                }
+                let len =
+                    u32::from_be_bytes(committed[offset..offset + 4].try_into().expect("4 bytes"))
+                        as usize;
+                let stored_crc = u32::from_be_bytes(
+                    committed[offset + 4..offset + 8].try_into().expect("4 bytes"),
+                );
+                let body_at = offset + FRAME_HEADER_LEN as usize;
+                if body_at + len > committed.len() {
+                    return Err(corrupt(
+                        offset as u64,
+                        "frame body overruns the committed length".into(),
+                    ));
+                }
+                let payload = &committed[body_at..body_at + len];
+                let mut covered = Vec::with_capacity(4 + len);
+                covered.extend_from_slice(&committed[offset..offset + 4]);
+                covered.extend_from_slice(payload);
+                if crc32(&covered) != stored_crc {
+                    return Err(corrupt(offset as u64, "frame checksum mismatch".into()));
+                }
+
+                let decoded = decode(payload, registry)?;
+                if let Some(last) = recovered.latest() {
+                    let expected_seq = last.seq() + 1;
+                    if decoded.seq != expected_seq {
+                        return Err(DurableError::SequenceGap {
+                            expected: expected_seq,
+                            got: decoded.seq,
+                        });
+                    }
+                }
+                recovered.push(CheckpointRecord::from_parts(
+                    decoded.seq,
+                    decoded.kind,
+                    decoded.roots,
+                    payload.to_vec(),
+                    TraversalStats::default(),
+                ))?;
+                offset = body_at + len;
+            }
+        }
+
+        if recovered.len() as u64 != manifest.record_count {
+            return Err(DurableError::Corrupt {
+                file: MANIFEST.to_string(),
+                offset: 0,
+                what: format!(
+                    "manifest claims {} records but segments hold {}",
+                    manifest.record_count,
+                    recovered.len()
+                ),
+            });
+        }
+        if recovered.latest().map(CheckpointRecord::seq) != manifest.last_seq {
+            return Err(DurableError::Corrupt {
+                file: MANIFEST.to_string(),
+                offset: 0,
+                what: "manifest last-seq does not match the recovered records".into(),
+            });
+        }
+
+        store.manifest = manifest;
+        Ok((store, recovered))
+    }
+
+    /// Durably appends one checkpoint record.
+    ///
+    /// On `Ok`, the record and everything before it survive any crash.
+    /// On `Err`, the record is *not* acknowledged; the store stays usable
+    /// (if the filesystem does) and the next append self-heals any torn
+    /// tail the failure left behind.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::SequenceGap`] if `record` does not extend the
+    /// sequence, or [`DurableError::Fs`] on I/O failure.
+    pub fn append(&mut self, record: &CheckpointRecord) -> Result<(), DurableError> {
+        if let Some(last) = self.manifest.last_seq {
+            let expected = last + 1;
+            if record.seq() != expected {
+                return Err(DurableError::SequenceGap { expected, got: record.seq() });
+            }
+        }
+        match self.try_append(record) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.tail_dirty = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_append(&mut self, record: &CheckpointRecord) -> Result<(), DurableError> {
+        if self.tail_dirty {
+            // A previous append failed partway; the tail segment may hold
+            // bytes past the committed frontier. Cut them before writing.
+            if let Some(seg) = self.manifest.segments.last() {
+                let name = segment_name(seg.index);
+                if self.fs.exists(&name) {
+                    self.fs.truncate(&name, seg.committed_len)?;
+                }
+            }
+            self.tail_dirty = false;
+        }
+
+        let frame = encode_frame(record.bytes());
+        let mut candidate = self.manifest.clone();
+        let roll = match candidate.segments.last() {
+            None => true,
+            Some(seg) => seg.committed_len >= self.config.segment_target_bytes,
+        };
+        if roll {
+            let index = candidate.segments.last().map_or(0, |s| s.index + 1);
+            let name = segment_name(index);
+            let mut bytes = segment_header(index);
+            bytes.extend_from_slice(&frame);
+            let committed_len = bytes.len() as u64;
+            self.fs.write_file(&name, &bytes)?;
+            self.fs.sync(&name)?;
+            candidate.segments.push(SegmentEntry { index, committed_len });
+        } else {
+            let seg = candidate.segments.last_mut().expect("non-roll has a tail segment");
+            let name = segment_name(seg.index);
+            self.fs.append(&name, &frame)?;
+            self.fs.sync(&name)?;
+            seg.committed_len += frame.len() as u64;
+        }
+        candidate.record_count += 1;
+        candidate.last_seq = Some(record.seq());
+        self.swap_manifest(candidate)
+    }
+
+    /// Atomically publishes `candidate` as the committed frontier:
+    /// write-temp, fsync, rename over `MANIFEST`, fsync the directory.
+    fn swap_manifest(&mut self, candidate: Manifest) -> Result<(), DurableError> {
+        self.fs.write_file(MANIFEST_TMP, &candidate.encode())?;
+        self.fs.sync(MANIFEST_TMP)?;
+        self.fs.rename(MANIFEST_TMP, MANIFEST)?;
+        self.fs.sync_dir()?;
+        self.manifest = candidate;
+        Ok(())
+    }
+
+    /// Deletes every file in the directory (used before initializing a
+    /// fresh store: with no manifest, nothing is acknowledged).
+    fn clear_directory(&mut self) -> Result<(), DurableError> {
+        let names = self.fs.list()?;
+        let removed = !names.is_empty();
+        for name in names {
+            self.fs.remove(&name)?;
+        }
+        if removed {
+            self.fs.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    /// Number of acknowledged records.
+    pub fn record_count(&self) -> u64 {
+        self.manifest.record_count
+    }
+
+    /// Sequence number of the last acknowledged record.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.manifest.last_seq
+    }
+
+    /// Number of segments in the committed frontier.
+    pub fn segment_count(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Total acknowledged bytes across all segments (headers included).
+    pub fn committed_bytes(&self) -> u64 {
+        self.manifest.segments.iter().map(|s| s.committed_len).sum()
+    }
+
+    /// Consumes the store, returning the filesystem handle.
+    pub fn into_fs(self) -> F {
+        self.fs
+    }
+}
+
+/// Lets checkpoint producers ([`Checkpointer`](ickp_core::Checkpointer),
+/// the parallel backend's `checkpoint_into`) stream records straight to
+/// stable storage. Failures surface as [`CoreError::Storage`].
+impl<F: Vfs> RecordSink for DurableStore<F> {
+    fn append_record(&mut self, record: CheckpointRecord) -> Result<(), CoreError> {
+        self.append(&record).map_err(|e| CoreError::Storage { what: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemFs;
+    use ickp_core::{CheckpointConfig, Checkpointer, MethodTable};
+    use ickp_heap::{FieldType, Heap, ObjectId, Value};
+
+    fn workload(n: usize) -> (Heap, Vec<ObjectId>, Vec<CheckpointRecord>) {
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))])
+            .unwrap();
+        let mut heap = Heap::new(reg);
+        let tail = heap.alloc(node).unwrap();
+        let head = heap.alloc(node).unwrap();
+        heap.set_field(head, 1, Value::Ref(Some(tail))).unwrap();
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut records = Vec::new();
+        for i in 0..n {
+            heap.set_field(tail, 0, Value::Int(i as i32)).unwrap();
+            records.push(ckp.checkpoint(&mut heap, &table, &[head]).unwrap());
+        }
+        (heap, vec![head], records)
+    }
+
+    fn tiny() -> DurableConfig {
+        // Force a segment roll on nearly every append.
+        DurableConfig { segment_target_bytes: 64 }
+    }
+
+    #[test]
+    fn create_append_reopen_round_trips() {
+        let (heap, _, records) = workload(5);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        assert_eq!(store.record_count(), 5);
+        assert_eq!(store.last_seq(), Some(4));
+        drop(store);
+
+        let (reopened, recovered) =
+            DurableStore::open(&mut fs, DurableConfig::default(), heap.registry()).unwrap();
+        assert_eq!(reopened.record_count(), 5);
+        assert_eq!(recovered.len(), 5);
+        for (a, b) in records.iter().zip(recovered.records()) {
+            assert_eq!(a.seq(), b.seq());
+            assert_eq!(a.bytes(), b.bytes());
+        }
+    }
+
+    #[test]
+    fn small_target_rolls_segments() {
+        let (heap, _, records) = workload(6);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, tiny()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        assert!(store.segment_count() > 1, "expected rolls, got one segment");
+        drop(store);
+        let (_, recovered) = DurableStore::open(&mut fs, tiny(), heap.registry()).unwrap();
+        assert_eq!(recovered.len(), 6);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let mut fs = MemFs::new();
+        DurableStore::create(&mut fs, tiny()).unwrap();
+        assert!(matches!(DurableStore::create(&mut fs, tiny()), Err(DurableError::AlreadyExists)));
+    }
+
+    #[test]
+    fn open_without_manifest_clears_leftovers() {
+        let reg = ClassRegistry::new();
+        let mut fs = MemFs::new();
+        fs.write_file("seg-000000.ickd", b"debris").unwrap();
+        fs.write_file("MANIFEST.tmp", b"more debris").unwrap();
+        let (store, recovered) = DurableStore::open(&mut fs, tiny(), &reg).unwrap();
+        assert_eq!(recovered.len(), 0);
+        assert_eq!(store.record_count(), 0);
+        drop(store);
+        assert!(!fs.exists("seg-000000.ickd"));
+        assert!(!fs.exists("MANIFEST.tmp"));
+        assert!(fs.exists(MANIFEST));
+    }
+
+    #[test]
+    fn sequence_gaps_are_rejected_at_append() {
+        let (_, _, records) = workload(3);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, tiny()).unwrap();
+        store.append(&records[0]).unwrap();
+        let err = store.append(&records[2]).unwrap_err();
+        assert_eq!(err, DurableError::SequenceGap { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn corruption_inside_the_frontier_is_a_hard_error() {
+        let (heap, _, records) = workload(3);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        drop(store);
+        // Flip one byte in the middle of the (single) segment.
+        let name = segment_name(0);
+        let mut content = fs.read(&name).unwrap();
+        let mid = content.len() / 2;
+        content[mid] ^= 0xFF;
+        fs.write_file(&name, &content).unwrap();
+        let err = match DurableStore::open(&mut fs, DurableConfig::default(), heap.registry()) {
+            Ok(_) => panic!("corruption must not open"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, DurableError::Corrupt { .. } | DurableError::Core(_)),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn bytes_past_the_frontier_are_truncated_on_open() {
+        let (heap, _, records) = workload(2);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        let committed = store.committed_bytes();
+        drop(store);
+        // Simulate a torn tail: garbage after the committed frontier.
+        fs.append(&segment_name(0), &[0xDE, 0xAD, 0xBE]).unwrap();
+        let (reopened, recovered) =
+            DurableStore::open(&mut fs, DurableConfig::default(), heap.registry()).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(reopened.committed_bytes(), committed);
+        drop(reopened);
+        assert_eq!(fs.read(&segment_name(0)).unwrap().len() as u64, committed);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_corruption() {
+        let m = Manifest {
+            record_count: 7,
+            last_seq: Some(6),
+            segments: vec![
+                SegmentEntry { index: 0, committed_len: 1234 },
+                SegmentEntry { index: 1, committed_len: 56 },
+            ],
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(Manifest::decode(&bad).is_err(), "flip at byte {i} undetected");
+        }
+        assert_eq!(Manifest::decode(&Manifest::default().encode()).unwrap(), Manifest::default());
+    }
+
+    #[test]
+    fn record_sink_streams_into_the_store() {
+        let (heap, _, records) = workload(3);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, tiny()).unwrap();
+        for r in records {
+            RecordSink::append_record(&mut store, r).unwrap();
+        }
+        drop(store);
+        let (_, recovered) = DurableStore::open(&mut fs, tiny(), heap.registry()).unwrap();
+        assert_eq!(recovered.len(), 3);
+    }
+}

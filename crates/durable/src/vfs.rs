@@ -1,0 +1,476 @@
+//! The virtual filesystem beneath the durable store.
+//!
+//! [`DurableStore`](crate::DurableStore) never touches `std::fs`
+//! directly; every byte goes through the [`Vfs`] trait. That indirection
+//! is what makes crash-safety *testable*: the same store code runs over
+//! [`StdFs`] (a real directory) in production and over [`MemFs`] (an
+//! in-memory filesystem with an explicit durable/volatile split) under
+//! the fault-injection layer ([`FailFs`](crate::FailFs)) in tests.
+//!
+//! ## The durability model
+//!
+//! `MemFs` models the two-level durability contract of a POSIX
+//! filesystem, pessimistically and deterministically:
+//!
+//! * **Content durability is per file.** Appended bytes are *volatile*
+//!   until [`Vfs::sync`] (fsync) on that file; a crash truncates every
+//!   file back to its last synced length.
+//! * **Name durability is per directory.** Creations, renames and
+//!   removals are volatile until [`Vfs::sync_dir`]; a crash reverts the
+//!   namespace to its last synced state. A rename is atomic (it either
+//!   happened or it did not — never a torn name), but it is *not* durable
+//!   until the directory is synced.
+//!
+//! Anything the model calls volatile is *lost* at a crash — the
+//! pessimistic reading of POSIX, under which a protocol proven correct
+//! here is correct on any real filesystem that gives at least these
+//! guarantees.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Errors from the VFS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// An underlying I/O operation failed.
+    Io {
+        /// The VFS operation that failed.
+        op: &'static str,
+        /// Human-readable description.
+        what: String,
+    },
+    /// A deterministic fault-injection plan made this operation fail
+    /// (without crashing the filesystem).
+    Injected {
+        /// The zero-based mutating-operation index that was failed.
+        op_index: u64,
+        /// The VFS operation that was failed.
+        op: &'static str,
+    },
+    /// The simulated machine has crashed; no further operations are
+    /// possible on this filesystem handle.
+    Crashed,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(name) => write!(f, "no such file: {name}"),
+            FsError::Io { op, what } => write!(f, "{op} failed: {what}"),
+            FsError::Injected { op_index, op } => {
+                write!(f, "injected fault at mutating op {op_index} ({op})")
+            }
+            FsError::Crashed => write!(f, "simulated crash: filesystem is gone"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+/// A minimal filesystem interface over one flat directory.
+///
+/// Mutating operations (`write_file`, `append`, `sync`, `rename`,
+/// `sync_dir`, `truncate`, `remove`) are the unit of crash-point
+/// enumeration: the fault-injection layer counts exactly these.
+pub trait Vfs {
+    /// Creates (or atomically begins replacing) `name` with `data`.
+    /// The content is volatile until [`Vfs::sync`]; for an existing name
+    /// the previous durable content survives a crash.
+    fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), FsError>;
+
+    /// Appends `data` to `name`, creating it empty first if absent.
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), FsError>;
+
+    /// Makes `name`'s current content durable (fsync).
+    fn sync(&mut self, name: &str) -> Result<(), FsError>;
+
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    /// Durable only after [`Vfs::sync_dir`].
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError>;
+
+    /// Makes the directory's current name set durable (fsync on the
+    /// directory).
+    fn sync_dir(&mut self) -> Result<(), FsError>;
+
+    /// Truncates `name` to `len` bytes.
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), FsError>;
+
+    /// Removes `name`. Durable only after [`Vfs::sync_dir`].
+    fn remove(&mut self, name: &str) -> Result<(), FsError>;
+
+    /// Reads the full content of `name`.
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError>;
+
+    /// Whether `name` exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// All file names in the directory, sorted.
+    fn list(&self) -> Result<Vec<String>, FsError>;
+}
+
+/// Forwarding impl so stores can borrow a filesystem instead of owning
+/// it — the crash harness keeps ownership of its [`FailFs`](crate::FailFs)
+/// and lends it to each store run.
+impl<F: Vfs + ?Sized> Vfs for &mut F {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        (**self).write_file(name, data)
+    }
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        (**self).append(name, data)
+    }
+    fn sync(&mut self, name: &str) -> Result<(), FsError> {
+        (**self).sync(name)
+    }
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        (**self).rename(from, to)
+    }
+    fn sync_dir(&mut self) -> Result<(), FsError> {
+        (**self).sync_dir()
+    }
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), FsError> {
+        (**self).truncate(name, len)
+    }
+    fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        (**self).remove(name)
+    }
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        (**self).read(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        (**self).exists(name)
+    }
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        (**self).list()
+    }
+}
+
+// --------------------------------------------------------------- MemFs
+
+/// One in-memory inode: its content and the durable prefix length.
+#[derive(Debug, Clone, Default)]
+struct Inode {
+    content: Vec<u8>,
+    synced_len: usize,
+}
+
+/// Deterministic in-memory filesystem with explicit durability.
+///
+/// See the module docs for the model. [`MemFs::crash`] applies the crash
+/// semantics: the namespace reverts to the last [`Vfs::sync_dir`] state
+/// and every inode's content truncates to its last [`Vfs::sync`] length.
+#[derive(Debug, Clone, Default)]
+pub struct MemFs {
+    inodes: Vec<Inode>,
+    /// Current (volatile) name → inode mapping.
+    namespace: BTreeMap<String, usize>,
+    /// Name → inode mapping as of the last `sync_dir`.
+    durable_namespace: BTreeMap<String, usize>,
+}
+
+impl MemFs {
+    /// An empty filesystem.
+    pub fn new() -> MemFs {
+        MemFs::default()
+    }
+
+    /// Applies crash semantics in place: volatile names and volatile
+    /// bytes are lost, durable ones survive. Idempotent.
+    pub fn crash(&mut self) {
+        self.namespace = self.durable_namespace.clone();
+        for inode in &mut self.inodes {
+            inode.content.truncate(inode.synced_len);
+        }
+    }
+
+    /// Makes a deterministic *partial* fsync progress on `name`: half of
+    /// the still-volatile bytes (rounded down) become durable. This is
+    /// what a crash arriving *during* an fsync leaves behind, and is how
+    /// the fault-injection layer manufactures torn frame tails.
+    pub(crate) fn partial_sync(&mut self, name: &str) {
+        if let Some(&idx) = self.namespace.get(name) {
+            let inode = &mut self.inodes[idx];
+            let pending = inode.content.len() - inode.synced_len;
+            inode.synced_len += pending / 2;
+        }
+    }
+
+    fn inode_of(&self, name: &str) -> Result<usize, FsError> {
+        self.namespace.get(name).copied().ok_or_else(|| FsError::NotFound(name.to_string()))
+    }
+}
+
+impl Vfs for MemFs {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        // A fresh inode: the previous inode (if any) stays reachable from
+        // the durable namespace, so replacing a durable file is only
+        // destructive once the directory is synced.
+        self.inodes.push(Inode { content: data.to_vec(), synced_len: 0 });
+        self.namespace.insert(name.to_string(), self.inodes.len() - 1);
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        let idx = match self.namespace.get(name) {
+            Some(&idx) => idx,
+            None => {
+                self.inodes.push(Inode::default());
+                let idx = self.inodes.len() - 1;
+                self.namespace.insert(name.to_string(), idx);
+                idx
+            }
+        };
+        self.inodes[idx].content.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), FsError> {
+        let idx = self.inode_of(name)?;
+        self.inodes[idx].synced_len = self.inodes[idx].content.len();
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        let idx = self.inode_of(from)?;
+        self.namespace.remove(from);
+        self.namespace.insert(to.to_string(), idx);
+        Ok(())
+    }
+
+    fn sync_dir(&mut self) -> Result<(), FsError> {
+        self.durable_namespace = self.namespace.clone();
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), FsError> {
+        let idx = self.inode_of(name)?;
+        let inode = &mut self.inodes[idx];
+        inode.content.truncate(len as usize);
+        inode.synced_len = inode.synced_len.min(inode.content.len());
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        self.inode_of(name)?;
+        self.namespace.remove(name);
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        Ok(self.inodes[self.inode_of(name)?].content.clone())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.namespace.contains_key(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        Ok(self.namespace.keys().cloned().collect())
+    }
+}
+
+// --------------------------------------------------------------- StdFs
+
+/// The real filesystem, rooted at one directory.
+///
+/// `sync` maps to `File::sync_all`, `sync_dir` to fsync on the directory
+/// handle, `rename` to `std::fs::rename` — the exact calls whose
+/// orderings the store's protocol (and the `MemFs` model) are about.
+#[derive(Debug)]
+pub struct StdFs {
+    root: PathBuf,
+}
+
+fn io(op: &'static str) -> impl Fn(std::io::Error) -> FsError {
+    move |e| FsError::Io { op, what: e.to_string() }
+}
+
+impl StdFs {
+    /// Opens (creating if needed) the directory at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Io`] if the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> Result<StdFs, FsError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(io("create_dir_all"))?;
+        Ok(StdFs { root })
+    }
+
+    /// The directory this filesystem is rooted at.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Vfs for StdFs {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        let mut f = std::fs::File::create(self.path(name)).map_err(io("create"))?;
+        f.write_all(data).map_err(io("write"))
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.path(name))
+            .map_err(io("open-append"))?;
+        f.write_all(data).map_err(io("append"))
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), FsError> {
+        let path = self.path(name);
+        if !path.exists() {
+            return Err(FsError::NotFound(name.to_string()));
+        }
+        let f = std::fs::File::open(path).map_err(io("open-sync"))?;
+        f.sync_all().map_err(io("fsync"))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(io("rename"))
+    }
+
+    fn sync_dir(&mut self) -> Result<(), FsError> {
+        // Windows cannot open directories for fsync; the durable store's
+        // correctness there degrades to the filesystem's own ordering.
+        #[cfg(unix)]
+        {
+            let dir = std::fs::File::open(&self.root).map_err(io("open-dir"))?;
+            dir.sync_all().map_err(io("fsync-dir"))?;
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<(), FsError> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(io("open-truncate"))?;
+        f.set_len(len).map_err(io("truncate"))
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), FsError> {
+        std::fs::remove_file(self.path(name)).map_err(io("remove"))
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        std::fs::read(self.path(name)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => FsError::NotFound(name.to_string()),
+            _ => FsError::Io { op: "read", what: e.to_string() },
+        })
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root).map_err(io("read-dir"))? {
+            let entry = entry.map_err(io("read-dir"))?;
+            if entry.file_type().map_err(io("file-type"))?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_appends_are_lost_at_crash() {
+        let mut fs = MemFs::new();
+        fs.append("wal", b"durable").unwrap();
+        fs.sync("wal").unwrap();
+        fs.sync_dir().unwrap();
+        fs.append("wal", b"+volatile").unwrap();
+        fs.crash();
+        assert_eq!(fs.read("wal").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn unsynced_names_are_lost_at_crash_even_if_content_was_synced() {
+        let mut fs = MemFs::new();
+        fs.write_file("orphan", b"bytes").unwrap();
+        fs.sync("orphan").unwrap(); // content durable, name volatile
+        fs.crash();
+        assert!(!fs.exists("orphan"));
+    }
+
+    #[test]
+    fn rename_reverts_without_dir_sync_and_holds_with_it() {
+        let mut fs = MemFs::new();
+        fs.write_file("target", b"old").unwrap();
+        fs.sync("target").unwrap();
+        fs.sync_dir().unwrap();
+
+        fs.write_file("tmp", b"new").unwrap();
+        fs.sync("tmp").unwrap();
+        fs.rename("tmp", "target").unwrap();
+        // Crash before sync_dir: the old target must come back intact.
+        let mut crashed = fs.clone();
+        crashed.crash();
+        assert_eq!(crashed.read("target").unwrap(), b"old");
+        assert!(!crashed.exists("tmp"));
+
+        // With sync_dir the swap is durable.
+        fs.sync_dir().unwrap();
+        fs.crash();
+        assert_eq!(fs.read("target").unwrap(), b"new");
+    }
+
+    #[test]
+    fn partial_sync_leaves_a_torn_durable_prefix() {
+        let mut fs = MemFs::new();
+        fs.append("seg", b"AAAA").unwrap();
+        fs.sync("seg").unwrap();
+        fs.sync_dir().unwrap();
+        fs.append("seg", b"BBBBBBBB").unwrap();
+        fs.partial_sync("seg"); // 4 of the 8 pending bytes become durable
+        fs.crash();
+        assert_eq!(fs.read("seg").unwrap(), b"AAAABBBB");
+    }
+
+    #[test]
+    fn truncate_clamps_synced_length() {
+        let mut fs = MemFs::new();
+        fs.append("f", b"0123456789").unwrap();
+        fs.sync("f").unwrap();
+        fs.sync_dir().unwrap();
+        fs.truncate("f", 4).unwrap();
+        fs.crash();
+        assert_eq!(fs.read("f").unwrap(), b"0123");
+    }
+
+    #[test]
+    fn std_fs_round_trips_in_a_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("ickp-stdfs-{}", std::process::id()));
+        let mut fs = StdFs::new(&dir).unwrap();
+        fs.write_file("a", b"hello").unwrap();
+        fs.append("a", b" world").unwrap();
+        fs.sync("a").unwrap();
+        fs.rename("a", "b").unwrap();
+        fs.sync_dir().unwrap();
+        assert_eq!(fs.read("b").unwrap(), b"hello world");
+        assert!(!fs.exists("a"));
+        assert_eq!(fs.list().unwrap(), vec!["b".to_string()]);
+        fs.truncate("b", 5).unwrap();
+        assert_eq!(fs.read("b").unwrap(), b"hello");
+        fs.remove("b").unwrap();
+        assert!(!fs.exists("b"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,195 @@
+//! The dirty-set journal must never get ahead of stable storage.
+//!
+//! Taking a checkpoint clears the per-object modified flags and the
+//! heap's dirty-set journal — *before* the record reaches disk. If the
+//! durable append then fails, the in-memory bookkeeping claims
+//! checkpoint k+1 exists while the durable log ends at k; the next
+//! incremental checkpoint would silently skip every update captured by
+//! the lost record. These tests pin the hazard and the repair
+//! ([`redirty_record`]): re-marking the lost record's objects dirty puts
+//! them back into the next checkpoint, so the durable log never loses an
+//! update — whether the process survives the failure (transient I/O
+//! error) or not (crash, restart, restore).
+
+use ickp_core::{
+    journal_dirty_set, restore, verify_restore, CheckpointConfig, CheckpointRecord, Checkpointer,
+    CoreError, MethodTable, RestorePolicy,
+};
+use ickp_durable::{redirty_record, DurableConfig, DurableStore, FailFs, FaultPlan, MemFs};
+use ickp_heap::{ClassRegistry, FieldType, Heap, ObjectId, Value};
+
+fn world() -> (Heap, Vec<ObjectId>) {
+    let mut reg = ClassRegistry::new();
+    let node =
+        reg.define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
+    let mut heap = Heap::new(reg);
+    let mut roots = Vec::new();
+    for i in 0..6 {
+        let tail = heap.alloc(node).unwrap();
+        let head = heap.alloc(node).unwrap();
+        heap.set_field(head, 0, Value::Int(i)).unwrap();
+        heap.set_field(head, 1, Value::Ref(Some(tail))).unwrap();
+        roots.push(head);
+    }
+    (heap, roots)
+}
+
+/// The surviving-process case: checkpoint k+1 is taken (journal cleared)
+/// but its durable append fails with a transient error. Without repair
+/// the update would be lost; with `redirty_record` the retaken
+/// checkpoint re-captures it and the durable log converges to the live
+/// heap.
+#[test]
+fn failed_append_is_repaired_by_redirtying_the_lost_record() {
+    let (mut heap, roots) = world();
+    let table = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+
+    // Append of checkpoint k succeeds; checkpoint k+1's very first I/O
+    // op (op 10: create is 4 ops, the first append 6) is failed.
+    let mut fs = FailFs::new(FaultPlan::error_at(10));
+    let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+    let base: CheckpointRecord = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    store.append(&base).unwrap();
+
+    // One update, then checkpoint k+1 — which clears flags and journal.
+    heap.set_field(roots[2], 0, Value::Int(777)).unwrap();
+    assert!(heap.journal_has_dirty());
+    let lost = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    assert_eq!(lost.stats().objects_recorded, 1);
+
+    // The hazard: the heap now claims clean while the store never got
+    // checkpoint k+1.
+    let err = store.append(&lost).unwrap_err();
+    assert!(!heap.journal_has_dirty(), "checkpointing cleared the journal");
+    assert_eq!(store.record_count(), 1, "the lost record must not be acknowledged: {err}");
+
+    // The repair: re-dirty exactly what the lost record captured, rewind
+    // the sequence counter, and retake.
+    let remarked = redirty_record(&mut heap, &lost).unwrap();
+    assert_eq!(remarked, 1);
+    assert!(heap.journal_has_dirty(), "re-dirtied objects are back in the journal");
+    assert_eq!(journal_dirty_set(&heap), vec![roots[2]]);
+
+    ckp.set_next_seq(lost.seq());
+    let retaken = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    assert_eq!(retaken.seq(), lost.seq());
+    assert_eq!(retaken.stats().objects_recorded, 1);
+    store.append(&retaken).unwrap();
+    assert_eq!(store.record_count(), 2);
+    drop(store);
+
+    // The durable log restores to the live state, update included.
+    let disk = fs.into_recovered();
+    let (_, recovered) =
+        DurableStore::open(disk, DurableConfig::default(), heap.registry()).unwrap();
+    let rebuilt = restore(&recovered, heap.registry(), RestorePolicy::Lenient).unwrap();
+    assert_eq!(verify_restore(&heap, &roots, &rebuilt).unwrap(), None);
+}
+
+/// Without the repair, the update *is* lost — pinning that the hazard is
+/// real and the journal really does claim k+1 persisted.
+#[test]
+fn without_redirty_the_update_is_silently_dropped() {
+    let (mut heap, roots) = world();
+    let table = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+
+    let mut fs = FailFs::new(FaultPlan::error_at(10));
+    let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+    store.append(&ckp.checkpoint(&mut heap, &table, &roots).unwrap()).unwrap();
+
+    heap.set_field(roots[2], 0, Value::Int(777)).unwrap();
+    let lost = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    store.append(&lost).unwrap_err();
+
+    // Skip the repair: the next checkpoint sees a clean heap and records
+    // nothing, though the durable log is missing the update.
+    ckp.set_next_seq(lost.seq());
+    let next = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    assert_eq!(next.stats().objects_recorded, 0, "journal claims everything persisted");
+    store.append(&next).unwrap();
+    drop(store);
+
+    let disk = fs.into_recovered();
+    let (_, recovered) =
+        DurableStore::open(disk, DurableConfig::default(), heap.registry()).unwrap();
+    let rebuilt = restore(&recovered, heap.registry(), RestorePolicy::Lenient).unwrap();
+    let mismatch = verify_restore(&heap, &roots, &rebuilt).unwrap();
+    assert!(mismatch.is_some(), "the lost update must make restore diverge");
+}
+
+/// The dead-process case: crash mid-append of checkpoint k+1, restart,
+/// recover. The restored heap is the state at k; continuing from it with
+/// a fresh full base keeps the durable log consistent.
+#[test]
+fn crash_between_checkpoints_recovers_to_k_and_continues() {
+    let (mut heap, roots) = world();
+    let table = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+
+    // Crash during checkpoint k+1's manifest swap (op 12 = create 4 +
+    // append 6 + segment append 1 + segment sync 1).
+    let mut fs = FailFs::new(FaultPlan::crash_at(12));
+    let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+    let base = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    store.append(&base).unwrap();
+    let state_k = heap.clone();
+
+    heap.set_field(roots[4], 0, Value::Int(-5)).unwrap();
+    let lost = ckp.checkpoint(&mut heap, &table, &roots).unwrap();
+    store.append(&lost).unwrap_err();
+    drop(store);
+    assert!(fs.crashed());
+
+    // Restart: recover the durable log — checkpoint k+1 is simply not
+    // there — and restore the state at k.
+    let mut disk: MemFs = fs.into_recovered();
+    let (mut store, recovered) =
+        DurableStore::open(&mut disk, DurableConfig::default(), state_k.registry()).unwrap();
+    assert_eq!(recovered.len(), 1);
+    assert_eq!(store.last_seq(), Some(base.seq()));
+    let rebuilt = restore(&recovered, state_k.registry(), RestorePolicy::Lenient).unwrap();
+    assert_eq!(verify_restore(&state_k, &roots, &rebuilt).unwrap(), None);
+
+    // Continue the run from the restored heap. Its journal starts empty,
+    // so the continuation's first checkpoint must be a full base.
+    let mut resumed = rebuilt.into_heap();
+    resumed.mark_all_modified();
+    let mut ckp2 = Checkpointer::new(CheckpointConfig::incremental());
+    ckp2.set_next_seq(base.seq() + 1);
+    let resume_roots: Vec<ObjectId> = roots
+        .iter()
+        .map(|&r| {
+            let stable = state_k.stable_id(r).unwrap();
+            resumed
+                .iter_live()
+                .find(|&id| resumed.stable_id(id).unwrap() == stable)
+                .expect("root survives restore")
+        })
+        .collect();
+    store.append(&ckp2.checkpoint(&mut resumed, &table, &resume_roots).unwrap()).unwrap();
+    assert_eq!(store.record_count(), 2);
+    drop(store);
+
+    let (_, full) =
+        DurableStore::open(&mut disk, DurableConfig::default(), state_k.registry()).unwrap();
+    let rebuilt2 = restore(&full, state_k.registry(), RestorePolicy::Lenient).unwrap();
+    assert_eq!(verify_restore(&resumed, &resume_roots, &rebuilt2).unwrap(), None);
+}
+
+/// A `CoreError::Heap` from `redirty_record` is impossible for live
+/// objects, but a record that does not decode must error cleanly.
+#[test]
+fn redirty_rejects_garbage_records() {
+    let (mut heap, _) = world();
+    let garbage = CheckpointRecord::from_parts(
+        0,
+        ickp_core::CheckpointKind::Full,
+        vec![],
+        vec![0xFF; 16],
+        Default::default(),
+    );
+    let err = redirty_record(&mut heap, &garbage).unwrap_err();
+    assert!(matches!(err, CoreError::Decode { .. }), "unexpected error: {err}");
+}

@@ -1,0 +1,169 @@
+//! Kill a computation mid-write, recover from disk, same answer.
+//!
+//! ```text
+//! cargo run --release --example durable_recovery
+//! ```
+//!
+//! The earlier simulated version of this example kept its checkpoints in
+//! an in-memory store and "crashed" by abandoning the heap. This one
+//! goes further: checkpoints stream into the crash-safe segmented
+//! durable store, and the fault-injection filesystem kills the process
+//! *during* a commit — mid-append, while the new manifest is being
+//! swapped in. Everything volatile is lost; only bytes that survived an
+//! fsync remain. Recovery reopens the directory, truncates the torn
+//! tail, restores the last acknowledged checkpoint, and the resumed run
+//! finishes with exactly the answer an uninterrupted run produces.
+
+use ickp::core::{
+    restore, verify_restore, CheckpointConfig, Checkpointer, MethodTable, RestorePolicy,
+};
+use ickp::durable::{DurableConfig, DurableStore, FailFs, FaultPlan, MemFs, Vfs};
+use ickp::heap::{ClassRegistry, FieldType, Heap, ObjectId, Value};
+
+const CELLS: usize = 64;
+const ROUNDS: u64 = 40;
+const CHECKPOINT_EVERY: u64 = 5;
+
+/// Durable-store cost model: creating a store is 4 I/O ops, each append
+/// is 6 (frame write, segment fsync, manifest write, manifest fsync,
+/// rename, directory fsync).
+const CREATE_OPS: u64 = 4;
+const APPEND_OPS: u64 = 6;
+
+fn build_world() -> Result<(Heap, Vec<ObjectId>), Box<dyn std::error::Error>> {
+    let mut registry = ClassRegistry::new();
+    let cell =
+        registry.define("Cell", None, &[("id", FieldType::Int), ("acc", FieldType::Long)])?;
+    let mut heap = Heap::new(registry);
+    let mut cells = Vec::with_capacity(CELLS);
+    for i in 0..CELLS {
+        let c = heap.alloc(cell)?;
+        heap.set_field(c, 0, Value::Int(i as i32))?;
+        heap.set_field(c, 1, Value::Long(0))?;
+        cells.push(c);
+    }
+    Ok((heap, cells))
+}
+
+/// One round of "work": every cell folds a round-dependent term into its
+/// accumulator. Deterministic, so two runs agree iff no update was lost.
+fn work(heap: &mut Heap, cells: &[ObjectId], round: u64) -> Result<(), Box<dyn std::error::Error>> {
+    for (i, &c) in cells.iter().enumerate() {
+        let acc = match heap.field(c, 1)? {
+            Value::Long(v) => v,
+            other => panic!("acc is a Long, got {other:?}"),
+        };
+        let term = (round as i64).wrapping_mul(31).wrapping_add(i as i64 * 7 + 1);
+        heap.set_field(c, 1, Value::Long(acc.wrapping_add(term)))?;
+    }
+    Ok(())
+}
+
+fn accs(heap: &Heap, cells: &[ObjectId]) -> Vec<i64> {
+    cells
+        .iter()
+        .map(|&c| match heap.field(c, 1).expect("live cell") {
+            Value::Long(v) => v,
+            other => panic!("acc is a Long, got {other:?}"),
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // Reference: the uninterrupted run.
+    // ------------------------------------------------------------------
+    let (mut heap, cells) = build_world()?;
+    for round in 1..=ROUNDS {
+        work(&mut heap, &cells, round)?;
+    }
+    let expected = accs(&heap, &cells);
+    println!("reference run: {ROUNDS} rounds, no interruption");
+
+    // ------------------------------------------------------------------
+    // Fault-tolerant run, part 1: killed mid-commit.
+    //
+    // Checkpoints land every {CHECKPOINT_EVERY} rounds: a base at round
+    // 0, then rounds 5, 10, ... The fault plan kills the process during
+    // the 7th append (the round-30 checkpoint), on the rename that would
+    // have made its manifest current — the frame is already in the
+    // segment file, but the commit never lands.
+    // ------------------------------------------------------------------
+    let crash_op = CREATE_OPS + 6 * APPEND_OPS + 4;
+    let mut fs = FailFs::new(FaultPlan::crash_at(crash_op));
+    let config = DurableConfig { segment_target_bytes: 4 * 1024 };
+
+    let (mut heap, cells) = build_world()?;
+    let table = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+    let mut store = DurableStore::create(&mut fs, config)?;
+
+    heap.mark_all_modified();
+    store.append(&ckp.checkpoint(&mut heap, &table, &cells)?)?;
+    let mut died_at_round = None;
+    for round in 1..=ROUNDS {
+        work(&mut heap, &cells, round)?;
+        if round % CHECKPOINT_EVERY == 0 {
+            let record = ckp.checkpoint(&mut heap, &table, &cells)?;
+            if store.append(&record).is_err() {
+                died_at_round = Some(round);
+                break;
+            }
+        }
+    }
+    let died_at_round = died_at_round.expect("the fault plan kills the run");
+    // The process is gone: heap, checkpointer and store handle all die
+    // with it. Only the filesystem's durable image survives.
+    drop((heap, ckp, store));
+    assert!(fs.crashed());
+    let mut disk: MemFs = fs.into_recovered();
+    println!(
+        "crashed while committing the round-{died_at_round} checkpoint; surviving files: {:?}",
+        disk.list()?
+    );
+
+    // ------------------------------------------------------------------
+    // Fault-tolerant run, part 2: reboot and recover.
+    // ------------------------------------------------------------------
+    let (ref_heap, _) = build_world()?;
+    let registry = ref_heap.registry().clone();
+    let (mut store, recovered) = DurableStore::open(&mut disk, config, &registry)?;
+    let durable_round = (recovered.len() as u64 - 1) * CHECKPOINT_EVERY;
+    println!(
+        "recovery: {} checkpoints on disk, torn round-{died_at_round} commit discarded, \
+         resuming after round {durable_round}",
+        recovered.len()
+    );
+    assert!(durable_round < died_at_round);
+
+    let rebuilt = restore(&recovered, &registry, RestorePolicy::Lenient)?;
+    let cells = rebuilt.roots().to_vec();
+    let mut heap = rebuilt.into_heap();
+
+    // Redo the lost rounds, checkpointing on the same cadence into the
+    // reopened store; sequence numbers continue where the disk left off.
+    let table = MethodTable::derive(heap.registry());
+    let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+    ckp.set_next_seq(recovered.latest().expect("non-empty").seq() + 1);
+    for round in durable_round + 1..=ROUNDS {
+        work(&mut heap, &cells, round)?;
+        if round % CHECKPOINT_EVERY == 0 {
+            store.append(&ckp.checkpoint(&mut heap, &table, &cells)?)?;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The verdict: same answer, and the disk tells the same story.
+    // ------------------------------------------------------------------
+    let got = accs(&heap, &cells);
+    assert_eq!(got, expected, "recovered run diverged from the reference");
+    let (_, finished) = DurableStore::open(&mut disk, config, &registry)?;
+    let rebuilt = restore(&finished, &registry, RestorePolicy::Lenient)?;
+    assert_eq!(verify_restore(&heap, &cells, &rebuilt)?, None);
+    println!(
+        "recovered run matches the reference ({} cells, checksum {})",
+        CELLS,
+        got.iter().fold(0i64, |a, v| a.wrapping_mul(31).wrapping_add(*v))
+    );
+    Ok(())
+}

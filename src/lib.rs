@@ -21,6 +21,8 @@
 //!   and compiled plans (`repro audit`).
 //! * [`synth`] — the paper's synthetic benchmark generator.
 //! * [`backend`] — execution backends emulating JVM dispatch regimes.
+//! * [`durable`] — crash-safe segmented on-disk checkpoint store with a
+//!   deterministic fault-injection VFS and crash-point enumeration harness.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use ickp_analysis as analysis;
 pub use ickp_audit as audit;
 pub use ickp_backend as backend;
 pub use ickp_core as core;
+pub use ickp_durable as durable;
 pub use ickp_heap as heap;
 pub use ickp_minic as minic;
 pub use ickp_spec as spec;
