@@ -2,8 +2,9 @@
 //!
 //! A [`Diagnostic`] is one verdict: a severity, a stable machine-readable
 //! code (`AUD0xx` for plan-verifier findings, `AUD1xx` for pattern
-//! soundness findings), the location it anchors to (a plan instruction, a
-//! shape path, a phase), a human message, and an optional suggestion.
+//! soundness findings, `AUD2xx` for shard-interference findings), the
+//! location it anchors to (a plan instruction, a shape path, a phase, a
+//! shard), a human message, and an optional suggestion.
 //! Passes append diagnostics to an [`AuditReport`], which callers render
 //! or query for error-severity findings (the CI gate).
 
@@ -35,7 +36,8 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `AUD0xx` come from the plan verifier, `AUD1xx`
-/// from the pattern soundness checker.
+/// from the pattern soundness checker, `AUD2xx` from the shard-interference
+/// pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiagCode {
     /// A register index is outside the plan's register file (`AUD001`).
@@ -100,6 +102,24 @@ pub enum DiagCode {
     /// A phase performs writes but has no declared plan, forcing the
     /// generic checkpointer (`AUD103`).
     UndeclaredPhase,
+    /// Two shards both emit the same object — a data race under parallel
+    /// execution (`AUD201`).
+    ShardOverlap,
+    /// An object in the sequential coverage is emitted by no shard: the
+    /// merged parallel stream silently drops it (`AUD202`).
+    ShardMissingCoverage,
+    /// A shard emits an object outside the sequential coverage, so the
+    /// merged stream carries records the sequential engine would not
+    /// (`AUD203`).
+    ShardDoubleEmit,
+    /// An object's emitting shard is not the first-touch owner predicted
+    /// from root order, or the plan's root chunks are stale — the merged
+    /// stream ceases to be byte-identical to sequential (`AUD204`).
+    ShardOwnershipMismatch,
+    /// The statically estimated record bytes of the heaviest shard exceed
+    /// the imbalance threshold: the parallel speedup is bounded by one
+    /// straggler (`AUD205`).
+    ShardImbalance,
 }
 
 impl DiagCode {
@@ -129,6 +149,11 @@ impl DiagCode {
             DiagCode::UnderDeclaredPattern => "AUD101",
             DiagCode::OverDeclaredPattern => "AUD102",
             DiagCode::UndeclaredPhase => "AUD103",
+            DiagCode::ShardOverlap => "AUD201",
+            DiagCode::ShardMissingCoverage => "AUD202",
+            DiagCode::ShardDoubleEmit => "AUD203",
+            DiagCode::ShardOwnershipMismatch => "AUD204",
+            DiagCode::ShardImbalance => "AUD205",
         }
     }
 }
@@ -148,6 +173,8 @@ pub enum Location {
     Shape(String),
     /// A phase of a phase-plan registry, by key.
     Phase(String),
+    /// A shard of an audited shard plan, by index.
+    Shard(usize),
     /// No finer location applies.
     General,
 }
@@ -158,6 +185,7 @@ impl fmt::Display for Location {
             Location::PlanOp(pc) => write!(f, "op {pc}"),
             Location::Shape(path) => write!(f, "shape {path}"),
             Location::Phase(key) => write!(f, "phase `{key}`"),
+            Location::Shard(index) => write!(f, "shard {index}"),
             Location::General => f.write_str("plan"),
         }
     }

@@ -4,7 +4,7 @@
 //! paper's contract is that declarations of structure and per-phase
 //! modification patterns are *trusted*, and a wrong declaration silently
 //! produces checkpoints that miss modifications. This crate closes that
-//! gap with three cooperating passes:
+//! gap with four cooperating passes:
 //!
 //! 1. **Plan verifier** ([`verify_plan`]) — an abstract interpreter over
 //!    compiled [`Plan`](ickp_spec::Plan) ops that, given the
@@ -24,6 +24,13 @@
 //!    oracle that executes the audited plan on a scratch heap and
 //!    reconciles the stream against the journal's dirty set, backing the
 //!    static verdicts in tests.
+//! 4. **Shard-interference pass** ([`audit_shards`]) — a static race
+//!    detector for the parallel engine: per-shard object/field footprints
+//!    by abstract interpretation, proved pairwise disjoint (`AUD201`),
+//!    complete against the sequential coverage (`AUD202`/`AUD203`), and
+//!    first-touch deterministic (`AUD204`), plus a byte-imbalance perf
+//!    lint (`AUD205`); [`cross_validate_shards`] backs the verdicts by
+//!    tracing the real engine.
 //!
 //! Diagnostics carry stable `AUDnnn` codes, severities, locations, and
 //! suggestions; [`AuditReport::render`] prints them one per line and
@@ -66,12 +73,17 @@
 mod coverage;
 mod diag;
 mod oracle;
+mod shards;
 mod soundness;
 mod verify;
 
 pub use coverage::{expected_events, fmt_path, Event, Path, Step};
 pub use diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
 pub use oracle::{cross_validate, OracleReport};
+pub use shards::{
+    audit_shards, audit_shards_with, cross_validate_shards, shard_footprints, ShardAudit,
+    ShardAuditConfig, ShardFootprint, ShardOracleReport, ShardSpec,
+};
 pub use soundness::{
     audit_phase_patterns, engine_footprints, recordable_bytes, PhaseFootprint, RECORD_HEADER_BYTES,
 };

@@ -22,11 +22,13 @@
 mod engine;
 mod generic;
 mod parallel;
+mod sanitize;
 mod specialized;
 mod threaded;
 
 pub use engine::Engine;
 pub use generic::GenericBackend;
 pub use parallel::ParallelBackend;
+pub use sanitize::{AccessOverlap, SanitizerReport};
 pub use specialized::SpecializedBackend;
 pub use threaded::{Ctx, ThreadedPlan};

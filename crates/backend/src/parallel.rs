@@ -7,6 +7,7 @@
 //! `CheckpointRecord`s — byte-identical to the sequential generic driver —
 //! so it slots into the same benchmark tables as the other engines.
 
+use crate::sanitize::SanitizerReport;
 use ickp_core::{
     CheckpointConfig, CheckpointRecord, Checkpointer, CoreError, MethodTable, RecordSink,
     TraversalStats,
@@ -37,6 +38,9 @@ pub struct ParallelBackend {
     workers: usize,
     table: MethodTable,
     driver: Checkpointer,
+    /// Access-sanitizer verdict of the most recent checkpoint; populated
+    /// only when the `sanitize` feature traces the engine.
+    last_sanitize: Option<SanitizerReport>,
 }
 
 impl ParallelBackend {
@@ -47,6 +51,7 @@ impl ParallelBackend {
             workers,
             table: MethodTable::derive(registry),
             driver: Checkpointer::new(CheckpointConfig::incremental()),
+            last_sanitize: None,
         }
     }
 
@@ -84,6 +89,12 @@ impl ParallelBackend {
 
     /// Takes one incremental checkpoint of `roots` across the worker pool.
     ///
+    /// With the `sanitize` cargo feature enabled, the engine additionally
+    /// records each shard's object-access set and reconciles them at
+    /// merge time; the verdict is available from
+    /// [`ParallelBackend::sanitizer_report`] until the next checkpoint.
+    /// The record bytes are identical either way.
+    ///
     /// # Errors
     ///
     /// Fails like `ickp_core::Checkpointer::checkpoint_parallel`.
@@ -92,7 +103,31 @@ impl ParallelBackend {
         heap: &mut Heap,
         roots: &[ObjectId],
     ) -> Result<CheckpointRecord, CoreError> {
-        self.driver.checkpoint_parallel(heap, &self.table, roots, self.workers)
+        #[cfg(feature = "sanitize")]
+        {
+            let (record, trace) =
+                self.driver.checkpoint_parallel_traced(heap, &self.table, roots, self.workers)?;
+            self.last_sanitize = Some(SanitizerReport::from_trace(&trace));
+            Ok(record)
+        }
+        #[cfg(not(feature = "sanitize"))]
+        {
+            self.driver.checkpoint_parallel(heap, &self.table, roots, self.workers)
+        }
+    }
+
+    /// The access-sanitizer verdict of the most recent checkpoint, or
+    /// `None` before the first checkpoint or when the `sanitize` feature
+    /// is off (the untraced engine observes nothing).
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.last_sanitize.as_ref()
+    }
+
+    /// Per-shard traversal counters of the most recent checkpoint, in
+    /// shard order (see `ickp_core::Checkpointer::shard_stats`). Available
+    /// regardless of the `sanitize` feature.
+    pub fn shard_stats(&self) -> &[TraversalStats] {
+        self.driver.shard_stats()
     }
 
     /// Takes one incremental checkpoint and streams the record straight
@@ -174,6 +209,25 @@ mod tests {
         assert_eq!(incr.objects_recorded, 1);
         assert_eq!(store.len(), 2);
         assert_eq!(store.latest().unwrap().seq(), 1);
+    }
+
+    #[test]
+    fn per_shard_stats_are_surfaced_regardless_of_the_sanitize_feature() {
+        let (mut heap, roots) = world();
+        let mut backend = ParallelBackend::new(3, heap.registry());
+        assert!(backend.shard_stats().is_empty(), "no stats before the first checkpoint");
+        let record = backend.checkpoint(&mut heap, &roots).unwrap();
+        let shard_stats = backend.shard_stats();
+        assert_eq!(shard_stats.len(), 3);
+        assert_eq!(
+            shard_stats.iter().map(|s| s.objects_recorded).sum::<u64>(),
+            record.stats().objects_recorded
+        );
+        // Shard bodies sum to the stream minus its header and footer.
+        let body: u64 = shard_stats.iter().map(|s| s.bytes_written).sum();
+        assert!(0 < body && body < record.stats().bytes_written);
+        #[cfg(not(feature = "sanitize"))]
+        assert!(backend.sanitizer_report().is_none(), "untraced engines observe nothing");
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The dynamic shard-access sanitizer.
+//!
+//! The static shard audit (`ickp-audit`'s `audit_shards`) proves, per
+//! plan, that no object can be emitted by two shards. This module is the
+//! runtime probe backing that proof in real executions: built from the
+//! traced parallel engine's [`ShardTrace`], a [`SanitizerReport`]
+//! summarizes what each shard actually touched and surfaces any
+//! cross-shard overlap — a data race the static pass claimed impossible.
+//!
+//! The types are always compiled (so overlap detection itself is unit
+//! tested everywhere); [`ParallelBackend`](crate::ParallelBackend) only
+//! *produces* reports when the `sanitize` cargo feature is enabled, since
+//! tracing every access costs memory proportional to the reachable set.
+
+use ickp_core::ShardTrace;
+use ickp_heap::ObjectId;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One cross-shard access conflict: `object` was visited by both shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOverlap {
+    /// The object touched twice.
+    pub object: ObjectId,
+    /// The two offending shards, lowest first.
+    pub shards: (usize, usize),
+}
+
+/// What the access sanitizer observed during one parallel checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// `true` when the checkpoint rode the journal fast path: no shard
+    /// workers ran, so there is nothing to race.
+    pub fast_path: bool,
+    /// Number of shard workers that ran.
+    pub shards: usize,
+    /// Objects each shard visited, in shard order.
+    pub objects_per_shard: Vec<usize>,
+    /// Every object visited by more than one shard. A sound plan makes
+    /// this empty; any entry is a data race.
+    pub overlaps: Vec<AccessOverlap>,
+}
+
+impl SanitizerReport {
+    /// Builds the report from a traced parallel checkpoint.
+    pub fn from_trace(trace: &ShardTrace) -> SanitizerReport {
+        let mut touched: HashMap<ObjectId, usize> = HashMap::new();
+        let mut overlaps = Vec::new();
+        let mut objects_per_shard = Vec::with_capacity(trace.shards.len());
+        for (shard, access) in trace.shards.iter().enumerate() {
+            objects_per_shard.push(access.visited.len());
+            for &id in &access.visited {
+                match touched.get(&id) {
+                    Some(&first) if first != shard => {
+                        overlaps.push(AccessOverlap { object: id, shards: (first, shard) });
+                    }
+                    Some(_) => {}
+                    None => {
+                        touched.insert(id, shard);
+                    }
+                }
+            }
+        }
+        SanitizerReport {
+            fast_path: trace.fast_path,
+            shards: trace.shards.len(),
+            objects_per_shard,
+            overlaps,
+        }
+    }
+
+    /// `true` when no object was touched by two shards.
+    pub fn is_clean(&self) -> bool {
+        self.overlaps.is_empty()
+    }
+
+    /// Renders the report: one line per overlap plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for overlap in &self.overlaps {
+            let _ = writeln!(
+                out,
+                "overlap: object {:?} visited by shard {} and shard {}",
+                overlap.object, overlap.shards.0, overlap.shards.1
+            );
+        }
+        if self.fast_path {
+            out.push_str("fast path: no shard workers ran, 0 overlap(s)");
+        } else {
+            let _ = write!(
+                out,
+                "{} shard(s), {} object(s) visited, {} overlap(s)",
+                self.shards,
+                self.objects_per_shard.iter().sum::<usize>(),
+                self.overlaps.len()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ickp_core::{ShardAccess, TraversalStats};
+    use ickp_heap::{ClassRegistry, FieldType, Heap};
+
+    fn ids(n: usize) -> Vec<ObjectId> {
+        let mut reg = ClassRegistry::new();
+        let class = reg.define("N", None, &[("v", FieldType::Int)]).unwrap();
+        let mut heap = Heap::new(reg);
+        (0..n).map(|_| heap.alloc(class).unwrap()).collect()
+    }
+
+    fn access(visited: Vec<ObjectId>) -> ShardAccess {
+        ShardAccess { recorded: visited.clone(), visited, stats: TraversalStats::default() }
+    }
+
+    #[test]
+    fn disjoint_traces_are_clean() {
+        let objects = ids(4);
+        let trace = ShardTrace {
+            fast_path: false,
+            shards: vec![access(objects[..2].to_vec()), access(objects[2..].to_vec())],
+        };
+        let report = SanitizerReport::from_trace(&trace);
+        assert!(report.is_clean());
+        assert_eq!(report.objects_per_shard, vec![2, 2]);
+        assert!(report.render().contains("4 object(s) visited, 0 overlap(s)"));
+    }
+
+    #[test]
+    fn a_cross_shard_access_is_reported_with_both_shards() {
+        let objects = ids(3);
+        let trace = ShardTrace {
+            fast_path: false,
+            shards: vec![
+                access(vec![objects[0], objects[1]]),
+                access(vec![objects[2]]),
+                access(vec![objects[1], objects[2]]),
+            ],
+        };
+        let report = SanitizerReport::from_trace(&trace);
+        assert!(!report.is_clean());
+        assert_eq!(report.overlaps.len(), 2);
+        assert_eq!(report.overlaps[0].shards, (0, 2));
+        assert_eq!(report.overlaps[1].shards, (1, 2));
+        assert!(report.render().contains("visited by shard 1 and shard 2"));
+    }
+
+    #[test]
+    fn revisits_within_one_shard_are_not_overlaps() {
+        let objects = ids(1);
+        let trace =
+            ShardTrace { fast_path: false, shards: vec![access(vec![objects[0], objects[0]])] };
+        assert!(SanitizerReport::from_trace(&trace).is_clean());
+    }
+
+    #[test]
+    fn fast_path_traces_are_trivially_clean() {
+        let trace = ShardTrace { fast_path: true, shards: Vec::new() };
+        let report = SanitizerReport::from_trace(&trace);
+        assert!(report.is_clean() && report.fast_path);
+        assert!(report.render().contains("fast path"));
+    }
+}

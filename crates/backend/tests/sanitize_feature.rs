@@ -1,0 +1,78 @@
+//! End-to-end behaviour of the `sanitize` feature: the parallel backend
+//! produces a sanitizer verdict per checkpoint, clean plans stay clean,
+//! the journal fast path is marked, and tracing never perturbs the
+//! record bytes.
+//!
+//! Compiled only with `--features sanitize`.
+#![cfg(feature = "sanitize")]
+
+use ickp_backend::ParallelBackend;
+use ickp_heap::{ClassRegistry, FieldType, Heap, ObjectId, Value};
+
+fn world(n: usize) -> (Heap, Vec<ObjectId>) {
+    let mut reg = ClassRegistry::new();
+    let node =
+        reg.define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
+    let mut heap = Heap::new(reg);
+    let mut roots = Vec::new();
+    for i in 0..n {
+        let tail = heap.alloc(node).unwrap();
+        let head = heap.alloc(node).unwrap();
+        heap.set_field(head, 0, Value::Int(i as i32)).unwrap();
+        heap.set_field(head, 1, Value::Ref(Some(tail))).unwrap();
+        roots.push(head);
+    }
+    (heap, roots)
+}
+
+#[test]
+fn every_checkpoint_carries_a_clean_sanitizer_verdict() {
+    let (mut heap, roots) = world(12);
+    let mut backend = ParallelBackend::new(4, heap.registry());
+    assert!(backend.sanitizer_report().is_none(), "no verdict before the first checkpoint");
+
+    let record = backend.checkpoint(&mut heap, &roots).unwrap();
+    let report = backend.sanitizer_report().expect("sanitize feature traces every checkpoint");
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(!report.fast_path);
+    assert_eq!(report.shards, 4);
+    assert_eq!(
+        report.objects_per_shard.iter().sum::<usize>() as u64,
+        record.stats().objects_visited
+    );
+}
+
+#[test]
+fn fast_path_checkpoints_are_marked_raceless() {
+    let (mut heap, roots) = world(6);
+    let mut backend = ParallelBackend::new(3, heap.registry());
+    backend.checkpoint(&mut heap, &roots).unwrap();
+    // Nothing dirty: served from the journal, no shard workers.
+    backend.checkpoint(&mut heap, &roots).unwrap();
+    let report = backend.sanitizer_report().unwrap();
+    assert!(report.fast_path && report.is_clean());
+    assert_eq!(report.shards, 0);
+}
+
+#[test]
+fn tracing_does_not_perturb_the_record_bytes() {
+    let (mut heap, roots) = world(9);
+    let (mut ref_heap, ref_roots) = world(9);
+    let mut traced = ParallelBackend::new(3, heap.registry());
+    let mut reference = ickp_core::Checkpointer::new(ickp_core::CheckpointConfig::incremental());
+    let table = ickp_core::MethodTable::derive(ref_heap.registry());
+    let a = traced.checkpoint(&mut heap, &roots).unwrap();
+    let b = reference.checkpoint_parallel(&mut ref_heap, &table, &ref_roots, 3).unwrap();
+    assert_eq!(a.bytes(), b.bytes());
+    assert_eq!(a.stats(), b.stats());
+}
+
+#[test]
+fn checkpoint_into_also_sanitizes() {
+    let (mut heap, roots) = world(5);
+    let mut backend = ParallelBackend::new(2, heap.registry());
+    let mut store = ickp_core::CheckpointStore::new();
+    backend.checkpoint_into(&mut heap, &roots, &mut store).unwrap();
+    assert!(backend.sanitizer_report().unwrap().is_clean());
+    assert_eq!(store.len(), 1);
+}

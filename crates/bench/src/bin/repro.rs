@@ -8,7 +8,9 @@
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
 //! `table2`, or `all`. Absolute numbers are machine-dependent; the
 //! *shape* (who wins, by what factor, where the crossovers are) is the
-//! reproduction target. See EXPERIMENTS.md.
+//! reproduction target. See EXPERIMENTS.md. The `audit`, `crashes`, and
+//! `shards` subcommands are deterministic correctness gates whose exit
+//! codes feed CI; they run alone, not under `all`.
 
 use ickp_analysis::Phase;
 use ickp_backend::Engine;
@@ -50,7 +52,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--filters needs a number"))
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "journal" | "audit" | "crashes" | "all" => experiment = arg.clone(),
+            | "journal" | "audit" | "crashes" | "shards" | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -66,6 +68,13 @@ fn main() {
     // benchmark. Runs alone; its exit code feeds CI.
     if experiment == "crashes" {
         std::process::exit(crashes());
+    }
+
+    // And the shard-interference audit: proves every in-repo shard plan
+    // disjoint, complete, and deterministic, then cross-validates the
+    // static footprints against the traced engine. Exit code feeds CI.
+    if experiment == "shards" {
+        std::process::exit(shards());
     }
 
     println!("# ickp reproduction — {experiment}");
@@ -103,7 +112,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|all] \
          [--structures N] [--rounds R] [--filters F]"
     );
     std::process::exit(2);
@@ -288,6 +297,106 @@ fn crashes() -> i32 {
         0
     } else {
         println!("\ncrash matrix FAILED: {failures} workload(s)");
+        1
+    }
+}
+
+// ---------------------------------------------------------------- shards
+
+/// Audits the first-touch shard decomposition of every in-repo heap at
+/// 1/2/4/8 shards (`ickp_audit::audit_shards`: disjointness, coverage,
+/// deterministic ownership, imbalance), then cross-validates the static
+/// footprints against the traced parallel engine
+/// (`ickp_audit::cross_validate_shards`). Deterministic; returns the
+/// process exit code (1 if any AUD20x error or dynamic inconsistency).
+fn shards() -> i32 {
+    use ickp_analysis::{AnalysisEngine, Division};
+    use ickp_audit::{audit_shards, cross_validate_shards};
+    use ickp_heap::{partition_roots, Heap, ObjectId};
+    use ickp_synth::{SynthConfig, SynthWorld};
+
+    println!("# ickp shards — shard-interference audit + dynamic cross-validation\n");
+
+    // Subjects: the synthetic benchmark world and the analysis engine's
+    // attribute heap as its binding-time phase sees it.
+    let mut subjects: Vec<(String, Heap, Vec<ObjectId>)> = Vec::new();
+    {
+        let world = SynthWorld::build(SynthConfig::small()).expect("world builds");
+        subjects.push(("synth[small]".into(), world.heap().clone(), world.roots().to_vec()));
+    }
+    {
+        let program =
+            ickp_minic::parse("int d; int s; void main() { s = d + 1; }").expect("parses");
+        let division = Division { dynamic_globals: vec!["d".to_string()] };
+        let mut engine = AnalysisEngine::new(program, division).expect("engine builds");
+        let mut captured = None;
+        engine
+            .run_phase(Phase::BindingTime, |heap, attrs, _| {
+                captured = Some((heap.clone(), attrs.to_vec()));
+                Ok(())
+            })
+            .expect("phase runs");
+        let (heap, attrs) = captured.expect("the phase iterates at least once");
+        subjects.push(("engine[sample]".into(), heap, attrs));
+    }
+
+    let mut failures = 0usize;
+    for (name, heap, roots) in &subjects {
+        for workers in [1usize, 2, 4, 8] {
+            let plan = match partition_roots(heap, roots, workers) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    println!("{name} @ {workers} shard(s): planning FAILED — {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let audit = match audit_shards(heap, roots, &plan) {
+                Ok(audit) => audit,
+                Err(e) => {
+                    println!("{name} @ {workers} shard(s): audit FAILED — {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let objects: Vec<usize> = audit.footprints.iter().map(|f| f.objects.len()).collect();
+            let static_verdict = if audit.report.is_clean() {
+                "clean".to_string()
+            } else if audit.report.has_errors() {
+                failures += 1;
+                format!("INTERFERENCE\n{}", audit.report.render())
+            } else {
+                // Perf lints (AUD205) report, but do not gate.
+                format!("lint\n{}", audit.report.render())
+            };
+            let dynamic_verdict = match cross_validate_shards(heap, roots, workers) {
+                Ok(oracle) if oracle.is_consistent() => "observation ⊆ analysis".to_string(),
+                Ok(oracle) => {
+                    failures += 1;
+                    format!(
+                        "INCONSISTENT ({} escape(s), {} overlap(s))",
+                        oracle.escapes.len(),
+                        oracle.overlaps.len()
+                    )
+                }
+                Err(e) => {
+                    failures += 1;
+                    format!("FAILED — {e}")
+                }
+            };
+            println!(
+                "{name} @ {workers} shard(s): static {static_verdict}; per-shard objects \
+                 {objects:?}; dynamic {dynamic_verdict}"
+            );
+        }
+        println!();
+    }
+
+    if failures == 0 {
+        println!("shard audit passed: every plan disjoint, complete, and deterministic");
+        0
+    } else {
+        println!("shard audit FAILED: {failures} subject(s)");
         1
     }
 }

@@ -198,6 +198,9 @@ pub struct Checkpointer {
     pub(crate) cache: Option<JournalCache>,
     /// Shard-plan cache for `checkpoint_parallel` (same validity rule).
     pub(crate) plan_cache: Option<crate::parallel::PlanCache>,
+    /// Per-shard counters of the most recent parallel checkpoint (one
+    /// entry per shard; a single entry after a journal fast path).
+    pub(crate) last_shard_stats: Vec<TraversalStats>,
     /// Recycles encode buffers between checkpoints (see [`BufferPool`]).
     pub(crate) pool: BufferPool,
     /// Reusable `(position, id)` scratch for the fast path's sort.
@@ -213,6 +216,7 @@ impl Checkpointer {
             cumulative: TraversalStats::default(),
             cache: None,
             plan_cache: None,
+            last_shard_stats: Vec::new(),
             pool: BufferPool::default(),
             scratch: Vec::new(),
         }
@@ -240,6 +244,18 @@ impl Checkpointer {
     /// Counters summed over every checkpoint taken so far.
     pub fn cumulative_stats(&self) -> TraversalStats {
         self.cumulative
+    }
+
+    /// Per-shard counters of the most recent parallel checkpoint, in
+    /// shard (= stream merge) order. Each entry's `bytes_written` is that
+    /// shard's record-body bytes, so the split can be compared against
+    /// the static per-shard byte estimate of the `AUD205` imbalance lint.
+    ///
+    /// Empty until [`Checkpointer::checkpoint_parallel`] (or the traced
+    /// variant) has run; a journal fast-path checkpoint leaves a single
+    /// entry, since no shard workers ran.
+    pub fn shard_stats(&self) -> &[TraversalStats] {
+        &self.last_shard_stats
     }
 
     /// Takes one checkpoint of everything reachable from `roots`.

@@ -72,6 +72,7 @@ pub use compact::compact;
 pub use error::CoreError;
 pub use journal::{journal_dirty_set, JournalCache, JournalCacheBuilder};
 pub use methods::{FoldFn, MethodTable, RecordFn};
+pub use parallel::{ShardAccess, ShardTrace};
 pub use persist::{load_store, save_store, MAX_RECORD_LEN};
 pub use pool::BufferPool;
 pub use restore::{restore, verify_restore, RestorePolicy, RestoredHeap};

@@ -51,6 +51,33 @@ impl PlanCache {
     }
 }
 
+/// What one shard actually touched during a traced parallel checkpoint.
+///
+/// This is the *dynamic* counterpart of the static shard footprint that
+/// `ickp-audit`'s `audit_shards` computes: the access sanitizer in
+/// `ickp-backend` compares the two, and the audit crate's cross-validator
+/// asserts `visited` ⊆ the static footprint on randomized heaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAccess {
+    /// Every object the shard visited, in visit order.
+    pub visited: Vec<ObjectId>,
+    /// The subset of `visited` the shard emitted a record for.
+    pub recorded: Vec<ObjectId>,
+    /// The shard's traversal counters; `bytes_written` is the shard's
+    /// share of the record body (headers excluded).
+    pub stats: TraversalStats,
+}
+
+/// Per-shard access sets observed while producing one parallel checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTrace {
+    /// `true` when the checkpoint was served by the journal fast path:
+    /// no shard workers ran, and `shards` is empty.
+    pub fast_path: bool,
+    /// One entry per shard, in shard (= stream merge) order.
+    pub shards: Vec<ShardAccess>,
+}
+
 /// What one worker hands back: its record bytes plus deferred bookkeeping.
 struct ShardOutput {
     body: Vec<u8>,
@@ -177,6 +204,42 @@ impl Checkpointer {
         roots: &[ObjectId],
         workers: usize,
     ) -> Result<CheckpointRecord, CoreError> {
+        self.checkpoint_parallel_impl(heap, methods, roots, workers, false)
+            .map(|(record, _)| record)
+    }
+
+    /// [`Checkpointer::checkpoint_parallel`], additionally returning the
+    /// per-shard access sets observed during the traversal.
+    ///
+    /// The record is byte-for-byte the same either way; tracing only adds
+    /// bookkeeping (each shard keeps its visit order and recorded set).
+    /// This is the probe behind the `sanitize` feature of `ickp-backend`
+    /// and the shard-audit cross-validator: the returned [`ShardTrace`]
+    /// is what the shards *actually* touched, to be checked against what
+    /// the static analysis said they *may* touch.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Checkpointer::checkpoint_parallel`].
+    pub fn checkpoint_parallel_traced(
+        &mut self,
+        heap: &mut Heap,
+        methods: &MethodTable,
+        roots: &[ObjectId],
+        workers: usize,
+    ) -> Result<(CheckpointRecord, ShardTrace), CoreError> {
+        self.checkpoint_parallel_impl(heap, methods, roots, workers, true)
+            .map(|(record, trace)| (record, trace.expect("tracing was requested")))
+    }
+
+    fn checkpoint_parallel_impl(
+        &mut self,
+        heap: &mut Heap,
+        methods: &MethodTable,
+        roots: &[ObjectId],
+        workers: usize,
+        trace: bool,
+    ) -> Result<(CheckpointRecord, Option<ShardTrace>), CoreError> {
         let seq = self.next_seq;
         let kind = self.config.kind;
         let root_ids: Vec<StableId> =
@@ -185,13 +248,17 @@ impl Checkpointer {
             // The fast path emits O(modified) records sequentially; there
             // is nothing left to parallelize, and the output is the same
             // byte-identical stream either way.
-            return self.checkpoint_from_journal(heap, methods, root_ids);
+            let record = self.checkpoint_from_journal(heap, methods, root_ids)?;
+            self.last_shard_stats = vec![record.stats()];
+            let fast = trace.then(|| ShardTrace { fast_path: true, shards: Vec::new() });
+            return Ok((record, fast));
         }
         let plan = match self.plan_cache.take() {
             Some(cached) if cached.matches(heap, roots, workers) => cached.plan,
             _ => partition_roots(heap, roots, workers)?,
         };
-        let collect_order = self.config.journal && kind == CheckpointKind::Incremental;
+        let journal_wanted = self.config.journal && kind == CheckpointKind::Incremental;
+        let collect_order = journal_wanted || trace;
 
         let outputs: Vec<Result<ShardOutput, CoreError>> = std::thread::scope(|scope| {
             let heap = &*heap;
@@ -209,11 +276,25 @@ impl Checkpointer {
         let (mut writer, reused) = self.writer_for(seq, kind, &root_ids);
         let mut stats = TraversalStats::default();
         let mut to_reset: Vec<ObjectId> = Vec::new();
-        let mut builder = collect_order.then(|| JournalCache::builder(heap, roots));
+        let mut builder = journal_wanted.then(|| JournalCache::builder(heap, roots));
+        let mut accesses = trace.then(Vec::new);
+        self.last_shard_stats.clear();
         for output in outputs {
-            let out = output?;
+            let mut out = output?;
+            // Per-shard bytes are this shard's body; the aggregate
+            // `bytes_written` is replaced by the full stream length below,
+            // so the sum here never leaks into the record's stats.
+            out.stats.bytes_written = out.body.len() as u64;
             writer.append_shard(&out.body, out.records);
             stats += out.stats;
+            self.last_shard_stats.push(out.stats);
+            if let Some(accesses) = &mut accesses {
+                accesses.push(ShardAccess {
+                    visited: out.visit_order.clone(),
+                    recorded: out.recorded.clone(),
+                    stats: out.stats,
+                });
+            }
             to_reset.extend(out.recorded);
             if let Some(builder) = &mut builder {
                 // Shard visit orders concatenated in shard order are the
@@ -243,7 +324,9 @@ impl Checkpointer {
         let bytes = writer.finish();
         self.next_seq += 1;
         self.cumulative += stats;
-        Ok(CheckpointRecord::pooled(seq, kind, root_ids, bytes, stats, self.pool.clone()))
+        let record = CheckpointRecord::pooled(seq, kind, root_ids, bytes, stats, self.pool.clone());
+        let shard_trace = accesses.map(|shards| ShardTrace { fast_path: false, shards });
+        Ok((record, shard_trace))
     }
 }
 
@@ -375,6 +458,59 @@ mod tests {
             .checkpoint_parallel(&mut heap, &table, &roots, 3)
             .unwrap();
         assert_eq!(sharded.bytes(), reference.bytes());
+    }
+
+    #[test]
+    fn traced_checkpoint_reports_disjoint_accesses_in_merge_order() {
+        let (mut heap, table, roots) = world(8);
+        let mut reference_heap = heap.clone();
+        let reference = Checkpointer::new(CheckpointConfig::full())
+            .checkpoint(&mut reference_heap, &table, &roots)
+            .unwrap();
+        let mut ckp = Checkpointer::new(CheckpointConfig::full());
+        let (record, trace) = ckp.checkpoint_parallel_traced(&mut heap, &table, &roots, 4).unwrap();
+        assert_eq!(record.bytes(), reference.bytes(), "tracing never perturbs the stream");
+        assert!(!trace.fast_path);
+        assert_eq!(trace.shards.len(), 4);
+
+        // Visit orders are pairwise disjoint and concatenate to the
+        // sequential pre-order; full checkpoints record what they visit.
+        let mut seen = std::collections::HashSet::new();
+        let mut merged = Vec::new();
+        for access in &trace.shards {
+            assert_eq!(access.visited, access.recorded);
+            for &id in &access.visited {
+                assert!(seen.insert(id), "object {id:?} touched by two shards");
+            }
+            merged.extend(access.visited.iter().copied());
+        }
+        assert_eq!(merged, ickp_heap::reachable_from(&heap, &roots).unwrap());
+
+        // The surfaced per-shard stats are the trace's, and the per-shard
+        // body bytes sum to the full stream minus its header/footer.
+        let shard_stats: Vec<_> = trace.shards.iter().map(|a| a.stats).collect();
+        assert_eq!(ckp.shard_stats(), &shard_stats[..]);
+        let body: u64 = shard_stats.iter().map(|s| s.bytes_written).sum();
+        assert!(body < record.stats().bytes_written);
+        assert_eq!(
+            shard_stats.iter().map(|s| s.objects_recorded).sum::<u64>(),
+            record.stats().objects_recorded
+        );
+    }
+
+    #[test]
+    fn fast_path_trace_is_marked_and_has_no_shards() {
+        let (mut heap, table, roots) = world(4);
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let (_, first) = ckp.checkpoint_parallel_traced(&mut heap, &table, &roots, 2).unwrap();
+        assert!(!first.fast_path);
+        assert_eq!(ckp.shard_stats().len(), 2);
+        // Nothing dirty: the journal serves the next one sequentially.
+        let (record, second) =
+            ckp.checkpoint_parallel_traced(&mut heap, &table, &roots, 2).unwrap();
+        assert!(second.fast_path);
+        assert!(second.shards.is_empty());
+        assert_eq!(ckp.shard_stats(), &[record.stats()]);
     }
 
     #[test]

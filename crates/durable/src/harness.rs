@@ -20,7 +20,6 @@ use std::collections::HashMap;
 use crate::error::DurableError;
 use crate::fail::{FailFs, FaultPlan};
 use crate::store::{DurableConfig, DurableStore};
-use crate::vfs::FsError;
 use ickp_core::{decode, restore, CheckpointRecord, CoreError, RestorePolicy, RestoredHeap};
 use ickp_heap::{ClassRegistry, Heap};
 use std::error::Error;
@@ -31,6 +30,9 @@ use std::fmt;
 pub enum CrashMatrixError {
     /// The fault-free baseline run itself failed.
     Baseline(DurableError),
+    /// The fault-free baseline of a driven run failed or diverged from
+    /// the expected records.
+    BaselineDriver(String),
     /// The durability invariant broke at one crash point.
     Invariant {
         /// The mutating-operation index the crash was injected at.
@@ -44,6 +46,9 @@ impl fmt::Display for CrashMatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CrashMatrixError::Baseline(e) => write!(f, "baseline run failed: {e}"),
+            CrashMatrixError::BaselineDriver(what) => {
+                write!(f, "driven baseline run failed: {what}")
+            }
             CrashMatrixError::Invariant { crash_at, what } => {
                 write!(f, "crash at op {crash_at}: {what}")
             }
@@ -94,20 +99,87 @@ pub fn enumerate_crash_points<V>(
     registry: &ClassRegistry,
     records: &[CheckpointRecord],
     config: DurableConfig,
-    mut verify_state: V,
+    verify_state: V,
 ) -> Result<CrashMatrixReport, CrashMatrixError>
 where
     V: FnMut(usize, &RestoredHeap) -> Option<String>,
 {
-    // Fault-free baseline: count the mutating I/O operations.
+    enumerate_crash_points_driven(
+        registry,
+        records,
+        config,
+        |fs, acked| {
+            let mut store = DurableStore::create(fs, config).map_err(describe)?;
+            for record in records {
+                store.append(record).map_err(describe)?;
+                *acked += 1;
+            }
+            Ok(())
+        },
+        verify_state,
+    )
+}
+
+/// Maps a driver error to the harness's message form, keeping the typed
+/// crash recognizable (the driven harness re-checks `FailFs::crashed`, so
+/// the string is only ever shown for *unexpected* failures).
+fn describe<E: fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// [`enumerate_crash_points`] for workloads that *produce* their records
+/// while writing — the parallel backend streaming `checkpoint_into` a
+/// [`DurableStore`] — rather than appending a pre-built list.
+///
+/// `drive` must rebuild the identical deterministic workload on every
+/// call: given a fresh [`FailFs`], it creates the store, runs the
+/// workload, and increments `acked` after each acknowledged append. Any
+/// error is returned as a string; the harness decides from
+/// [`FailFs::crashed`] whether it was the injected crash propagating
+/// (expected) or a real failure. `expected` is the record sequence of a
+/// fault-free run (obtained by the caller, e.g. against an in-memory
+/// sink); the harness validates the baseline against it and holds every
+/// recovery to the byte-identical acknowledged prefix of it.
+///
+/// # Errors
+///
+/// [`CrashMatrixError::BaselineDriver`] if the fault-free drive fails or
+/// diverges from `expected`; [`CrashMatrixError::Invariant`] with the
+/// offending crash index if any replay breaks the invariant.
+pub fn enumerate_crash_points_driven<D, V>(
+    registry: &ClassRegistry,
+    expected: &[CheckpointRecord],
+    config: DurableConfig,
+    mut drive: D,
+    mut verify_state: V,
+) -> Result<CrashMatrixReport, CrashMatrixError>
+where
+    D: FnMut(&mut FailFs, &mut usize) -> Result<(), String>,
+    V: FnMut(usize, &RestoredHeap) -> Option<String>,
+{
+    // Fault-free baseline: count the mutating I/O operations and prove
+    // the driver reproduces the expected records on disk.
     let mut baseline = FailFs::new(FaultPlan::none());
-    {
-        let mut store = DurableStore::create(&mut baseline, config)?;
-        for record in records {
-            store.append(record)?;
-        }
+    let mut baseline_acked = 0usize;
+    drive(&mut baseline, &mut baseline_acked).map_err(CrashMatrixError::BaselineDriver)?;
+    if baseline_acked != expected.len() {
+        return Err(CrashMatrixError::BaselineDriver(format!(
+            "baseline acknowledged {baseline_acked} records, expected {}",
+            expected.len()
+        )));
     }
     let total_ops = baseline.ops();
+    let mut disk = baseline.into_recovered();
+    let (_, on_disk) = DurableStore::open(&mut disk, config, registry)
+        .map_err(|e| CrashMatrixError::BaselineDriver(format!("baseline reopen failed: {e}")))?;
+    for (want, got) in expected.iter().zip(on_disk.records()) {
+        if want.bytes() != got.bytes() {
+            return Err(CrashMatrixError::BaselineDriver(format!(
+                "baseline record seq {} diverges from the expected workload",
+                got.seq()
+            )));
+        }
+    }
 
     let mut acked_per_point = Vec::with_capacity(total_ops as usize);
     for crash_at in 0..total_ops {
@@ -116,21 +188,11 @@ where
         // Replay until the injected crash kills the run.
         let mut fs = FailFs::new(FaultPlan::crash_at(crash_at));
         let mut acked = 0usize;
-        let outcome = (|| {
-            let mut store = DurableStore::create(&mut fs, config)?;
-            for record in records {
-                store.append(record)?;
-                acked += 1;
-            }
-            Ok::<(), DurableError>(())
-        })();
+        let outcome = drive(&mut fs, &mut acked);
         match outcome {
-            Err(DurableError::Fs(FsError::Crashed)) => {}
-            Err(other) => return Err(fail(format!("unexpected append error: {other}"))),
+            Err(_) if fs.crashed() => {}
+            Err(what) => return Err(fail(format!("run errored without the crash firing: {what}"))),
             Ok(()) => return Err(fail("crash point was never reached".into())),
-        }
-        if !fs.crashed() {
-            return Err(fail("run errored without the crash firing".into()));
         }
 
         // Reboot: recover from what survived on disk.
@@ -145,7 +207,7 @@ where
                 recovered.len()
             )));
         }
-        for (appended, got) in records.iter().zip(recovered.records()) {
+        for (appended, got) in expected.iter().zip(recovered.records()) {
             if appended.seq() != got.seq() {
                 return Err(fail(format!(
                     "recovered seq {} where {} was appended",
@@ -169,24 +231,24 @@ where
 
         // A recovered store must be fully usable: finish the workload and
         // confirm a final clean reopen sees everything.
-        for record in &records[acked..] {
+        for record in &expected[acked..] {
             store.append(record).map_err(|e| fail(format!("post-recovery append failed: {e}")))?;
         }
         drop(store);
         let (_, full) = DurableStore::open(&mut disk, config, registry)
             .map_err(|e| fail(format!("post-recovery reopen failed: {e}")))?;
-        if full.len() != records.len() {
+        if full.len() != expected.len() {
             return Err(fail(format!(
                 "store finished with {} records, expected {}",
                 full.len(),
-                records.len()
+                expected.len()
             )));
         }
 
         acked_per_point.push(acked);
     }
 
-    Ok(CrashMatrixReport { total_ops, records: records.len(), acked: acked_per_point })
+    Ok(CrashMatrixReport { total_ops, records: expected.len(), acked: acked_per_point })
 }
 
 /// Re-marks as modified every object that `record` captured and that is

@@ -66,6 +66,9 @@ mod vfs;
 pub use crc::crc32;
 pub use error::DurableError;
 pub use fail::{FailFs, FaultPlan};
-pub use harness::{enumerate_crash_points, redirty_record, CrashMatrixError, CrashMatrixReport};
+pub use harness::{
+    enumerate_crash_points, enumerate_crash_points_driven, redirty_record, CrashMatrixError,
+    CrashMatrixReport,
+};
 pub use store::{segment_name, DurableConfig, DurableStore, FORMAT_VERSION, MANIFEST};
 pub use vfs::{FsError, MemFs, StdFs, Vfs};

@@ -228,31 +228,54 @@ impl ShardPlan {
         }
         counts
     }
+
+    /// The objects `shard` owns, in the order its worker visits (and, for
+    /// a full checkpoint, records) them: depth-first from the shard's
+    /// roots, pruned at every foreign object.
+    ///
+    /// This is the per-shard *footprint* of the parallel engine — exactly
+    /// the traversal `ickp_core::Checkpointer::checkpoint_parallel`
+    /// performs per worker — exposed so static analyses (the shard audit
+    /// in `ickp-audit`) and tests can reason about what each worker may
+    /// touch without running the engine. Concatenating the results for
+    /// shard `0, 1, …` reproduces the global depth-first pre-order
+    /// (invariant 2 above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DanglingObject`] if a traversed reference
+    /// points at a freed object.
+    pub fn shard_preorder(&self, heap: &Heap, shard: usize) -> Result<Vec<ObjectId>, HeapError> {
+        let mut order = Vec::new();
+        let mut seen: HashSet<ObjectId> = HashSet::new();
+        let mut stack: Vec<ObjectId> = self.shards[shard].iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            if !self.owns(shard, id) || !seen.insert(id) {
+                continue;
+            }
+            order.push(id);
+            let obj = heap.object(id)?;
+            for value in obj.fields().iter().rev() {
+                if let Value::Ref(Some(child)) = value {
+                    stack.push(*child);
+                }
+            }
+        }
+        Ok(order)
+    }
 }
 
-/// Splits `roots` into at most `shards` contiguous chunks and assigns every
-/// reachable object to its first-touch owner shard.
-///
-/// The pre-pass is one sequential depth-first traversal (the same order as
-/// [`reachable_from`]); an object shared between shards is owned by the
-/// lowest-index shard that reaches it, which keeps ownership deterministic
-/// and independent of any later parallel execution schedule. A `shards`
-/// value of 0 is treated as 1; empty chunks are dropped, so
-/// [`ShardPlan::num_shards`] may be less than `shards`.
-///
-/// # Errors
-///
-/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
-/// a freed object.
-pub fn partition_roots(
-    heap: &Heap,
-    roots: &[ObjectId],
-    shards: usize,
-) -> Result<ShardPlan, HeapError> {
+/// Splits `roots` into at most `shards` contiguous, balanced chunks: the
+/// first `len % shards` chunks get one extra root, empty chunks are
+/// dropped. Contiguity (not round-robin) is what makes shard-order
+/// concatenation equal the sequential traversal order, so every shard
+/// assignment in this crate goes through this function.
+pub fn chunk_roots(roots: &[ObjectId], shards: usize) -> Vec<Vec<ObjectId>> {
     let shards = shards.max(1).min(roots.len().max(1));
-    // Contiguous, balanced chunks: the first `len % shards` chunks get one
-    // extra root. Contiguity (not round-robin) is what makes shard-order
-    // concatenation equal the sequential traversal order.
     let base = roots.len() / shards;
     let extra = roots.len() % shards;
     let mut chunks: Vec<Vec<ObjectId>> = Vec::with_capacity(shards);
@@ -263,7 +286,21 @@ pub fn partition_roots(
         next += len;
     }
     chunks.retain(|c| !c.is_empty());
+    chunks
+}
 
+/// Assigns every object reachable from `chunks` to its **first-touch
+/// owner**: the lowest-index chunk whose depth-first traversal reaches it
+/// first. This is the ownership pre-pass behind [`partition_roots`],
+/// exposed separately so callers with a non-contiguous or hand-built
+/// chunking (tests, the shard audit) can compute the same deterministic
+/// prediction the parallel engine relies on.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points
+/// at a freed object.
+pub fn first_touch_plan(heap: &Heap, chunks: Vec<Vec<ObjectId>>) -> Result<ShardPlan, HeapError> {
     let mut owner: Vec<u32> = vec![UNOWNED; heap.arena_size()];
     let mut objects = 0usize;
     for (index, chunk) in chunks.iter().enumerate() {
@@ -285,6 +322,28 @@ pub fn partition_roots(
         }
     }
     Ok(ShardPlan { shards: chunks, owner, objects })
+}
+
+/// Splits `roots` into at most `shards` contiguous chunks and assigns every
+/// reachable object to its first-touch owner shard.
+///
+/// The pre-pass is one sequential depth-first traversal (the same order as
+/// [`reachable_from`]); an object shared between shards is owned by the
+/// lowest-index shard that reaches it, which keeps ownership deterministic
+/// and independent of any later parallel execution schedule. A `shards`
+/// value of 0 is treated as 1; empty chunks are dropped, so
+/// [`ShardPlan::num_shards`] may be less than `shards`.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object.
+pub fn partition_roots(
+    heap: &Heap,
+    roots: &[ObjectId],
+    shards: usize,
+) -> Result<ShardPlan, HeapError> {
+    first_touch_plan(heap, chunk_roots(roots, shards))
 }
 
 #[cfg(test)]
@@ -463,6 +522,49 @@ mod tests {
             }
             assert_eq!(merged, sequential, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn shard_preorder_concatenation_is_the_sequential_preorder() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let roots = chains(&mut heap, node, 5);
+        heap.set_field(roots[0], 2, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(roots[3], 2, Value::Ref(Some(shared))).unwrap();
+        let sequential = reachable_from(&heap, &roots).unwrap();
+        for shards in [1, 2, 3, 5] {
+            let plan = partition_roots(&heap, &roots, shards).unwrap();
+            let mut merged = Vec::new();
+            for shard in 0..plan.num_shards() {
+                let slice = plan.shard_preorder(&heap, shard).unwrap();
+                assert_eq!(slice.len(), plan.objects_per_shard()[shard]);
+                merged.extend(slice);
+            }
+            assert_eq!(merged, sequential, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn chunking_and_first_touch_compose_to_partition_roots() {
+        let (mut heap, node) = list_heap();
+        let roots = chains(&mut heap, node, 7);
+        let chunks = chunk_roots(&roots, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.concat(), roots);
+        let composed = first_touch_plan(&heap, chunks).unwrap();
+        let direct = partition_roots(&heap, &roots, 3).unwrap();
+        assert_eq!(composed.num_objects(), direct.num_objects());
+        for id in reachable_from(&heap, &roots).unwrap() {
+            assert_eq!(composed.owner_of(id), direct.owner_of(id));
+        }
+        // Non-contiguous hand-built chunks are accepted: first-touch is a
+        // property of the chunk order, not of contiguity.
+        let scrambled = first_touch_plan(&heap, vec![vec![roots[4]], vec![roots[0], roots[2]]]);
+        let plan = scrambled.unwrap();
+        assert_eq!(plan.num_shards(), 2);
+        assert_eq!(plan.owner_of(roots[4]), Some(0));
+        assert_eq!(plan.owner_of(roots[0]), Some(1));
+        assert_eq!(plan.owner_of(roots[6]), None, "unlisted roots stay unowned");
     }
 
     #[test]

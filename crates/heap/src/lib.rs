@@ -53,7 +53,10 @@ mod value;
 pub use class::{ClassDef, ClassRegistry, FieldDef};
 pub use error::HeapError;
 pub use gc::GcStats;
-pub use graph::{partition_roots, reachable_from, validate_acyclic, ReachError, ShardPlan};
+pub use graph::{
+    chunk_roots, first_touch_plan, partition_roots, reachable_from, validate_acyclic, ReachError,
+    ShardPlan,
+};
 pub use heap::{CheckpointInfo, Heap, HeapStats, Object};
 pub use ids::{ClassId, ObjectId, StableId};
 pub use snapshot::{HeapSnapshot, ObjectState};
