@@ -8,9 +8,9 @@
 //! Experiments: `table1`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
 //! `table2`, or `all`. Absolute numbers are machine-dependent; the
 //! *shape* (who wins, by what factor, where the crossovers are) is the
-//! reproduction target. See EXPERIMENTS.md. The `audit`, `crashes`, and
-//! `shards` subcommands are deterministic correctness gates whose exit
-//! codes feed CI; they run alone, not under `all`.
+//! reproduction target. See EXPERIMENTS.md. The `audit`, `crashes`,
+//! `shards`, and `lifecycle` subcommands are deterministic correctness
+//! gates whose exit codes feed CI; they run alone, not under `all`.
 
 use ickp_analysis::Phase;
 use ickp_backend::Engine;
@@ -52,7 +52,9 @@ fn main() {
                     .unwrap_or_else(|| usage("--filters needs a number"))
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "journal" | "audit" | "crashes" | "shards" | "all" => experiment = arg.clone(),
+            | "journal" | "audit" | "crashes" | "shards" | "lifecycle" | "all" => {
+                experiment = arg.clone()
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -75,6 +77,13 @@ fn main() {
     // static footprints against the traced engine. Exit code feeds CI.
     if experiment == "shards" {
         std::process::exit(shards());
+    }
+
+    // The lifecycle gate: tags, binomial retention, and content-hash
+    // dedup over the checkpoint manager, with every restored heap
+    // verified. Deterministic apart from latencies; exit code feeds CI.
+    if experiment == "lifecycle" {
+        std::process::exit(lifecycle(&opts));
     }
 
     println!("# ickp reproduction — {experiment}");
@@ -112,7 +121,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|lifecycle|all] \
          [--structures N] [--rounds R] [--filters F]"
     );
     std::process::exit(2);
@@ -397,6 +406,169 @@ fn shards() -> i32 {
         0
     } else {
         println!("shard audit FAILED: {failures} subject(s)");
+        1
+    }
+}
+
+// ------------------------------------------------------------- lifecycle
+
+/// Drives the checkpoint manager through a tagged, retained, deduped
+/// history and gates on the ISSUE's acceptance criteria: the chain never
+/// exceeds the retention budget, tags survive retention and resolve by
+/// rollback to the exact tagged heap, and content-hash dedup measurably
+/// shrinks the store versus the same history stored plain. Returns the
+/// process exit code.
+fn lifecycle(opts: &Options) -> i32 {
+    use ickp_bench::timing::median;
+    use ickp_core::{verify_restore, CheckpointConfig, Checkpointer, MethodTable};
+    use ickp_durable::{DurableConfig, MemFs};
+    use ickp_lifecycle::{CheckpointManager, LifecycleConfig, RetentionPolicy};
+    use ickp_synth::{SynthConfig, SynthWorld};
+    use std::time::Instant;
+
+    println!("# ickp lifecycle — tags, binomial retention, content-hash dedup\n");
+    let structures = (opts.structures / 40).max(50);
+    let rounds = 48usize;
+    let budget = 10usize;
+    println!("# structures={structures} rounds={rounds} budget={budget}\n");
+
+    let mut failures = 0usize;
+    let mut fail = |cond: bool, what: &str| {
+        if !cond {
+            println!("FAILED: {what}");
+            failures += 1;
+        }
+    };
+
+    // The same history twice: once deduped, once plain, so the space
+    // comparison is exact. Periodic full checkpoints (every 16 rounds)
+    // model the operational full-plus-increments cadence and are where
+    // recurring subtrees pay off.
+    let mut committed = [0u64; 2];
+    for (which, dedup) in [(0usize, true), (1usize, false)] {
+        let mut world = SynthWorld::build(SynthConfig {
+            structures,
+            lists_per_structure: 5,
+            list_len: 5,
+            ints_per_element: 10,
+            seed: 41,
+        })
+        .expect("world builds");
+        let roots = world.roots().to_vec();
+        let registry = world.heap().registry().clone();
+        let table = MethodTable::derive(world.heap().registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let config = LifecycleConfig {
+            durable: DurableConfig { segment_target_bytes: 256 * 1024 },
+            policy: RetentionPolicy { budget },
+            dedup,
+        };
+        let mut mgr = CheckpointManager::create(MemFs::new(), config, &registry).expect("create");
+
+        let mut tagged: Option<(u64, ickp_heap::Heap)> = None;
+        for round in 0..rounds {
+            if round % 16 == 0 {
+                world.heap_mut().mark_all_modified();
+            } else {
+                // One hot list per structure: the other four are stable
+                // subtrees that every periodic full re-encodes
+                // byte-identically — the dedup target.
+                world.apply_modifications(&mods(20, 1, false));
+            }
+            let record = ckp.checkpoint(world.heap_mut(), &table, &roots).expect("checkpoint");
+            mgr.append(&record).expect("append");
+            if round == rounds / 2 {
+                let seq = mgr.tag("midpoint").expect("tag");
+                tagged = Some((seq, world.heap().clone()));
+            }
+        }
+        let (tag_seq, tag_heap) = tagged.expect("midpoint tagged");
+        // Size the full history here, before retention rewrites it: both
+        // configurations hold byte-identical records at this point, so
+        // the dedup-vs-plain comparison is exact.
+        committed[which] = mgr.store().committed_bytes();
+
+        // Retention: fold to the budget, keeping the tag pinned.
+        let report = mgr.maintain().expect("maintain");
+        let kept: Vec<u64> = mgr.chain().records().iter().map(|r| r.seq()).collect();
+        fail(!report.noop, "maintain must fold a 48-record chain");
+        fail(
+            kept.len() <= budget,
+            &format!("chain over budget after maintain: {} > {budget}", kept.len()),
+        );
+        fail(kept.contains(&tag_seq), "the tagged checkpoint was folded away");
+        fail(
+            report.bytes_after < report.bytes_before,
+            &format!("maintain did not shrink the store: {report:?}"),
+        );
+
+        // The folded tip still restores the live heap, and rolling back
+        // to the tag reproduces the tagged heap exactly.
+        let time_restore = |mgr: &CheckpointManager<MemFs>| {
+            let samples = (0..opts.rounds.max(2))
+                .map(|_| {
+                    let start = Instant::now();
+                    let rebuilt = mgr.restore_latest().expect("restore");
+                    let d = start.elapsed();
+                    assert!(!rebuilt.is_empty());
+                    d
+                })
+                .collect();
+            median(samples)
+        };
+        let restore_tip = time_restore(&mgr);
+        let tip = mgr.restore_latest().expect("restore tip");
+        fail(
+            verify_restore(world.heap(), &roots, &tip).expect("verify").is_none(),
+            "restore after maintain diverged from the live heap",
+        );
+        let start = Instant::now();
+        let rolled = mgr.reset_to("midpoint").expect("reset_to");
+        let reset_latency = start.elapsed();
+        fail(
+            verify_restore(&tag_heap, &roots, &rolled).expect("verify").is_none(),
+            "reset_to(midpoint) diverged from the tagged heap",
+        );
+        fail(mgr.next_seq() == tag_seq + 1, "next_seq must resume at the restore point");
+
+        println!(
+            "dedup={dedup:<5} history {:>10}  append-saved {:>10}  fold-saved {:>10}  chain {:>2} \
+             records (kept seqs {kept:?})",
+            fmt_bytes(committed[which] as usize),
+            fmt_bytes(mgr.stats().dedup.bytes_saved() as usize),
+            fmt_bytes(report.dedup.bytes_saved() as usize),
+            kept.len(),
+        );
+        println!(
+            "             restore(tip) {}  reset_to(midpoint) {}",
+            fmt_duration(restore_tip),
+            fmt_duration(reset_latency),
+        );
+        if dedup {
+            fail(
+                mgr.stats().dedup.bytes_saved() > 0,
+                "dedup saved zero bytes on a history with recurring subtrees",
+            );
+        }
+    }
+    fail(
+        committed[0] < committed[1],
+        &format!(
+            "deduped store ({}) must be smaller than plain ({})",
+            fmt_bytes(committed[0] as usize),
+            fmt_bytes(committed[1] as usize)
+        ),
+    );
+    println!(
+        "\ndedup stores the same history in {:.1}% of the plain bytes",
+        100.0 * committed[0] as f64 / committed[1].max(1) as f64
+    );
+
+    if failures == 0 {
+        println!("\nlifecycle gate passed");
+        0
+    } else {
+        println!("\nlifecycle gate FAILED: {failures} check(s)");
         1
     }
 }

@@ -241,6 +241,23 @@ impl Checkpointer {
         self.next_seq = seq;
     }
 
+    /// Resets the checkpointer after a rollback to an earlier checkpoint
+    /// (see `ickp-lifecycle`'s `reset_to`).
+    ///
+    /// Rolling a heap back re-materialises it from a checkpoint prefix, so
+    /// every cache keyed on the *previous* timeline — the journal
+    /// traversal-order cache, the parallel shard plan, the last shard
+    /// counters — is stale and must be dropped, and the next sequence
+    /// number must restart one past the restore point. Cumulative stats
+    /// and the buffer pool survive: they describe work done, not heap
+    /// state.
+    pub fn rollback(&mut self, next_seq: u64) {
+        self.next_seq = next_seq;
+        self.cache = None;
+        self.plan_cache = None;
+        self.last_shard_stats.clear();
+    }
+
     /// Counters summed over every checkpoint taken so far.
     pub fn cumulative_stats(&self) -> TraversalStats {
         self.cumulative

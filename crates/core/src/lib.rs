@@ -80,6 +80,6 @@ pub use sink::RecordSink;
 pub use stats::TraversalStats;
 pub use store::CheckpointStore;
 pub use stream::{
-    decode, CheckpointKind, DecodedCheckpoint, RecordedObject, RecordedValue, StreamWriter, MAGIC,
-    VERSION,
+    decode, object_slices, CheckpointKind, DecodedCheckpoint, RecordedObject, RecordedValue,
+    StreamLayout, StreamWriter, MAGIC, VERSION,
 };

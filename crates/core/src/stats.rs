@@ -35,6 +35,11 @@ pub struct TraversalStats {
     /// started from, courtesy of the [`BufferPool`](crate::BufferPool);
     /// zero when the stream had to allocate fresh.
     pub bytes_reused: u64,
+    /// Bytes the durable layer did *not* have to store for this
+    /// checkpoint because identical object records already existed in
+    /// the store's content-hash index (see `ickp-durable` dedup). Zero
+    /// until the record passes through a deduplicating sink.
+    pub bytes_deduped: u64,
 }
 
 impl Add for TraversalStats {
@@ -51,6 +56,7 @@ impl Add for TraversalStats {
             journal_hits: self.journal_hits + rhs.journal_hits,
             subtrees_pruned: self.subtrees_pruned + rhs.subtrees_pruned,
             bytes_reused: self.bytes_reused + rhs.bytes_reused,
+            bytes_deduped: self.bytes_deduped + rhs.bytes_deduped,
         }
     }
 }
@@ -77,6 +83,7 @@ mod tests {
             journal_hits: 7,
             subtrees_pruned: 8,
             bytes_reused: 9,
+            bytes_deduped: 10,
         };
         let b = a;
         let c = a + b;
@@ -85,6 +92,7 @@ mod tests {
         assert_eq!(c.journal_hits, 14);
         assert_eq!(c.subtrees_pruned, 16);
         assert_eq!(c.bytes_reused, 18);
+        assert_eq!(c.bytes_deduped, 20);
         let mut d = a;
         d += b;
         assert_eq!(d, c);

@@ -57,6 +57,30 @@ impl CheckpointStore {
         Ok(())
     }
 
+    /// Appends a checkpoint from a chain with *gaps*: the sequence number
+    /// only has to be strictly greater than the previous record's.
+    ///
+    /// Retention merges (see `ickp-lifecycle`) collapse runs of
+    /// consecutive increments into single records carrying the *last*
+    /// sequence number of their group, so a compacted chain reads
+    /// `0, 3, 4, 7, ...` — still ordered, no longer contiguous. Restore
+    /// does not care (it replays records in order regardless of seq), but
+    /// [`CheckpointStore::push`] would reject the jump.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SequenceGap`] if the record's sequence number
+    /// does not increase.
+    pub fn push_merged(&mut self, record: CheckpointRecord) -> Result<(), CoreError> {
+        if let Some(last) = self.records.last() {
+            if record.seq() <= last.seq() {
+                return Err(CoreError::SequenceGap { expected: last.seq() + 1, got: record.seq() });
+            }
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
     /// Number of checkpoints stored.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -144,6 +168,19 @@ mod tests {
         store.push(store3.records()[0].clone()).unwrap();
         let err = store.push(store3.records()[2].clone()).unwrap_err();
         assert_eq!(err, CoreError::SequenceGap { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn push_merged_accepts_gaps_but_not_regressions() {
+        let (donor, _) = run(4);
+        let mut store = CheckpointStore::new();
+        store.push_merged(donor.records()[0].clone()).unwrap();
+        store.push_merged(donor.records()[3].clone()).unwrap();
+        assert_eq!(store.len(), 2);
+        let err = store.push_merged(donor.records()[1].clone()).unwrap_err();
+        assert_eq!(err, CoreError::SequenceGap { expected: 4, got: 1 });
+        let err = store.push_merged(donor.records()[3].clone()).unwrap_err();
+        assert_eq!(err, CoreError::SequenceGap { expected: 4, got: 3 });
     }
 
     #[test]

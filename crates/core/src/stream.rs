@@ -256,6 +256,104 @@ pub struct DecodedCheckpoint {
     pub objects: Vec<RecordedObject>,
 }
 
+/// The byte geography of one encoded checkpoint stream: where the
+/// header ends and where each object record begins and ends.
+///
+/// This is what content-hash deduplication in `ickp-durable` chunks on:
+/// the header (which embeds the sequence number and so never repeats)
+/// and the footer stay literal, while each object record — whose bytes
+/// are a pure function of the object's identity, class, and field
+/// values — is a dedup candidate that recurs byte-identically whenever
+/// the same object state is recorded again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamLayout {
+    /// Bytes of the stream header (magic through the root table).
+    pub header_len: usize,
+    /// Byte range of each object record (tag byte through its last
+    /// field), in stream order.
+    pub objects: Vec<std::ops::Range<usize>>,
+}
+
+/// Scans an encoded checkpoint stream and returns its [`StreamLayout`]
+/// without materializing any field values.
+///
+/// The ranges tile the stream exactly: header, then the object ranges
+/// back-to-back, then the footer.
+///
+/// # Errors
+///
+/// Fails like [`decode`] on malformed bytes, unknown classes, or field
+/// counts that disagree with the registry's layouts.
+pub fn object_slices(bytes: &[u8], registry: &ClassRegistry) -> Result<StreamLayout, CoreError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(CoreError::Decode { offset: 0, what: "bad magic".into() });
+    }
+    let version = c.u16()?;
+    if version != VERSION {
+        return Err(CoreError::Decode {
+            offset: 4,
+            what: format!("unsupported version {version}"),
+        });
+    }
+    let _seq = c.u64()?;
+    let kind_off = c.pos;
+    CheckpointKind::from_byte(c.u8()?, kind_off)?;
+    let nroots = c.u32()? as usize;
+    for _ in 0..nroots {
+        c.u64()?;
+    }
+    let header_len = c.pos;
+    let mut objects = Vec::new();
+    loop {
+        let tag_off = c.pos;
+        match c.u8()? {
+            TAG_OBJECT => {
+                let _stable = c.u64()?;
+                let class_index = c.u32()?;
+                let class = ClassId::from_index(class_index as usize);
+                let def =
+                    registry.class(class).map_err(|_| CoreError::UnknownClassIndex(class_index))?;
+                let nfields = c.u16()? as usize;
+                if nfields != def.num_slots() {
+                    return Err(CoreError::FieldCountMismatch {
+                        class: def.name().to_string(),
+                        recorded: nfields,
+                        expected: def.num_slots(),
+                    });
+                }
+                c.take(def.encoded_state_size())?;
+                objects.push(tag_off..c.pos);
+            }
+            TAG_END => {
+                let declared = c.u32()? as usize;
+                if declared != objects.len() {
+                    return Err(CoreError::Decode {
+                        offset: tag_off,
+                        what: format!(
+                            "footer declares {declared} records, stream has {}",
+                            objects.len()
+                        ),
+                    });
+                }
+                if c.pos != bytes.len() {
+                    return Err(CoreError::Decode {
+                        offset: c.pos,
+                        what: "trailing bytes after footer".into(),
+                    });
+                }
+                return Ok(StreamLayout { header_len, objects });
+            }
+            other => {
+                return Err(CoreError::Decode {
+                    offset: tag_off,
+                    what: format!("invalid record tag {other:#x}"),
+                })
+            }
+        }
+    }
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -600,6 +698,40 @@ mod tests {
         merged.append_shard(&body, records);
         let d = decode(&merged.finish(), &reg).unwrap();
         assert!(d.objects.is_empty());
+    }
+
+    #[test]
+    fn object_slices_tile_the_stream_exactly() {
+        let (reg, node) = registry();
+        let bytes = sample_stream(node);
+        let layout = object_slices(&bytes, &reg).unwrap();
+        assert_eq!(layout.objects.len(), 2);
+        // Header, objects, footer tile the stream back-to-back.
+        assert_eq!(layout.objects[0].start, layout.header_len);
+        assert_eq!(layout.objects[1].start, layout.objects[0].end);
+        assert_eq!(layout.objects[1].end, bytes.len() - 5); // footer = tag + u32
+                                                            // Each slice decodes as the bytes of exactly that object: slicing
+                                                            // the same object's state out of a re-recorded stream is
+                                                            // byte-identical (the dedup premise).
+        let again = object_slices(&sample_stream(node), &reg).unwrap();
+        for (a, b) in layout.objects.iter().zip(&again.objects) {
+            assert_eq!(&bytes[a.clone()], &sample_stream(node)[b.clone()]);
+        }
+    }
+
+    #[test]
+    fn object_slices_reject_malformed_streams() {
+        let (reg, node) = registry();
+        let bytes = sample_stream(node);
+        for cut in [3, 10, 20, bytes.len() - 1] {
+            assert!(object_slices(&bytes[..cut], &reg).is_err(), "cut at {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(object_slices(&bad, &reg).is_err());
+        let mut w = StreamWriter::new(0, CheckpointKind::Full, &[]);
+        w.begin_object(StableId(1), ClassId::from_index(42), 0);
+        assert_eq!(object_slices(&w.finish(), &reg).unwrap_err(), CoreError::UnknownClassIndex(42));
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub enum DurableError {
     /// [`DurableStore::create`](crate::DurableStore::create) found an
     /// existing store in the directory.
     AlreadyExists,
+    /// A tag or rewrite referenced a sequence number the store holds no
+    /// record for.
+    UnknownSeq(u64),
+    /// A tag operation referenced a label the store does not carry.
+    UnknownTag(String),
 }
 
 impl fmt::Display for DurableError {
@@ -49,6 +54,10 @@ impl fmt::Display for DurableError {
             }
             DurableError::Core(e) => write!(f, "checkpoint: {e}"),
             DurableError::AlreadyExists => write!(f, "a durable store already exists here"),
+            DurableError::UnknownSeq(seq) => {
+                write!(f, "no checkpoint with sequence number {seq} in the store")
+            }
+            DurableError::UnknownTag(label) => write!(f, "no tag named {label:?} in the store"),
         }
     }
 }
@@ -96,6 +105,8 @@ mod tests {
                 "sequence gap in recovered records: expected seq 3, got 5",
             ),
             (DurableError::AlreadyExists, "a durable store already exists here"),
+            (DurableError::UnknownSeq(9), "no checkpoint with sequence number 9 in the store"),
+            (DurableError::UnknownTag("release".into()), "no tag named \"release\" in the store"),
         ];
         for (err, text) in cases {
             assert_eq!(err.to_string(), text);

@@ -54,9 +54,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod crc;
+pub mod dedup;
 mod error;
 mod fail;
 mod harness;
@@ -64,6 +65,7 @@ pub mod store;
 mod vfs;
 
 pub use crc::crc32;
+pub use dedup::{content_hash, DedupStats};
 pub use error::DurableError;
 pub use fail::{FailFs, FaultPlan};
 pub use harness::{

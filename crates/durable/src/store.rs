@@ -14,13 +14,21 @@
 //! Segment header (10 bytes): magic `ICKD`, format version `u16`,
 //! segment index `u32` (all big-endian). Each frame is
 //! `len: u32 | crc: u32 | payload`, where `payload` is one checkpoint
-//! record's ICKP stream and `crc` is the IEEE CRC-32 of the length bytes
-//! followed by the payload.
+//! record's ICKP stream encoded as dedup *parts* (see [`crate::dedup`]:
+//! literal bytes, indexed chunks, and back-references to chunks stored
+//! by earlier frames) and `crc` is the IEEE CRC-32 of the length bytes
+//! followed by the stored payload.
 //!
-//! The manifest (magic `ICKM`) carries the record count, the last
-//! sequence number, and per segment its index and **committed length** —
-//! the byte frontier up to which that segment's content has been
-//! fsync-acknowledged. A trailing CRC-32 covers the whole manifest.
+//! The manifest (magic `ICKM`, format v2) carries the record count, the
+//! last sequence number, per segment its index and **committed length**
+//! — the byte frontier up to which that segment's content has been
+//! fsync-acknowledged — plus the lifecycle state: the **retention
+//! generation** (bumped by every [`DurableStore::rewrite`]; a non-zero
+//! generation relaxes recovery's sequence check from contiguous to
+//! strictly increasing, because retention merges leave gaps), the
+//! **tags** (label → sequence number restore points), and a count +
+//! digest summary of the content-hash chunk index so recovery can verify
+//! the index it rebuilds. A trailing CRC-32 covers the whole manifest.
 //!
 //! ## The append protocol
 //!
@@ -44,8 +52,10 @@
 //! being silently dropped.
 
 use std::collections::BTreeSet;
+use std::ops::Range;
 
 use crate::crc::crc32;
+use crate::dedup::{ChunkIndex, DedupStats};
 use crate::error::DurableError;
 use crate::vfs::Vfs;
 use ickp_core::{decode, CheckpointRecord, CheckpointStore, CoreError, RecordSink, TraversalStats};
@@ -54,8 +64,10 @@ use ickp_heap::ClassRegistry;
 const SEGMENT_MAGIC: [u8; 4] = *b"ICKD";
 const MANIFEST_MAGIC: [u8; 4] = *b"ICKM";
 
-/// On-disk format version shared by segments and the manifest.
-pub const FORMAT_VERSION: u16 = 1;
+/// On-disk format version shared by segments and the manifest. Version 2
+/// (dedup parts inside frames, lifecycle state in the manifest)
+/// supersedes version 1; the store neither reads nor writes v1 images.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// File name of the manifest.
 pub const MANIFEST: &str = "MANIFEST";
@@ -93,17 +105,30 @@ struct SegmentEntry {
     committed_len: u64,
 }
 
-/// The committed frontier: what the store acknowledges as durable.
+/// The committed frontier: what the store acknowledges as durable, plus
+/// the lifecycle state (generation, tags, chunk-index summary).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Manifest {
     record_count: u64,
     last_seq: Option<u64>,
     segments: Vec<SegmentEntry>,
+    /// Bumped by every [`DurableStore::rewrite`]. Zero means the store
+    /// is pure append-only history (contiguous sequence numbers); after
+    /// a rewrite, retention merges leave gaps and recovery only checks
+    /// that sequence numbers strictly increase.
+    generation: u64,
+    /// Named restore points: `(label, seq)`, sorted by label.
+    tags: Vec<(String, u64)>,
+    /// Number of chunks in the content-hash index.
+    chunk_count: u64,
+    /// Wrapping sum of every indexed chunk's hash (order independent).
+    chunk_digest: u64,
 }
 
 impl Manifest {
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(27 + self.segments.len() * 12 + 4);
+        let tag_bytes: usize = self.tags.iter().map(|(label, _)| 2 + label.len() + 8).sum();
+        let mut out = Vec::with_capacity(27 + self.segments.len() * 12 + 12 + tag_bytes + 16 + 4);
         out.extend_from_slice(&MANIFEST_MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_be_bytes());
         out.extend_from_slice(&self.record_count.to_be_bytes());
@@ -114,6 +139,15 @@ impl Manifest {
             out.extend_from_slice(&seg.index.to_be_bytes());
             out.extend_from_slice(&seg.committed_len.to_be_bytes());
         }
+        out.extend_from_slice(&self.generation.to_be_bytes());
+        out.extend_from_slice(&(self.tags.len() as u32).to_be_bytes());
+        for (label, seq) in &self.tags {
+            out.extend_from_slice(&(label.len() as u16).to_be_bytes());
+            out.extend_from_slice(label.as_bytes());
+            out.extend_from_slice(&seq.to_be_bytes());
+        }
+        out.extend_from_slice(&self.chunk_count.to_be_bytes());
+        out.extend_from_slice(&self.chunk_digest.to_be_bytes());
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_be_bytes());
         out
@@ -125,8 +159,9 @@ impl Manifest {
             offset,
             what: what.to_string(),
         };
-        // magic + version + count + flag + seq + nsegs + crc
-        if bytes.len() < 4 + 2 + 8 + 1 + 8 + 4 + 4 {
+        // magic + version + count + flag + seq + nsegs + generation +
+        // ntags + chunk count + chunk digest + crc
+        if bytes.len() < 4 + 2 + 8 + 1 + 8 + 4 + 8 + 4 + 8 + 8 + 4 {
             return Err(corrupt(0, "manifest shorter than its fixed header"));
         }
         let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
@@ -144,20 +179,52 @@ impl Manifest {
         let has_seq = body[14] != 0;
         let seq = u64::from_be_bytes(body[15..23].try_into().expect("8 bytes"));
         let nsegs = u32::from_be_bytes(body[23..27].try_into().expect("4 bytes")) as usize;
-        if body.len() != 27 + nsegs * 12 {
-            return Err(corrupt(23, "manifest segment table has the wrong length"));
-        }
-        let mut segments = Vec::with_capacity(nsegs);
-        for i in 0..nsegs {
-            let at = 27 + i * 12;
+        let mut at = 27;
+        let take = |at: &mut usize, n: usize| -> Result<Range<usize>, DurableError> {
+            if *at + n > body.len() {
+                return Err(corrupt(*at as u64, "manifest table overruns the payload"));
+            }
+            let r = *at..*at + n;
+            *at += n;
+            Ok(r)
+        };
+        let mut segments = Vec::with_capacity(nsegs.min(1024));
+        for _ in 0..nsegs {
             segments.push(SegmentEntry {
-                index: u32::from_be_bytes(body[at..at + 4].try_into().expect("4 bytes")),
+                index: u32::from_be_bytes(body[take(&mut at, 4)?].try_into().expect("4 bytes")),
                 committed_len: u64::from_be_bytes(
-                    body[at + 4..at + 12].try_into().expect("8 bytes"),
+                    body[take(&mut at, 8)?].try_into().expect("8 bytes"),
                 ),
             });
         }
-        Ok(Manifest { record_count, last_seq: has_seq.then_some(seq), segments })
+        let generation = u64::from_be_bytes(body[take(&mut at, 8)?].try_into().expect("8 bytes"));
+        let ntags =
+            u32::from_be_bytes(body[take(&mut at, 4)?].try_into().expect("4 bytes")) as usize;
+        let mut tags = Vec::with_capacity(ntags.min(1024));
+        for _ in 0..ntags {
+            let label_len =
+                u16::from_be_bytes(body[take(&mut at, 2)?].try_into().expect("2 bytes")) as usize;
+            let label_at = at;
+            let label = std::str::from_utf8(&body[take(&mut at, label_len)?])
+                .map_err(|_| corrupt(label_at as u64, "tag label is not UTF-8"))?
+                .to_string();
+            let seq = u64::from_be_bytes(body[take(&mut at, 8)?].try_into().expect("8 bytes"));
+            tags.push((label, seq));
+        }
+        let chunk_count = u64::from_be_bytes(body[take(&mut at, 8)?].try_into().expect("8 bytes"));
+        let chunk_digest = u64::from_be_bytes(body[take(&mut at, 8)?].try_into().expect("8 bytes"));
+        if at != body.len() {
+            return Err(corrupt(at as u64, "manifest has trailing bytes"));
+        }
+        Ok(Manifest {
+            record_count,
+            last_seq: has_seq.then_some(seq),
+            segments,
+            generation,
+            tags,
+            chunk_count,
+            chunk_digest,
+        })
     }
 }
 
@@ -196,6 +263,17 @@ pub struct DurableStore<F: Vfs> {
     /// Set when an append failed partway: the tail segment may hold bytes
     /// past the committed frontier. The next append truncates them first.
     tail_dirty: bool,
+    /// The content-hash index over every committed chunk (see
+    /// [`crate::dedup`]); mirrors the manifest's count + digest summary.
+    chunks: ChunkIndex,
+    /// Sequence numbers of the committed records, ascending. Derived
+    /// state (recovered from the segments on open) used to validate tags
+    /// without re-reading the log.
+    seqs: Vec<u64>,
+    /// Next segment index to allocate. Monotonic within a process even
+    /// across failed rewrites, so a half-written segment file is never
+    /// confused with a live one.
+    next_segment_index: u32,
 }
 
 impl<F: Vfs> DurableStore<F> {
@@ -207,8 +285,15 @@ impl<F: Vfs> DurableStore<F> {
     /// [`DurableError::AlreadyExists`] if a manifest is present, or
     /// [`DurableError::Fs`] on I/O failure.
     pub fn create(fs: F, config: DurableConfig) -> Result<DurableStore<F>, DurableError> {
-        let mut store =
-            DurableStore { fs, config, manifest: Manifest::default(), tail_dirty: false };
+        let mut store = DurableStore {
+            fs,
+            config,
+            manifest: Manifest::default(),
+            tail_dirty: false,
+            chunks: ChunkIndex::new(),
+            seqs: Vec::new(),
+            next_segment_index: 0,
+        };
         if store.fs.exists(MANIFEST) {
             return Err(DurableError::AlreadyExists);
         }
@@ -228,7 +313,8 @@ impl<F: Vfs> DurableStore<F> {
     /// * [`DurableError::Corrupt`] for damage inside the committed
     ///   frontier (never auto-repaired).
     /// * [`DurableError::SequenceGap`] if the recovered records are not
-    ///   contiguous.
+    ///   contiguous (generation 0) or not strictly increasing (after a
+    ///   rewrite).
     /// * [`DurableError::Fs`] / [`DurableError::Core`] for I/O and decode
     ///   failures.
     pub fn open(
@@ -236,8 +322,15 @@ impl<F: Vfs> DurableStore<F> {
         config: DurableConfig,
         registry: &ClassRegistry,
     ) -> Result<(DurableStore<F>, CheckpointStore), DurableError> {
-        let mut store =
-            DurableStore { fs, config, manifest: Manifest::default(), tail_dirty: false };
+        let mut store = DurableStore {
+            fs,
+            config,
+            manifest: Manifest::default(),
+            tail_dirty: false,
+            chunks: ChunkIndex::new(),
+            seqs: Vec::new(),
+            next_segment_index: 0,
+        };
         if !store.fs.exists(MANIFEST) {
             store.clear_directory()?;
             store.swap_manifest(Manifest::default())?;
@@ -328,31 +421,46 @@ impl<F: Vfs> DurableStore<F> {
                         "frame body overruns the committed length".into(),
                     ));
                 }
-                let payload = &committed[body_at..body_at + len];
+                let stored_payload = &committed[body_at..body_at + len];
                 let mut covered = Vec::with_capacity(4 + len);
                 covered.extend_from_slice(&committed[offset..offset + 4]);
-                covered.extend_from_slice(payload);
+                covered.extend_from_slice(stored_payload);
                 if crc32(&covered) != stored_crc {
                     return Err(corrupt(offset as u64, "frame checksum mismatch".into()));
                 }
 
-                let decoded = decode(payload, registry)?;
+                // Resolve dedup parts into the logical ICKP stream,
+                // growing the chunk index as indexed chunks stream past.
+                let payload = store
+                    .chunks
+                    .decode(stored_payload)
+                    .map_err(|(part_at, what)| corrupt((body_at + part_at) as u64, what))?;
+
+                let decoded = decode(&payload, registry)?;
                 if let Some(last) = recovered.latest() {
-                    let expected_seq = last.seq() + 1;
-                    if decoded.seq != expected_seq {
+                    // Generation 0 is untouched append-only history:
+                    // sequence numbers are contiguous. After a rewrite,
+                    // retention merges leave gaps; order still holds.
+                    if manifest.generation == 0 && decoded.seq != last.seq() + 1 {
                         return Err(DurableError::SequenceGap {
-                            expected: expected_seq,
+                            expected: last.seq() + 1,
                             got: decoded.seq,
                         });
                     }
                 }
-                recovered.push(CheckpointRecord::from_parts(
+                let record = CheckpointRecord::from_parts(
                     decoded.seq,
                     decoded.kind,
                     decoded.roots,
-                    payload.to_vec(),
+                    payload,
                     TraversalStats::default(),
-                ))?;
+                );
+                store.seqs.push(decoded.seq);
+                if manifest.generation == 0 {
+                    recovered.push(record)?;
+                } else {
+                    recovered.push_merged(record)?;
+                }
                 offset = body_at + len;
             }
         }
@@ -375,7 +483,33 @@ impl<F: Vfs> DurableStore<F> {
                 what: "manifest last-seq does not match the recovered records".into(),
             });
         }
+        if (store.chunks.count(), store.chunks.digest())
+            != (manifest.chunk_count, manifest.chunk_digest)
+        {
+            return Err(DurableError::Corrupt {
+                file: MANIFEST.to_string(),
+                offset: 0,
+                what: format!(
+                    "manifest chunk summary ({}, {:#x}) does not match the rebuilt index \
+                     ({}, {:#x})",
+                    manifest.chunk_count,
+                    manifest.chunk_digest,
+                    store.chunks.count(),
+                    store.chunks.digest()
+                ),
+            });
+        }
+        for (label, seq) in &manifest.tags {
+            if store.seqs.binary_search(seq).is_err() {
+                return Err(DurableError::Corrupt {
+                    file: MANIFEST.to_string(),
+                    offset: 0,
+                    what: format!("tag {label:?} points at seq {seq}, which holds no record"),
+                });
+            }
+        }
 
+        store.next_segment_index = manifest.segments.iter().map(|s| s.index + 1).max().unwrap_or(0);
         store.manifest = manifest;
         Ok((store, recovered))
     }
@@ -392,14 +526,46 @@ impl<F: Vfs> DurableStore<F> {
     /// [`DurableError::SequenceGap`] if `record` does not extend the
     /// sequence, or [`DurableError::Fs`] on I/O failure.
     pub fn append(&mut self, record: &CheckpointRecord) -> Result<(), DurableError> {
+        self.append_deduped(record, &[]).map(|_| ())
+    }
+
+    /// Durably appends one checkpoint record, deduplicating the given
+    /// chunks of its payload against the store's content-hash index.
+    ///
+    /// `chunk_ranges` names the dedup-candidate slices of
+    /// `record.bytes()` — in practice the object records that
+    /// [`ickp_core::object_slices`] reports, which re-encode
+    /// byte-identically whenever the underlying objects are unchanged.
+    /// Chunks whose bytes already live in the store are written as
+    /// references; the rest enter the index for later appends. Passing
+    /// no ranges makes this exactly [`DurableStore::append`].
+    ///
+    /// The returned [`DedupStats`] accounts this write; acknowledged
+    /// durability is identical to `append` (same I/O sequence, same
+    /// manifest commit point).
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::append`]. On error nothing is acknowledged and
+    /// no chunk enters the index.
+    ///
+    /// # Panics
+    ///
+    /// If `chunk_ranges` is not ascending, non-overlapping and within
+    /// `record.bytes()`.
+    pub fn append_deduped(
+        &mut self,
+        record: &CheckpointRecord,
+        chunk_ranges: &[Range<usize>],
+    ) -> Result<DedupStats, DurableError> {
         if let Some(last) = self.manifest.last_seq {
             let expected = last + 1;
             if record.seq() != expected {
                 return Err(DurableError::SequenceGap { expected, got: record.seq() });
             }
         }
-        match self.try_append(record) {
-            Ok(()) => Ok(()),
+        match self.try_append(record, chunk_ranges) {
+            Ok(stats) => Ok(stats),
             Err(e) => {
                 self.tail_dirty = true;
                 Err(e)
@@ -407,7 +573,11 @@ impl<F: Vfs> DurableStore<F> {
         }
     }
 
-    fn try_append(&mut self, record: &CheckpointRecord) -> Result<(), DurableError> {
+    fn try_append(
+        &mut self,
+        record: &CheckpointRecord,
+        chunk_ranges: &[Range<usize>],
+    ) -> Result<DedupStats, DurableError> {
         if self.tail_dirty {
             // A previous append failed partway; the tail segment may hold
             // bytes past the committed frontier. Cut them before writing.
@@ -420,14 +590,15 @@ impl<F: Vfs> DurableStore<F> {
             self.tail_dirty = false;
         }
 
-        let frame = encode_frame(record.bytes());
+        let encoded = self.chunks.encode(record.bytes(), chunk_ranges);
+        let frame = encode_frame(&encoded.stored);
         let mut candidate = self.manifest.clone();
         let roll = match candidate.segments.last() {
             None => true,
             Some(seg) => seg.committed_len >= self.config.segment_target_bytes,
         };
         if roll {
-            let index = candidate.segments.last().map_or(0, |s| s.index + 1);
+            let index = self.next_segment_index;
             let name = segment_name(index);
             let mut bytes = segment_header(index);
             bytes.extend_from_slice(&frame);
@@ -435,6 +606,7 @@ impl<F: Vfs> DurableStore<F> {
             self.fs.write_file(&name, &bytes)?;
             self.fs.sync(&name)?;
             candidate.segments.push(SegmentEntry { index, committed_len });
+            self.next_segment_index = index + 1;
         } else {
             let seg = candidate.segments.last_mut().expect("non-roll has a tail segment");
             let name = segment_name(seg.index);
@@ -444,7 +616,15 @@ impl<F: Vfs> DurableStore<F> {
         }
         candidate.record_count += 1;
         candidate.last_seq = Some(record.seq());
-        self.swap_manifest(candidate)
+        candidate.chunk_count += encoded.staged.len() as u64;
+        candidate.chunk_digest =
+            encoded.staged.iter().fold(candidate.chunk_digest, |d, (h, _)| d.wrapping_add(*h));
+        self.swap_manifest(candidate)?;
+        // The manifest swap acknowledged the write: only now may the
+        // frame's chunks serve as dedup targets for later appends.
+        self.chunks.commit(encoded.staged);
+        self.seqs.push(record.seq());
+        Ok(encoded.stats)
     }
 
     /// Atomically publishes `candidate` as the committed frontier:
@@ -472,6 +652,164 @@ impl<F: Vfs> DurableStore<F> {
         Ok(())
     }
 
+    /// Durably tags the checkpoint with sequence number `seq` as a named
+    /// restore point. An existing tag with the same label moves to the
+    /// new sequence number. The tag lands with one atomic manifest swap:
+    /// a crash leaves either the old or the new tag set, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::UnknownSeq`] if no acknowledged record carries
+    /// `seq`, or [`DurableError::Fs`] on I/O failure.
+    pub fn tag(&mut self, label: &str, seq: u64) -> Result<(), DurableError> {
+        if self.seqs.binary_search(&seq).is_err() {
+            return Err(DurableError::UnknownSeq(seq));
+        }
+        let mut candidate = self.manifest.clone();
+        match candidate.tags.binary_search_by(|(l, _)| l.as_str().cmp(label)) {
+            Ok(i) => candidate.tags[i].1 = seq,
+            Err(i) => candidate.tags.insert(i, (label.to_string(), seq)),
+        }
+        self.swap_manifest(candidate)
+    }
+
+    /// Durably removes a named restore point (one atomic manifest swap).
+    ///
+    /// # Errors
+    ///
+    /// [`DurableError::UnknownTag`] if no tag carries `label`, or
+    /// [`DurableError::Fs`] on I/O failure.
+    pub fn remove_tag(&mut self, label: &str) -> Result<(), DurableError> {
+        let mut candidate = self.manifest.clone();
+        match candidate.tags.binary_search_by(|(l, _)| l.as_str().cmp(label)) {
+            Ok(i) => {
+                candidate.tags.remove(i);
+            }
+            Err(_) => return Err(DurableError::UnknownTag(label.to_string())),
+        }
+        self.swap_manifest(candidate)
+    }
+
+    /// The named restore points, as `(label, seq)` sorted by label.
+    pub fn tags(&self) -> &[(String, u64)] {
+        &self.manifest.tags
+    }
+
+    /// Replaces the entire committed content with `records` — the
+    /// lifecycle layer's primitive for retention merges and `reset_to`
+    /// rollbacks.
+    ///
+    /// `layouts` gives each record's dedup chunk ranges (one entry per
+    /// record; empty ranges disable dedup for that record), and `tags`
+    /// becomes the new tag set. New segments are written under fresh
+    /// indices, fsynced, and then a single manifest swap makes them — and
+    /// the new tags, generation, and chunk index — current all at once.
+    /// The old segments are deleted only after the swap; a crash anywhere
+    /// leaves either the old store or the new one (plus unreferenced
+    /// files the next open removes), never a mix.
+    ///
+    /// Bumps the retention generation, which relaxes the recovery-time
+    /// sequence check to "strictly increasing" (merged records keep the
+    /// *last* sequence number of their group, leaving gaps).
+    ///
+    /// # Errors
+    ///
+    /// * [`DurableError::SequenceGap`] if `records` is not strictly
+    ///   increasing in sequence number.
+    /// * [`DurableError::UnknownSeq`] if a tag references a sequence
+    ///   number not in `records`.
+    /// * [`DurableError::Fs`] on I/O failure. Before the manifest swap
+    ///   the store is unchanged; after it the rewrite is committed even
+    ///   if cleanup of the old segments errors.
+    ///
+    /// # Panics
+    ///
+    /// If `layouts.len() != records.len()` or a range set is invalid
+    /// (see [`DurableStore::append_deduped`]).
+    pub fn rewrite(
+        &mut self,
+        records: &[CheckpointRecord],
+        layouts: &[Vec<Range<usize>>],
+        tags: &[(String, u64)],
+    ) -> Result<DedupStats, DurableError> {
+        assert_eq!(records.len(), layouts.len(), "one chunk layout per record");
+        let mut seqs = Vec::with_capacity(records.len());
+        for r in records {
+            if seqs.last().is_some_and(|&last| r.seq() <= last) {
+                return Err(DurableError::SequenceGap {
+                    expected: seqs.last().copied().unwrap_or(0) + 1,
+                    got: r.seq(),
+                });
+            }
+            seqs.push(r.seq());
+        }
+        let mut new_tags = tags.to_vec();
+        new_tags.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, seq) in &new_tags {
+            if seqs.binary_search(seq).is_err() {
+                return Err(DurableError::UnknownSeq(*seq));
+            }
+        }
+
+        // Stage everything against a fresh index, then write the new
+        // segments under indices no live file uses.
+        let mut staged = ChunkIndex::new();
+        let mut stats = DedupStats::default();
+        let mut segments: Vec<(SegmentEntry, Vec<u8>)> = Vec::new();
+        for (record, ranges) in records.iter().zip(layouts) {
+            let encoded = staged.encode(record.bytes(), ranges);
+            staged.commit(encoded.staged);
+            stats.absorb(encoded.stats);
+            let frame = encode_frame(&encoded.stored);
+            let roll = match segments.last() {
+                None => true,
+                Some((entry, _)) => entry.committed_len >= self.config.segment_target_bytes,
+            };
+            if roll {
+                let index = self.next_segment_index;
+                self.next_segment_index += 1;
+                segments.push((SegmentEntry { index, committed_len: 0 }, segment_header(index)));
+            }
+            let (entry, bytes) = segments.last_mut().expect("rolled above");
+            bytes.extend_from_slice(&frame);
+            entry.committed_len = bytes.len() as u64;
+        }
+        for (entry, bytes) in &segments {
+            let name = segment_name(entry.index);
+            self.fs.write_file(&name, bytes)?;
+            self.fs.sync(&name)?;
+        }
+
+        let old_segments = self.manifest.segments.clone();
+        let candidate = Manifest {
+            record_count: records.len() as u64,
+            last_seq: seqs.last().copied(),
+            segments: segments.iter().map(|(entry, _)| *entry).collect(),
+            generation: self.manifest.generation + 1,
+            tags: new_tags,
+            chunk_count: staged.count(),
+            chunk_digest: staged.digest(),
+        };
+        self.swap_manifest(candidate)?;
+        // Committed: adopt the new in-memory state before cleanup so an
+        // error below cannot strand the store mid-transition.
+        self.chunks = staged;
+        self.seqs = seqs;
+        self.tail_dirty = false;
+        let mut removed = false;
+        for seg in &old_segments {
+            let name = segment_name(seg.index);
+            if self.fs.exists(&name) {
+                self.fs.remove(&name)?;
+                removed = true;
+            }
+        }
+        if removed {
+            self.fs.sync_dir()?;
+        }
+        Ok(stats)
+    }
+
     /// Number of acknowledged records.
     pub fn record_count(&self) -> u64 {
         self.manifest.record_count
@@ -490,6 +828,22 @@ impl<F: Vfs> DurableStore<F> {
     /// Total acknowledged bytes across all segments (headers included).
     pub fn committed_bytes(&self) -> u64 {
         self.manifest.segments.iter().map(|s| s.committed_len).sum()
+    }
+
+    /// Retention generation: zero until the first
+    /// [`DurableStore::rewrite`], bumped by each one.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// Number of chunks in the content-hash dedup index.
+    pub fn chunk_count(&self) -> u64 {
+        self.chunks.count()
+    }
+
+    /// Sequence numbers of the acknowledged records, ascending.
+    pub fn seqs(&self) -> &[u64] {
+        &self.seqs
     }
 
     /// Consumes the store, returning the filesystem handle.
@@ -660,6 +1014,10 @@ mod tests {
                 SegmentEntry { index: 0, committed_len: 1234 },
                 SegmentEntry { index: 1, committed_len: 56 },
             ],
+            generation: 3,
+            tags: vec![("alpha".into(), 2), ("beta".into(), 6)],
+            chunk_count: 42,
+            chunk_digest: 0xDEAD_BEEF_1234_5678,
         };
         let bytes = m.encode();
         assert_eq!(Manifest::decode(&bytes).unwrap(), m);
@@ -669,6 +1027,143 @@ mod tests {
             assert!(Manifest::decode(&bad).is_err(), "flip at byte {i} undetected");
         }
         assert_eq!(Manifest::decode(&Manifest::default().encode()).unwrap(), Manifest::default());
+    }
+
+    #[test]
+    fn tags_survive_reopen_and_validate_their_seq() {
+        let (heap, _, records) = workload(3);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        assert_eq!(store.tag("missing", 9).unwrap_err(), DurableError::UnknownSeq(9));
+        store.tag("base", 0).unwrap();
+        store.tag("tip", 2).unwrap();
+        store.tag("tip", 1).unwrap(); // moving a tag is an upsert
+        assert_eq!(store.remove_tag("nope").unwrap_err(), DurableError::UnknownTag("nope".into()));
+        drop(store);
+
+        let (mut reopened, _) =
+            DurableStore::open(&mut fs, DurableConfig::default(), heap.registry()).unwrap();
+        assert_eq!(reopened.tags(), &[("base".to_string(), 0), ("tip".to_string(), 1)]);
+        reopened.remove_tag("base").unwrap();
+        assert_eq!(reopened.tags(), &[("tip".to_string(), 1)]);
+    }
+
+    #[test]
+    fn deduped_appends_shrink_the_store_and_recover_byte_identical() {
+        use ickp_core::object_slices;
+        // A workload whose *head* record recurs byte-identically: each
+        // round touches the head with the same value (so it is recorded)
+        // while the tail actually changes. The padding longs make the
+        // records large enough that a 13-byte reference is a clear win.
+        let mut reg = ClassRegistry::new();
+        let node = reg
+            .define(
+                "Node",
+                None,
+                &[
+                    ("v", FieldType::Int),
+                    ("next", FieldType::Ref(None)),
+                    ("p0", FieldType::Long),
+                    ("p1", FieldType::Long),
+                    ("p2", FieldType::Long),
+                    ("p3", FieldType::Long),
+                    ("p4", FieldType::Long),
+                    ("p5", FieldType::Long),
+                ],
+            )
+            .unwrap();
+        let mut heap = Heap::new(reg);
+        let tail = heap.alloc(node).unwrap();
+        let head = heap.alloc(node).unwrap();
+        heap.set_field(head, 1, Value::Ref(Some(tail))).unwrap();
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut records = Vec::new();
+        for i in 0..4 {
+            heap.set_field(head, 0, Value::Int(7)).unwrap();
+            heap.set_field(tail, 0, Value::Int(i)).unwrap();
+            records.push(ckp.checkpoint(&mut heap, &table, &[head]).unwrap());
+        }
+        let registry = heap.registry();
+
+        // Reference: plain appends.
+        let mut plain_fs = MemFs::new();
+        let mut plain = DurableStore::create(&mut plain_fs, DurableConfig::default()).unwrap();
+        for r in &records {
+            plain.append(r).unwrap();
+        }
+        let plain_bytes = plain.committed_bytes();
+
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, DurableConfig::default()).unwrap();
+        let mut saved = 0;
+        for r in &records {
+            let layout = object_slices(r.bytes(), registry).unwrap();
+            let stats = store.append_deduped(r, &layout.objects).unwrap();
+            saved += stats.bytes_saved();
+        }
+        assert!(saved > 0, "identical head records must dedup");
+        assert!(store.committed_bytes() < plain_bytes);
+        assert!(store.chunk_count() > 0);
+        drop(store);
+
+        let (_, recovered) =
+            DurableStore::open(&mut fs, DurableConfig::default(), registry).unwrap();
+        assert_eq!(recovered.len(), records.len());
+        for (a, b) in records.iter().zip(recovered.records()) {
+            assert_eq!(a.bytes(), b.bytes(), "dedup must be invisible after recovery");
+        }
+    }
+
+    #[test]
+    fn rewrite_replaces_content_atomically_and_reopens() {
+        let (heap, _, records) = workload(5);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, tiny()).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+        store.tag("keep", 4).unwrap();
+
+        // Retain records 0, 3, 4 (a post-merge shape: gaps allowed).
+        let kept: Vec<CheckpointRecord> =
+            [0usize, 3, 4].iter().map(|&i| records[i].clone()).collect();
+        let layouts = vec![Vec::new(); kept.len()];
+        let err = store.rewrite(&kept, &layouts, &[("keep".into(), 2)]).unwrap_err();
+        assert_eq!(err, DurableError::UnknownSeq(2));
+        store.rewrite(&kept, &layouts, &[("keep".into(), 4)]).unwrap();
+        assert_eq!(store.record_count(), 3);
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.seqs(), &[0, 3, 4]);
+        drop(store);
+
+        let (reopened, recovered) = DurableStore::open(&mut fs, tiny(), heap.registry()).unwrap();
+        assert_eq!(reopened.generation(), 1);
+        assert_eq!(reopened.tags(), &[("keep".to_string(), 4)]);
+        let seqs: Vec<u64> = recovered.records().iter().map(CheckpointRecord::seq).collect();
+        assert_eq!(seqs, vec![0, 3, 4]);
+        for (a, b) in kept.iter().zip(recovered.records()) {
+            assert_eq!(a.bytes(), b.bytes());
+        }
+        // And the store still extends normally after a rewrite.
+        drop(reopened);
+        let mut fs2 = fs;
+        let (mut again, _) = DurableStore::open(&mut fs2, tiny(), heap.registry()).unwrap();
+        let err = again.append(&records[3]).unwrap_err();
+        assert_eq!(err, DurableError::SequenceGap { expected: 5, got: 3 });
+    }
+
+    #[test]
+    fn rewrite_rejects_unordered_records() {
+        let (_, _, records) = workload(3);
+        let mut fs = MemFs::new();
+        let mut store = DurableStore::create(&mut fs, tiny()).unwrap();
+        let shuffled = vec![records[1].clone(), records[0].clone()];
+        let err = store.rewrite(&shuffled, &[Vec::new(), Vec::new()], &[]).unwrap_err();
+        assert_eq!(err, DurableError::SequenceGap { expected: 2, got: 0 });
     }
 
     #[test]

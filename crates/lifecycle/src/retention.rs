@@ -1,0 +1,211 @@
+//! Binomial retention: O(log t) restore points under a space budget.
+//!
+//! Binomial checkpointing (arXiv 1611.03410) observes that a rollback
+//! workload rarely needs *every* historical checkpoint: recent history
+//! matters at fine grain, old history at coarse grain. Keeping the
+//! checkpoint at distance `2^i` records from the tip for every `i`
+//! preserves a restore point within a factor of two of any age while
+//! holding only `⌊log₂ t⌋ + 2` of `t` checkpoints.
+//!
+//! [`RetentionPolicy::plan`] turns that schedule into a *merge plan*
+//! over a chain of records. Nothing is ever dropped outright: records
+//! between two kept points are folded (last-writer-wins) into the next
+//! kept record, so the state at every kept point — and the ability to
+//! extend the chain — is exactly preserved. Pinned sequence numbers
+//! (the manager pins every tag) and the tip are always kept, even if
+//! pins alone exceed the budget (the plan then reports
+//! [`RetentionPlan::over_budget`]).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// How many checkpoints the store may retain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Maximum number of records after maintenance. Pins (tags) are kept
+    /// even beyond the budget; everything else folds to fit.
+    pub budget: usize,
+}
+
+impl RetentionPolicy {
+    /// A budget that comfortably holds the binomial schedule for chains
+    /// up to ~65k records (`tip + distances 1..2^15 + base`).
+    pub fn default_budget() -> RetentionPolicy {
+        RetentionPolicy { budget: 18 }
+    }
+
+    /// Computes the merge plan for a chain whose records carry the given
+    /// ascending sequence numbers. `pinned` sequence numbers (in any
+    /// order) are always kept; unknown pins are ignored — the caller
+    /// validates tags against the chain.
+    pub fn plan(&self, seqs: &[u64], pinned: &[u64]) -> RetentionPlan {
+        let n = seqs.len();
+        if n == 0 {
+            return RetentionPlan::default();
+        }
+        let budget = self.budget.max(1);
+        let pin_set: BTreeSet<u64> = pinned.iter().copied().collect();
+        let mut keep: BTreeSet<usize> = BTreeSet::new();
+        keep.insert(n - 1); // the tip is always a restore point
+        for (i, seq) in seqs.iter().enumerate() {
+            if pin_set.contains(seq) {
+                keep.insert(i);
+            }
+        }
+        let required = keep.len();
+
+        // The binomial schedule: newest record at distance 2^i from the
+        // tip, plus the base. Added nearest-first, so that when the
+        // budget runs out it is the coarsest (oldest) points that give
+        // way and recent history stays fine-grained.
+        let mut schedule: Vec<usize> = Vec::new();
+        let mut d = 1usize;
+        while d < n - 1 {
+            schedule.push(n - 1 - d);
+            d *= 2;
+        }
+        schedule.push(0); // the base, at distance n-1
+        for pos in schedule {
+            if keep.len() >= budget.max(required) {
+                break;
+            }
+            keep.insert(pos);
+        }
+
+        let keep_seqs: Vec<u64> = keep.iter().map(|&i| seqs[i]).collect();
+        let mut groups = Vec::with_capacity(keep.len());
+        let mut start = 0usize;
+        for &end in &keep {
+            groups.push(start..end + 1);
+            start = end + 1;
+        }
+        RetentionPlan { groups, keep_seqs, over_budget: required > budget }
+    }
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> RetentionPolicy {
+        RetentionPolicy::default_budget()
+    }
+}
+
+/// The outcome of [`RetentionPolicy::plan`]: which runs of records to
+/// fold together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetentionPlan {
+    /// Contiguous index ranges partitioning the input chain; each group
+    /// merges into one record carrying the group's *last* sequence
+    /// number. A group of length 1 is left untouched.
+    pub groups: Vec<Range<usize>>,
+    /// Sequence numbers that survive as restore points, ascending.
+    pub keep_seqs: Vec<u64>,
+    /// `true` when pins + tip alone exceed the budget; the plan keeps
+    /// them all anyway (tags are never sacrificed to the budget).
+    pub over_budget: bool,
+}
+
+impl RetentionPlan {
+    /// `true` if the plan folds nothing (every group has one record).
+    pub fn is_noop(&self) -> bool {
+        self.groups.iter().all(|g| g.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn empty_and_single_chains_are_noops() {
+        let policy = RetentionPolicy { budget: 4 };
+        assert_eq!(policy.plan(&[], &[]), RetentionPlan::default());
+        let plan = policy.plan(&[7], &[]);
+        assert_eq!(plan.groups, vec![0..1]);
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn groups_partition_the_chain_and_end_on_kept_points() {
+        for n in 1..200 {
+            let plan = RetentionPolicy { budget: 6 }.plan(&seqs(n), &[]);
+            let mut next = 0usize;
+            for g in &plan.groups {
+                assert_eq!(g.start, next, "groups must tile, n={n}");
+                assert!(g.end > g.start);
+                next = g.end;
+            }
+            assert_eq!(next, n, "groups must cover the chain, n={n}");
+            let ends: Vec<u64> = plan.groups.iter().map(|g| (g.end - 1) as u64).collect();
+            assert_eq!(ends, plan.keep_seqs, "kept seqs are the group ends, n={n}");
+        }
+    }
+
+    #[test]
+    fn kept_count_is_logarithmic_without_pins() {
+        for n in 2..2048 {
+            let plan = RetentionPolicy { budget: usize::MAX }.plan(&seqs(n), &[]);
+            let bound = (n - 1).next_power_of_two().trailing_zeros() as usize + 2;
+            assert!(
+                plan.keep_seqs.len() <= bound,
+                "n={n}: kept {} > ⌈log₂(n-1)⌉+2 = {bound}",
+                plan.keep_seqs.len()
+            );
+            assert!(!plan.over_budget);
+        }
+    }
+
+    #[test]
+    fn budget_caps_the_kept_count() {
+        for budget in 1..10 {
+            for n in 1..300 {
+                let plan = RetentionPolicy { budget }.plan(&seqs(n), &[]);
+                assert!(
+                    plan.keep_seqs.len() <= budget,
+                    "budget={budget} n={n}: kept {}",
+                    plan.keep_seqs.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tip_survives_and_trimming_sheds_oldest_points_first() {
+        let plan = RetentionPolicy { budget: 3 }.plan(&seqs(100), &[]);
+        assert_eq!(plan.keep_seqs.last(), Some(&99));
+        // Budget 3 keeps the tip and the two *closest* schedule points.
+        assert_eq!(plan.keep_seqs, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn pins_are_kept_even_over_budget() {
+        let pins: Vec<u64> = vec![3, 10, 50];
+        let plan = RetentionPolicy { budget: 2 }.plan(&seqs(100), &pins);
+        for p in &pins {
+            assert!(plan.keep_seqs.contains(p), "pin {p} dropped");
+        }
+        assert!(plan.over_budget);
+        // Within budget, pins ride alongside the schedule.
+        let plan = RetentionPolicy { budget: 8 }.plan(&seqs(100), &pins);
+        assert!(!plan.over_budget);
+        for p in &pins {
+            assert!(plan.keep_seqs.contains(p));
+        }
+        assert!(plan.keep_seqs.len() <= 8);
+    }
+
+    #[test]
+    fn plans_are_stable_under_reapplication() {
+        // Applying a plan and re-planning the surviving seqs keeps the
+        // pinned points: maintenance converges instead of churning.
+        let policy = RetentionPolicy { budget: 5 };
+        let first = policy.plan(&seqs(64), &[20]);
+        let survivors = first.keep_seqs.clone();
+        let second = policy.plan(&survivors, &[20]);
+        assert!(second.keep_seqs.contains(&20));
+        assert_eq!(second.keep_seqs.last(), Some(&63));
+    }
+}

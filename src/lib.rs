@@ -23,6 +23,8 @@
 //! * [`backend`] — execution backends emulating JVM dispatch regimes.
 //! * [`durable`] — crash-safe segmented on-disk checkpoint store with a
 //!   deterministic fault-injection VFS and crash-point enumeration harness.
+//! * [`lifecycle`] — policy-driven checkpoint lifecycle: named restore
+//!   points, binomial retention, content-hash dedup.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use ickp_backend as backend;
 pub use ickp_core as core;
 pub use ickp_durable as durable;
 pub use ickp_heap as heap;
+pub use ickp_lifecycle as lifecycle;
 pub use ickp_minic as minic;
 pub use ickp_spec as spec;
 pub use ickp_synth as synth;

@@ -1,0 +1,98 @@
+//! Markdown link checker: every relative link in the repo's operator-
+//! facing documentation must point at a file that exists. Runs as a
+//! tier-1 test and as the CI `lifecycle` job's link gate — docs that
+//! reference `docs/LIFECYCLE.md` or an example keep working when files
+//! move.
+
+use std::path::{Path, PathBuf};
+
+/// The documents whose links are part of the repo's contract.
+const DOCS: &[&str] = &[
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/FORMAT.md",
+    "docs/LIFECYCLE.md",
+];
+
+/// Extracts `](target)` link targets from one markdown document,
+/// skipping code fences (markdown inside ``` blocks is illustrative,
+/// not navigational).
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            rest = &rest[open + 2..];
+            let Some(close) = rest.find(')') else { break };
+            targets.push(rest[..close].to_string());
+            rest = &rest[close + 1..];
+        }
+    }
+    targets
+}
+
+/// `true` for targets the checker verifies: relative file paths. URLs
+/// and in-page anchors are out of scope.
+fn checkable(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty())
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{doc} must exist and be readable: {e}"));
+        let base = path.parent().expect("doc has a parent dir").to_path_buf();
+        for target in link_targets(&text) {
+            if !checkable(&target) {
+                continue;
+            }
+            // Strip a trailing anchor: `FORMAT.md#manifest` checks FORMAT.md.
+            let file = target.split('#').next().expect("split yields at least one part");
+            let resolved: PathBuf = base.join(file);
+            if !resolved.exists() {
+                broken.push(format!("{doc}: `{target}` -> {}", resolved.display()));
+            }
+            checked += 1;
+        }
+    }
+    assert!(broken.is_empty(), "broken doc links:\n  {}", broken.join("\n  "));
+    // The checker must actually be checking something; an accidentally
+    // link-free doc set would make this test vacuous.
+    assert!(checked >= 10, "only {checked} links found — did the docs lose their cross-links?");
+}
+
+#[test]
+fn readme_examples_table_covers_every_example() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    for entry in std::fs::read_dir(root.join("examples")).expect("examples dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name.strip_suffix(".rs") {
+            assert!(
+                readme.contains(stem),
+                "examples/{name} is not mentioned in README.md — add it to the Examples table"
+            );
+        }
+    }
+}
