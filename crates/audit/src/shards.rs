@@ -31,10 +31,10 @@
 
 use crate::diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
 use crate::soundness::RECORD_HEADER_BYTES;
-use ickp_core::{CheckpointConfig, Checkpointer, CoreError, MethodTable};
-use ickp_heap::{
-    first_touch_plan, partition_roots, reachable_from, Heap, HeapError, ObjectId, ShardPlan, Value,
+use ickp_core::{
+    plan_shards, CheckpointConfig, Checkpointer, CoreError, MethodTable, ShardBalance,
 };
+use ickp_heap::{first_touch_plan, reachable_from, Heap, HeapError, ObjectId, ShardPlan, Value};
 use std::collections::{HashMap, HashSet};
 
 /// At most this many per-object diagnostics are emitted per code; the
@@ -111,6 +111,28 @@ pub struct ShardAudit {
     pub footprints: Vec<ShardFootprint>,
     /// Interference findings; [`AuditReport::has_errors`] is the gate.
     pub report: AuditReport,
+}
+
+impl ShardAudit {
+    /// Heaviest-to-lightest ratio of the statically estimated per-shard
+    /// record bytes — the load-balance figure the `repro shards`
+    /// imbalance gate thresholds on. `1.0` with fewer than two shards;
+    /// infinite when some shard's estimate is zero while another's is
+    /// not (a degenerate split no threshold should accept).
+    pub fn byte_imbalance(&self) -> f64 {
+        if self.footprints.len() < 2 {
+            return 1.0;
+        }
+        let heaviest = self.footprints.iter().map(|f| f.est_record_bytes).max().unwrap_or(0);
+        let lightest = self.footprints.iter().map(|f| f.est_record_bytes).min().unwrap_or(0);
+        if lightest == 0 {
+            if heaviest == 0 {
+                return 1.0;
+            }
+            return f64::INFINITY;
+        }
+        heaviest as f64 / lightest as f64
+    }
 }
 
 /// Computes the static footprint of every shard of `spec` by abstract
@@ -408,7 +430,10 @@ pub fn cross_validate_shards(
     roots: &[ObjectId],
     workers: usize,
 ) -> Result<ShardOracleReport, CoreError> {
-    let plan = partition_roots(heap, roots, workers)?;
+    // Plan exactly as the engine will (same balance default, same
+    // byte-weighting), so the static footprints describe the very shards
+    // the traced run executes.
+    let plan = plan_shards(heap, roots, workers, ShardBalance::default())?;
     let footprints = shard_footprints(heap, &plan)?;
 
     let mut scratch = heap.clone();

@@ -24,9 +24,7 @@ use ickp_heap::ClassRegistry;
 use ickp_minic::Program;
 use ickp_spec::{ListPattern, NodePattern, PhasePlans, SpecShape};
 
-/// Bytes of the per-record stream header (tag, stable id, class id, field
-/// count — see `ickp-core`'s stream format).
-pub const RECORD_HEADER_BYTES: usize = 15;
+pub use ickp_core::RECORD_HEADER_BYTES;
 
 /// What one analysis phase can do to the shared `Attributes` structure:
 /// which root subtree it owns and whether the program makes it write

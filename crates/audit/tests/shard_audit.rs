@@ -8,7 +8,7 @@ use ickp_audit::{
     audit_shards, audit_shards_with, cross_validate_shards, shard_footprints, DiagCode, Severity,
     ShardAuditConfig, ShardSpec,
 };
-use ickp_core::{CheckpointConfig, Checkpointer, MethodTable};
+use ickp_core::{plan_shards, CheckpointConfig, Checkpointer, MethodTable, ShardBalance};
 use ickp_heap::{partition_roots, reachable_from, ClassRegistry, FieldType, Heap, ObjectId, Value};
 use ickp_prng::Prng;
 use ickp_synth::{SynthConfig, SynthWorld};
@@ -51,12 +51,20 @@ fn in_repo_plans_audit_clean_at_one_through_eight_shards() {
     let heaps: [(&Heap, &[ObjectId]); 2] = [(&heap, &roots), (synth.heap(), synth.roots())];
     for (heap, roots) in heaps {
         for shards in 1..=8usize {
-            let plan = partition_roots(heap, roots, shards).unwrap();
-            let audit = audit_shards(heap, roots, &plan).unwrap();
-            assert!(!audit.report.has_errors(), "{shards} shards:\n{}", audit.report.render());
-            assert_eq!(audit.footprints.len(), plan.num_shards());
-            let total: usize = audit.footprints.iter().map(|f| f.objects.len()).sum();
-            assert_eq!(total, plan.num_objects());
+            // Both balance strategies must prove out: count-based chunks
+            // and the byte-weighted chunks the engine defaults to.
+            for balance in [ShardBalance::RootCount, ShardBalance::Bytes] {
+                let plan = plan_shards(heap, roots, shards, balance).unwrap();
+                let audit = audit_shards(heap, roots, &plan).unwrap();
+                assert!(
+                    !audit.report.has_errors(),
+                    "{shards} shards ({balance:?}):\n{}",
+                    audit.report.render()
+                );
+                assert_eq!(audit.footprints.len(), plan.num_shards());
+                let total: usize = audit.footprints.iter().map(|f| f.objects.len()).sum();
+                assert_eq!(total, plan.num_objects());
+            }
         }
     }
 }
@@ -209,6 +217,66 @@ fn imbalance_lint_matches_measured_per_shard_bytes_exactly() {
     }
 }
 
+/// **The AUD205 feedback loop closed**: on a heap skewed enough that
+/// count-balanced chunking trips the imbalance lint, the byte-weighted
+/// chunking the engine now defaults to audits clean — same byte estimate,
+/// fed back into boundary placement — while still proving disjoint,
+/// complete, and first-touch deterministic.
+#[test]
+fn weighted_chunking_silences_the_imbalance_lint_count_chunking_trips() {
+    let mut reg = ClassRegistry::new();
+    let node =
+        reg.define("Node", None, &[("v", FieldType::Int), ("next", FieldType::Ref(None))]).unwrap();
+    let mut heap = Heap::new(reg);
+    // Three 12-element chains up front, then nine singletons: a 4-way
+    // count split lumps all three chains into shard 0 (36 of 45 objects),
+    // while a byte-weighted split gives each chain its own shard.
+    let mut chain = |len: usize| {
+        let mut next = None;
+        for _ in 0..len {
+            let id = heap.alloc(node).unwrap();
+            heap.set_field(id, 1, Value::Ref(next)).unwrap();
+            next = Some(id);
+        }
+        next.unwrap()
+    };
+    let mut roots: Vec<ObjectId> = (0..3).map(|_| chain(12)).collect();
+    for _ in 0..9 {
+        roots.push(chain(1));
+    }
+
+    let counted = plan_shards(&heap, &roots, 4, ShardBalance::RootCount).unwrap();
+    let weighted = plan_shards(&heap, &roots, 4, ShardBalance::Bytes).unwrap();
+    let count_audit = audit_shards(&heap, &roots, &counted).unwrap();
+    let weighted_audit = audit_shards(&heap, &roots, &weighted).unwrap();
+
+    // Correctness holds either way...
+    assert!(!count_audit.report.has_errors(), "{}", count_audit.report.render());
+    assert!(!weighted_audit.report.has_errors(), "{}", weighted_audit.report.render());
+    // ...but only the count-balanced plan is lopsided enough to lint.
+    assert!(
+        count_audit.report.diagnostics().iter().any(|d| d.code == DiagCode::ShardImbalance),
+        "expected AUD205 on the count-balanced plan:\n{}",
+        count_audit.report.render()
+    );
+    assert!(
+        weighted_audit.report.is_clean(),
+        "weighted plan should not lint:\n{}",
+        weighted_audit.report.render()
+    );
+    assert!(
+        weighted_audit.byte_imbalance() < count_audit.byte_imbalance(),
+        "weighted {} vs counted {}",
+        weighted_audit.byte_imbalance(),
+        count_audit.byte_imbalance()
+    );
+    // The weighted heaviest shard (the parallel wall-clock bound) shrinks.
+    let heaviest = |audit: &ickp_audit::ShardAudit| {
+        audit.footprints.iter().map(|f| f.est_record_bytes).max().unwrap()
+    };
+    assert!(heaviest(&weighted_audit) < heaviest(&count_audit));
+}
+
 /// **Acceptance criterion (cross-validation)**: on randomized DAG heaps,
 /// the traced engine's observed access sets are contained in the static
 /// footprints with zero sanitizer overlaps, for workers 1–8.
@@ -247,8 +315,10 @@ fn sanitizer_observations_are_contained_in_static_footprints() {
             let oracle = cross_validate_shards(&heap, &roots, workers).unwrap();
             assert!(oracle.is_consistent(), "case {case}, workers {workers}: {oracle:?}");
             // The probe is tight, not merely contained: every footprint
-            // object was actually visited.
-            let plan = partition_roots(&heap, &roots, workers).unwrap();
+            // object was actually visited. The plan must be the engine's
+            // own (byte-weighted default), or the footprints describe
+            // different shards than the trace ran.
+            let plan = plan_shards(&heap, &roots, workers, ShardBalance::default()).unwrap();
             let footprints = shard_footprints(&heap, &plan).unwrap();
             for (footprint, &observed) in footprints.iter().zip(&oracle.observed) {
                 assert_eq!(footprint.objects.len(), observed, "case {case}");

@@ -9,8 +9,8 @@
 
 use crate::sanitize::SanitizerReport;
 use ickp_core::{
-    CheckpointConfig, CheckpointRecord, Checkpointer, CoreError, MethodTable, RecordSink,
-    TraversalStats,
+    CheckpointConfig, CheckpointRecord, Checkpointer, CoreError, MethodTable, ParallelPhases,
+    RecordSink, TraversalStats,
 };
 use ickp_heap::{ClassRegistry, Heap, ObjectId};
 
@@ -47,10 +47,23 @@ impl ParallelBackend {
     /// Builds the backend for a class registry. `workers` of 0 or 1 run a
     /// single worker thread.
     pub fn new(workers: usize, registry: &ClassRegistry) -> ParallelBackend {
+        ParallelBackend::with_config(workers, registry, CheckpointConfig::incremental())
+    }
+
+    /// [`ParallelBackend::new`] with an explicit driver configuration —
+    /// e.g. `CheckpointConfig::incremental().without_journal()` so every
+    /// round exercises the shard workers (the scaling harness needs this:
+    /// with the journal on, steady-state rounds ride the sequential fast
+    /// path), or a different [`ickp_core::ShardBalance`].
+    pub fn with_config(
+        workers: usize,
+        registry: &ClassRegistry,
+        config: CheckpointConfig,
+    ) -> ParallelBackend {
         ParallelBackend {
             workers,
             table: MethodTable::derive(registry),
-            driver: Checkpointer::new(CheckpointConfig::incremental()),
+            driver: Checkpointer::new(config),
             last_sanitize: None,
         }
     }
@@ -128,6 +141,13 @@ impl ParallelBackend {
     /// regardless of the `sanitize` feature.
     pub fn shard_stats(&self) -> &[TraversalStats] {
         self.driver.shard_stats()
+    }
+
+    /// Wall-clock phase breakdown (plan / traverse / merge) of the most
+    /// recent checkpoint (see `ickp_core::Checkpointer::parallel_phases`),
+    /// or `None` before the first one.
+    pub fn phases(&self) -> Option<&ParallelPhases> {
+        self.driver.parallel_phases()
     }
 
     /// Takes one incremental checkpoint and streams the record straight
@@ -228,6 +248,37 @@ mod tests {
         assert!(0 < body && body < record.stats().bytes_written);
         #[cfg(not(feature = "sanitize"))]
         assert!(backend.sanitizer_report().is_none(), "untraced engines observe nothing");
+    }
+
+    #[test]
+    fn no_journal_config_reruns_shard_workers_every_round() {
+        use ickp_core::ShardBalance;
+        let (mut heap, roots) = world();
+        let config = CheckpointConfig::incremental().without_journal();
+        let mut backend = ParallelBackend::with_config(3, heap.registry(), config);
+        assert!(backend.phases().is_none());
+        backend.checkpoint(&mut heap, &roots).unwrap();
+        heap.set_field(roots[1], 0, Value::Int(7)).unwrap();
+        backend.checkpoint(&mut heap, &roots).unwrap();
+        let phases = *backend.phases().unwrap();
+        // Without the journal the second round still runs the shard
+        // workers (no fast path), with the plan served from cache.
+        assert!(!phases.fast_path);
+        assert!(phases.plan_cached);
+        assert_eq!(backend.shard_stats().len(), 3);
+
+        // The count-balanced strategy emits the same bytes.
+        let (mut heap2, roots2) = world();
+        let mut counted = ParallelBackend::with_config(
+            3,
+            heap2.registry(),
+            config.balanced_by(ShardBalance::RootCount),
+        );
+        let (mut heap3, roots3) = world();
+        let mut weighted = ParallelBackend::with_config(3, heap3.registry(), config);
+        let a = counted.checkpoint(&mut heap2, &roots2).unwrap();
+        let b = weighted.checkpoint(&mut heap3, &roots3).unwrap();
+        assert_eq!(a.bytes(), b.bytes());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Cost of the ownership pre-pass itself: planning, not checkpointing.
+//!
+//! Three axes on a paper-scale synthetic heap:
+//!
+//! * **chunking** — boundary computation alone: the legacy
+//!   `chunk_roots` (one `Vec<ObjectId>` per shard) against `chunk_bounds`
+//!   (indices into the existing root slice, two allocations per plan
+//!   total). The allocation the range form saves is the pre-pass hot-path
+//!   satellite of the parallel-engine work.
+//! * **planning** — full first-touch plans: sequential oracle vs the
+//!   parallel min-CAS pre-pass vs the byte-weighted variant (which pays
+//!   an extra reachability scan for per-root weights).
+//! * **weights** — the `root_weights` scan on its own.
+//!
+//! On a single-CPU host the parallel plan can only tie the sequential one
+//! (same work, plus thread spawn); the CI scaling job shows the shrink.
+
+use ickp_bench::BenchGroup;
+use ickp_heap::{
+    chunk_bounds, chunk_roots, partition_roots, partition_roots_parallel, partition_roots_weighted,
+    root_weights,
+};
+use ickp_synth::{SynthConfig, SynthWorld};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SHARDS: usize = 8;
+
+fn main() {
+    let world = SynthWorld::build(SynthConfig {
+        structures: 2_000,
+        lists_per_structure: 5,
+        list_len: 5,
+        ints_per_element: 10,
+        seed: 0x009e_9a55,
+    })
+    .expect("synthetic world builds");
+    let heap = world.heap();
+    let roots = world.roots().to_vec();
+
+    let mut group = BenchGroup::new("prepass");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+
+    group.bench("chunking/vec_per_shard", || black_box(chunk_roots(&roots, SHARDS)));
+    group.bench("chunking/bounds_only", || black_box(chunk_bounds(roots.len(), SHARDS)));
+
+    group.bench("plan/sequential", || {
+        black_box(partition_roots(heap, &roots, SHARDS).expect("plan"))
+    });
+    group.bench("plan/parallel", || {
+        black_box(partition_roots_parallel(heap, &roots, SHARDS).expect("plan"))
+    });
+    let weights = root_weights(heap, &roots, 15).expect("weights");
+    group.bench("plan/weighted", || {
+        black_box(partition_roots_weighted(heap, &roots, &weights, SHARDS).expect("plan"))
+    });
+
+    group.bench("weights/root_weights", || black_box(root_weights(heap, &roots, 15).expect("w")));
+    group.finish();
+}

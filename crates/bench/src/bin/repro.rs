@@ -9,8 +9,12 @@
 //! `table2`, or `all`. Absolute numbers are machine-dependent; the
 //! *shape* (who wins, by what factor, where the crossovers are) is the
 //! reproduction target. See EXPERIMENTS.md. The `audit`, `crashes`,
-//! `shards`, and `lifecycle` subcommands are deterministic correctness
-//! gates whose exit codes feed CI; they run alone, not under `all`.
+//! `shards`, `lifecycle`, and `scaling` subcommands are deterministic
+//! correctness gates whose exit codes feed CI; they run alone, not under
+//! `all`. `shards --max-imbalance R` additionally gates on the
+//! heaviest/lightest per-shard byte ratio; `scaling` measures the
+//! parallel engine's phase breakdown and proves byte-identity at every
+//! worker count.
 
 use ickp_analysis::Phase;
 use ickp_backend::Engine;
@@ -24,12 +28,14 @@ struct Options {
     structures: usize,
     rounds: usize,
     filters: usize,
+    max_imbalance: Option<f64>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
-    let mut opts = Options { structures: 20_000, rounds: 3, filters: DEFAULT_FILTERS };
+    let mut opts =
+        Options { structures: 20_000, rounds: 3, filters: DEFAULT_FILTERS, max_imbalance: None };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -51,8 +57,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--filters needs a number"))
             }
+            "--max-imbalance" => {
+                opts.max_imbalance = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &f64| *r >= 1.0)
+                        .unwrap_or_else(|| usage("--max-imbalance needs a ratio >= 1.0")),
+                )
+            }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "journal" | "audit" | "crashes" | "shards" | "lifecycle" | "all" => {
+            | "journal" | "audit" | "crashes" | "shards" | "lifecycle" | "scaling" | "all" => {
                 experiment = arg.clone()
             }
             other => usage(&format!("unknown argument `{other}`")),
@@ -76,7 +90,14 @@ fn main() {
     // disjoint, complete, and deterministic, then cross-validates the
     // static footprints against the traced engine. Exit code feeds CI.
     if experiment == "shards" {
-        std::process::exit(shards());
+        std::process::exit(shards(opts.max_imbalance));
+    }
+
+    // The measured-scaling harness: byte-identity of the parallel engine
+    // at every worker count plus its wall-clock phase breakdown, at paper
+    // scale. Exit code feeds CI; the printed table is the CI artifact.
+    if experiment == "scaling" {
+        std::process::exit(scaling(&opts));
     }
 
     // The lifecycle gate: tags, binomial retention, and content-hash
@@ -121,8 +142,8 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|lifecycle|all] \
-         [--structures N] [--rounds R] [--filters F]"
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|lifecycle|scaling|all] \
+         [--structures N] [--rounds R] [--filters F] [--max-imbalance RATIO]"
     );
     std::process::exit(2);
 }
@@ -316,15 +337,23 @@ fn crashes() -> i32 {
 /// 1/2/4/8 shards (`ickp_audit::audit_shards`: disjointness, coverage,
 /// deterministic ownership, imbalance), then cross-validates the static
 /// footprints against the traced parallel engine
-/// (`ickp_audit::cross_validate_shards`). Deterministic; returns the
-/// process exit code (1 if any AUD20x error or dynamic inconsistency).
-fn shards() -> i32 {
+/// (`ickp_audit::cross_validate_shards`). Plans are the engine's own
+/// (byte-weighted default). Deterministic; returns the process exit code
+/// (1 if any AUD20x error or dynamic inconsistency — or, when
+/// `max_imbalance` is given, any finite heaviest/lightest per-shard byte
+/// ratio above it; the infinite ratio of an empty shard means more
+/// workers than roots, which no balancing can fix, and is not gated).
+fn shards(max_imbalance: Option<f64>) -> i32 {
     use ickp_analysis::{AnalysisEngine, Division};
     use ickp_audit::{audit_shards, cross_validate_shards};
-    use ickp_heap::{partition_roots, Heap, ObjectId};
+    use ickp_core::{plan_shards, ShardBalance};
+    use ickp_heap::{Heap, ObjectId};
     use ickp_synth::{SynthConfig, SynthWorld};
 
     println!("# ickp shards — shard-interference audit + dynamic cross-validation\n");
+    if let Some(max) = max_imbalance {
+        println!("# gating on per-shard byte imbalance <= {max:.2}\n");
+    }
 
     // Subjects: the synthetic benchmark world and the analysis engine's
     // attribute heap as its binding-time phase sees it.
@@ -352,7 +381,7 @@ fn shards() -> i32 {
     let mut failures = 0usize;
     for (name, heap, roots) in &subjects {
         for workers in [1usize, 2, 4, 8] {
-            let plan = match partition_roots(heap, roots, workers) {
+            let plan = match plan_shards(heap, roots, workers, ShardBalance::default()) {
                 Ok(plan) => plan,
                 Err(e) => {
                     println!("{name} @ {workers} shard(s): planning FAILED — {e}");
@@ -369,6 +398,15 @@ fn shards() -> i32 {
                 }
             };
             let objects: Vec<usize> = audit.footprints.iter().map(|f| f.objects.len()).collect();
+            let ratio = audit.byte_imbalance();
+            let balance_verdict = match max_imbalance {
+                Some(max) if ratio.is_finite() && ratio > max => {
+                    failures += 1;
+                    format!("byte imbalance {ratio:.2} EXCEEDS {max:.2}")
+                }
+                _ if ratio.is_finite() => format!("byte imbalance {ratio:.2}"),
+                _ => "byte imbalance inf (empty shard: more workers than roots)".to_string(),
+            };
             let static_verdict = if audit.report.is_clean() {
                 "clean".to_string()
             } else if audit.report.has_errors() {
@@ -395,7 +433,7 @@ fn shards() -> i32 {
             };
             println!(
                 "{name} @ {workers} shard(s): static {static_verdict}; per-shard objects \
-                 {objects:?}; dynamic {dynamic_verdict}"
+                 {objects:?}; {balance_verdict}; dynamic {dynamic_verdict}"
             );
         }
         println!();
@@ -406,6 +444,154 @@ fn shards() -> i32 {
         0
     } else {
         println!("shard audit FAILED: {failures} subject(s)");
+        1
+    }
+}
+
+// --------------------------------------------------------------- scaling
+
+/// Measured end-to-end scaling of the parallel engine at paper scale:
+/// proves every worker count's stream byte-identical to the sequential
+/// reference (reconciling shard access sets when the `sanitize` feature
+/// is on), then prints the pre-pass cost (sequential oracle vs the
+/// parallel min-CAS plan) and the wall-clock phase breakdown
+/// (plan / traverse / merge) with serial fraction and speedup over the
+/// 1-worker engine. The journal is pinned off so every round runs the
+/// shard workers. Identity gates the exit code; timing is informational.
+fn scaling(opts: &Options) -> i32 {
+    use ickp_backend::ParallelBackend;
+    use ickp_bench::timing::median;
+    use ickp_core::{CheckpointConfig, Checkpointer, MethodTable};
+    use ickp_heap::partition_roots;
+    use ickp_synth::{SynthConfig, SynthWorld};
+    use std::time::Instant;
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# ickp scaling — parallel engine, measured end to end\n");
+    println!("# structures={} rounds={} cpus={}", opts.structures, opts.rounds, cpus);
+    #[cfg(feature = "sanitize")]
+    println!("# sanitize: on — every round's shard access sets reconciled");
+    #[cfg(not(feature = "sanitize"))]
+    println!("# sanitize: off");
+    println!();
+
+    let config = SynthConfig {
+        structures: opts.structures,
+        lists_per_structure: 5,
+        list_len: 5,
+        ints_per_element: 10,
+        seed: 0x5ca1e,
+    };
+    let no_journal = CheckpointConfig::incremental().without_journal();
+    let mut failures = 0usize;
+
+    // Byte-identity: mirrored worlds (same config, same construction,
+    // same modification script) checkpointed by the parallel backend and
+    // a journal-free sequential reference, every round, at every worker
+    // count.
+    let spec = mods(100, 5, false);
+    for workers in [1usize, 2, 4, 8] {
+        let mut world = SynthWorld::build(config).expect("world builds");
+        let mut ref_world = SynthWorld::build(config).expect("world builds");
+        let roots = world.roots().to_vec();
+        let table = MethodTable::derive(ref_world.heap().registry());
+        let mut backend =
+            ParallelBackend::with_config(workers, world.heap().registry(), no_journal);
+        let mut reference = Checkpointer::new(no_journal);
+        let mut identical = true;
+        for _ in 0..opts.rounds.max(2) {
+            world.apply_modifications(&spec);
+            ref_world.apply_modifications(&spec);
+            let a = backend.checkpoint(world.heap_mut(), &roots).expect("checkpoint");
+            let b = reference.checkpoint(ref_world.heap_mut(), &table, &roots).expect("checkpoint");
+            identical &= a.bytes() == b.bytes();
+            #[cfg(feature = "sanitize")]
+            if let Some(report) = backend.sanitizer_report() {
+                if !report.is_clean() {
+                    failures += 1;
+                    println!("{workers} workers: sanitizer OVERLAP\n{}", report.render());
+                }
+            }
+        }
+        if identical {
+            println!("{workers} workers: byte-identical to the sequential stream");
+        } else {
+            failures += 1;
+            println!("{workers} workers: stream DIVERGED from the sequential reference");
+        }
+    }
+
+    // The ownership pre-pass on its own: the sequential oracle against
+    // the parallel min-CAS plan the engine actually builds (uncached) —
+    // the stage that used to be a fixed sequential cost.
+    let world = SynthWorld::build(config).expect("world builds");
+    let roots = world.roots().to_vec();
+    let heap = world.heap();
+    let time_plan = |f: &dyn Fn()| {
+        median(
+            (0..opts.rounds.max(5))
+                .map(|_| {
+                    let start = Instant::now();
+                    f();
+                    start.elapsed()
+                })
+                .collect(),
+        )
+    };
+    let seq_pre = time_plan(&|| {
+        std::hint::black_box(partition_roots(heap, &roots, 8).expect("plan"));
+    });
+    println!("\npre-pass (8 shards): sequential oracle {}", fmt_duration(seq_pre));
+    for workers in [1usize, 2, 4, 8] {
+        let par_pre = time_plan(&|| {
+            std::hint::black_box(
+                ickp_core::plan_shards(heap, &roots, workers, ickp_core::ShardBalance::default())
+                    .expect("plan"),
+            );
+        });
+        println!("pre-pass ({workers} chunk(s), weighted, parallel): {}", fmt_duration(par_pre));
+    }
+
+    // Steady-state phase breakdown and end-to-end speedup over the
+    // 1-worker engine (plan served from cache in steady state, so the
+    // plan column is zero; the uncached cost is the pre-pass line above).
+    let mut runner = SynthRunner::new(opts.structures, 5, 10);
+    let rounds = (2 * opts.rounds + 3).max(9);
+    // Discarded warm-up measurement: the first parallel run pays one-off
+    // process-heap growth that would otherwise bias the 1-worker row.
+    runner.measure(Variant::ParallelNoJournal(8), &spec, 2);
+    let seq = runner.measure(Variant::IncrementalNoJournal, &spec, rounds).time;
+    println!("\nsequential checkpoint (no journal): {}", fmt_duration(seq));
+    println!(
+        "{:>7}  {:>12} {:>12} {:>12} {:>12}  {:>8} {:>8}",
+        "workers", "total", "plan", "traverse", "merge", "serial%", "speedup"
+    );
+    let mut one_worker: Option<Duration> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let m = runner.measure(Variant::ParallelNoJournal(workers), &spec, rounds);
+        let p = m.phases.expect("parallel variants report phases");
+        let base = *one_worker.get_or_insert(m.time);
+        println!(
+            "{:>7}  {:>12} {:>12} {:>12} {:>12}  {:>7.1}% {:>7.2}x",
+            workers,
+            fmt_duration(m.time),
+            fmt_duration(p.plan),
+            fmt_duration(p.traverse),
+            fmt_duration(p.merge),
+            p.serial_fraction() * 100.0,
+            base.as_secs_f64() / m.time.as_secs_f64().max(f64::EPSILON),
+        );
+    }
+    if cpus == 1 {
+        println!("\nnote: single-CPU host — traverse cannot shrink with workers here;");
+        println!("multi-core numbers come from the CI parallel-scaling job.");
+    }
+
+    if failures == 0 {
+        println!("\nscaling gate passed: all parallel streams byte-identical");
+        0
+    } else {
+        println!("\nscaling gate FAILED: {failures} check(s)");
         1
     }
 }

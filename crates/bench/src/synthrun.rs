@@ -8,7 +8,7 @@
 
 use crate::timing::median;
 use ickp_backend::{Engine, GenericBackend, ParallelBackend, SpecializedBackend};
-use ickp_core::{CheckpointConfig, Checkpointer, MethodTable, TraversalStats};
+use ickp_core::{CheckpointConfig, Checkpointer, MethodTable, ParallelPhases, TraversalStats};
 use ickp_spec::{GuardMode, Plan, SpecializedCheckpointer, Specializer};
 use ickp_synth::{ModificationSpec, SynthConfig, SynthWorld};
 use std::time::{Duration, Instant};
@@ -42,6 +42,11 @@ pub enum Variant {
     /// threads (the `parallel_scaling` bench; fourth point in Fig. 11 /
     /// Table 2).
     Parallel(usize),
+    /// [`Variant::Parallel`] with the dirty-set journal pinned off, so
+    /// every round runs the shard workers instead of riding the
+    /// sequential journal fast path — the variant the measured-scaling
+    /// harness uses to exercise the parallel engine itself.
+    ParallelNoJournal(usize),
 }
 
 /// One measurement: median checkpoint time plus the final round's stats.
@@ -55,6 +60,9 @@ pub struct Measurement {
     pub stats: TraversalStats,
     /// Objects dirtied by the final modification round.
     pub modified: usize,
+    /// Plan/traverse/merge wall-clock breakdown of the final round — only
+    /// for the parallel variants; `None` for sequential drivers.
+    pub phases: Option<ParallelPhases>,
 }
 
 /// Owns a synthetic world and measures checkpoint variants on it.
@@ -111,8 +119,8 @@ impl SynthRunner {
         mods: &ModificationSpec,
         rounds: usize,
     ) -> Measurement {
-        let (samples, bytes, stats, modified) = self.samples(variant, mods, 2, rounds);
-        Measurement { time: median(samples), bytes, stats, modified }
+        let (samples, bytes, stats, modified, phases) = self.samples(variant, mods, 2, rounds);
+        Measurement { time: median(samples), bytes, stats, modified, phases }
     }
 
     /// Total checkpoint time of `rounds` modification+checkpoint rounds,
@@ -123,7 +131,7 @@ impl SynthRunner {
         mods: &ModificationSpec,
         rounds: usize,
     ) -> Duration {
-        let (samples, _, _, _) = self.samples(variant, mods, 0, rounds);
+        let (samples, _, _, _, _) = self.samples(variant, mods, 0, rounds);
         samples.into_iter().sum()
     }
 
@@ -133,7 +141,7 @@ impl SynthRunner {
         mods: &ModificationSpec,
         warmup: usize,
         rounds: usize,
-    ) -> (Vec<Duration>, usize, TraversalStats, usize) {
+    ) -> (Vec<Duration>, usize, TraversalStats, usize, Option<ParallelPhases>) {
         let plan = self.plan_for(variant, mods);
         // Start every measurement from a clean heap (as if a base
         // checkpoint had just completed).
@@ -168,6 +176,11 @@ impl SynthRunner {
             Variant::Parallel(workers) => {
                 Driver::Par(ParallelBackend::new(workers, self.world.heap().registry()))
             }
+            Variant::ParallelNoJournal(workers) => Driver::Par(ParallelBackend::with_config(
+                workers,
+                self.world.heap().registry(),
+                CheckpointConfig::incremental().without_journal(),
+            )),
         };
 
         let roots = self.world.roots().to_vec();
@@ -203,7 +216,11 @@ impl SynthRunner {
             // view (e.g. flags outside the declared pattern).
             self.world.reset_modified();
         }
-        (samples, last_bytes, last_stats, last_modified)
+        let phases = match &driver {
+            Driver::Par(b) => b.phases().copied(),
+            _ => None,
+        };
+        (samples, last_bytes, last_stats, last_modified, phases)
     }
 }
 
@@ -281,6 +298,21 @@ mod tests {
                 "{workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn no_journal_parallel_variant_runs_the_shard_workers() {
+        let m = mods(50, 5, false);
+        let mut runner = SynthRunner::new(20, 5, 1);
+        let par = runner.measure(Variant::ParallelNoJournal(4), &m, 1);
+        let phases = par.phases.expect("parallel variants report a phase breakdown");
+        assert!(!phases.fast_path, "journal off, yet the round took the fast path");
+        assert!(phases.traverse > Duration::ZERO, "shard workers never ran");
+        // Steady-state shape: the plan is served from cache.
+        assert!(phases.plan_cached);
+        // Sequential variants have no phase breakdown to report.
+        let incr = runner.measure(Variant::Incremental, &m, 1);
+        assert!(incr.phases.is_none());
     }
 
     #[test]

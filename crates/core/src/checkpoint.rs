@@ -24,6 +24,28 @@ use crate::stream::{CheckpointKind, StreamWriter};
 use ickp_heap::{Heap, ObjectId, StableId};
 use std::collections::HashSet;
 
+/// How the parallel engine places shard boundaries over the root set.
+///
+/// Both strategies keep chunks **contiguous** in root order, so the merged
+/// parallel stream is byte-identical to the sequential one either way —
+/// the choice only moves the cut points, i.e. the load balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBalance {
+    /// Cut by estimated stream bytes: per-root byte weights (first-touch
+    /// at root granularity × per-class encoded sizes, the same estimate
+    /// the shard-imbalance lint AUD205 computes) drive a prefix-sum
+    /// boundary placement (`ickp_heap::chunk_bounds_weighted`). The
+    /// default: on skewed heaps the heaviest shard — which bounds the
+    /// parallel wall clock — shrinks toward the mean.
+    #[default]
+    Bytes,
+    /// Cut by root count (`ickp_heap::chunk_bounds`): the historical
+    /// strategy, cheapest possible pre-pass, accurate when roots are
+    /// uniform. Kept as the baseline the weighted strategy is measured
+    /// against.
+    RootCount,
+}
+
 /// Configuration for a [`Checkpointer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointConfig {
@@ -34,23 +56,41 @@ pub struct CheckpointConfig {
     /// performs the paper's full flag-test traversal — useful as the
     /// reference behaviour in equivalence tests and benchmarks.
     pub journal: bool,
+    /// Shard-boundary placement for [`Checkpointer::checkpoint_parallel`]
+    /// (byte-weighted by default; irrelevant to the sequential driver).
+    pub balance: ShardBalance,
 }
 
 impl CheckpointConfig {
     /// Configuration for full checkpointing (record everything).
     pub fn full() -> CheckpointConfig {
-        CheckpointConfig { kind: CheckpointKind::Full, journal: true }
+        CheckpointConfig {
+            kind: CheckpointKind::Full,
+            journal: true,
+            balance: ShardBalance::default(),
+        }
     }
 
     /// Configuration for incremental checkpointing (record modified only).
     pub fn incremental() -> CheckpointConfig {
-        CheckpointConfig { kind: CheckpointKind::Incremental, journal: true }
+        CheckpointConfig {
+            kind: CheckpointKind::Incremental,
+            journal: true,
+            balance: ShardBalance::default(),
+        }
     }
 
     /// Disables the dirty-set journal fast path, forcing the flag-test
     /// traversal on every checkpoint.
     pub fn without_journal(mut self) -> CheckpointConfig {
         self.journal = false;
+        self
+    }
+
+    /// Selects the shard-boundary placement strategy for the parallel
+    /// engine.
+    pub fn balanced_by(mut self, balance: ShardBalance) -> CheckpointConfig {
+        self.balance = balance;
         self
     }
 }
@@ -201,6 +241,8 @@ pub struct Checkpointer {
     /// Per-shard counters of the most recent parallel checkpoint (one
     /// entry per shard; a single entry after a journal fast path).
     pub(crate) last_shard_stats: Vec<TraversalStats>,
+    /// Wall-clock phase breakdown of the most recent parallel checkpoint.
+    pub(crate) last_phases: Option<crate::parallel::ParallelPhases>,
     /// Recycles encode buffers between checkpoints (see [`BufferPool`]).
     pub(crate) pool: BufferPool,
     /// Reusable `(position, id)` scratch for the fast path's sort.
@@ -217,6 +259,7 @@ impl Checkpointer {
             cache: None,
             plan_cache: None,
             last_shard_stats: Vec::new(),
+            last_phases: None,
             pool: BufferPool::default(),
             scratch: Vec::new(),
         }
@@ -256,6 +299,7 @@ impl Checkpointer {
         self.cache = None;
         self.plan_cache = None;
         self.last_shard_stats.clear();
+        self.last_phases = None;
     }
 
     /// Counters summed over every checkpoint taken so far.
@@ -273,6 +317,16 @@ impl Checkpointer {
     /// entry, since no shard workers ran.
     pub fn shard_stats(&self) -> &[TraversalStats] {
         &self.last_shard_stats
+    }
+
+    /// Wall-clock phase breakdown of the most recent parallel checkpoint
+    /// (see [`crate::ParallelPhases`]), or `None` before the first
+    /// [`Checkpointer::checkpoint_parallel`] call. This is the measured
+    /// decomposition behind the scaling experiments: plan (the ownership
+    /// pre-pass, including byte weighing), traverse (shard workers,
+    /// spawn-to-join), merge (splice + bookkeeping + flag resets).
+    pub fn parallel_phases(&self) -> Option<&crate::parallel::ParallelPhases> {
+        self.last_phases.as_ref()
     }
 
     /// Takes one checkpoint of everything reachable from `roots`.

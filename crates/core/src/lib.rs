@@ -67,12 +67,12 @@ mod stats;
 mod store;
 mod stream;
 
-pub use checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer};
+pub use checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer, ShardBalance};
 pub use compact::compact;
 pub use error::CoreError;
 pub use journal::{journal_dirty_set, JournalCache, JournalCacheBuilder};
 pub use methods::{FoldFn, MethodTable, RecordFn};
-pub use parallel::{ShardAccess, ShardTrace};
+pub use parallel::{plan_shards, ParallelPhases, ShardAccess, ShardTrace};
 pub use persist::{load_store, save_store, MAX_RECORD_LEN};
 pub use pool::BufferPool;
 pub use restore::{restore, verify_restore, RestorePolicy, RestoredHeap};
@@ -81,5 +81,5 @@ pub use stats::TraversalStats;
 pub use store::CheckpointStore;
 pub use stream::{
     decode, object_slices, CheckpointKind, DecodedCheckpoint, RecordedObject, RecordedValue,
-    StreamLayout, StreamWriter, MAGIC, VERSION,
+    StreamLayout, StreamWriter, MAGIC, RECORD_HEADER_BYTES, VERSION,
 };

@@ -1,9 +1,10 @@
 //! The parallel sharded checkpoint engine.
 //!
 //! [`Checkpointer::checkpoint_parallel`] splits the root set into disjoint
-//! ownership shards (via [`ickp_heap::partition_roots`]), traverses each
-//! shard on its own OS thread, and splices the per-shard record streams
-//! back into one stream. The result is **byte-for-byte identical** to what
+//! ownership shards (via [`ickp_heap::partition_roots_parallel`] or its
+//! byte-weighted sibling, both of which run the first-touch pre-pass in
+//! parallel), traverses each shard on its own OS thread, and splices the
+//! per-shard record streams back into one stream. The result is **byte-for-byte identical** to what
 //! [`Checkpointer::checkpoint`] produces on the same heap state — same
 //! header, same record order, same footer, same [`TraversalStats`] — so
 //! every downstream consumer (store, compaction, restore, verification) is
@@ -24,13 +25,17 @@
 //!    sequential depth-first pre-order exactly (see
 //!    [`ickp_heap::ShardPlan`]).
 
-use crate::checkpoint::{CheckpointRecord, Checkpointer};
+use crate::checkpoint::{CheckpointRecord, Checkpointer, ShardBalance};
 use crate::error::CoreError;
 use crate::journal::JournalCache;
 use crate::methods::MethodTable;
 use crate::stats::TraversalStats;
-use crate::stream::{CheckpointKind, StreamWriter};
-use ickp_heap::{partition_roots, Heap, ObjectId, ShardPlan, StableId};
+use crate::stream::{CheckpointKind, StreamWriter, RECORD_HEADER_BYTES};
+use ickp_heap::{
+    partition_roots_parallel, partition_roots_weighted, root_weights, Heap, ObjectId, ShardPlan,
+    StableId,
+};
+use std::time::{Duration, Instant};
 
 /// A [`ShardPlan`] cached across parallel checkpoints, valid while the
 /// heap structure, root set, and worker count are unchanged (the same
@@ -49,6 +54,81 @@ impl PlanCache {
             && self.workers == workers
             && self.roots == roots
     }
+}
+
+/// Wall-clock decomposition of one parallel checkpoint, recorded by
+/// [`Checkpointer::checkpoint_parallel`] and read back through
+/// [`Checkpointer::parallel_phases`].
+///
+/// This replaces the old *projected* Amdahl decomposition: instead of
+/// timing `partition_roots` in isolation and extrapolating, the engine
+/// stamps its own phases, so benchmarks and the `repro scaling` gate
+/// report what actually happened — including the effect of the plan cache
+/// and of the parallel pre-pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelPhases {
+    /// Building the [`ShardPlan`]: byte weighing (when balancing by
+    /// bytes) plus the parallel first-touch ownership pass. Zero when the
+    /// cached plan was reused.
+    pub plan: Duration,
+    /// Shard workers, spawn to last join — the parallel section.
+    pub traverse: Duration,
+    /// Sequential epilogue: splicing shard bodies, stats/journal-cache
+    /// bookkeeping, modified-flag resets.
+    pub merge: Duration,
+    /// `true` when the shard plan came from the cache (no pre-pass ran).
+    pub plan_cached: bool,
+    /// `true` when the journal fast path served the checkpoint: no shard
+    /// workers ran and the phase durations above are all zero.
+    pub fast_path: bool,
+}
+
+impl ParallelPhases {
+    /// Total engine time accounted to the three phases.
+    pub fn total(&self) -> Duration {
+        self.plan + self.traverse + self.merge
+    }
+
+    /// Fraction of the accounted time spent outside the parallel section
+    /// (plan + merge) — the measured serial fraction of this checkpoint.
+    /// `0.0` when nothing was accounted (fast path).
+    pub fn serial_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.plan + self.merge).as_secs_f64() / total
+    }
+}
+
+/// Builds the [`ShardPlan`] the parallel engine uses for `(roots,
+/// workers)` under `balance` — the single source of truth for planning,
+/// shared by [`Checkpointer::checkpoint_parallel`], the shard audit's
+/// cross-validator, and the scaling harness, so a plan computed outside
+/// the engine is guaranteed to equal the one the engine runs.
+///
+/// Both strategies run the first-touch pre-pass in parallel;
+/// [`ShardBalance::Bytes`] first weighs each root by its estimated stream
+/// contribution ([`root_weights`] with the record-header overhead) and
+/// places boundaries by prefix sum.
+///
+/// # Errors
+///
+/// Propagates heap errors (e.g. dangling references) from the traversals.
+pub fn plan_shards(
+    heap: &Heap,
+    roots: &[ObjectId],
+    workers: usize,
+    balance: ShardBalance,
+) -> Result<ShardPlan, CoreError> {
+    let plan = match balance {
+        ShardBalance::RootCount => partition_roots_parallel(heap, roots, workers)?,
+        ShardBalance::Bytes => {
+            let weights = root_weights(heap, roots, RECORD_HEADER_BYTES as u64)?;
+            partition_roots_weighted(heap, roots, &weights, workers)?
+        }
+    };
+    Ok(plan)
 }
 
 /// What one shard actually touched during a traced parallel checkpoint.
@@ -164,10 +244,13 @@ impl Checkpointer {
     /// shard needs at least one root) and values of 0 or 1 degrade to a
     /// single worker thread.
     ///
-    /// The engine performs one extra sequential pre-pass over the
-    /// reachability graph to compute shard ownership, so the parallel
-    /// speedup ceiling is governed by how much recording work each
-    /// traversal step carries.
+    /// The ownership pre-pass over the reachability graph runs in
+    /// parallel itself (`ickp_heap::partition_roots_parallel`; see
+    /// [`ParallelPhases`] for the measured phase split), and shard
+    /// boundaries are placed by estimated stream bytes per root unless the
+    /// config selects [`ShardBalance::RootCount`]. The plan is cached
+    /// across checkpoints while the heap structure, root set and worker
+    /// count are unchanged.
     ///
     /// # Errors
     ///
@@ -250,16 +333,21 @@ impl Checkpointer {
             // byte-identical stream either way.
             let record = self.checkpoint_from_journal(heap, methods, root_ids)?;
             self.last_shard_stats = vec![record.stats()];
+            self.last_phases =
+                Some(ParallelPhases { fast_path: true, ..ParallelPhases::default() });
             let fast = trace.then(|| ShardTrace { fast_path: true, shards: Vec::new() });
             return Ok((record, fast));
         }
-        let plan = match self.plan_cache.take() {
-            Some(cached) if cached.matches(heap, roots, workers) => cached.plan,
-            _ => partition_roots(heap, roots, workers)?,
+        let plan_timer = Instant::now();
+        let (plan, plan_cached) = match self.plan_cache.take() {
+            Some(cached) if cached.matches(heap, roots, workers) => (cached.plan, true),
+            _ => (plan_shards(heap, roots, workers, self.config.balance)?, false),
         };
+        let plan_time = plan_timer.elapsed();
         let journal_wanted = self.config.journal && kind == CheckpointKind::Incremental;
         let collect_order = journal_wanted || trace;
 
+        let traverse_timer = Instant::now();
         let outputs: Vec<Result<ShardOutput, CoreError>> = std::thread::scope(|scope| {
             let heap = &*heap;
             let plan = &plan;
@@ -272,7 +360,9 @@ impl Checkpointer {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard worker does not panic")).collect()
         });
+        let traverse_time = traverse_timer.elapsed();
 
+        let merge_timer = Instant::now();
         let (mut writer, reused) = self.writer_for(seq, kind, &root_ids);
         let mut stats = TraversalStats::default();
         let mut to_reset: Vec<ObjectId> = Vec::new();
@@ -322,6 +412,13 @@ impl Checkpointer {
 
         stats.bytes_written = writer.len() as u64;
         let bytes = writer.finish();
+        self.last_phases = Some(ParallelPhases {
+            plan: if plan_cached { Duration::ZERO } else { plan_time },
+            traverse: traverse_time,
+            merge: merge_timer.elapsed(),
+            plan_cached,
+            fast_path: false,
+        });
         self.next_seq += 1;
         self.cumulative += stats;
         let record = CheckpointRecord::pooled(seq, kind, root_ids, bytes, stats, self.pool.clone());
@@ -400,6 +497,82 @@ mod tests {
     fn parallel_incremental_checkpoint_is_byte_identical_to_sequential() {
         for workers in [1, 2, 4, 7] {
             assert_matches_sequential(CheckpointConfig::incremental(), workers);
+        }
+    }
+
+    #[test]
+    fn both_balance_strategies_are_byte_identical_to_sequential() {
+        for balance in [ShardBalance::Bytes, ShardBalance::RootCount] {
+            for workers in [2, 4, 7] {
+                assert_matches_sequential(CheckpointConfig::full().balanced_by(balance), workers);
+                assert_matches_sequential(
+                    CheckpointConfig::incremental().balanced_by(balance),
+                    workers,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_tracks_cache_and_fast_path() {
+        let (mut heap, table, roots) = world(8);
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental().without_journal());
+        assert!(ckp.parallel_phases().is_none());
+
+        ckp.checkpoint_parallel(&mut heap, &table, &roots, 4).unwrap();
+        let first = *ckp.parallel_phases().unwrap();
+        assert!(!first.fast_path && !first.plan_cached);
+        assert!(first.plan > Duration::ZERO, "pre-pass ran");
+        assert!(first.traverse > Duration::ZERO && first.merge > Duration::ZERO);
+        assert!(first.serial_fraction() > 0.0 && first.serial_fraction() < 1.0);
+
+        // Unchanged structure: the plan cache serves the second round.
+        ckp.checkpoint_parallel(&mut heap, &table, &roots, 4).unwrap();
+        let second = *ckp.parallel_phases().unwrap();
+        assert!(second.plan_cached && second.plan == Duration::ZERO);
+
+        // A structure change invalidates the cached plan.
+        let extra = heap.alloc(heap.class_of(roots[0]).unwrap()).unwrap();
+        heap.set_field(roots[0], 1, Value::Ref(Some(extra))).unwrap();
+        ckp.checkpoint_parallel(&mut heap, &table, &roots, 4).unwrap();
+        let third = *ckp.parallel_phases().unwrap();
+        assert!(!third.plan_cached && third.plan > Duration::ZERO);
+
+        // With the journal on, a clean second round is marked fast-path.
+        let mut journaled = Checkpointer::new(CheckpointConfig::incremental());
+        journaled.checkpoint_parallel(&mut heap, &table, &roots, 4).unwrap();
+        journaled.checkpoint_parallel(&mut heap, &table, &roots, 4).unwrap();
+        let fast = *journaled.parallel_phases().unwrap();
+        assert!(fast.fast_path);
+        assert_eq!(fast.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stale_plan_cache_is_rebuilt_after_structure_changes() {
+        // The plan cache must never survive a structure change: grow the
+        // graph between parallel checkpoints and require byte-identity
+        // with a fresh sequential driver each round, for both balancers.
+        for balance in [ShardBalance::Bytes, ShardBalance::RootCount] {
+            let (mut heap, table, mut roots) = world(6);
+            let config = CheckpointConfig::incremental().balanced_by(balance);
+            let mut par_ckp = Checkpointer::new(config);
+            let mut seq_ckp = Checkpointer::new(config);
+            let mut seq_heap = heap.clone();
+            let node = heap.class_of(roots[0]).unwrap();
+            for round in 0..4 {
+                let par = par_ckp.checkpoint_parallel(&mut heap, &table, &roots, 3).unwrap();
+                let seq = seq_ckp.checkpoint(&mut seq_heap, &table, &roots).unwrap();
+                assert_eq!(par.bytes(), seq.bytes(), "{balance:?} round {round}");
+                // Mutate both heaps identically: new subtree on one root
+                // (structure change) plus a scalar dirty.
+                for h in [&mut heap, &mut seq_heap] {
+                    let fresh = h.alloc(node).unwrap();
+                    h.set_field(fresh, 0, Value::Int(round as i32)).unwrap();
+                    h.set_field(roots[round], 1, Value::Ref(Some(fresh))).unwrap();
+                    h.set_field(roots[5], 0, Value::Int(100 + round as i32)).unwrap();
+                }
+                roots.rotate_left(1); // changed root order also invalidates
+            }
         }
     }
 

@@ -29,6 +29,15 @@ pub const VERSION: u16 = 1;
 const TAG_OBJECT: u8 = 0x01;
 const TAG_END: u8 = 0xFF;
 
+/// Bytes of the per-record stream header written by
+/// [`StreamWriter::begin_object`]: tag (1), stable id (8), class id (4),
+/// field count (2). Static byte estimators — the shard-imbalance lint in
+/// `ickp-audit`, the byte-weighted shard balancer
+/// ([`ickp_heap::root_weights`] as invoked by the parallel engine) — add
+/// this to each class's encoded state size to predict a record's exact
+/// stream footprint.
+pub const RECORD_HEADER_BYTES: usize = 1 + 8 + 4 + 2;
+
 /// Whether a checkpoint records everything or only modified objects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CheckpointKind {

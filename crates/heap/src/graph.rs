@@ -14,6 +14,16 @@
 //! (its *owner*), so independent workers can traverse and record disjoint
 //! slices of the graph whose concatenation reproduces the sequential
 //! traversal exactly.
+//!
+//! The pre-pass itself comes in two interchangeable forms: the sequential
+//! oracle ([`first_touch_plan`] / [`partition_roots`]) and a parallel
+//! version ([`first_touch_plan_parallel`] / [`partition_roots_parallel`])
+//! that computes the *same* plan with per-chunk traversals racing on an
+//! atomic owner array — see the equivalence argument on
+//! [`first_touch_plan_parallel`]. Chunk boundaries can be placed by root
+//! count ([`chunk_bounds`]) or by per-root byte weight
+//! ([`chunk_bounds_weighted`], fed by [`root_weights`]); both stay
+//! contiguous, so the stream-order invariant is untouched.
 
 use crate::error::HeapError;
 use crate::heap::Heap;
@@ -22,6 +32,7 @@ use crate::value::Value;
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Error produced by graph validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,9 +182,18 @@ pub fn validate_acyclic(heap: &Heap, roots: &[ObjectId]) -> Result<(), ReachErro
 /// assert_eq!(plan.owner_of(roots[3]), Some(1));
 /// # Ok(()) }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
-    shards: Vec<Vec<ObjectId>>,
+    /// All chunk roots, concatenated in shard order. Shard `i` is the
+    /// range `roots[bounds[i]..bounds[i + 1]]` — ranges over one flat
+    /// buffer instead of a `Vec<Vec<ObjectId>>`, so building a plan costs
+    /// two allocations regardless of the shard count (the pre-pass runs on
+    /// every structure change, so this is a measured hot path — see the
+    /// `prepass` microbench).
+    roots: Vec<ObjectId>,
+    /// Chunk boundaries into `roots`: `bounds.len() == num_shards() + 1`,
+    /// `bounds[0] == 0`, strictly increasing.
+    bounds: Vec<usize>,
     /// Owner shard per arena slot ([`UNOWNED`] = unreachable). Dense
     /// slot-indexed storage (see [`Heap::arena_size`]) keeps the per-object
     /// ownership test branch-predictable and hash-free, since both the
@@ -189,7 +209,7 @@ impl ShardPlan {
     /// Number of shards: at most the requested worker count, at most the
     /// number of roots (and 0 for an empty root set).
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.bounds.len() - 1
     }
 
     /// The roots assigned to `shard`, in original root order.
@@ -198,7 +218,22 @@ impl ShardPlan {
     ///
     /// Panics if `shard >= num_shards()`.
     pub fn roots(&self, shard: usize) -> &[ObjectId] {
-        &self.shards[shard]
+        &self.roots[self.bounds[shard]..self.bounds[shard + 1]]
+    }
+
+    /// All chunk roots, concatenated in shard order. For a contiguous
+    /// chunking this is the original root set verbatim.
+    pub fn all_roots(&self) -> &[ObjectId] {
+        &self.roots
+    }
+
+    /// The owner array, indexed by arena slot: `owner_table()[id.index()]`
+    /// is the owning shard, or `u32::MAX` for slots not reachable from the
+    /// partitioned roots. Exposed so equivalence suites can assert that two
+    /// pre-pass implementations computed the *same* ownership, slot for
+    /// slot.
+    pub fn owner_table(&self) -> &[u32] {
+        &self.owner
     }
 
     /// The shard that owns `id`, or `None` if `id` was not reachable from
@@ -220,7 +255,7 @@ impl ShardPlan {
 
     /// Owned-object count per shard — the load-balance picture.
     pub fn objects_per_shard(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.shards.len()];
+        let mut counts = vec![0usize; self.num_shards()];
         for &s in &self.owner {
             if s != UNOWNED {
                 counts[s as usize] += 1;
@@ -252,7 +287,7 @@ impl ShardPlan {
     pub fn shard_preorder(&self, heap: &Heap, shard: usize) -> Result<Vec<ObjectId>, HeapError> {
         let mut order = Vec::new();
         let mut seen: HashSet<ObjectId> = HashSet::new();
-        let mut stack: Vec<ObjectId> = self.shards[shard].iter().rev().copied().collect();
+        let mut stack: Vec<ObjectId> = self.roots(shard).iter().rev().copied().collect();
         while let Some(id) = stack.pop() {
             if !self.owns(shard, id) || !seen.insert(id) {
                 continue;
@@ -269,42 +304,235 @@ impl ShardPlan {
     }
 }
 
-/// Splits `roots` into at most `shards` contiguous, balanced chunks: the
-/// first `len % shards` chunks get one extra root, empty chunks are
-/// dropped. Contiguity (not round-robin) is what makes shard-order
-/// concatenation equal the sequential traversal order, so every shard
-/// assignment in this crate goes through this function.
-pub fn chunk_roots(roots: &[ObjectId], shards: usize) -> Vec<Vec<ObjectId>> {
-    let shards = shards.max(1).min(roots.len().max(1));
-    let base = roots.len() / shards;
-    let extra = roots.len() % shards;
-    let mut chunks: Vec<Vec<ObjectId>> = Vec::with_capacity(shards);
+/// Computes count-balanced contiguous chunk boundaries over a root slice of
+/// length `len`: at most `shards` chunks, the first `len % shards` chunks
+/// one root longer. Returns the boundary vector `bounds` with
+/// `bounds.len() == chunks + 1`, `bounds[0] == 0`, strictly increasing —
+/// chunk `i` is `roots[bounds[i]..bounds[i + 1]]`. An empty root slice
+/// yields `[0]` (zero chunks). Contiguity (not round-robin) is what makes
+/// shard-order concatenation equal the sequential traversal order, so every
+/// shard assignment in this crate goes through this function or its
+/// weighted sibling [`chunk_bounds_weighted`].
+pub fn chunk_bounds(len: usize, shards: usize) -> Vec<usize> {
+    if len == 0 {
+        return vec![0];
+    }
+    let shards = shards.max(1).min(len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0);
     let mut next = 0usize;
     for i in 0..shards {
-        let len = base + usize::from(i < extra);
-        chunks.push(roots[next..next + len].to_vec());
-        next += len;
+        next += base + usize::from(i < extra);
+        bounds.push(next);
     }
-    chunks.retain(|c| !c.is_empty());
-    chunks
+    bounds
+}
+
+/// Computes **byte-weighted** contiguous chunk boundaries: `weights[i]` is
+/// the estimated stream contribution of root `i` (see [`root_weights`]),
+/// and boundary `j` is placed at the smallest index whose weight prefix sum
+/// reaches `j/k` of the total — clamped so every chunk keeps at least one
+/// root. Same return convention as [`chunk_bounds`].
+///
+/// Chunks stay contiguous, so the sequential-order concatenation invariant
+/// (and therefore byte-identity of the merged parallel stream) is
+/// unaffected; only the *placement* of the cut points changes. With uniform
+/// weights this degenerates to exactly [`chunk_bounds`].
+pub fn chunk_bounds_weighted(weights: &[u64], shards: usize) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return vec![0];
+    }
+    let k = shards.max(1).min(n);
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0);
+    let mut prefix: u128 = 0;
+    let mut i = 0usize;
+    for j in 1..k {
+        // Smallest i with prefix(i) >= j * total / k (exact rational
+        // comparison), kept inside [prev + 1, n - (k - j)] so all k chunks
+        // stay non-empty.
+        let min_i = bounds[j - 1] + 1;
+        let max_i = n - (k - j);
+        while i < max_i && (i < min_i || prefix * (k as u128) < total * (j as u128)) {
+            prefix += weights[i] as u128;
+            i += 1;
+        }
+        bounds.push(i);
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// Splits `roots` into at most `shards` contiguous, count-balanced chunks
+/// (see [`chunk_bounds`]), materialized as owned vectors. The engine's hot
+/// path works on boundary ranges instead; this shape survives for callers
+/// that build or scramble chunkings by hand (the shard audit, tests).
+pub fn chunk_roots(roots: &[ObjectId], shards: usize) -> Vec<Vec<ObjectId>> {
+    chunk_bounds(roots.len(), shards).windows(2).map(|w| roots[w[0]..w[1]].to_vec()).collect()
+}
+
+/// Splits `roots` into at most `shards` contiguous chunks whose boundaries
+/// are placed by the per-root byte estimates `weights` (see
+/// [`chunk_bounds_weighted`]), materialized as owned vectors.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != roots.len()`.
+pub fn chunk_roots_weighted(
+    roots: &[ObjectId],
+    weights: &[u64],
+    shards: usize,
+) -> Vec<Vec<ObjectId>> {
+    assert_eq!(weights.len(), roots.len(), "one weight per root");
+    chunk_bounds_weighted(weights, shards).windows(2).map(|w| roots[w[0]..w[1]].to_vec()).collect()
+}
+
+/// Flattens a hand-built chunking into the internal (roots, bounds)
+/// representation. Empty chunks are kept (as empty ranges), matching the
+/// historical acceptance of arbitrary chunk vectors.
+fn flatten_chunks(chunks: Vec<Vec<ObjectId>>) -> (Vec<ObjectId>, Vec<usize>) {
+    let mut roots = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    let mut bounds = Vec::with_capacity(chunks.len() + 1);
+    bounds.push(0);
+    for chunk in chunks {
+        roots.extend_from_slice(&chunk);
+        bounds.push(roots.len());
+    }
+    (roots, bounds)
 }
 
 /// Assigns every object reachable from `chunks` to its **first-touch
 /// owner**: the lowest-index chunk whose depth-first traversal reaches it
-/// first. This is the ownership pre-pass behind [`partition_roots`],
-/// exposed separately so callers with a non-contiguous or hand-built
-/// chunking (tests, the shard audit) can compute the same deterministic
-/// prediction the parallel engine relies on.
+/// first. This is the sequential ownership oracle behind
+/// [`partition_roots`], exposed separately so callers with a non-contiguous
+/// or hand-built chunking (tests, the shard audit) can compute the same
+/// deterministic prediction the parallel engine relies on.
 ///
 /// # Errors
 ///
 /// Returns [`HeapError::DanglingObject`] if a traversed reference points
 /// at a freed object.
 pub fn first_touch_plan(heap: &Heap, chunks: Vec<Vec<ObjectId>>) -> Result<ShardPlan, HeapError> {
+    let (roots, bounds) = flatten_chunks(chunks);
+    first_touch_sequential(heap, roots, bounds)
+}
+
+/// Computes the same [`ShardPlan`] as [`first_touch_plan`] — same owner
+/// array, slot for slot — with one traversal *per chunk* running in
+/// parallel, racing on an atomic owner array with `fetch_min`.
+///
+/// **Equivalence argument.** Sequential first-touch ownership equals
+/// "lowest-index chunk that can reach the object": chunk *i*'s sequential
+/// traversal only skips nodes already owned by chunks `< i`, and first-touch
+/// ownership is closed under reachability, so everything behind a skipped
+/// node is also owned by an earlier chunk. That reformulation is
+/// order-free, so each chunk can traverse independently and claim nodes
+/// with an atomic minimum: a worker for chunk *i* expands a node only when
+/// `fetch_min(i)` observed a previous owner `> i`, and prunes when the
+/// previous owner is `<= i` (either chunk *i* itself already expanded it,
+/// or a lower chunk reaches it — and, along any path from chunk *i*'s roots
+/// to a node whose minimum reaching chunk is *i*, every intermediate node
+/// *also* has minimum *i*, so the pruning never cuts chunk *i* off from a
+/// node it must own). `Relaxed` ordering suffices: a stale high read only
+/// causes a redundant push, never a wrong final value, and the spawning
+/// scope's join synchronizes the final reads.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object. Which worker trips the error first is
+/// schedule-dependent; the error reported is the one from the
+/// lowest-indexed failing chunk.
+pub fn first_touch_plan_parallel(
+    heap: &Heap,
+    chunks: Vec<Vec<ObjectId>>,
+) -> Result<ShardPlan, HeapError> {
+    let (roots, bounds) = flatten_chunks(chunks);
+    first_touch_parallel(heap, roots, bounds)
+}
+
+/// Splits `roots` into at most `shards` contiguous chunks and assigns every
+/// reachable object to its first-touch owner shard.
+///
+/// The pre-pass is one sequential depth-first traversal (the same order as
+/// [`reachable_from`]); an object shared between shards is owned by the
+/// lowest-index shard that reaches it, which keeps ownership deterministic
+/// and independent of any later parallel execution schedule. A `shards`
+/// value of 0 is treated as 1 and the chunk count never exceeds the root
+/// count, so [`ShardPlan::num_shards`] may be less than `shards`.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object.
+pub fn partition_roots(
+    heap: &Heap,
+    roots: &[ObjectId],
+    shards: usize,
+) -> Result<ShardPlan, HeapError> {
+    first_touch_sequential(heap, roots.to_vec(), chunk_bounds(roots.len(), shards))
+}
+
+/// [`partition_roots`] with the ownership pre-pass run in parallel, one
+/// worker per chunk (see [`first_touch_plan_parallel`] for the equivalence
+/// argument). Produces the identical [`ShardPlan`].
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object.
+pub fn partition_roots_parallel(
+    heap: &Heap,
+    roots: &[ObjectId],
+    shards: usize,
+) -> Result<ShardPlan, HeapError> {
+    first_touch_parallel(heap, roots.to_vec(), chunk_bounds(roots.len(), shards))
+}
+
+/// Splits `roots` into at most `shards` contiguous chunks whose boundaries
+/// are placed by the per-root byte estimates `weights` (see
+/// [`chunk_bounds_weighted`] and [`root_weights`]), then assigns first-touch
+/// ownership with the parallel pre-pass.
+///
+/// Because the weighted chunks are still contiguous, the resulting plan
+/// satisfies the same two invariants as [`partition_roots`] (prunability
+/// and sequential-order concatenation) and produces byte-identical merged
+/// streams; only the load balance changes.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != roots.len()`.
+///
+/// # Errors
+///
+/// Returns [`HeapError::DanglingObject`] if a traversed reference points at
+/// a freed object.
+pub fn partition_roots_weighted(
+    heap: &Heap,
+    roots: &[ObjectId],
+    weights: &[u64],
+    shards: usize,
+) -> Result<ShardPlan, HeapError> {
+    assert_eq!(weights.len(), roots.len(), "one weight per root");
+    first_touch_parallel(heap, roots.to_vec(), chunk_bounds_weighted(weights, shards))
+}
+
+/// The sequential first-touch oracle over the flat (roots, bounds)
+/// representation.
+fn first_touch_sequential(
+    heap: &Heap,
+    roots: Vec<ObjectId>,
+    bounds: Vec<usize>,
+) -> Result<ShardPlan, HeapError> {
     let mut owner: Vec<u32> = vec![UNOWNED; heap.arena_size()];
     let mut objects = 0usize;
-    for (index, chunk) in chunks.iter().enumerate() {
-        let mut stack: Vec<ObjectId> = chunk.iter().rev().copied().collect();
+    let mut stack: Vec<ObjectId> = Vec::new();
+    for (index, window) in bounds.windows(2).enumerate() {
+        stack.extend(roots[window[0]..window[1]].iter().rev());
         while let Some(id) = stack.pop() {
             if owner[id.index()] != UNOWNED {
                 continue;
@@ -321,29 +549,166 @@ pub fn first_touch_plan(heap: &Heap, chunks: Vec<Vec<ObjectId>>) -> Result<Shard
             }
         }
     }
-    Ok(ShardPlan { shards: chunks, owner, objects })
+    Ok(ShardPlan { roots, bounds, owner, objects })
 }
 
-/// Splits `roots` into at most `shards` contiguous chunks and assigns every
-/// reachable object to its first-touch owner shard.
+/// The parallel first-touch pre-pass: one scoped worker per chunk, all
+/// racing `fetch_min` claims on a shared atomic owner array.
+fn first_touch_parallel(
+    heap: &Heap,
+    roots: Vec<ObjectId>,
+    bounds: Vec<usize>,
+) -> Result<ShardPlan, HeapError> {
+    let shards = bounds.len() - 1;
+    if shards <= 1 {
+        // One chunk cannot race with anyone; skip the thread machinery.
+        return first_touch_sequential(heap, roots, bounds);
+    }
+    let owner: Vec<AtomicU32> = (0..heap.arena_size()).map(|_| AtomicU32::new(UNOWNED)).collect();
+    let results: Vec<Result<(), HeapError>> = std::thread::scope(|scope| {
+        let owner = &owner;
+        let roots = &roots;
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .enumerate()
+            .map(|(index, window)| {
+                let chunk = &roots[window[0]..window[1]];
+                scope.spawn(move || claim_chunk(heap, owner, chunk, index as u32))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pre-pass worker panicked")).collect()
+    });
+    for result in results {
+        result?;
+    }
+    let mut objects = 0usize;
+    let owner: Vec<u32> = owner
+        .into_iter()
+        .map(|slot| {
+            let s = slot.into_inner();
+            objects += usize::from(s != UNOWNED);
+            s
+        })
+        .collect();
+    Ok(ShardPlan { roots, bounds, owner, objects })
+}
+
+/// Depth-first claim traversal for one chunk: claim each reached node with
+/// `fetch_min(index)`, expand it only if the previous owner was higher, and
+/// prune wherever a lower (or equal, i.e. already-visited) owner holds the
+/// slot. See [`first_touch_plan_parallel`] for why pruning at lower-owned
+/// nodes is safe.
+fn claim_chunk(
+    heap: &Heap,
+    owner: &[AtomicU32],
+    chunk: &[ObjectId],
+    index: u32,
+) -> Result<(), HeapError> {
+    let mut stack: Vec<ObjectId> = chunk.iter().rev().copied().collect();
+    while let Some(id) = stack.pop() {
+        if owner[id.index()].fetch_min(index, Ordering::Relaxed) <= index {
+            continue;
+        }
+        let obj = heap.object(id)?;
+        for value in obj.fields().iter().rev() {
+            if let Value::Ref(Some(child)) = value {
+                // A stale high read only costs a redundant push; the claim
+                // above re-checks before expanding.
+                if owner[child.index()].load(Ordering::Relaxed) > index {
+                    stack.push(*child);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Estimates, for every root, the number of stream bytes a full checkpoint
+/// of the whole root set attributes to that root: each reachable object
+/// counts `overhead_per_object` (the per-record header bytes) plus its
+/// class's encoded state size, credited to the **lowest-index root** that
+/// reaches it.
 ///
-/// The pre-pass is one sequential depth-first traversal (the same order as
-/// [`reachable_from`]); an object shared between shards is owned by the
-/// lowest-index shard that reaches it, which keeps ownership deterministic
-/// and independent of any later parallel execution schedule. A `shards`
-/// value of 0 is treated as 1; empty chunks are dropped, so
-/// [`ShardPlan::num_shards`] may be less than `shards`.
+/// First-touch at root granularity makes the estimate *exact* for
+/// contiguous chunkings: a chunk's byte footprint under first-touch
+/// ownership is precisely the sum of its roots' weights, because "lowest
+/// root reaching an object lies in chunk c" and "lowest chunk reaching it
+/// is c" coincide when chunks are contiguous in root order. These weights
+/// feed [`chunk_bounds_weighted`] / [`partition_roots_weighted`]; the same
+/// estimate is what the shard-imbalance lint (AUD205 in `ickp-audit`)
+/// computes per shard, so balancing on it closes that feedback loop.
+///
+/// The per-root ownership pass runs in parallel (contiguous bands of roots
+/// across the available cores, same claim algorithm as
+/// [`first_touch_plan_parallel`]); the byte summation is one scan over the
+/// live arena.
 ///
 /// # Errors
 ///
 /// Returns [`HeapError::DanglingObject`] if a traversed reference points at
 /// a freed object.
-pub fn partition_roots(
+pub fn root_weights(
     heap: &Heap,
     roots: &[ObjectId],
-    shards: usize,
-) -> Result<ShardPlan, HeapError> {
-    first_touch_plan(heap, chunk_roots(roots, shards))
+    overhead_per_object: u64,
+) -> Result<Vec<u64>, HeapError> {
+    let n = roots.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let owner: Vec<AtomicU32> = (0..heap.arena_size()).map(|_| AtomicU32::new(UNOWNED)).collect();
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+    let bands = chunk_bounds(n, workers);
+    let results: Vec<Result<(), HeapError>> = std::thread::scope(|scope| {
+        let owner = &owner;
+        let handles: Vec<_> = bands
+            .windows(2)
+            .map(|window| {
+                let (start, end) = (window[0], window[1]);
+                let band = &roots[start..end];
+                scope.spawn(move || {
+                    for (offset, root) in band.iter().enumerate() {
+                        claim_chunk(
+                            heap,
+                            owner,
+                            std::slice::from_ref(root),
+                            (start + offset) as u32,
+                        )?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("weight worker panicked")).collect()
+    });
+    for result in results {
+        result?;
+    }
+    let mut weights = vec![0u64; n];
+    // Per-class encoded sizes are pure functions of the layout; memoize by
+    // class index so the summation scan stays O(live objects).
+    let mut class_sizes: Vec<Option<u64>> = Vec::new();
+    for id in heap.iter_live() {
+        let root = owner[id.index()].load(Ordering::Relaxed);
+        if root == UNOWNED {
+            continue;
+        }
+        let class = heap.class_of(id)?;
+        let ci = class.index();
+        if ci >= class_sizes.len() {
+            class_sizes.resize(ci + 1, None);
+        }
+        let state = match class_sizes[ci] {
+            Some(s) => s,
+            None => {
+                let s = heap.class(class)?.encoded_state_size() as u64;
+                class_sizes[ci] = Some(s);
+                s
+            }
+        };
+        weights[root as usize] += overhead_per_object + state;
+    }
+    Ok(weights)
 }
 
 #[cfg(test)]
@@ -565,6 +930,111 @@ mod tests {
         assert_eq!(plan.owner_of(roots[4]), Some(0));
         assert_eq!(plan.owner_of(roots[0]), Some(1));
         assert_eq!(plan.owner_of(roots[6]), None, "unlisted roots stay unowned");
+    }
+
+    #[test]
+    fn parallel_plan_equals_the_sequential_oracle() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let mut roots = chains(&mut heap, node, 9);
+        heap.set_field(roots[1], 2, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(roots[6], 2, Value::Ref(Some(shared))).unwrap();
+        roots.push(roots[2]); // duplicate root: cross-shard dedup
+        for shards in [1, 2, 3, 4, 8, 100] {
+            let sequential = partition_roots(&heap, &roots, shards).unwrap();
+            let parallel = partition_roots_parallel(&heap, &roots, shards).unwrap();
+            assert_eq!(parallel, sequential, "{shards} shards");
+            assert_eq!(parallel.owner_table(), sequential.owner_table());
+        }
+    }
+
+    #[test]
+    fn parallel_plan_handles_hand_built_chunks() {
+        let (mut heap, node) = list_heap();
+        let roots = chains(&mut heap, node, 6);
+        let chunks =
+            vec![vec![roots[4]], vec![], vec![roots[0], roots[2]], vec![roots[4], roots[1]]];
+        let sequential = first_touch_plan(&heap, chunks.clone()).unwrap();
+        let parallel = first_touch_plan_parallel(&heap, chunks).unwrap();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.num_shards(), 4);
+        assert_eq!(parallel.roots(1), &[] as &[ObjectId]);
+    }
+
+    #[test]
+    fn parallel_partition_reports_dangling_references() {
+        let (mut heap, node) = list_heap();
+        let child = heap.alloc(node).unwrap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        heap.set_field(b, 1, Value::Ref(Some(child))).unwrap();
+        heap.free(child).unwrap();
+        assert!(partition_roots_parallel(&heap, &[a, b], 2).is_err());
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_count_balanced_bounds() {
+        for len in [1usize, 2, 3, 7, 8, 40] {
+            for shards in [1usize, 2, 3, 4, 8] {
+                let weights = vec![37u64; len];
+                assert_eq!(
+                    chunk_bounds_weighted(&weights, shards),
+                    chunk_bounds(len, shards),
+                    "{len} roots, {shards} shards"
+                );
+            }
+        }
+        assert_eq!(chunk_bounds(0, 4), vec![0]);
+        assert_eq!(chunk_bounds_weighted(&[], 4), vec![0]);
+    }
+
+    #[test]
+    fn weighted_bounds_cut_by_bytes_not_count() {
+        // One heavy root up front: by count, 2 shards split 2+2; by weight,
+        // the heavy root stands alone.
+        assert_eq!(chunk_bounds_weighted(&[100, 1, 1, 1], 2), vec![0, 1, 4]);
+        // Heavy tail: the light prefix groups together.
+        assert_eq!(chunk_bounds_weighted(&[1, 1, 1, 100], 2), vec![0, 3, 4]);
+        // Every chunk keeps at least one root even under extreme skew.
+        assert_eq!(chunk_bounds_weighted(&[1000, 0, 0, 0], 4), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weighted_partition_keeps_the_sequential_concatenation() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let roots = chains(&mut heap, node, 7);
+        heap.set_field(roots[0], 2, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(roots[5], 2, Value::Ref(Some(shared))).unwrap();
+        let sequential = reachable_from(&heap, &roots).unwrap();
+        let weights = root_weights(&heap, &roots, 15).unwrap();
+        for shards in [1, 2, 3, 7] {
+            let plan = partition_roots_weighted(&heap, &roots, &weights, shards).unwrap();
+            let mut merged = Vec::new();
+            for shard in 0..plan.num_shards() {
+                merged.extend(plan.shard_preorder(&heap, shard).unwrap());
+            }
+            assert_eq!(merged, sequential, "{shards} shards");
+            assert_eq!(plan.all_roots(), &roots[..]);
+        }
+    }
+
+    #[test]
+    fn root_weights_credit_shared_subgraphs_to_the_lowest_root() {
+        let (mut heap, node) = list_heap();
+        let shared = heap.alloc(node).unwrap();
+        let a = heap.alloc(node).unwrap();
+        let b = heap.alloc(node).unwrap();
+        heap.set_field(a, 1, Value::Ref(Some(shared))).unwrap();
+        heap.set_field(b, 1, Value::Ref(Some(shared))).unwrap();
+        // Node: int(4) + ref(8) + ref(8) = 20 state bytes; overhead 15.
+        let per_object = 15 + 20u64;
+        let weights = root_weights(&heap, &[a, b], 15).unwrap();
+        assert_eq!(weights, vec![2 * per_object, per_object]);
+        // Weights sum to the full-checkpoint footprint: each reachable
+        // object counted exactly once.
+        let reachable = reachable_from(&heap, &[a, b]).unwrap().len() as u64;
+        assert_eq!(weights.iter().sum::<u64>(), reachable * per_object);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! producing heavy sharing (many parents per object).
 
 use ickp_heap::{
-    chunk_roots, partition_roots, reachable_from, ClassRegistry, FieldType, Heap, ObjectId, Value,
+    chunk_roots, chunk_roots_weighted, first_touch_plan, first_touch_plan_parallel,
+    partition_roots, partition_roots_parallel, partition_roots_weighted, reachable_from,
+    root_weights, ClassRegistry, FieldType, Heap, ObjectId, Value,
 };
 use ickp_prng::Prng;
 use std::collections::{HashMap, HashSet};
@@ -156,5 +158,102 @@ fn shard_slices_partition_the_reachable_set_in_sequential_order() {
             }
             assert_eq!(merged, sequential, "case {case}, {shards} shards");
         }
+    }
+}
+
+/// **The parallel pre-pass is an exact drop-in**: on randomized DAGs with
+/// heavy shared substructure, the racy min-CAS plan equals the sequential
+/// oracle — same owner table, same bounds, same roots — for every shard
+/// count, under both count-balanced and byte-weighted chunking.
+#[test]
+fn parallel_plan_equals_sequential_on_random_dags() {
+    for case in 0..96u64 {
+        let mut rng = Prng::seed_from_u64(0x7a11_0000 + case);
+        let (heap, objects) = random_dag(&mut rng);
+        let roots = random_roots(&mut rng, &objects);
+        for shards in 1..=8usize {
+            let sequential = partition_roots(&heap, &roots, shards).unwrap();
+            let parallel = partition_roots_parallel(&heap, &roots, shards).unwrap();
+            assert_eq!(parallel, sequential, "case {case}, {shards} shards");
+            assert_eq!(parallel.owner_table(), sequential.owner_table(), "case {case}");
+
+            let weights = root_weights(&heap, &roots, 15).unwrap();
+            let chunks = chunk_roots_weighted(&roots, &weights, shards);
+            let weighted_seq = first_touch_plan(&heap, chunks.clone()).unwrap();
+            let weighted_par = first_touch_plan_parallel(&heap, chunks).unwrap();
+            assert_eq!(weighted_par, weighted_seq, "case {case}, {shards} shards (weighted)");
+            let direct = partition_roots_weighted(&heap, &roots, &weights, shards).unwrap();
+            assert_eq!(direct, weighted_seq, "case {case}, {shards} shards (direct weighted)");
+        }
+    }
+}
+
+/// **Shared subgraphs race to one winner**: many roots funneling into one
+/// diamond-shaped core still produce the sequential plan — the lowest
+/// chunk wins every contended object no matter how threads interleave.
+#[test]
+fn contended_shared_subgraph_resolves_to_the_lowest_chunk() {
+    let mut reg = ClassRegistry::new();
+    let class =
+        reg.define("S", None, &[("a", FieldType::Ref(None)), ("b", FieldType::Ref(None))]).unwrap();
+    let mut heap = Heap::new(reg);
+    // A 40-deep diamond ladder every root can reach.
+    let mut lower = heap.alloc(class).unwrap();
+    for _ in 0..40 {
+        let left = heap.alloc(class).unwrap();
+        let right = heap.alloc(class).unwrap();
+        let top = heap.alloc(class).unwrap();
+        heap.set_field(left, 0, Value::Ref(Some(lower))).unwrap();
+        heap.set_field(right, 0, Value::Ref(Some(lower))).unwrap();
+        heap.set_field(top, 0, Value::Ref(Some(left))).unwrap();
+        heap.set_field(top, 1, Value::Ref(Some(right))).unwrap();
+        lower = top;
+    }
+    // 16 roots, each pointing straight at the contended ladder.
+    let mut roots = Vec::new();
+    for _ in 0..16 {
+        let root = heap.alloc(class).unwrap();
+        heap.set_field(root, 0, Value::Ref(Some(lower))).unwrap();
+        roots.push(root);
+    }
+    for shards in [2, 3, 4, 8, 16] {
+        let sequential = partition_roots(&heap, &roots, shards).unwrap();
+        let parallel = partition_roots_parallel(&heap, &roots, shards).unwrap();
+        assert_eq!(parallel, sequential, "{shards} shards");
+        // The whole ladder belongs to shard 0 — first touch from root 0.
+        assert_eq!(parallel.owner_of(lower), Some(0));
+    }
+}
+
+/// **Stale plans must be rebuilt, and rebuilds agree**: after structural
+/// mutations bump `structure_version`, a freshly computed parallel plan
+/// equals the fresh sequential oracle and diverges from the stale plan —
+/// the exact invalidation signal the engine's plan cache keys on.
+#[test]
+fn recomputed_plans_agree_after_structure_changes() {
+    for case in 0..24u64 {
+        let mut rng = Prng::seed_from_u64(0x57a1_0000 + case);
+        let (mut heap, mut objects) = random_dag(&mut rng);
+        let roots = random_roots(&mut rng, &objects);
+        let class = heap.class_of(objects[0]).unwrap();
+        let before = partition_roots_parallel(&heap, &roots, 4).unwrap();
+        let version = heap.structure_version();
+
+        // Grow a fresh spine under root 0 so first-touch order shifts.
+        let mut next = None;
+        for _ in 0..3 + rng.index(5) {
+            let id = heap.alloc(class).unwrap();
+            heap.set_field(id, 1, Value::Ref(next)).unwrap();
+            next = Some(id);
+            objects.push(id);
+        }
+        heap.set_field(roots[0], 1, Value::Ref(next)).unwrap();
+        assert_ne!(heap.structure_version(), version, "case {case}: mutation must be visible");
+
+        let sequential = partition_roots(&heap, &roots, 4).unwrap();
+        let parallel = partition_roots_parallel(&heap, &roots, 4).unwrap();
+        assert_eq!(parallel, sequential, "case {case}");
+        assert_ne!(parallel, before, "case {case}: stale plan should differ after growth");
+        assert_eq!(parallel.num_objects(), reachable_from(&heap, &roots).unwrap().len());
     }
 }
