@@ -2,9 +2,10 @@
 //!
 //! A [`Diagnostic`] is one verdict: a severity, a stable machine-readable
 //! code (`AUD0xx` for plan-verifier findings, `AUD1xx` for pattern
-//! soundness findings, `AUD2xx` for shard-interference findings), the
-//! location it anchors to (a plan instruction, a shape path, a phase, a
-//! shard), a human message, and an optional suggestion.
+//! soundness findings, `AUD2xx` for shard-interference findings, `AUD3xx`
+//! for barrier-coverage findings), the location it anchors to (a plan
+//! instruction, a shape path, a phase, a shard, a mutator), a human
+//! message, and an optional suggestion.
 //! Passes append diagnostics to an [`AuditReport`], which callers render
 //! or query for error-severity findings (the CI gate).
 
@@ -37,7 +38,7 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `AUD0xx` come from the plan verifier, `AUD1xx`
 /// from the pattern soundness checker, `AUD2xx` from the shard-interference
-/// pass.
+/// pass, `AUD3xx` from the barrier-coverage pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiagCode {
     /// A register index is outside the plan's register file (`AUD001`).
@@ -120,6 +121,28 @@ pub enum DiagCode {
     /// the imbalance threshold: the parallel speedup is bounded by one
     /// straggler (`AUD205`).
     ShardImbalance,
+    /// A mutator can change an object's encoded bytes without leaving it
+    /// modified and journaled: the journal fast path (and the incremental
+    /// slow path) silently ships a stale stream (`AUD301`).
+    BarrierUnjournaledWrite,
+    /// A mutator can change reachability or traversal order without
+    /// bumping `structure_version`: a cached `JournalCache` replays a
+    /// stale pre-order (`AUD302`).
+    BarrierMissedVersionBump,
+    /// The write barrier journals byte-identical writes — sound but
+    /// wasteful, quantified in fast-path records an all-identical-write
+    /// epoch would re-encode (`AUD303`).
+    BarrierOverJournaling,
+    /// Dirty flags or the journal epoch are cleared outside the checkpoint
+    /// protocol: modifications recorded by no checkpoint are marked clean
+    /// (`AUD304`).
+    BarrierEpochTamper,
+    /// A mutator's declared effect is wider than the footprint its probe
+    /// demonstrates — over-declaration, mirroring `AUD102` (`AUD305`).
+    BarrierOverDeclaredEffect,
+    /// A public heap mutator is absent from the audited `MutationCatalog`,
+    /// so nothing proves its barrier obligations (`AUD306`).
+    BarrierUncataloged,
 }
 
 impl DiagCode {
@@ -154,6 +177,12 @@ impl DiagCode {
             DiagCode::ShardDoubleEmit => "AUD203",
             DiagCode::ShardOwnershipMismatch => "AUD204",
             DiagCode::ShardImbalance => "AUD205",
+            DiagCode::BarrierUnjournaledWrite => "AUD301",
+            DiagCode::BarrierMissedVersionBump => "AUD302",
+            DiagCode::BarrierOverJournaling => "AUD303",
+            DiagCode::BarrierEpochTamper => "AUD304",
+            DiagCode::BarrierOverDeclaredEffect => "AUD305",
+            DiagCode::BarrierUncataloged => "AUD306",
         }
     }
 }
@@ -175,6 +204,8 @@ pub enum Location {
     Phase(String),
     /// A shard of an audited shard plan, by index.
     Shard(usize),
+    /// A heap mutator of an audited mutation catalog, by name.
+    Mutator(String),
     /// No finer location applies.
     General,
 }
@@ -186,6 +217,7 @@ impl fmt::Display for Location {
             Location::Shape(path) => write!(f, "shape {path}"),
             Location::Phase(key) => write!(f, "phase `{key}`"),
             Location::Shard(index) => write!(f, "shard {index}"),
+            Location::Mutator(name) => write!(f, "mutator `{name}`"),
             Location::General => f.write_str("plan"),
         }
     }

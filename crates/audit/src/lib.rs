@@ -4,7 +4,7 @@
 //! paper's contract is that declarations of structure and per-phase
 //! modification patterns are *trusted*, and a wrong declaration silently
 //! produces checkpoints that miss modifications. This crate closes that
-//! gap with four cooperating passes:
+//! gap with five cooperating passes:
 //!
 //! 1. **Plan verifier** ([`verify_plan`]) — an abstract interpreter over
 //!    compiled [`Plan`](ickp_spec::Plan) ops that, given the
@@ -31,6 +31,19 @@
 //!    first-touch deterministic (`AUD204`), plus a byte-imbalance perf
 //!    lint (`AUD205`); [`cross_validate_shards`] backs the verdicts by
 //!    tracing the real engine.
+//! 5. **Barrier-coverage pass** ([`audit_barriers`]) — proves the dirty-set
+//!    journal itself sound: every mutator in the heap's
+//!    [`MutationCatalog`](ickp_heap::MutationCatalog) is abstract-interpreted
+//!    (declaration consistency) and probed (observed footprint) against the
+//!    journal/epoch/version protocol. Unjournaled byte changes (`AUD301`),
+//!    missed `structure_version` bumps (`AUD302`), and epoch tampering
+//!    (`AUD304`) are errors, as is a public mutator missing from the
+//!    catalog (`AUD306`); over-journaling (`AUD303`) and over-declared
+//!    effects (`AUD305`) are quantified lints.
+//!    [`cross_validate_barriers`] backs the verdicts dynamically with
+//!    randomized mutation sequences diffed against ground-truth snapshots,
+//!    and the `barrier-sanitize` feature of `ickp-backend` shadow-verifies
+//!    every real checkpoint against a full-traversal state digest.
 //!
 //! Diagnostics carry stable `AUDnnn` codes, severities, locations, and
 //! suggestions; [`AuditReport::render`] prints them one per line and
@@ -70,6 +83,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod barriers;
 mod coverage;
 mod diag;
 mod oracle;
@@ -77,6 +91,10 @@ mod shards;
 mod soundness;
 mod verify;
 
+pub use barriers::{
+    audit_barriers, audit_barriers_with, cross_validate_barriers, BarrierAudit,
+    BarrierOracleReport, BarrierProbe, MutatorSpec,
+};
 pub use coverage::{expected_events, fmt_path, Event, Path, Step};
 pub use diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
 pub use oracle::{cross_validate, OracleReport};

@@ -1,0 +1,185 @@
+//! Differential journal sanitizer: shadow-verify checkpoints end to end.
+//!
+//! The `barrier-sanitize` cargo feature arms every backend checkpoint
+//! with a [`BarrierShadow`]: a second heap folded purely from the emitted
+//! checkpoint records. After each checkpoint, the shadow absorbs the new
+//! record and both heaps are digested with
+//! [`ickp_core::state_digest`] — a cheap full traversal over the logical
+//! state the stream format records. If the write-barrier journal is sound
+//! the digests agree by construction; an under-journaling barrier (a
+//! byte change the fast path never saw) surfaces as a digest mismatch on
+//! the very checkpoint that shipped the incomplete stream, instead of as
+//! a silently wrong restore much later.
+//!
+//! This is the dynamic, whole-system counterpart of the static
+//! barrier-coverage pass in `ickp-audit` (`AUD301`–`AUD306`): the audit
+//! proves each mutator honours the protocol in isolation; the shadow
+//! proves the composed system — barrier, journal, traversal-order cache,
+//! stream encoder — preserved the state, record by record.
+//!
+//! The types are always compiled (so reports can cross feature
+//! boundaries in tests and tools); only the per-checkpoint wiring inside
+//! the backends is feature-gated.
+
+use ickp_core::{decode, state_digest, CheckpointRecord, CoreError};
+use ickp_heap::{ClassRegistry, Heap, ObjectId, StableId, Value};
+use std::collections::HashMap;
+
+/// A shadow heap accumulated from checkpoint records alone.
+///
+/// The shadow can only rebuild state it has seen recorded, so the first
+/// checkpoint an armed backend takes must be a full base (every live
+/// object dirty — true for a freshly allocated heap, or after
+/// [`Heap::mark_all_modified`]); this is the same recovery-line
+/// discipline `RestorePolicy::RequireFullBase` enforces for restores.
+/// Verifying against a shadow that missed its base fails with
+/// [`CoreError::MissingObject`] for the never-recorded roots.
+#[derive(Debug)]
+pub struct BarrierShadow {
+    heap: Heap,
+    by_stable: HashMap<StableId, ObjectId>,
+    roots: Vec<StableId>,
+    records_absorbed: u64,
+    last_seq: u64,
+    missing_refs: u64,
+}
+
+impl BarrierShadow {
+    /// Creates an empty shadow sharing the live heap's class registry.
+    pub fn new(registry: &ClassRegistry) -> BarrierShadow {
+        BarrierShadow {
+            heap: Heap::new(registry.clone()),
+            by_stable: HashMap::new(),
+            roots: Vec::new(),
+            records_absorbed: 0,
+            last_seq: 0,
+            missing_refs: 0,
+        }
+    }
+
+    /// Folds one checkpoint record into the shadow: decode, upsert every
+    /// recorded object by stable id, resolve references.
+    ///
+    /// Two passes, because an incremental record may reference an object
+    /// allocated later in the same record: all fresh objects are allocated
+    /// first, then fields are written. A reference to a stable id the
+    /// shadow has never seen (possible only if the stream is incomplete —
+    /// the very defect being hunted) is folded as `null` and counted in
+    /// [`BarrierShadowReport::missing_refs`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError`] if the record fails to decode or a
+    /// recorded class is unknown to the registry.
+    pub fn absorb(&mut self, record: &CheckpointRecord) -> Result<(), CoreError> {
+        let decoded = decode(record.bytes(), self.heap.registry())?;
+        for obj in &decoded.objects {
+            if !self.by_stable.contains_key(&obj.stable) {
+                let handle = self.heap.alloc_restored(obj.class, obj.stable, false)?;
+                self.by_stable.insert(obj.stable, handle);
+            }
+        }
+        for obj in &decoded.objects {
+            let handle = self.by_stable[&obj.stable];
+            for (slot, field) in obj.fields.iter().enumerate() {
+                use ickp_core::RecordedValue as R;
+                let value = match *field {
+                    R::Int(v) => Value::Int(v),
+                    R::Long(v) => Value::Long(v),
+                    R::Double(v) => Value::Double(v),
+                    R::Bool(v) => Value::Bool(v),
+                    R::Ref(None) => Value::Ref(None),
+                    R::Ref(Some(child)) => match self.by_stable.get(&child) {
+                        Some(&target) => Value::Ref(Some(target)),
+                        None => {
+                            self.missing_refs += 1;
+                            Value::Ref(None)
+                        }
+                    },
+                };
+                // The shadow heap is never itself checkpointed, so its
+                // own barrier flags are irrelevant — the restore-path
+                // store is the right tool.
+                self.heap.set_field_unbarriered(handle, slot, value)?;
+            }
+        }
+        self.roots = decoded.roots;
+        self.last_seq = decoded.seq;
+        self.records_absorbed += 1;
+        Ok(())
+    }
+
+    /// Digests the live heap and the shadow and compares.
+    ///
+    /// `fast_path` annotates the report with which checkpoint path
+    /// produced the record being verified (the journal fast path is the
+    /// one a broken barrier corrupts; slow-path disagreement implicates
+    /// the traversal or encoder instead).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::Heap`] if either heap's roots dangle —
+    /// including a recorded root stable id the shadow never saw.
+    pub fn verify(
+        &self,
+        live: &Heap,
+        live_roots: &[ObjectId],
+        fast_path: bool,
+    ) -> Result<BarrierShadowReport, CoreError> {
+        let shadow_roots: Vec<ObjectId> = self
+            .roots
+            .iter()
+            .map(|stable| {
+                self.by_stable.get(stable).copied().ok_or(CoreError::MissingObject(*stable))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(BarrierShadowReport {
+            seq: self.last_seq,
+            fast_path,
+            live_digest: state_digest(live, live_roots)?,
+            shadow_digest: state_digest(&self.heap, &shadow_roots)?,
+            missing_refs: self.missing_refs,
+            records_absorbed: self.records_absorbed,
+        })
+    }
+}
+
+/// The verdict of one shadow verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierShadowReport {
+    /// Sequence number of the checkpoint record last absorbed.
+    pub seq: u64,
+    /// Whether that record came off the journal fast path.
+    pub fast_path: bool,
+    /// [`ickp_core::state_digest`] of the live heap from the live roots.
+    pub live_digest: u64,
+    /// The same digest over the shadow heap from the recorded roots.
+    pub shadow_digest: u64,
+    /// References to never-recorded stable ids seen while absorbing (an
+    /// incomplete stream), cumulative.
+    pub missing_refs: u64,
+    /// Checkpoint records folded into the shadow so far.
+    pub records_absorbed: u64,
+}
+
+impl BarrierShadowReport {
+    /// `true` if the shadow reproduces the live state exactly: digests
+    /// agree and every reference resolved.
+    pub fn is_clean(&self) -> bool {
+        self.live_digest == self.shadow_digest && self.missing_refs == 0
+    }
+
+    /// Renders the verdict as one line.
+    pub fn render(&self) -> String {
+        format!(
+            "seq {} ({} path, {} record(s)): live {:016x} vs shadow {:016x}, {} missing ref(s) => {}",
+            self.seq,
+            if self.fast_path { "journal-fast" } else { "slow" },
+            self.records_absorbed,
+            self.live_digest,
+            self.shadow_digest,
+            self.missing_refs,
+            if self.is_clean() { "clean" } else { "DIGEST MISMATCH" }
+        )
+    }
+}

@@ -11,6 +11,7 @@
 //!   to the hash table on a miss,
 //! * `Harissa` — direct dense-table dispatch (AOT-resolved).
 
+use crate::barrier_shadow::{BarrierShadow, BarrierShadowReport};
 use crate::engine::Engine;
 use ickp_core::{
     BufferPool, CheckpointKind, CheckpointRecord, CoreError, JournalCache, MethodTable,
@@ -36,6 +37,11 @@ pub struct GenericBackend {
     pool: BufferPool,
     /// Reusable `(position, id)` scratch for the fast path's sort.
     scratch: Vec<(u32, ObjectId)>,
+    /// Differential journal sanitizer; populated (and fed) only when the
+    /// `barrier-sanitize` feature arms it.
+    shadow: Option<BarrierShadow>,
+    /// Shadow verdict of the most recent checkpoint.
+    last_barrier: Option<BarrierShadowReport>,
 }
 
 impl GenericBackend {
@@ -52,6 +58,11 @@ impl GenericBackend {
             journal_cache: None,
             pool: BufferPool::default(),
             scratch: Vec::new(),
+            #[cfg(feature = "barrier-sanitize")]
+            shadow: Some(BarrierShadow::new(registry)),
+            #[cfg(not(feature = "barrier-sanitize"))]
+            shadow: None,
+            last_barrier: None,
         }
     }
 
@@ -91,6 +102,12 @@ impl GenericBackend {
 
     /// Takes one incremental checkpoint of `roots`.
     ///
+    /// With the `barrier-sanitize` cargo feature enabled, the emitted
+    /// record is additionally folded into a [`BarrierShadow`] and the
+    /// shadow is digest-compared against the live heap; the verdict is
+    /// available from [`GenericBackend::barrier_report`] until the next
+    /// checkpoint. The record bytes are identical either way.
+    ///
     /// # Errors
     ///
     /// Fails like `ickp_core::Checkpointer::checkpoint`.
@@ -99,6 +116,26 @@ impl GenericBackend {
         heap: &mut Heap,
         roots: &[ObjectId],
     ) -> Result<CheckpointRecord, CoreError> {
+        let (record, fast_path) = self.checkpoint_impl(heap, roots)?;
+        if let Some(shadow) = self.shadow.as_mut() {
+            shadow.absorb(&record)?;
+            self.last_barrier = Some(shadow.verify(heap, roots, fast_path)?);
+        }
+        Ok(record)
+    }
+
+    /// The differential sanitizer's verdict on the most recent checkpoint,
+    /// or `None` before the first checkpoint or when the `barrier-sanitize`
+    /// feature is off (the unarmed backend verifies nothing).
+    pub fn barrier_report(&self) -> Option<&BarrierShadowReport> {
+        self.last_barrier.as_ref()
+    }
+
+    fn checkpoint_impl(
+        &mut self,
+        heap: &mut Heap,
+        roots: &[ObjectId],
+    ) -> Result<(CheckpointRecord, bool), CoreError> {
         let seq = self.next_seq;
         let root_ids: Vec<StableId> =
             roots.iter().map(|&r| heap.stable_id(r)).collect::<Result<_, _>>()?;
@@ -106,7 +143,7 @@ impl GenericBackend {
             if cache.is_valid(heap, roots) {
                 let result = self.checkpoint_from_journal(heap, &cache, root_ids);
                 self.journal_cache = Some(cache);
-                return result;
+                return result.map(|record| (record, true));
             }
         }
         let (mut writer, reused) = self.writer_for(seq, &root_ids);
@@ -148,8 +185,11 @@ impl GenericBackend {
         stats.bytes_written = writer.len() as u64;
         let bytes = writer.finish();
         self.next_seq += 1;
-        Ok(CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats)
-            .with_pool(self.pool.clone()))
+        Ok((
+            CheckpointRecord::from_parts(seq, CheckpointKind::Incremental, root_ids, bytes, stats)
+                .with_pool(self.pool.clone()),
+            false,
+        ))
     }
 
     /// The journal fast path under this backend's dispatch regime: records

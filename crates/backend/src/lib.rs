@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod barrier_shadow;
 mod engine;
 mod generic;
 mod parallel;
@@ -26,6 +27,7 @@ mod sanitize;
 mod specialized;
 mod threaded;
 
+pub use barrier_shadow::{BarrierShadow, BarrierShadowReport};
 pub use engine::Engine;
 pub use generic::GenericBackend;
 pub use parallel::ParallelBackend;

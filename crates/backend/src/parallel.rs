@@ -7,6 +7,7 @@
 //! `CheckpointRecord`s — byte-identical to the sequential generic driver —
 //! so it slots into the same benchmark tables as the other engines.
 
+use crate::barrier_shadow::{BarrierShadow, BarrierShadowReport};
 use crate::sanitize::SanitizerReport;
 use ickp_core::{
     CheckpointConfig, CheckpointRecord, Checkpointer, CoreError, MethodTable, ParallelPhases,
@@ -41,6 +42,11 @@ pub struct ParallelBackend {
     /// Access-sanitizer verdict of the most recent checkpoint; populated
     /// only when the `sanitize` feature traces the engine.
     last_sanitize: Option<SanitizerReport>,
+    /// Differential journal sanitizer; populated (and fed) only when the
+    /// `barrier-sanitize` feature arms it.
+    shadow: Option<BarrierShadow>,
+    /// Shadow verdict of the most recent checkpoint.
+    last_barrier: Option<BarrierShadowReport>,
 }
 
 impl ParallelBackend {
@@ -65,6 +71,11 @@ impl ParallelBackend {
             table: MethodTable::derive(registry),
             driver: Checkpointer::new(config),
             last_sanitize: None,
+            #[cfg(feature = "barrier-sanitize")]
+            shadow: Some(BarrierShadow::new(registry)),
+            #[cfg(not(feature = "barrier-sanitize"))]
+            shadow: None,
+            last_barrier: None,
         }
     }
 
@@ -106,7 +117,10 @@ impl ParallelBackend {
     /// records each shard's object-access set and reconciles them at
     /// merge time; the verdict is available from
     /// [`ParallelBackend::sanitizer_report`] until the next checkpoint.
-    /// The record bytes are identical either way.
+    /// With `barrier-sanitize`, the record is additionally folded into a
+    /// [`BarrierShadow`] and digest-compared against the live heap
+    /// ([`ParallelBackend::barrier_report`]). The record bytes are
+    /// identical either way.
     ///
     /// # Errors
     ///
@@ -117,16 +131,28 @@ impl ParallelBackend {
         roots: &[ObjectId],
     ) -> Result<CheckpointRecord, CoreError> {
         #[cfg(feature = "sanitize")]
-        {
+        let record = {
             let (record, trace) =
                 self.driver.checkpoint_parallel_traced(heap, &self.table, roots, self.workers)?;
             self.last_sanitize = Some(SanitizerReport::from_trace(&trace));
-            Ok(record)
-        }
+            record
+        };
         #[cfg(not(feature = "sanitize"))]
-        {
-            self.driver.checkpoint_parallel(heap, &self.table, roots, self.workers)
+        let record = self.driver.checkpoint_parallel(heap, &self.table, roots, self.workers)?;
+
+        if let Some(shadow) = self.shadow.as_mut() {
+            let fast_path = self.driver.parallel_phases().map(|p| p.fast_path).unwrap_or(false);
+            shadow.absorb(&record)?;
+            self.last_barrier = Some(shadow.verify(heap, roots, fast_path)?);
         }
+        Ok(record)
+    }
+
+    /// The differential sanitizer's verdict on the most recent checkpoint,
+    /// or `None` before the first checkpoint or when the `barrier-sanitize`
+    /// feature is off (the unarmed backend verifies nothing).
+    pub fn barrier_report(&self) -> Option<&BarrierShadowReport> {
+        self.last_barrier.as_ref()
     }
 
     /// The access-sanitizer verdict of the most recent checkpoint, or

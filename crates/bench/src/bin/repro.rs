@@ -66,9 +66,8 @@ fn main() {
                 )
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
-            | "journal" | "audit" | "crashes" | "shards" | "lifecycle" | "scaling" | "all" => {
-                experiment = arg.clone()
-            }
+            | "journal" | "audit" | "crashes" | "shards" | "barriers" | "lifecycle" | "scaling"
+            | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -91,6 +90,15 @@ fn main() {
     // static footprints against the traced engine. Exit code feeds CI.
     if experiment == "shards" {
         std::process::exit(shards(opts.max_imbalance));
+    }
+
+    // The barrier-coverage gate: statically proves the dirty-set journal
+    // sound over the heap's mutator catalog, pins every injected breakage
+    // to its AUD30x code, and cross-validates with randomized mutation
+    // sequences (plus shadow-digest checkpoints under the
+    // `barrier-sanitize` feature). Exit code feeds CI.
+    if experiment == "barriers" {
+        std::process::exit(barriers(&opts));
     }
 
     // The measured-scaling harness: byte-identity of the parallel engine
@@ -142,7 +150,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|lifecycle|scaling|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|barriers|lifecycle|scaling|all] \
          [--structures N] [--rounds R] [--filters F] [--max-imbalance RATIO]"
     );
     std::process::exit(2);
@@ -444,6 +452,347 @@ fn shards(max_imbalance: Option<f64>) -> i32 {
         0
     } else {
         println!("shard audit FAILED: {failures} subject(s)");
+        1
+    }
+}
+
+// -------------------------------------------------------------- barriers
+
+/// Statically proves the dirty-set journal sound: audits the heap's full
+/// mutator catalog against the journal/epoch/version protocol
+/// (`AUD301`–`AUD306`) on the synthetic paper world and the analysis
+/// engine's attribute heap, pins each injected barrier breakage (missed
+/// barrier, missed version bump, premature epoch clear, uncataloged
+/// mutator) to its exact diagnostic code, and backs the static verdict
+/// with 50+ randomized mutation sequences through the dynamic oracle.
+/// Under the `barrier-sanitize` feature it additionally shadow-verifies
+/// real checkpoint rounds against the full-traversal state digest and
+/// demonstrates detection of an unbarriered write. Deterministic; returns
+/// the process exit code (1 on any error or inconsistency).
+fn barriers(opts: &Options) -> i32 {
+    use ickp_analysis::{AnalysisEngine, Division};
+    use ickp_audit::{
+        audit_barriers, audit_barriers_with, cross_validate_barriers, DiagCode, MutatorSpec,
+        Severity,
+    };
+    use ickp_heap::{
+        DeclaredEffect, DirtyScope, Heap, HeapError, MutationCatalog, MutationProbe, ObjectId,
+        Value,
+    };
+    use ickp_synth::{SynthConfig, SynthWorld};
+
+    println!("# ickp barriers — write-barrier coverage audit + differential sanitizer\n");
+    #[cfg(feature = "barrier-sanitize")]
+    println!("# barrier-sanitize: on — every checkpoint round shadow-verified\n");
+    #[cfg(not(feature = "barrier-sanitize"))]
+    println!("# barrier-sanitize: off — shadow-digest section skipped\n");
+
+    let mut failures = 0usize;
+    let catalog = MutationCatalog::of_heap();
+    let specs: Vec<&dyn MutatorSpec> =
+        catalog.entries().iter().map(|e| e as &dyn MutatorSpec).collect();
+
+    // ---- Static pass over real heaps -----------------------------------
+    // The paper-scale world (probes clone the heap, so this is also a
+    // scale test of the auditor itself) and the analysis engine's heap.
+    let mut subjects: Vec<(String, Heap, Vec<ObjectId>)> = Vec::new();
+    {
+        let config = SynthConfig {
+            structures: opts.structures,
+            lists_per_structure: 5,
+            list_len: 5,
+            ints_per_element: 10,
+            seed: 0x5ca1e,
+        };
+        let world = SynthWorld::build(config).expect("world builds");
+        subjects.push((
+            format!("synth[{}]", opts.structures),
+            world.heap().clone(),
+            world.roots().to_vec(),
+        ));
+    }
+    {
+        let program =
+            ickp_minic::parse("int d; int s; void main() { s = d + 1; }").expect("parses");
+        let division = Division { dynamic_globals: vec!["d".to_string()] };
+        let mut engine = AnalysisEngine::new(program, division).expect("engine builds");
+        let mut captured = None;
+        engine
+            .run_phase(Phase::BindingTime, |heap, attrs, _| {
+                captured = Some((heap.clone(), attrs.to_vec()));
+                Ok(())
+            })
+            .expect("phase runs");
+        let (heap, attrs) = captured.expect("the phase iterates at least once");
+        subjects.push(("engine[sample]".into(), heap, attrs));
+    }
+    for (name, heap, roots) in &subjects {
+        match audit_barriers(heap, roots, &catalog) {
+            Ok(audit) if !audit.report.has_errors() => {
+                println!(
+                    "{name}: catalog sound — {} mutator(s) probed, {} over-journaling lint(s)",
+                    audit.probes.len(),
+                    audit.report.count(Severity::PerfLint),
+                );
+                for d in audit.report.diagnostics() {
+                    println!("  {d}");
+                }
+            }
+            Ok(audit) => {
+                failures += 1;
+                println!("{name}: catalog UNSOUND\n{}", audit.report.render());
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{name}: audit FAILED — {e}");
+            }
+        }
+    }
+    println!();
+
+    // ---- Injection pins ------------------------------------------------
+    // Each documented failure mode, expressed as a broken spec the sound
+    // heap API cannot, must land on exactly its own diagnostic code.
+    struct Injected {
+        name: &'static str,
+        effect: DeclaredEffect,
+        apply: fn(&mut Heap, &MutationProbe<'_>) -> Result<(), HeapError>,
+    }
+    impl MutatorSpec for Injected {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn effect(&self) -> DeclaredEffect {
+            self.effect
+        }
+        fn apply(&self, heap: &mut Heap, probe: &MutationProbe<'_>) -> Result<(), HeapError> {
+            (self.apply)(heap, probe)
+        }
+    }
+    let rogue_store = Injected {
+        name: "rogue_store",
+        effect: DeclaredEffect {
+            dirties: DirtyScope::Target,
+            bytes_may_change: true,
+            journals_dirty: true,
+            ..DeclaredEffect::default()
+        },
+        apply: |heap, probe| {
+            // First non-seed target with a scalar slot, so no structure
+            // bump muddies the verdict.
+            for &target in probe.targets.iter().filter(|&&t| Some(t) != probe.seed) {
+                let class = heap.class_of(target)?;
+                let slot = heap
+                    .class(class)?
+                    .layout()
+                    .iter()
+                    .position(|f| matches!(f.ty(), ickp_heap::FieldType::Int));
+                if let Some(slot) = slot {
+                    return heap.set_field_unbarriered(
+                        target,
+                        slot,
+                        Value::Int(probe.salt as i32 | 1),
+                    );
+                }
+            }
+            Ok(())
+        },
+    };
+    let silent_rewire = Injected {
+        name: "silent_rewire",
+        effect: DeclaredEffect {
+            dirties: DirtyScope::Target,
+            bytes_may_change: true,
+            structure_may_change: true,
+            journals_dirty: true,
+            bumps_structure_version: false,
+            ..DeclaredEffect::default()
+        },
+        apply: |_, _| Ok(()),
+    };
+    let eager_reset = Injected {
+        name: "eager_reset",
+        effect: DeclaredEffect::default(),
+        apply: |heap, probe| {
+            if let Some(seed) = probe.seed {
+                heap.reset_modified(seed)?;
+            }
+            heap.finish_journal_epoch();
+            Ok(())
+        },
+    };
+    let (inj_name, inj_heap, inj_roots) = &subjects[1]; // the engine heap
+    let _ = inj_name;
+    let injections: [(&Injected, DiagCode); 3] = [
+        (&rogue_store, DiagCode::BarrierUnjournaledWrite),
+        (&silent_rewire, DiagCode::BarrierMissedVersionBump),
+        (&eager_reset, DiagCode::BarrierEpochTamper),
+    ];
+    for (broken, expected) in injections {
+        let mut armed = specs.clone();
+        armed.push(broken);
+        match audit_barriers_with(inj_heap, inj_roots, &armed) {
+            Ok(audit) => {
+                let codes: Vec<DiagCode> = audit
+                    .report
+                    .diagnostics()
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(|d| d.code)
+                    .collect();
+                if codes == [expected] {
+                    println!("injection `{}`: pinned to {}", broken.name, expected.code());
+                } else {
+                    failures += 1;
+                    println!(
+                        "injection `{}`: expected exactly [{}], got {:?}\n{}",
+                        broken.name,
+                        expected.code(),
+                        codes,
+                        audit.report.render()
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("injection `{}`: audit FAILED — {e}", broken.name);
+            }
+        }
+    }
+    match audit_barriers(inj_heap, inj_roots, &catalog.without("set_modified")) {
+        Ok(audit) => {
+            let codes: Vec<DiagCode> = audit
+                .report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .map(|d| d.code)
+                .collect();
+            if codes == [DiagCode::BarrierUncataloged] {
+                println!("injection `uncataloged`: pinned to AUD306");
+            } else {
+                failures += 1;
+                println!("injection `uncataloged`: expected exactly [AUD306], got {codes:?}");
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            println!("injection `uncataloged`: audit FAILED — {e}");
+        }
+    }
+    println!();
+
+    // ---- Dynamic cross-validation --------------------------------------
+    // 50+ randomized workloads per run: every seed must report the real
+    // catalog consistent with the ground-truth state diff.
+    let small = SynthWorld::build(SynthConfig::small()).expect("world builds");
+    let dyn_subjects: [(&str, &Heap, &[ObjectId]); 2] =
+        [("synth[small]", small.heap(), small.roots()), ("engine[sample]", inj_heap, inj_roots)];
+    for (name, heap, roots) in dyn_subjects {
+        let mut consistent = 0usize;
+        let seeds = 28u64;
+        for seed in 0..seeds {
+            match cross_validate_barriers(heap, roots, &specs, 40, seed) {
+                Ok(report) if report.is_consistent() => consistent += 1,
+                Ok(report) => {
+                    failures += 1;
+                    println!("{name} seed {seed}: {}", report.render());
+                    for v in &report.violations {
+                        println!("  {v}");
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{name} seed {seed}: oracle FAILED — {e}");
+                }
+            }
+        }
+        println!("{name}: {consistent}/{seeds} randomized workloads consistent");
+    }
+    println!();
+
+    // ---- Shadow-digest verification (barrier-sanitize) -----------------
+    #[cfg(feature = "barrier-sanitize")]
+    {
+        use ickp_backend::{Engine, GenericBackend, ParallelBackend};
+
+        // Real checkpoint rounds, both backends, every round verified.
+        let spec = mods(20, 2, false);
+        let mut world = SynthWorld::build(SynthConfig::small()).expect("world builds");
+        let roots = world.roots().to_vec();
+        let mut generic = GenericBackend::new(Engine::Harissa, world.heap().registry());
+        // The shadow folds records, so it needs a full base to build on —
+        // the same recovery-line discipline `RestorePolicy::RequireFullBase`
+        // enforces for restores.
+        world.heap_mut().mark_all_modified();
+        let mut clean_rounds = 0usize;
+        let rounds = opts.rounds.max(6);
+        for _ in 0..rounds {
+            world.apply_modifications(&spec);
+            generic.checkpoint(world.heap_mut(), &roots).expect("checkpoint");
+            let report = generic.barrier_report().expect("armed backend verifies");
+            if report.is_clean() {
+                clean_rounds += 1;
+            } else {
+                failures += 1;
+                println!("generic shadow: {}", report.render());
+            }
+        }
+        let mut world2 = SynthWorld::build(SynthConfig::small()).expect("world builds");
+        let roots2 = world2.roots().to_vec();
+        let mut parallel = ParallelBackend::new(4, world2.heap().registry());
+        world2.heap_mut().mark_all_modified();
+        for _ in 0..rounds {
+            world2.apply_modifications(&spec);
+            parallel.checkpoint(world2.heap_mut(), &roots2).expect("checkpoint");
+            let report = parallel.barrier_report().expect("armed backend verifies");
+            if report.is_clean() {
+                clean_rounds += 1;
+            } else {
+                failures += 1;
+                println!("parallel shadow: {}", report.render());
+            }
+        }
+        println!("shadow digest: {clean_rounds}/{} checkpoint round(s) clean", 2 * rounds);
+
+        // Detection demo: one write smuggled past the barrier must be
+        // caught on the very next checkpoint.
+        let scalar_target = world.heap().iter_live().find_map(|id| {
+            let class = world.heap().class_of(id).ok()?;
+            let def = world.heap().class(class).ok()?;
+            let slot =
+                def.layout().iter().position(|f| matches!(f.ty(), ickp_heap::FieldType::Int))?;
+            Some((id, slot))
+        });
+        match scalar_target {
+            Some((id, slot)) => {
+                world
+                    .heap_mut()
+                    .set_field_unbarriered(id, slot, Value::Int(0x5EED))
+                    .expect("store");
+                generic.checkpoint(world.heap_mut(), &roots).expect("checkpoint");
+                let report = generic.barrier_report().expect("armed backend verifies");
+                if report.is_clean() {
+                    failures += 1;
+                    println!("detection demo: unbarriered write NOT caught — {}", report.render());
+                } else {
+                    println!("detection demo: unbarriered write caught — {}", report.render());
+                }
+            }
+            None => {
+                failures += 1;
+                println!("detection demo: no scalar slot found in the synth world");
+            }
+        }
+    }
+
+    if failures == 0 {
+        println!(
+            "\nbarrier audit passed: journal protocol proven sound, statically and dynamically"
+        );
+        0
+    } else {
+        println!("\nbarrier audit FAILED: {failures} check(s)");
         1
     }
 }

@@ -153,7 +153,7 @@ impl SynthRunner {
             Spec(SpecializedCheckpointer),
             EngineGen(GenericBackend),
             EngineSpec(SpecializedBackend),
-            Par(ParallelBackend),
+            Par(Box<ParallelBackend>),
         }
         let mut driver = match variant {
             Variant::FullGeneric => Driver::Full(Checkpointer::new(CheckpointConfig::full())),
@@ -174,13 +174,15 @@ impl SynthRunner {
                 plan.clone().expect("engine-spec variant has a plan"),
             )),
             Variant::Parallel(workers) => {
-                Driver::Par(ParallelBackend::new(workers, self.world.heap().registry()))
+                Driver::Par(Box::new(ParallelBackend::new(workers, self.world.heap().registry())))
             }
-            Variant::ParallelNoJournal(workers) => Driver::Par(ParallelBackend::with_config(
-                workers,
-                self.world.heap().registry(),
-                CheckpointConfig::incremental().without_journal(),
-            )),
+            Variant::ParallelNoJournal(workers) => {
+                Driver::Par(Box::new(ParallelBackend::with_config(
+                    workers,
+                    self.world.heap().registry(),
+                    CheckpointConfig::incremental().without_journal(),
+                )))
+            }
         };
 
         let roots = self.world.roots().to_vec();

@@ -55,6 +55,7 @@
 
 mod checkpoint;
 mod compact;
+mod digest;
 mod error;
 mod journal;
 mod methods;
@@ -69,6 +70,7 @@ mod stream;
 
 pub use checkpoint::{CheckpointConfig, CheckpointRecord, Checkpointer, ShardBalance};
 pub use compact::compact;
+pub use digest::state_digest;
 pub use error::CoreError;
 pub use journal::{journal_dirty_set, JournalCache, JournalCacheBuilder};
 pub use methods::{FoldFn, MethodTable, RecordFn};

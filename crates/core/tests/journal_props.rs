@@ -177,6 +177,151 @@ fn journal_fast_path_streams_are_byte_identical_to_traversal() {
     assert!(fast_rounds > 20, "only {fast_rounds} journal-served rounds across all cases");
 }
 
+/// The journal protocol survives the checkpoint lifecycle's two pointer
+/// moves: [`Checkpointer::rollback`] onto a heap restored from a store
+/// prefix (which must drop the now-stale traversal cache), and `compact`
+/// (which rewrites the store under the producer). After each move the
+/// journal fast path must keep producing streams byte-identical to a
+/// slow-path reference on a mirrored heap, and every intermediate store
+/// must restore to exactly the live state.
+#[test]
+fn journal_integrity_survives_rollback_and_compaction() {
+    use ickp_core::{compact, restore, verify_restore, CheckpointStore, RestorePolicy};
+
+    let mut journal_hits = 0u64;
+    for case in 0..6u64 {
+        let mut rng = Prng::seed_from_u64(0x0011_ba5e + case);
+        let (nroots, extra) = (2 + rng.index(3), 10 + rng.index(16));
+        let mut world = World::seed(&mut rng, nroots, extra);
+        let node = world.node;
+        let table = MethodTable::derive(world.heaps[0].registry());
+        let mut fast = Checkpointer::new(CheckpointConfig::incremental());
+        let mut store = CheckpointStore::new();
+        let roots = world.roots.clone();
+
+        // Live rounds accumulating a base-plus-increments store.
+        for _ in 0..6 {
+            for _ in 0..1 + rng.index(6) {
+                world.step(&mut rng);
+            }
+            store.push(fast.checkpoint(&mut world.heaps[0], &table, &roots).unwrap()).unwrap();
+        }
+
+        // "Crash": only a random prefix of the store survives. Restore
+        // from it and resume mutating the restored heap, with the *same*
+        // checkpointer rolled back — its cached traversal order belongs
+        // to the old heap and must not leak into the new one. A clone of
+        // the restored heap driven by a journal-free driver is the
+        // byte-identity reference from here on.
+        let keep = 1 + rng.index(store.len());
+        let mut prefix = CheckpointStore::new();
+        for rec in store.records().iter().take(keep) {
+            prefix.push(rec.clone()).unwrap();
+        }
+        let rebuilt = restore(&prefix, world.heaps[0].registry(), RestorePolicy::Lenient).unwrap();
+        let roots2 = rebuilt.roots().to_vec();
+        let mut live = rebuilt.into_heap();
+        let mut mirror = live.clone();
+        fast.rollback(prefix.latest().unwrap().seq() + 1);
+        let mut slow = Checkpointer::new(CheckpointConfig::incremental().without_journal());
+        slow.set_next_seq(prefix.latest().unwrap().seq() + 1);
+
+        let mut objects: Vec<ObjectId> = live.iter_live().collect();
+        let mutate =
+            |live: &mut Heap, mirror: &mut Heap, objects: &mut Vec<ObjectId>, rng: &mut Prng| {
+                match rng.below(100) {
+                    0..=64 => {
+                        let id = *rng.choose(objects);
+                        let v = rng.next_i32();
+                        for h in [&mut *live, &mut *mirror] {
+                            h.set_field(id, 0, Value::Int(v)).unwrap();
+                        }
+                    }
+                    65..=79 => {
+                        let src = *rng.choose(objects);
+                        let slot = 1 + rng.index(2);
+                        let target =
+                            if rng.ratio(1, 4) { None } else { Some(*rng.choose(objects)) };
+                        for h in [&mut *live, &mut *mirror] {
+                            h.set_field(src, slot, Value::Ref(target)).unwrap();
+                        }
+                    }
+                    80..=89 => {
+                        let id = *rng.choose(objects);
+                        for h in [&mut *live, &mut *mirror] {
+                            h.set_modified(id).unwrap();
+                        }
+                    }
+                    _ => {
+                        let a = live.alloc(node).unwrap();
+                        let b = mirror.alloc(node).unwrap();
+                        assert_eq!(a, b, "mirrored allocation diverged after restore");
+                        let src = *rng.choose(objects);
+                        let slot = 1 + rng.index(2);
+                        for h in [&mut *live, &mut *mirror] {
+                            h.set_field(src, slot, Value::Ref(Some(a))).unwrap();
+                        }
+                        objects.push(a);
+                    }
+                }
+            };
+
+        for round in 0..8 {
+            for _ in 0..rng.index(5) {
+                mutate(&mut live, &mut mirror, &mut objects, &mut rng);
+            }
+            let a = fast.checkpoint(&mut live, &table, &roots2).unwrap();
+            let b = slow.checkpoint(&mut mirror, &table, &roots2).unwrap();
+            assert_eq!(
+                a.bytes(),
+                b.bytes(),
+                "case {case} round {round}: post-rollback fast vs slow"
+            );
+            journal_hits += a.stats().journal_hits;
+            prefix.push(a).unwrap();
+        }
+        let recheck = restore(&prefix, live.registry(), RestorePolicy::Lenient).unwrap();
+        assert_eq!(
+            verify_restore(&live, &roots2, &recheck).unwrap(),
+            None,
+            "case {case}: store diverged from live state after rollback"
+        );
+
+        // Compaction: squash the whole history into one full base, then
+        // keep appending fast-path increments on top of it.
+        let mut compacted = compact(&prefix, live.registry()).unwrap();
+        let base = restore(&compacted, live.registry(), RestorePolicy::RequireFullBase).unwrap();
+        assert_eq!(
+            verify_restore(&live, &roots2, &base).unwrap(),
+            None,
+            "case {case}: compaction changed the restored state"
+        );
+        for round in 0..4 {
+            for _ in 0..1 + rng.index(4) {
+                mutate(&mut live, &mut mirror, &mut objects, &mut rng);
+            }
+            let a = fast.checkpoint(&mut live, &table, &roots2).unwrap();
+            let b = slow.checkpoint(&mut mirror, &table, &roots2).unwrap();
+            assert_eq!(
+                a.bytes(),
+                b.bytes(),
+                "case {case} round {round}: post-compact fast vs slow"
+            );
+            journal_hits += a.stats().journal_hits;
+            compacted.push(a).unwrap();
+        }
+        let end = restore(&compacted, live.registry(), RestorePolicy::RequireFullBase).unwrap();
+        assert_eq!(
+            verify_restore(&live, &roots2, &end).unwrap(),
+            None,
+            "case {case}: compacted store diverged from live state"
+        );
+    }
+    // The schedule must actually exercise the journal fast path after the
+    // rollbacks and compactions, not merely fall back to traversal.
+    assert!(journal_hits > 0, "no journal-served records across all cases");
+}
+
 /// The journal survives epochs where *nothing* was modified: the fast
 /// path emits a bare header+footer stream identical to what a full
 /// traversal of an all-clean heap produces.

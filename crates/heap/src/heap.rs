@@ -109,6 +109,14 @@ pub struct Heap {
     journal: Vec<ObjectId>,
     /// Monotonic count of completed journal epochs.
     journal_epoch: u64,
+    /// Number of live objects whose modified flag is currently set.
+    ///
+    /// Maintained by the write barrier at every clean↔dirty transition so
+    /// [`Heap::journal_has_dirty`] is O(1) instead of an O(journal) scan.
+    /// Because every modified live object is also journaled (the barrier's
+    /// one-directional invariant), `live_dirty > 0` exactly when some
+    /// journal entry still refers to a live, modified object.
+    live_dirty: usize,
     /// Bumped by every allocation, free, and reference-slot store — i.e.
     /// whenever the object graph's *shape* may have changed. Checkpoint
     /// fast paths cache traversal orders keyed on this counter.
@@ -127,6 +135,7 @@ impl Heap {
             stats: HeapStats::default(),
             journal: Vec::new(),
             journal_epoch: 0,
+            live_dirty: 0,
             structure_version: 0,
         }
     }
@@ -251,6 +260,7 @@ impl Heap {
         };
         if modified {
             self.journal.push(id);
+            self.live_dirty += 1;
         }
         self.live += 1;
         self.stats.allocs += 1;
@@ -276,6 +286,9 @@ impl Heap {
         let object = slot.object.take().expect("checked above");
         slot.generation = slot.generation.wrapping_add(1);
         self.free.push(id.index);
+        if object.info.modified {
+            self.live_dirty -= 1;
+        }
         self.live -= 1;
         self.stats.frees += 1;
         self.structure_version = self.structure_version.wrapping_add(1);
@@ -445,6 +458,9 @@ impl Heap {
             obj.info.journaled = true;
             self.journal.push(id);
         }
+        if newly_marked {
+            self.live_dirty += 1;
+        }
         if barrier {
             self.stats.field_writes += 1;
         }
@@ -475,9 +491,14 @@ impl Heap {
     /// Returns [`HeapError::DanglingObject`] if the handle is stale.
     pub fn set_modified(&mut self, id: ObjectId) -> Result<(), HeapError> {
         let info = &mut self.object_mut(id)?.info;
+        let newly_marked = !info.modified;
+        let newly_journaled = !info.journaled;
         info.modified = true;
-        if !info.journaled {
-            info.journaled = true;
+        info.journaled = true;
+        if newly_marked {
+            self.live_dirty += 1;
+        }
+        if newly_journaled {
             self.journal.push(id);
         }
         Ok(())
@@ -490,7 +511,11 @@ impl Heap {
     ///
     /// Returns [`HeapError::DanglingObject`] if the handle is stale.
     pub fn reset_modified(&mut self, id: ObjectId) -> Result<(), HeapError> {
-        self.object_mut(id)?.info.modified = false;
+        let info = &mut self.object_mut(id)?.info;
+        if info.modified {
+            info.modified = false;
+            self.live_dirty -= 1;
+        }
         Ok(())
     }
 
@@ -498,9 +523,13 @@ impl Heap {
     /// checkpoint to be a full one).
     pub fn mark_all_modified(&mut self) {
         let journal = &mut self.journal;
+        let live_dirty = &mut self.live_dirty;
         for (index, slot) in self.slots.iter_mut().enumerate() {
             if let Some(obj) = &mut slot.object {
-                obj.info.modified = true;
+                if !obj.info.modified {
+                    obj.info.modified = true;
+                    *live_dirty += 1;
+                }
                 if !obj.info.journaled {
                     obj.info.journaled = true;
                     journal.push(ObjectId { index: index as u32, generation: slot.generation });
@@ -513,7 +542,10 @@ impl Heap {
     pub fn reset_all_modified(&mut self) {
         for slot in &mut self.slots {
             if let Some(obj) = &mut slot.object {
-                obj.info.modified = false;
+                if obj.info.modified {
+                    obj.info.modified = false;
+                    self.live_dirty -= 1;
+                }
             }
         }
     }
@@ -580,8 +612,31 @@ impl Heap {
 
     /// `true` if any journal entry still refers to a live, modified object
     /// — i.e. the next incremental checkpoint would record something.
+    ///
+    /// O(1): answered from the barrier-maintained [`Heap::live_dirty`]
+    /// counter rather than scanning the journal. The two agree because the
+    /// barrier keeps every modified live object journaled.
     pub fn journal_has_dirty(&self) -> bool {
-        self.journal.iter().any(|&id| self.is_modified(id).unwrap_or(false))
+        self.live_dirty > 0
+    }
+
+    /// The number of live objects currently marked modified.
+    ///
+    /// Maintained by the write barrier at every clean↔dirty transition
+    /// (allocation, barriered store, [`Heap::set_modified`] /
+    /// [`Heap::reset_modified`] and their bulk variants, and frees of dirty
+    /// objects). The barrier-coverage auditor's epoch model cross-checks
+    /// this counter against a ground-truth scan.
+    pub fn live_dirty(&self) -> usize {
+        self.live_dirty
+    }
+
+    /// The stable id the next fresh allocation will receive.
+    ///
+    /// Useful for probes that need a collision-free identity for
+    /// [`Heap::alloc_restored`].
+    pub fn next_stable_id(&self) -> StableId {
+        StableId(self.next_stable)
     }
 
     /// Closes the current journal epoch: drops entries whose object is dead
@@ -831,6 +886,45 @@ mod tests {
         heap.mark_all_modified();
         heap.mark_all_modified();
         assert_eq!(heap.journal(), &[a, b]);
+    }
+
+    #[test]
+    fn live_dirty_counter_tracks_every_transition() {
+        let (mut heap, node, _) = small_heap();
+        assert_eq!(heap.live_dirty(), 0);
+        let a = heap.alloc(node).unwrap(); // fresh => dirty
+        let b = heap.alloc(node).unwrap();
+        assert_eq!(heap.live_dirty(), 2);
+        heap.reset_modified(a).unwrap();
+        heap.reset_modified(a).unwrap(); // idempotent
+        assert_eq!(heap.live_dirty(), 1);
+        heap.set_field(a, 0, Value::Int(1)).unwrap(); // clean -> dirty
+        heap.set_field(a, 0, Value::Int(2)).unwrap(); // already dirty
+        assert_eq!(heap.live_dirty(), 2);
+        heap.free(b).unwrap(); // dirty object freed
+        assert_eq!(heap.live_dirty(), 1);
+        heap.reset_all_modified();
+        assert_eq!(heap.live_dirty(), 0);
+        assert!(!heap.journal_has_dirty());
+        heap.set_modified(a).unwrap();
+        heap.set_modified(a).unwrap(); // idempotent
+        assert_eq!(heap.live_dirty(), 1);
+        assert!(heap.journal_has_dirty());
+        heap.mark_all_modified();
+        assert_eq!(heap.live_dirty(), 1, "a was already dirty, b is dead");
+        heap.finish_journal_epoch(); // flags untouched
+        assert_eq!(heap.live_dirty(), 1);
+    }
+
+    #[test]
+    fn next_stable_id_is_collision_free_for_restores() {
+        let (mut heap, node, _) = small_heap();
+        heap.alloc(node).unwrap();
+        let next = heap.next_stable_id();
+        let r = heap.alloc_restored(node, next, true).unwrap();
+        assert_eq!(heap.stable_id(r).unwrap(), next);
+        let fresh = heap.alloc(node).unwrap();
+        assert!(heap.stable_id(fresh).unwrap() > next);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod catalog;
 mod class;
 mod error;
 mod gc;
@@ -50,6 +51,10 @@ mod ids;
 mod snapshot;
 mod value;
 
+pub use catalog::{
+    ApplyFn, DeclaredEffect, DirtyScope, MutationCatalog, MutationProbe, MutatorDecl,
+    PUBLIC_MUTATORS,
+};
 pub use class::{ClassDef, ClassRegistry, FieldDef};
 pub use error::HeapError;
 pub use gc::GcStats;
