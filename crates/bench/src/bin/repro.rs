@@ -67,7 +67,7 @@ fn main() {
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
             | "journal" | "audit" | "crashes" | "shards" | "barriers" | "lifecycle" | "scaling"
-            | "all" => experiment = arg.clone(),
+            | "replicate" | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -115,6 +115,14 @@ fn main() {
         std::process::exit(lifecycle(&opts));
     }
 
+    // The replication gate: the two-node failover crash matrix (kill
+    // either node at every interleaved I/O or wire operation, mask every
+    // transport fault, survive every partition) plus the group-commit
+    // fsync amortization check. Deterministic; exit code feeds CI.
+    if experiment == "replicate" {
+        std::process::exit(replicate());
+    }
+
     println!("# ickp reproduction — {experiment}");
     println!("# structures={} rounds={} filters={}\n", opts.structures, opts.rounds, opts.filters);
     let run = |name: &str| experiment == name || experiment == "all";
@@ -150,7 +158,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|barriers|lifecycle|scaling|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|barriers|lifecycle|scaling|replicate|all] \
          [--structures N] [--rounds R] [--filters F] [--max-imbalance RATIO]"
     );
     std::process::exit(2);
@@ -335,6 +343,161 @@ fn crashes() -> i32 {
         0
     } else {
         println!("\ncrash matrix FAILED: {failures} workload(s)");
+        1
+    }
+}
+
+// ------------------------------------------------------------- replicate
+
+/// The replication gate. Three deterministic checks, one exit code:
+///
+/// 1. **Failover matrix** — `enumerate_failover_points` over a
+///    parallel-backend workload: kill the primary, the follower, or the
+///    wire at every interleaved operation, inject loss / duplication /
+///    reordering / partition at every frame, and require the survivor's
+///    disk to hold a byte-identical, restorable, promotable prefix of
+///    the acknowledged records every single time.
+/// 2. **Byte identity** — a fault-free two-node run must leave both
+///    stores byte-identical after recovery.
+/// 3. **Fsync amortization** — group commit must push fsyncs/record
+///    below 1.0 from batch size 4 up (3 fsyncs acknowledge a whole
+///    single-segment batch), measured exactly via `IoStats`.
+fn replicate() -> i32 {
+    use ickp_backend::ParallelBackend;
+    use ickp_core::{verify_restore, CheckpointRecord};
+    use ickp_durable::{DurableConfig, DurableStore, MemFs};
+    use ickp_replicate::{
+        enumerate_failover_points, ChannelTransport, ReplicaPair, ReplicateConfig, TransportPlan,
+    };
+    use ickp_synth::{SynthConfig, SynthWorld};
+
+    println!("# ickp replicate — two-node failover matrix and group-commit gate\n");
+    let mut failures = 0usize;
+
+    // A workload small enough that the O(ops²) matrix stays fast but
+    // wide enough to cross batch boundaries and segment rolls.
+    let mut world = SynthWorld::build(SynthConfig {
+        structures: 6,
+        lists_per_structure: 2,
+        list_len: 3,
+        ints_per_element: 1,
+        seed: 29,
+    })
+    .expect("world builds");
+    let registry = world.heap().registry().clone();
+    let roots = world.roots().to_vec();
+    let mut backend = ParallelBackend::new(2, &registry);
+    let mut states = Vec::new();
+    let mut records = Vec::new();
+    world.heap_mut().mark_all_modified();
+    for round in 0..5 {
+        if round > 0 {
+            world.apply_modifications(&ModificationSpec::uniform(35));
+        }
+        records.push(backend.checkpoint(world.heap_mut(), &roots).expect("checkpoint"));
+        states.push((world.heap().clone(), roots.clone()));
+    }
+
+    let config = ReplicateConfig {
+        durable: DurableConfig { segment_target_bytes: 512 },
+        batch_records: 2,
+        max_retries: 3,
+        dedup: true,
+    };
+    match enumerate_failover_points(&registry, &records, config, |acked, restored| {
+        let (heap, roots) = &states[acked - 1];
+        verify_restore(heap, roots, restored).expect("verify_restore runs")
+    }) {
+        Ok(report) => {
+            println!(
+                "failover matrix: {} checkpoints, {} interleaved ops ({} on the wire)",
+                report.records, report.total_ops, report.transport_ops
+            );
+            println!(
+                "  {} kill points survived ({} with the survivor ahead of the ack), \
+                 {} masked faults, {} partitions",
+                report.kill_points,
+                report.promoted_extra,
+                report.masked_faults,
+                report.partition_points
+            );
+        }
+        Err(e) => {
+            println!("failover matrix: FAILED — {e}");
+            failures += 1;
+        }
+    }
+
+    // Byte identity over a perfect link.
+    let mut pfs = MemFs::new();
+    let mut ffs = MemFs::new();
+    let mut link = ChannelTransport::new(TransportPlan::none());
+    {
+        let mut pair = ReplicaPair::create(&mut pfs, &mut ffs, &mut link, config, &registry)
+            .expect("pair creates");
+        for r in &records {
+            pair.append(r.clone()).expect("append");
+        }
+        pair.commit().expect("commit");
+        if pair.acked_records() != records.len() as u64 {
+            println!("byte identity: FAILED — not every record was acknowledged");
+            failures += 1;
+        }
+    }
+    let recovered = |fs: &mut MemFs| {
+        let (_, store) = DurableStore::open(fs, config.durable, &registry).expect("reopen");
+        store
+    };
+    let (p, f) = (recovered(&mut pfs), recovered(&mut ffs));
+    let identical = p.len() == records.len()
+        && f.len() == records.len()
+        && p.records().iter().zip(f.records()).all(|(a, b)| a.bytes() == b.bytes());
+    if identical {
+        println!("byte identity: primary ≡ follower across {} records", records.len());
+    } else {
+        println!("byte identity: FAILED — stores diverge after a fault-free run");
+        failures += 1;
+    }
+
+    // Fsync amortization, measured exactly.
+    println!("\n{:>6} {:>8} {:>14}  verdict", "batch", "fsyncs", "fsyncs/record");
+    for batch in [1usize, 2, 4, 8, 16] {
+        let stream: Vec<CheckpointRecord> = records
+            .iter()
+            .cloned()
+            .cycle()
+            .take(16)
+            .enumerate()
+            .map(|(i, r)| {
+                let (_, kind, roots, bytes, stats) = r.into_parts();
+                CheckpointRecord::from_parts(i as u64, kind, roots, bytes, stats)
+            })
+            .collect();
+        let mut fs = MemFs::new();
+        let mut store =
+            DurableStore::create(&mut fs, DurableConfig { segment_target_bytes: 4 << 20 })
+                .expect("create");
+        let before = store.io_stats();
+        for chunk in stream.chunks(batch) {
+            store.append_batch(chunk).expect("append");
+        }
+        let ratio = (store.io_stats().fsyncs() - before.fsyncs()) as f64 / stream.len() as f64;
+        let ok = batch < 4 || ratio < 1.0;
+        println!(
+            "{batch:>6} {:>8} {ratio:>14.3}  {}",
+            store.io_stats().fsyncs() - before.fsyncs(),
+            if ok { "ok" } else { "FAILED (>= 1 fsync/record at batch >= 4)" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures == 0 {
+        println!("\nreplication gate passed");
+        0
+    } else {
+        println!("\nreplication gate FAILED: {failures} check(s)");
         1
     }
 }

@@ -27,6 +27,26 @@ pub trait RecordSink {
     ///   sink's sequence contiguously.
     /// * [`CoreError::Storage`] if the sink's backing storage failed.
     fn append_record(&mut self, record: CheckpointRecord) -> Result<(), CoreError>;
+
+    /// Accepts a batch of checkpoints as one unit.
+    ///
+    /// The default forwards record by record; sinks with a cheaper bulk
+    /// path override it — the durable store turns the batch into a
+    /// single *group commit* (one fsync per touched segment, one
+    /// manifest swap acknowledging the whole batch atomically), and a
+    /// replicated sink ships it as one wire batch. As with
+    /// [`RecordSink::append_record`], ownership transfers on success and
+    /// on failure, and a failure acknowledges *none* of the batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`RecordSink::append_record`], for any record of the batch.
+    fn append_records(&mut self, records: Vec<CheckpointRecord>) -> Result<(), CoreError> {
+        for record in records {
+            self.append_record(record)?;
+        }
+        Ok(())
+    }
 }
 
 impl RecordSink for CheckpointStore {

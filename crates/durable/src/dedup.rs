@@ -127,6 +127,22 @@ impl ChunkIndex {
     /// glue. Panics if `ranges` violates that contract: the caller hands
     /// us slices of a stream it just validated.
     pub fn encode(&self, payload: &[u8], ranges: &[Range<usize>]) -> EncodedPayload {
+        self.encode_batched(payload, ranges, &[])
+    }
+
+    /// [`ChunkIndex::encode`] with extra dedup context: `pending` holds
+    /// the chunks staged by *earlier frames of the same atomic batch*.
+    /// A reference may point at a pending chunk only because the whole
+    /// batch commits in one manifest swap — either every frame of the
+    /// batch is acknowledged (the referenced chunk is inside the
+    /// frontier, earlier in the scan order) or none is. References can
+    /// therefore never cross an un-acknowledged batch boundary.
+    pub fn encode_batched(
+        &self,
+        payload: &[u8],
+        ranges: &[Range<usize>],
+        pending: &[(u64, Vec<u8>)],
+    ) -> EncodedPayload {
         let mut stored = Vec::with_capacity(payload.len() + LITERAL_OVERHEAD);
         let mut staged: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut stats = DedupStats { bytes_in: payload.len() as u64, ..DedupStats::default() };
@@ -151,7 +167,8 @@ impl ChunkIndex {
                 .map
                 .get(&hash)
                 .map(Vec::as_slice)
-                .or_else(|| staged.iter().find(|(h, _)| *h == hash).map(|(_, b)| b.as_slice()));
+                .or_else(|| staged.iter().find(|(h, _)| *h == hash).map(|(_, b)| b.as_slice()))
+                .or_else(|| pending.iter().find(|(h, _)| *h == hash).map(|(_, b)| b.as_slice()));
             match known {
                 // A hash hit only dedups when the bytes agree (collision
                 // safety) and the reference is no larger than the chunk.
@@ -314,6 +331,24 @@ mod tests {
         assert_eq!(enc.staged.len(), 1);
         let mut reader = ChunkIndex::new();
         assert_eq!(reader.decode(&enc.stored).unwrap(), payload);
+    }
+
+    #[test]
+    fn batched_encode_dedups_against_pending_frames() {
+        let index = ChunkIndex::new();
+        let payload = b"....CHUNKCHUNKCHUNKCHUNKCHUNKCHUNK....";
+        // Frame 1 of a batch stages the chunk; frame 2 of the *same*
+        // batch references it without committing anything in between.
+        let first = index.encode_batched(payload, &[4..34], &[]);
+        assert_eq!(first.staged.len(), 1);
+        let second = index.encode_batched(payload, &[4..34], &first.staged);
+        assert_eq!(second.stats.chunks_deduped, 1);
+        assert!(second.staged.is_empty(), "pending chunks are not re-staged");
+        // An in-order decode (how recovery scans the frontier) resolves
+        // the intra-batch reference.
+        let mut reader = ChunkIndex::new();
+        assert_eq!(reader.decode(&first.stored).unwrap(), payload);
+        assert_eq!(reader.decode(&second.stored).unwrap(), payload);
     }
 
     #[test]

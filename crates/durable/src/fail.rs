@@ -16,7 +16,42 @@
 //! scenarios — the crash-point enumeration the
 //! [`harness`](crate::harness) iterates.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::vfs::{FsError, MemFs, Vfs};
+
+/// A shareable mutating-operation counter.
+///
+/// Clones share the same underlying count, so several fault-injectable
+/// layers — a primary's [`FailFs`], a follower's [`FailFs`], a
+/// fault-injectable transport — can number their operations in **one
+/// interleaved index space**. A composed harness then enumerates a
+/// single fault schedule over the union of every layer's operations
+/// instead of two independent (and combinatorially misaligned) ones.
+///
+/// [`FailFs::new`] makes a private counter, so single-store harnesses
+/// behave exactly as before; [`FailFs::with_counter`] opts into sharing.
+#[derive(Debug, Clone, Default)]
+pub struct OpCounter(Arc<AtomicU64>);
+
+impl OpCounter {
+    /// A fresh counter starting at operation index 0.
+    pub fn new() -> OpCounter {
+        OpCounter::default()
+    }
+
+    /// Claims the next operation index (0-based, in execution order
+    /// across every layer sharing this counter).
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Operations claimed so far across all sharers.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// What, if anything, to do to the I/O stream.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,11 +80,15 @@ impl FaultPlan {
 }
 
 /// [`MemFs`] wrapped with an operation counter and a [`FaultPlan`].
+///
+/// The counter may be private (the default) or shared with other layers
+/// via [`FailFs::with_counter`] — see [`OpCounter`]. Cloning a `FailFs`
+/// clones the filesystem image but *shares* the counter handle.
 #[derive(Debug, Clone)]
 pub struct FailFs {
     inner: MemFs,
     plan: FaultPlan,
-    ops: u64,
+    counter: OpCounter,
     crashed: bool,
 }
 
@@ -59,20 +98,37 @@ enum Gate {
 }
 
 impl FailFs {
-    /// An empty filesystem under the given plan.
+    /// An empty filesystem under the given plan, numbering its
+    /// operations on a private counter starting at 0.
     pub fn new(plan: FaultPlan) -> FailFs {
-        FailFs { inner: MemFs::new(), plan, ops: 0, crashed: false }
+        FailFs::with_counter(MemFs::new(), plan, OpCounter::new())
     }
 
     /// Wraps an existing filesystem image (e.g. one recovered from an
-    /// earlier crash) under a new plan, with the counter reset to 0.
+    /// earlier crash) under a new plan, with a fresh counter at 0.
     pub fn resume(fs: MemFs, plan: FaultPlan) -> FailFs {
-        FailFs { inner: fs, plan, ops: 0, crashed: false }
+        FailFs::with_counter(fs, plan, OpCounter::new())
     }
 
-    /// Mutating operations performed so far (including the faulted one).
+    /// Wraps a filesystem image under `plan`, numbering its mutating
+    /// operations on the given (possibly shared) counter. Fault indices
+    /// in `plan` refer to that counter's index space, so composed
+    /// harnesses can aim one schedule at several layers at once.
+    pub fn with_counter(fs: MemFs, plan: FaultPlan, counter: OpCounter) -> FailFs {
+        FailFs { inner: fs, plan, counter, crashed: false }
+    }
+
+    /// Mutating operations claimed so far on this filesystem's counter
+    /// (including the faulted one, and — for a shared counter — the
+    /// operations of every other sharer).
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.counter.count()
+    }
+
+    /// A handle to this filesystem's operation counter, for sharing with
+    /// other fault-injectable layers.
+    pub fn counter(&self) -> OpCounter {
+        self.counter.clone()
     }
 
     /// Whether the simulated crash has happened.
@@ -94,8 +150,7 @@ impl FailFs {
         if self.crashed {
             return Err(FsError::Crashed);
         }
-        let index = self.ops;
-        self.ops += 1;
+        let index = self.counter.next();
         if self.plan.crash_at == Some(index) {
             return Ok(Gate::Crash);
         }
@@ -244,6 +299,23 @@ mod tests {
         assert!(!fs.crashed());
         fs.append("f", b"!").unwrap();
         assert_eq!(fs.read("f").unwrap(), b"ok!");
+    }
+
+    #[test]
+    fn shared_counter_interleaves_two_filesystems() {
+        let counter = OpCounter::new();
+        // The crash index is aimed at the *shared* space: whichever
+        // filesystem performs op 2 dies; the other never sees index 2.
+        let mut a = FailFs::with_counter(MemFs::new(), FaultPlan::crash_at(2), counter.clone());
+        let mut b = FailFs::with_counter(MemFs::new(), FaultPlan::crash_at(2), counter.clone());
+        a.write_file("a", b"x").unwrap(); // op 0
+        b.write_file("b", b"y").unwrap(); // op 1
+        assert_eq!(b.append("b", b"zz"), Err(FsError::Crashed)); // op 2: b dies
+        assert!(b.crashed());
+        assert!(!a.crashed());
+        a.append("a", b"still fine").unwrap(); // op 3
+        assert_eq!(counter.count(), 4);
+        assert_eq!(a.ops(), 4, "ops() reports the shared space");
     }
 
     #[test]

@@ -67,10 +67,10 @@ mod vfs;
 pub use crc::crc32;
 pub use dedup::{content_hash, DedupStats};
 pub use error::DurableError;
-pub use fail::{FailFs, FaultPlan};
+pub use fail::{FailFs, FaultPlan, OpCounter};
 pub use harness::{
     enumerate_crash_points, enumerate_crash_points_driven, redirty_record, CrashMatrixError,
     CrashMatrixReport,
 };
-pub use store::{segment_name, DurableConfig, DurableStore, FORMAT_VERSION, MANIFEST};
+pub use store::{segment_name, DurableConfig, DurableStore, IoStats, FORMAT_VERSION, MANIFEST};
 pub use vfs::{FsError, MemFs, StdFs, Vfs};

@@ -1,0 +1,354 @@
+//! The wire seam between primary and follower, with deterministic
+//! fault injection.
+//!
+//! [`Transport`] abstracts a bidirectional, unreliable datagram link:
+//! the primary sends replication frames toward the follower and receives
+//! acknowledgements back; either direction may lose, duplicate, reorder
+//! or black-hole frames, and a send may reveal that the *sending node*
+//! has died. [`ChannelTransport`] is the deterministic in-process
+//! implementation: two `VecDeque`s plus a [`TransportPlan`] that injects
+//! exactly one fault at a chosen operation index, mirroring how
+//! [`FailFs`](ickp_durable::FailFs) injects filesystem faults.
+//!
+//! Every **send** claims an index from an [`OpCounter`] — the same
+//! shareable counter `FailFs` uses — so a composed harness can number
+//! the primary's I/O, the follower's I/O and the wire traffic in one
+//! interleaved fault space and enumerate a single schedule over all
+//! three layers (see [`harness`](crate::harness)). Receives are local
+//! (polling a queue) and are not counted, again mirroring how `FailFs`
+//! counts only mutating operations.
+
+use std::collections::VecDeque;
+
+use ickp_durable::OpCounter;
+
+/// Which node of the pair an event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// The node accepting client appends.
+    Primary,
+    /// The hot standby applying shipped batches.
+    Follower,
+}
+
+impl std::fmt::Display for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Primary => write!(f, "primary"),
+            Node::Follower => write!(f, "follower"),
+        }
+    }
+}
+
+/// Transport-level failures surfaced to the caller.
+///
+/// Note what is *not* here: loss, duplication, reordering and
+/// partitions are silent — a real network gives the sender no error for
+/// them, so the protocol must mask them with retransmission and
+/// idempotent application. Only a dead node is observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The named node is dead; no further traffic is possible.
+    Crashed {
+        /// Which node died.
+        node: Node,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Crashed { node } => write!(f, "{node} crashed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// What to do to the frame sent at a given operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Silently drop the frame (the sender believes it was sent).
+    Loss,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Deliver the frame ahead of everything already queued.
+    Reorder,
+    /// From this operation on, silently drop *all* frames in *both*
+    /// directions — a network partition. Never heals within a run.
+    Partition,
+    /// The sending node dies mid-send: a fault at a
+    /// primary→follower send kills the primary, one at a
+    /// follower→primary send kills the follower.
+    Crash,
+}
+
+/// A schedule of index-addressed transport faults.
+///
+/// Indices refer to the transport's [`OpCounter`] space, which a
+/// composed harness may share with one or more [`FailFs`] instances —
+/// in that case a plan entry only fires if the *transport* happens to
+/// claim that index, exactly like a `FaultPlan` aimed at a shared
+/// counter.
+///
+/// [`FailFs`]: ickp_durable::FailFs
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportPlan {
+    faults: Vec<(u64, TransportFault)>,
+}
+
+impl TransportPlan {
+    /// No faults: every frame is delivered exactly once, in order.
+    pub fn none() -> TransportPlan {
+        TransportPlan::default()
+    }
+
+    /// A single fault at send-operation index `k`.
+    pub fn fault_at(k: u64, fault: TransportFault) -> TransportPlan {
+        TransportPlan::default().with(k, fault)
+    }
+
+    /// Adds a fault at index `k` (builder style, for randomized suites).
+    pub fn with(mut self, k: u64, fault: TransportFault) -> TransportPlan {
+        self.faults.push((k, fault));
+        self
+    }
+
+    fn lookup(&self, k: u64) -> Option<TransportFault> {
+        self.faults.iter().find(|(i, _)| *i == k).map(|(_, f)| *f)
+    }
+}
+
+/// A bidirectional, unreliable frame link between primary and follower.
+///
+/// Implementations must be deterministic for a given fault schedule so
+/// failover matrices are exactly reproducible.
+pub trait Transport {
+    /// Ships a frame toward the follower. `Ok` means the frame left the
+    /// sender — not that it will arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Crashed`] if a node is dead (including the
+    /// sender dying during this very send).
+    fn send_to_follower(&mut self, frame: Vec<u8>) -> Result<(), TransportError>;
+
+    /// Polls the next frame pending at the follower, if any.
+    fn recv_at_follower(&mut self) -> Option<Vec<u8>>;
+
+    /// Ships a frame toward the primary (acknowledgements).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send_to_follower`].
+    fn send_to_primary(&mut self, frame: Vec<u8>) -> Result<(), TransportError>;
+
+    /// Polls the next frame pending at the primary, if any.
+    fn recv_at_primary(&mut self) -> Option<Vec<u8>>;
+}
+
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn send_to_follower(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
+        (**self).send_to_follower(frame)
+    }
+
+    fn recv_at_follower(&mut self) -> Option<Vec<u8>> {
+        (**self).recv_at_follower()
+    }
+
+    fn send_to_primary(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
+        (**self).send_to_primary(frame)
+    }
+
+    fn recv_at_primary(&mut self) -> Option<Vec<u8>> {
+        (**self).recv_at_primary()
+    }
+}
+
+/// Deterministic in-process [`Transport`]: two queues and a fault plan.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    plan: TransportPlan,
+    counter: OpCounter,
+    to_follower: VecDeque<Vec<u8>>,
+    to_primary: VecDeque<Vec<u8>>,
+    partitioned: bool,
+    crashed: Option<Node>,
+    op_log: Vec<u64>,
+}
+
+impl ChannelTransport {
+    /// A fresh link under `plan`, numbering sends on a private counter.
+    pub fn new(plan: TransportPlan) -> ChannelTransport {
+        ChannelTransport::with_counter(plan, OpCounter::new())
+    }
+
+    /// A fresh link under `plan`, numbering sends on the given (possibly
+    /// shared) counter — the composed-harness mode.
+    pub fn with_counter(plan: TransportPlan, counter: OpCounter) -> ChannelTransport {
+        ChannelTransport {
+            plan,
+            counter,
+            to_follower: VecDeque::new(),
+            to_primary: VecDeque::new(),
+            partitioned: false,
+            crashed: None,
+            op_log: Vec::new(),
+        }
+    }
+
+    /// The operation indices this transport claimed, in send order. A
+    /// fault-free baseline run uses this to aim per-class fault sweeps
+    /// at exactly the indices where wire traffic happens.
+    pub fn op_log(&self) -> &[u64] {
+        &self.op_log
+    }
+
+    /// The node killed by a [`TransportFault::Crash`], if any.
+    pub fn crashed_node(&self) -> Option<Node> {
+        self.crashed
+    }
+
+    /// Whether a [`TransportFault::Partition`] has fired.
+    pub fn partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// A handle to this transport's operation counter.
+    pub fn counter(&self) -> OpCounter {
+        self.counter.clone()
+    }
+
+    fn dispatch(&mut self, sender: Node, frame: Vec<u8>) -> Result<(), TransportError> {
+        if let Some(node) = self.crashed {
+            return Err(TransportError::Crashed { node });
+        }
+        let index = self.counter.next();
+        self.op_log.push(index);
+        let fault = self.plan.lookup(index);
+        if fault == Some(TransportFault::Crash) {
+            self.crashed = Some(sender);
+            return Err(TransportError::Crashed { node: sender });
+        }
+        if fault == Some(TransportFault::Partition) {
+            self.partitioned = true;
+        }
+        if self.partitioned {
+            // Black hole: the sender cannot tell the frame went nowhere.
+            return Ok(());
+        }
+        let queue = match sender {
+            Node::Primary => &mut self.to_follower,
+            Node::Follower => &mut self.to_primary,
+        };
+        match fault {
+            Some(TransportFault::Loss) => {}
+            Some(TransportFault::Duplicate) => {
+                queue.push_back(frame.clone());
+                queue.push_back(frame);
+            }
+            Some(TransportFault::Reorder) => queue.push_front(frame),
+            _ => queue.push_back(frame),
+        }
+        Ok(())
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send_to_follower(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.dispatch(Node::Primary, frame)
+    }
+
+    fn recv_at_follower(&mut self) -> Option<Vec<u8>> {
+        self.to_follower.pop_front()
+    }
+
+    fn send_to_primary(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.dispatch(Node::Follower, frame)
+    }
+
+    fn recv_at_primary(&mut self) -> Option<Vec<u8>> {
+        self.to_primary.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_link_delivers_in_order() {
+        let mut t = ChannelTransport::new(TransportPlan::none());
+        t.send_to_follower(b"a".to_vec()).unwrap();
+        t.send_to_follower(b"b".to_vec()).unwrap();
+        assert_eq!(t.recv_at_follower(), Some(b"a".to_vec()));
+        assert_eq!(t.recv_at_follower(), Some(b"b".to_vec()));
+        assert_eq!(t.recv_at_follower(), None);
+        assert_eq!(t.op_log(), &[0, 1]);
+    }
+
+    #[test]
+    fn loss_drops_exactly_the_indexed_frame() {
+        let mut t = ChannelTransport::new(TransportPlan::fault_at(1, TransportFault::Loss));
+        t.send_to_follower(b"a".to_vec()).unwrap(); // op 0
+        t.send_to_follower(b"lost".to_vec()).unwrap(); // op 1: gone
+        t.send_to_follower(b"c".to_vec()).unwrap(); // op 2
+        assert_eq!(t.recv_at_follower(), Some(b"a".to_vec()));
+        assert_eq!(t.recv_at_follower(), Some(b"c".to_vec()));
+        assert_eq!(t.recv_at_follower(), None);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice_and_reorder_jumps_the_queue() {
+        let mut t = ChannelTransport::new(
+            TransportPlan::fault_at(0, TransportFault::Duplicate).with(2, TransportFault::Reorder),
+        );
+        t.send_to_follower(b"a".to_vec()).unwrap(); // doubled
+        t.send_to_follower(b"b".to_vec()).unwrap();
+        t.send_to_follower(b"c".to_vec()).unwrap(); // jumps ahead
+        let got: Vec<Vec<u8>> = std::iter::from_fn(|| t.recv_at_follower()).collect();
+        assert_eq!(got, vec![b"c".to_vec(), b"a".to_vec(), b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn partition_black_holes_both_directions() {
+        let mut t = ChannelTransport::new(TransportPlan::fault_at(1, TransportFault::Partition));
+        t.send_to_follower(b"a".to_vec()).unwrap(); // op 0: delivered
+        t.send_to_follower(b"b".to_vec()).unwrap(); // op 1: partition fires
+        t.send_to_primary(b"ack".to_vec()).unwrap(); // swallowed too
+        assert!(t.partitioned());
+        assert_eq!(t.recv_at_follower(), Some(b"a".to_vec()));
+        assert_eq!(t.recv_at_follower(), None);
+        assert_eq!(t.recv_at_primary(), None);
+    }
+
+    #[test]
+    fn crash_kills_the_sending_node() {
+        let mut t = ChannelTransport::new(TransportPlan::fault_at(1, TransportFault::Crash));
+        t.send_to_follower(b"a".to_vec()).unwrap();
+        // Op 1 is a follower→primary send: the *follower* dies.
+        assert_eq!(
+            t.send_to_primary(b"ack".to_vec()),
+            Err(TransportError::Crashed { node: Node::Follower })
+        );
+        assert_eq!(t.crashed_node(), Some(Node::Follower));
+        // Everything after is dead air.
+        assert_eq!(
+            t.send_to_follower(b"b".to_vec()),
+            Err(TransportError::Crashed { node: Node::Follower })
+        );
+    }
+
+    #[test]
+    fn shared_counter_interleaves_with_failfs_ops() {
+        use ickp_durable::{FailFs, FaultPlan, MemFs, Vfs};
+        let counter = OpCounter::new();
+        let mut fs = FailFs::with_counter(MemFs::new(), FaultPlan::none(), counter.clone());
+        let mut t = ChannelTransport::with_counter(TransportPlan::none(), counter.clone());
+        fs.write_file("seg", b"x").unwrap(); // op 0
+        t.send_to_follower(b"frame".to_vec()).unwrap(); // op 1
+        fs.sync("seg").unwrap(); // op 2
+        assert_eq!(t.op_log(), &[1], "transport claimed only the interleaved index 1");
+        assert_eq!(counter.count(), 3);
+    }
+}

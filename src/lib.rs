@@ -25,6 +25,9 @@
 //!   deterministic fault-injection VFS and crash-point enumeration harness.
 //! * [`lifecycle`] — policy-driven checkpoint lifecycle: named restore
 //!   points, binomial retention, content-hash dedup.
+//! * [`replicate`] — hot-standby replication: group-commit batches
+//!   shipped to a follower over a fault-injectable transport, proven by
+//!   a two-node failover crash matrix.
 //!
 //! ## Quickstart
 //!
@@ -54,5 +57,6 @@ pub use ickp_durable as durable;
 pub use ickp_heap as heap;
 pub use ickp_lifecycle as lifecycle;
 pub use ickp_minic as minic;
+pub use ickp_replicate as replicate;
 pub use ickp_spec as spec;
 pub use ickp_synth as synth;
