@@ -3,9 +3,10 @@
 //! A [`Diagnostic`] is one verdict: a severity, a stable machine-readable
 //! code (`AUD0xx` for plan-verifier findings, `AUD1xx` for pattern
 //! soundness findings, `AUD2xx` for shard-interference findings, `AUD3xx`
-//! for barrier-coverage findings), the location it anchors to (a plan
-//! instruction, a shape path, a phase, a shard, a mutator), a human
-//! message, and an optional suggestion.
+//! for barrier-coverage findings, `AUD4xx` for durability-ordering
+//! findings), the location it anchors to (a plan instruction, a shape
+//! path, a phase, a shard, a mutator, a trace op), a human message, and
+//! an optional suggestion.
 //! Passes append diagnostics to an [`AuditReport`], which callers render
 //! or query for error-severity findings (the CI gate).
 
@@ -38,7 +39,8 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. `AUD0xx` come from the plan verifier, `AUD1xx`
 /// from the pattern soundness checker, `AUD2xx` from the shard-interference
-/// pass, `AUD3xx` from the barrier-coverage pass.
+/// pass, `AUD3xx` from the barrier-coverage pass, `AUD4xx` from the
+/// durability-ordering pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiagCode {
     /// A register index is outside the plan's register file (`AUD001`).
@@ -143,6 +145,34 @@ pub enum DiagCode {
     /// A public heap mutator is absent from the audited `MutationCatalog`,
     /// so nothing proves its barrier obligations (`AUD306`).
     BarrierUncataloged,
+    /// A reachable crash state contains un-fsynced bytes the client was
+    /// already acknowledged for: a crash loses an acknowledged record
+    /// (`AUD401`).
+    DurabilityUnsyncedAck,
+    /// A rename publishes a file whose content was never fsynced: the
+    /// filesystem may reorder the data behind the visible name
+    /// (`AUD402`).
+    DurabilityRenameBeforeSync,
+    /// An acknowledgement rests on namespace operations (create, rename,
+    /// remove) with no covering parent-directory fsync (`AUD403`).
+    DurabilityMissingDirFsync,
+    /// A write lands inside a region the committed manifest already
+    /// references — mutating acknowledged history in place (`AUD404`).
+    DurabilityCommittedOverwrite,
+    /// A replication acknowledgement reached the client before the batch
+    /// was durable on both nodes (`AUD405`).
+    DurabilityEarlyReplicationAck,
+    /// The trace's operation indices do not tile the shared `OpCounter`
+    /// space: some layer performed I/O outside the counted op stream, so
+    /// the crash matrices cannot see it (`AUD406`).
+    DurabilityUncountedOp,
+    /// An fsync with nothing pending (or a directory fsync with no
+    /// namespace changes) — a wasted syscall on the commit path
+    /// (`AUD407`).
+    DurabilityRedundantFsync,
+    /// Consecutive single-record commits that group commit would merge,
+    /// priced in the fsyncs a batch would save (`AUD408`).
+    DurabilityMissedCoalescing,
 }
 
 impl DiagCode {
@@ -183,6 +213,14 @@ impl DiagCode {
             DiagCode::BarrierEpochTamper => "AUD304",
             DiagCode::BarrierOverDeclaredEffect => "AUD305",
             DiagCode::BarrierUncataloged => "AUD306",
+            DiagCode::DurabilityUnsyncedAck => "AUD401",
+            DiagCode::DurabilityRenameBeforeSync => "AUD402",
+            DiagCode::DurabilityMissingDirFsync => "AUD403",
+            DiagCode::DurabilityCommittedOverwrite => "AUD404",
+            DiagCode::DurabilityEarlyReplicationAck => "AUD405",
+            DiagCode::DurabilityUncountedOp => "AUD406",
+            DiagCode::DurabilityRedundantFsync => "AUD407",
+            DiagCode::DurabilityMissedCoalescing => "AUD408",
         }
     }
 }
@@ -206,6 +244,9 @@ pub enum Location {
     Shard(usize),
     /// A heap mutator of an audited mutation catalog, by name.
     Mutator(String),
+    /// An operation of an audited durability trace, by its `OpCounter`
+    /// index.
+    TraceOp(u64),
     /// No finer location applies.
     General,
 }
@@ -218,6 +259,7 @@ impl fmt::Display for Location {
             Location::Phase(key) => write!(f, "phase `{key}`"),
             Location::Shard(index) => write!(f, "shard {index}"),
             Location::Mutator(name) => write!(f, "mutator `{name}`"),
+            Location::TraceOp(index) => write!(f, "trace op {index}"),
             Location::General => f.write_str("plan"),
         }
     }

@@ -4,7 +4,7 @@
 //! paper's contract is that declarations of structure and per-phase
 //! modification patterns are *trusted*, and a wrong declaration silently
 //! produces checkpoints that miss modifications. This crate closes that
-//! gap with five cooperating passes:
+//! gap with six cooperating passes:
 //!
 //! 1. **Plan verifier** ([`verify_plan`]) — an abstract interpreter over
 //!    compiled [`Plan`](ickp_spec::Plan) ops that, given the
@@ -44,6 +44,16 @@
 //!    randomized mutation sequences diffed against ground-truth snapshots,
 //!    and the `barrier-sanitize` feature of `ickp-backend` shadow-verifies
 //!    every real checkpoint against a full-traversal state digest.
+//! 6. **Durability-ordering pass** ([`audit_durability`]) — a static
+//!    crash-consistency prover over recorded `Vfs`/wire op traces
+//!    (`ickp-durable`'s `TraceVfs`): walks the typed op stream under the
+//!    explicit persistence model, proves every client acknowledgement
+//!    rests on a fully fsynced, fully published manifest commit
+//!    (`AUD401`–`AUD406` are ordering errors, `AUD407`/`AUD408` perf
+//!    lints), and computes the crash-state equivalence classes the
+//!    pruned crash matrix replays one representative of.
+//!    [`cross_validate_durability`] backs the verdicts by replaying
+//!    sampled classes through the real `MemFs` crash machinery.
 //!
 //! Diagnostics carry stable `AUDnnn` codes, severities, locations, and
 //! suggestions; [`AuditReport::render`] prints them one per line and
@@ -86,6 +96,7 @@
 mod barriers;
 mod coverage;
 mod diag;
+mod durability;
 mod oracle;
 mod shards;
 mod soundness;
@@ -97,6 +108,10 @@ pub use barriers::{
 };
 pub use coverage::{expected_events, fmt_path, Event, Path, Step};
 pub use diag::{AuditReport, DiagCode, Diagnostic, Location, Severity};
+pub use durability::{
+    audit_durability, cross_validate_durability, DurabilityAudit, DurabilityOracleReport,
+    OpTraceSpec,
+};
 pub use oracle::{cross_validate, OracleReport};
 pub use shards::{
     audit_shards, audit_shards_with, cross_validate_shards, shard_footprints, ShardAudit,

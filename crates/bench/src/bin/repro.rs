@@ -9,9 +9,9 @@
 //! `table2`, or `all`. Absolute numbers are machine-dependent; the
 //! *shape* (who wins, by what factor, where the crossovers are) is the
 //! reproduction target. See EXPERIMENTS.md. The `audit`, `crashes`,
-//! `shards`, `lifecycle`, and `scaling` subcommands are deterministic
-//! correctness gates whose exit codes feed CI; they run alone, not under
-//! `all`. `shards --max-imbalance R` additionally gates on the
+//! `shards`, `barriers`, `lifecycle`, `scaling`, `replicate`, and
+//! `durability` subcommands are deterministic correctness gates whose
+//! exit codes feed CI; they run alone, not under `all`. `shards --max-imbalance R` additionally gates on the
 //! heaviest/lightest per-shard byte ratio; `scaling` measures the
 //! parallel engine's phase breakdown and proves byte-identity at every
 //! worker count.
@@ -67,7 +67,7 @@ fn main() {
             }
             "table1" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "table2" | "recovery"
             | "journal" | "audit" | "crashes" | "shards" | "barriers" | "lifecycle" | "scaling"
-            | "replicate" | "all" => experiment = arg.clone(),
+            | "replicate" | "durability" | "all" => experiment = arg.clone(),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -123,6 +123,15 @@ fn main() {
         std::process::exit(replicate());
     }
 
+    // The durability-ordering gate: the static crash-consistency prover
+    // (`audit_durability`) over traced store, lifecycle, and replicated
+    // workloads, six injected violations pinned to their exact AUD4xx
+    // codes, and the crash-class verdicts cross-validated against the
+    // MemFs crash oracle. Deterministic; exit code feeds CI.
+    if experiment == "durability" {
+        std::process::exit(durability());
+    }
+
     println!("# ickp reproduction — {experiment}");
     println!("# structures={} rounds={} filters={}\n", opts.structures, opts.rounds, opts.filters);
     let run = |name: &str| experiment == name || experiment == "all";
@@ -158,7 +167,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|barriers|lifecycle|scaling|replicate|all] \
+        "usage: repro [table1|fig7|fig8|fig9|fig10|fig11|table2|recovery|journal|audit|crashes|shards|barriers|lifecycle|scaling|replicate|durability|all] \
          [--structures N] [--rounds R] [--filters F] [--max-imbalance RATIO]"
     );
     std::process::exit(2);
@@ -1611,4 +1620,336 @@ fn journal(opts: &Options) {
         ));
     }
     grid.print();
+}
+
+// ------------------------------------------------------------ durability
+
+/// The durability-ordering gate. Four deterministic checks, one exit
+/// code:
+///
+/// 1. **Store protocol** — the full single-node `DurableStore`
+///    vocabulary (singles, a group commit, a tag, a dedup rewrite)
+///    recorded through `TraceVfs` and statically proven crash-consistent
+///    by `audit_durability` (zero error-severity findings).
+/// 2. **Lifecycle protocol** — the `CheckpointManager` vocabulary
+///    (appends, tags, policy-driven `maintain`, `reset_to`) under the
+///    same prover.
+/// 3. **Replicated protocol** — a two-node `ReplicaPair` run with both
+///    filesystems and the wire in one shared `OpCounter` space; the
+///    prover additionally checks every client acknowledgement waited
+///    for durable-on-both.
+/// 4. **Injections + oracle** — six hand-built ordering violations must
+///    land on exactly their own AUD4xx code, and every crash-class
+///    verdict of the store workload is replayed against the real
+///    `MemFs` crash machinery (first and last member of every class).
+fn durability() -> i32 {
+    use ickp_audit::{audit_durability, cross_validate_durability, Severity};
+    use ickp_backend::ParallelBackend;
+    use ickp_core::{object_slices, CheckpointRecord};
+    use ickp_durable::{
+        DurableConfig, DurableStore, MemFs, OpCounter, TraceEvent, TraceLog, TraceNode, TraceOp,
+        TraceVfs, MANIFEST,
+    };
+    use ickp_lifecycle::{CheckpointManager, LifecycleConfig, RetentionPolicy};
+    use ickp_replicate::{ChannelTransport, ReplicaPair, ReplicateConfig, TransportPlan};
+    use ickp_synth::{SynthConfig, SynthWorld};
+
+    println!("# ickp durability — static crash-consistency proofs over op traces\n");
+    let mut failures = 0usize;
+
+    // A record stream wide enough to cross segment rolls and batch
+    // boundaries on every workload below.
+    let mut world = SynthWorld::build(SynthConfig {
+        structures: 48,
+        lists_per_structure: 3,
+        list_len: 4,
+        ints_per_element: 2,
+        seed: 0xd04a,
+    })
+    .expect("world builds");
+    let registry = world.heap().registry().clone();
+    let roots = world.roots().to_vec();
+    let mut backend = ParallelBackend::new(2, &registry);
+    let mut records: Vec<CheckpointRecord> = Vec::new();
+    world.heap_mut().mark_all_modified();
+    for round in 0..8 {
+        if round > 0 {
+            world.apply_modifications(&ModificationSpec::uniform(30));
+        }
+        records.push(backend.checkpoint(world.heap_mut(), &roots).expect("checkpoint"));
+    }
+    let config = DurableConfig { segment_target_bytes: 512 };
+
+    let mut report_subject = |name: &str, audit: &ickp_audit::DurabilityAudit| {
+        let pruned: u64 = audit.classes.iter().map(|c| c.indices.len() as u64 - 1).sum();
+        if audit.is_sound() {
+            println!(
+                "{name}: sound — {} ops, {} commit(s), {} ack(s), {} crash class(es) \
+                 ({} crash point(s) pruned), {} perf lint(s)",
+                audit.counted_ops,
+                audit.commits,
+                audit.acks,
+                audit.classes.len(),
+                pruned,
+                audit.report.count(Severity::PerfLint),
+            );
+        } else {
+            failures += 1;
+            println!("{name}: UNSOUND\n{}", audit.report.render());
+        }
+    };
+
+    // ---- 1. The single-node store protocol -----------------------------
+    // The same deterministic drive is reused below by the oracle, with
+    // fault injection instead of tracing.
+    let store_drive = |fs: &mut dyn ickp_durable::Vfs,
+                       log: Option<&TraceLog>|
+     -> Result<(), ickp_durable::DurableError> {
+        let mut store = DurableStore::create(&mut *fs, config)?;
+        let mut acked = 0u64;
+        for record in &records[..4] {
+            store.append(record)?;
+            acked += 1;
+            if let Some(log) = log {
+                log.client_ack(acked);
+            }
+        }
+        store.append_batch(&records[4..])?;
+        acked += (records.len() - 4) as u64;
+        if let Some(log) = log {
+            log.client_ack(acked);
+        }
+        store.tag("stable", records[3].seq())?;
+        let layouts: Vec<_> = records
+            .iter()
+            .map(|r| object_slices(r.bytes(), &registry).expect("records decode").objects)
+            .collect();
+        let tags = store.tags().to_vec();
+        store.rewrite(&records, &layouts, &tags)?;
+        Ok(())
+    };
+    let store_classes;
+    {
+        let log = TraceLog::new();
+        let mut fs = TraceVfs::new(MemFs::new(), log.clone());
+        store_drive(&mut fs, Some(&log)).expect("fault-free store drive");
+        let trace = log.snapshot(&fs.counter());
+        let audit = audit_durability(&trace);
+        report_subject("store", &audit);
+        store_classes = audit.classes;
+    }
+
+    // ---- 2. The lifecycle protocol -------------------------------------
+    {
+        let lc =
+            LifecycleConfig { durable: config, policy: RetentionPolicy { budget: 3 }, dedup: true };
+        let log = TraceLog::new();
+        let mut fs = TraceVfs::new(MemFs::new(), log.clone());
+        let mut mgr = CheckpointManager::create(&mut fs, lc, &registry).expect("manager creates");
+        let mut appended = 0u64;
+        for (i, record) in records.iter().enumerate() {
+            mgr.append(record).expect("append");
+            appended += 1;
+            log.client_ack(appended);
+            if i == 3 {
+                mgr.tag("alpha").expect("tag");
+            }
+        }
+        mgr.maintain().expect("maintain");
+        mgr.reset_to("alpha").expect("reset");
+        drop(mgr);
+        let trace = log.snapshot(&fs.counter());
+        let audit = audit_durability(&trace);
+        report_subject("lifecycle", &audit);
+    }
+
+    // ---- 3. The replicated protocol ------------------------------------
+    {
+        let log = TraceLog::new();
+        let counter = OpCounter::new();
+        let mut pfs =
+            TraceVfs::with_counter(MemFs::new(), log.clone(), counter.clone(), TraceNode::Primary);
+        let mut ffs =
+            TraceVfs::with_counter(MemFs::new(), log.clone(), counter.clone(), TraceNode::Follower);
+        let mut link = ChannelTransport::with_counter(TransportPlan::none(), counter.clone());
+        link.set_trace(log.clone());
+        let rcfg =
+            ReplicateConfig { durable: config, batch_records: 2, max_retries: 3, dedup: true };
+        let mut pair =
+            ReplicaPair::create(&mut pfs, &mut ffs, &mut link, rcfg, &registry).expect("pair");
+        for record in &records {
+            pair.append(record.clone()).expect("append");
+            if pair.acked_records() > 0 {
+                log.client_ack(pair.acked_records());
+            }
+        }
+        pair.commit().expect("commit");
+        log.client_ack(pair.acked_records());
+        drop(pair);
+        let trace = log.snapshot(&counter);
+        let audit = audit_durability(&trace);
+        let name = format!(
+            "replicated ({} wire send(s), {} wire ack(s))",
+            audit.wire_sends, audit.wire_acks
+        );
+        report_subject(&name, &audit);
+    }
+    println!();
+
+    // ---- 4a. Injection pins --------------------------------------------
+    struct RawTrace {
+        events: Vec<TraceEvent>,
+        counted: u64,
+    }
+    impl ickp_audit::OpTraceSpec for RawTrace {
+        fn events(&self) -> &[TraceEvent] {
+            &self.events
+        }
+        fn counted_ops(&self) -> u64 {
+            self.counted
+        }
+    }
+    let op = |index: u64, node: TraceNode, op: TraceOp| TraceEvent::Op { index, node, op };
+    let local = TraceNode::Local;
+    let sound_commit = |base: u64, node: TraceNode, seg: &str, records: u64| {
+        vec![
+            op(base, node, TraceOp::Write { path: seg.into(), offset: 0, len: 64 }),
+            op(base + 1, node, TraceOp::Fsync { path: seg.into() }),
+            op(base + 2, node, TraceOp::Create { path: "MANIFEST.tmp".into(), len: 32 }),
+            op(base + 3, node, TraceOp::Fsync { path: "MANIFEST.tmp".into() }),
+            op(
+                base + 4,
+                node,
+                TraceOp::Rename { from: "MANIFEST.tmp".into(), to: MANIFEST.into() },
+            ),
+            op(base + 5, node, TraceOp::DirFsync),
+            TraceEvent::ClientAck { records },
+        ]
+    };
+    let injections: Vec<(&str, &str, RawTrace)> = vec![
+        (
+            "ack without a manifest publish",
+            "AUD401",
+            RawTrace {
+                events: vec![
+                    op(0, local, TraceOp::Write { path: "seg".into(), offset: 0, len: 64 }),
+                    op(1, local, TraceOp::Fsync { path: "seg".into() }),
+                    TraceEvent::ClientAck { records: 1 },
+                ],
+                counted: 2,
+            },
+        ),
+        (
+            "rename before the source fsync",
+            "AUD402",
+            RawTrace {
+                events: vec![
+                    op(0, local, TraceOp::Create { path: "MANIFEST.tmp".into(), len: 32 }),
+                    op(
+                        1,
+                        local,
+                        TraceOp::Rename { from: "MANIFEST.tmp".into(), to: MANIFEST.into() },
+                    ),
+                    op(2, local, TraceOp::Fsync { path: MANIFEST.into() }),
+                    op(3, local, TraceOp::DirFsync),
+                    TraceEvent::ClientAck { records: 1 },
+                ],
+                counted: 4,
+            },
+        ),
+        (
+            "publish without the directory fsync",
+            "AUD403",
+            RawTrace {
+                events: vec![
+                    op(0, local, TraceOp::Create { path: "MANIFEST.tmp".into(), len: 32 }),
+                    op(1, local, TraceOp::Fsync { path: "MANIFEST.tmp".into() }),
+                    op(
+                        2,
+                        local,
+                        TraceOp::Rename { from: "MANIFEST.tmp".into(), to: MANIFEST.into() },
+                    ),
+                    TraceEvent::ClientAck { records: 1 },
+                ],
+                counted: 3,
+            },
+        ),
+        (
+            "write into a committed region",
+            "AUD404",
+            RawTrace {
+                events: {
+                    let mut events = sound_commit(0, local, "seg", 1);
+                    events.push(op(
+                        6,
+                        local,
+                        TraceOp::Write { path: "seg".into(), offset: 8, len: 8 },
+                    ));
+                    events
+                },
+                counted: 7,
+            },
+        ),
+        (
+            "client ack before the follower ack",
+            "AUD405",
+            RawTrace {
+                events: {
+                    let mut events = sound_commit(0, TraceNode::Primary, "seg", 1);
+                    events.pop();
+                    events.push(op(6, TraceNode::Primary, TraceOp::WireSend));
+                    events.push(TraceEvent::ClientAck { records: 1 });
+                    events
+                },
+                counted: 7,
+            },
+        ),
+        (
+            "I/O outside the shared op counter",
+            "AUD406",
+            RawTrace { events: sound_commit(0, local, "seg", 1), counted: 7 },
+        ),
+    ];
+    println!("{:<40} {:>8}  verdict", "injected violation", "expected");
+    for (name, expected, trace) in &injections {
+        let audit = audit_durability(trace);
+        let codes: Vec<&str> = audit
+            .report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code.code())
+            .collect();
+        if codes == vec![*expected] {
+            println!("{name:<40} {expected:>8}  pinned");
+        } else {
+            failures += 1;
+            println!("{name:<40} {expected:>8}  MISSED: got {codes:?}");
+        }
+    }
+
+    // ---- 4b. The MemFs crash oracle ------------------------------------
+    match cross_validate_durability(&registry, config, &store_classes, 1, |fs| {
+        store_drive(fs, None).map_err(|e| e.to_string())
+    }) {
+        Ok(oracle) => {
+            println!(
+                "\noracle: {} class(es), {} sampled, {} crash replay(s) — static verdicts \
+                 match the MemFs crash machinery",
+                oracle.classes, oracle.sampled, oracle.replays
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            println!("\noracle: DISAGREES — {e}");
+        }
+    }
+
+    if failures == 0 {
+        println!("\ndurability audit passed");
+        0
+    } else {
+        println!("\ndurability audit FAILED: {failures} check(s)");
+        1
+    }
 }

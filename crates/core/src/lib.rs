@@ -78,7 +78,7 @@ pub use parallel::{plan_shards, ParallelPhases, ShardAccess, ShardTrace};
 pub use persist::{load_store, save_store, MAX_RECORD_LEN};
 pub use pool::BufferPool;
 pub use restore::{restore, verify_restore, RestorePolicy, RestoredHeap};
-pub use sink::RecordSink;
+pub use sink::{AckHook, RecordSink};
 pub use stats::TraversalStats;
 pub use store::CheckpointStore;
 pub use stream::{

@@ -55,6 +55,63 @@ impl RecordSink for CheckpointStore {
     }
 }
 
+/// A [`RecordSink`] decorator that reports every acknowledgement to a
+/// callback: after the inner sink accepts a record (or a whole batch),
+/// the hook receives the cumulative acknowledged record count.
+///
+/// This is the trace seam on the producer side: durability tracing
+/// (`ickp-durable`'s `TraceLog`) hangs a client-acknowledgement marker
+/// on the hook, so the recorded op stream carries the exact points where
+/// records became client-visible — without the sink knowing anything
+/// about tracing. A failed append calls nothing: unacknowledged records
+/// leave no marker.
+#[derive(Debug)]
+pub struct AckHook<S, F> {
+    inner: S,
+    hook: F,
+    acked: u64,
+}
+
+impl<S: RecordSink, F: FnMut(u64)> AckHook<S, F> {
+    /// Decorates `inner`, calling `hook(acked_total)` after every
+    /// acknowledged append.
+    pub fn new(inner: S, hook: F) -> AckHook<S, F> {
+        AckHook { inner, hook, acked: 0 }
+    }
+
+    /// Records acknowledged through this hook so far.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Consumes the decorator, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// The inner sink, for inspection.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: RecordSink, F: FnMut(u64)> RecordSink for AckHook<S, F> {
+    fn append_record(&mut self, record: CheckpointRecord) -> Result<(), CoreError> {
+        self.inner.append_record(record)?;
+        self.acked += 1;
+        (self.hook)(self.acked);
+        Ok(())
+    }
+
+    fn append_records(&mut self, records: Vec<CheckpointRecord>) -> Result<(), CoreError> {
+        let n = records.len() as u64;
+        self.inner.append_records(records)?;
+        self.acked += n;
+        (self.hook)(self.acked);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +131,26 @@ mod tests {
         let sink: &mut dyn RecordSink = &mut store;
         sink.append_record(ckp.checkpoint(&mut heap, &table, &[o]).unwrap()).unwrap();
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn ack_hook_reports_cumulative_acknowledgements() {
+        let mut reg = ClassRegistry::new();
+        let c = reg.define("C", None, &[("v", FieldType::Int)]).unwrap();
+        let mut heap = Heap::new(reg);
+        let o = heap.alloc(c).unwrap();
+        let table = MethodTable::derive(heap.registry());
+        let mut ckp = Checkpointer::new(CheckpointConfig::incremental());
+        let mut seen = Vec::new();
+        let mut sink = AckHook::new(CheckpointStore::new(), |n| seen.push(n));
+        sink.append_record(ckp.checkpoint(&mut heap, &table, &[o]).unwrap()).unwrap();
+        let batch = vec![
+            ckp.checkpoint(&mut heap, &table, &[o]).unwrap(),
+            ckp.checkpoint(&mut heap, &table, &[o]).unwrap(),
+        ];
+        sink.append_records(batch).unwrap();
+        assert_eq!(sink.acked(), 3);
+        assert_eq!(sink.into_inner().len(), 3);
+        assert_eq!(seen, vec![1, 3], "one marker per acknowledged append/batch");
     }
 }

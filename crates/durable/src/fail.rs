@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::trace::{TraceLog, TraceNode, TraceOp};
 use crate::vfs::{FsError, MemFs, Vfs};
 
 /// A shareable mutating-operation counter.
@@ -90,6 +91,9 @@ pub struct FailFs {
     plan: FaultPlan,
     counter: OpCounter,
     crashed: bool,
+    trace: Option<TraceLog>,
+    node: TraceNode,
+    faulted: Option<(u64, String)>,
 }
 
 enum Gate {
@@ -115,7 +119,31 @@ impl FailFs {
     /// in `plan` refer to that counter's index space, so composed
     /// harnesses can aim one schedule at several layers at once.
     pub fn with_counter(fs: MemFs, plan: FaultPlan, counter: OpCounter) -> FailFs {
-        FailFs { inner: fs, plan, counter, crashed: false }
+        FailFs {
+            inner: fs,
+            plan,
+            counter,
+            crashed: false,
+            trace: None,
+            node: TraceNode::Local,
+            faulted: None,
+        }
+    }
+
+    /// Attaches a [`TraceLog`]: every mutating operation is recorded as a
+    /// typed [`TraceOp`](crate::TraceOp) tagged `node`, at the index it
+    /// claims on the counter — so one log can capture the interleaved op
+    /// stream of several layers sharing one [`OpCounter`].
+    pub fn set_trace(&mut self, log: TraceLog, node: TraceNode) {
+        self.trace = Some(log);
+        self.node = node;
+    }
+
+    /// The operation the plan faulted, if any: its counter index and a
+    /// human-readable description (kind and path) — what the crash-matrix
+    /// harness prints instead of a bare index.
+    pub fn faulted_op(&self) -> Option<(u64, String)> {
+        self.faulted.clone()
     }
 
     /// Mutating operations claimed so far on this filesystem's counter
@@ -143,19 +171,25 @@ impl FailFs {
         self.inner
     }
 
-    /// Checks this operation against the plan. `Ok(Gate::Crash)` means
-    /// the caller must apply the operation's *partial* effect, then call
-    /// [`FailFs::die`].
-    fn gate(&mut self, op: &'static str) -> Result<Gate, FsError> {
+    /// Checks this operation against the plan, recording it into the
+    /// trace (if attached) at the index it claims. `Ok(Gate::Crash)`
+    /// means the caller must apply the operation's *partial* effect,
+    /// then call [`FailFs::die`].
+    fn gate(&mut self, op: TraceOp) -> Result<Gate, FsError> {
         if self.crashed {
             return Err(FsError::Crashed);
         }
         let index = self.counter.next();
+        if let Some(log) = &self.trace {
+            log.record(index, self.node, op.clone());
+        }
         if self.plan.crash_at == Some(index) {
+            self.faulted = Some((index, op.to_string()));
             return Ok(Gate::Crash);
         }
         if self.plan.error_at == Some(index) {
-            return Err(FsError::Injected { op_index: index, op });
+            self.faulted = Some((index, op.to_string()));
+            return Err(FsError::Injected { op_index: index, op: op.name() });
         }
         Ok(Gate::Proceed)
     }
@@ -169,7 +203,8 @@ impl FailFs {
 
 impl Vfs for FailFs {
     fn write_file(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
-        match self.gate("write_file")? {
+        let op = TraceOp::Create { path: name.to_string(), len: data.len() as u64 };
+        match self.gate(op)? {
             Gate::Proceed => self.inner.write_file(name, data),
             Gate::Crash => {
                 // Half the bytes land, all volatile — gone after the crash.
@@ -180,7 +215,12 @@ impl Vfs for FailFs {
     }
 
     fn append(&mut self, name: &str, data: &[u8]) -> Result<(), FsError> {
-        match self.gate("append")? {
+        let op = TraceOp::Write {
+            path: name.to_string(),
+            offset: self.inner.len_of(name),
+            len: data.len() as u64,
+        };
+        match self.gate(op)? {
             Gate::Proceed => self.inner.append(name, data),
             Gate::Crash => {
                 let _ = self.inner.append(name, &data[..data.len() / 2]);
@@ -190,7 +230,7 @@ impl Vfs for FailFs {
     }
 
     fn sync(&mut self, name: &str) -> Result<(), FsError> {
-        match self.gate("sync")? {
+        match self.gate(TraceOp::Fsync { path: name.to_string() })? {
             Gate::Proceed => self.inner.sync(name),
             Gate::Crash => {
                 // A crash mid-fsync leaves an arbitrary durable prefix;
@@ -203,28 +243,29 @@ impl Vfs for FailFs {
     }
 
     fn rename(&mut self, from: &str, to: &str) -> Result<(), FsError> {
-        match self.gate("rename")? {
+        let op = TraceOp::Rename { from: from.to_string(), to: to.to_string() };
+        match self.gate(op)? {
             Gate::Proceed => self.inner.rename(from, to),
             Gate::Crash => Err(self.die()), // atomic: simply did not happen
         }
     }
 
     fn sync_dir(&mut self) -> Result<(), FsError> {
-        match self.gate("sync_dir")? {
+        match self.gate(TraceOp::DirFsync)? {
             Gate::Proceed => self.inner.sync_dir(),
             Gate::Crash => Err(self.die()),
         }
     }
 
     fn truncate(&mut self, name: &str, len: u64) -> Result<(), FsError> {
-        match self.gate("truncate")? {
+        match self.gate(TraceOp::Truncate { path: name.to_string(), len })? {
             Gate::Proceed => self.inner.truncate(name, len),
             Gate::Crash => Err(self.die()),
         }
     }
 
     fn remove(&mut self, name: &str) -> Result<(), FsError> {
-        match self.gate("remove")? {
+        match self.gate(TraceOp::Remove { path: name.to_string() })? {
             Gate::Proceed => self.inner.remove(name),
             Gate::Crash => Err(self.die()),
         }

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use crate::error::DurableError;
 use crate::fail::{FailFs, FaultPlan};
 use crate::store::{DurableConfig, DurableStore};
+use crate::trace::{crash_classes, TraceLog, TraceNode};
 use ickp_core::{decode, restore, CheckpointRecord, CoreError, RestorePolicy, RestoredHeap};
 use ickp_heap::{ClassRegistry, Heap};
 use std::error::Error;
@@ -37,6 +38,9 @@ pub enum CrashMatrixError {
     Invariant {
         /// The mutating-operation index the crash was injected at.
         crash_at: u64,
+        /// The operation at that index — kind and path (e.g.
+        /// `fsync "seg-000001.ickd"`). Empty if unknown.
+        op: String,
         /// What went wrong.
         what: String,
     },
@@ -49,8 +53,11 @@ impl fmt::Display for CrashMatrixError {
             CrashMatrixError::BaselineDriver(what) => {
                 write!(f, "driven baseline run failed: {what}")
             }
-            CrashMatrixError::Invariant { crash_at, what } => {
+            CrashMatrixError::Invariant { crash_at, op, what } if op.is_empty() => {
                 write!(f, "crash at op {crash_at}: {what}")
+            }
+            CrashMatrixError::Invariant { crash_at, op, what } => {
+                write!(f, "crash at op {crash_at} ({op}): {what}")
             }
         }
     }
@@ -64,6 +71,20 @@ impl From<DurableError> for CrashMatrixError {
     }
 }
 
+/// Sweep options for the crash-matrix harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixOptions {
+    /// Replay only one representative per crash-equivalence class (see
+    /// [`crash_classes`](crate::crash_classes)) instead of every index.
+    /// Sound because equivalent indices provably leave byte-identical
+    /// durable states — and for a workload that only acknowledges after
+    /// a completed commit (every commit changes the durable state), an
+    /// identical durable state implies an identical acknowledged count.
+    /// The report's `acked` vector still covers every index, with class
+    /// members inheriting their representative's verdict.
+    pub prune_equivalent: bool,
+}
+
 /// What a full crash-matrix sweep established.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashMatrixReport {
@@ -75,6 +96,11 @@ pub struct CrashMatrixReport {
     /// For each crash point k, how many appends had been acknowledged
     /// when the crash hit (and hence how many records recovery returned).
     pub acked: Vec<usize>,
+    /// Distinct crash-equivalence classes in the baseline trace.
+    pub classes: usize,
+    /// Crash points skipped as provably equivalent to an already-replayed
+    /// representative (0 unless [`MatrixOptions::prune_equivalent`]).
+    pub pruned_points: u64,
 }
 
 /// Runs the workload `records` through the store at every possible crash
@@ -104,10 +130,31 @@ pub fn enumerate_crash_points<V>(
 where
     V: FnMut(usize, &RestoredHeap) -> Option<String>,
 {
-    enumerate_crash_points_driven(
+    enumerate_crash_points_with(registry, records, config, MatrixOptions::default(), verify_state)
+}
+
+/// [`enumerate_crash_points`] with explicit [`MatrixOptions`] — set
+/// [`MatrixOptions::prune_equivalent`] to sweep one representative per
+/// crash-equivalence class instead of every index.
+///
+/// # Errors
+///
+/// As [`enumerate_crash_points`].
+pub fn enumerate_crash_points_with<V>(
+    registry: &ClassRegistry,
+    records: &[CheckpointRecord],
+    config: DurableConfig,
+    options: MatrixOptions,
+    verify_state: V,
+) -> Result<CrashMatrixReport, CrashMatrixError>
+where
+    V: FnMut(usize, &RestoredHeap) -> Option<String>,
+{
+    enumerate_crash_points_driven_with(
         registry,
         records,
         config,
+        options,
         |fs, acked| {
             let mut store = DurableStore::create(fs, config).map_err(describe)?;
             for record in records {
@@ -150,6 +197,33 @@ pub fn enumerate_crash_points_driven<D, V>(
     registry: &ClassRegistry,
     expected: &[CheckpointRecord],
     config: DurableConfig,
+    drive: D,
+    verify_state: V,
+) -> Result<CrashMatrixReport, CrashMatrixError>
+where
+    D: FnMut(&mut FailFs, &mut usize) -> Result<(), String>,
+    V: FnMut(usize, &RestoredHeap) -> Option<String>,
+{
+    enumerate_crash_points_driven_with(
+        registry,
+        expected,
+        config,
+        MatrixOptions::default(),
+        drive,
+        verify_state,
+    )
+}
+
+/// [`enumerate_crash_points_driven`] with explicit [`MatrixOptions`].
+///
+/// # Errors
+///
+/// As [`enumerate_crash_points_driven`].
+pub fn enumerate_crash_points_driven_with<D, V>(
+    registry: &ClassRegistry,
+    expected: &[CheckpointRecord],
+    config: DurableConfig,
+    options: MatrixOptions,
     mut drive: D,
     mut verify_state: V,
 ) -> Result<CrashMatrixReport, CrashMatrixError>
@@ -157,9 +231,12 @@ where
     D: FnMut(&mut FailFs, &mut usize) -> Result<(), String>,
     V: FnMut(usize, &RestoredHeap) -> Option<String>,
 {
-    // Fault-free baseline: count the mutating I/O operations and prove
-    // the driver reproduces the expected records on disk.
+    // Fault-free baseline: count the mutating I/O operations, record the
+    // typed op trace (for equivalence classing), and prove the driver
+    // reproduces the expected records on disk.
     let mut baseline = FailFs::new(FaultPlan::none());
+    let log = TraceLog::new();
+    baseline.set_trace(log.clone(), TraceNode::Local);
     let mut baseline_acked = 0usize;
     drive(&mut baseline, &mut baseline_acked).map_err(CrashMatrixError::BaselineDriver)?;
     if baseline_acked != expected.len() {
@@ -169,6 +246,8 @@ where
         )));
     }
     let total_ops = baseline.ops();
+    let trace = log.snapshot(&baseline.counter());
+    let classes = crash_classes(&trace);
     let mut disk = baseline.into_recovered();
     let (_, on_disk) = DurableStore::open(&mut disk, config, registry)
         .map_err(|e| CrashMatrixError::BaselineDriver(format!("baseline reopen failed: {e}")))?;
@@ -181,14 +260,22 @@ where
         }
     }
 
-    let mut acked_per_point = Vec::with_capacity(total_ops as usize);
-    for crash_at in 0..total_ops {
-        let fail = |what: String| CrashMatrixError::Invariant { crash_at, what };
+    let sweep: Vec<u64> = if options.prune_equivalent {
+        classes.iter().map(|c| c.representative).collect()
+    } else {
+        (0..total_ops).collect()
+    };
+    let pruned_points = total_ops - sweep.len() as u64;
 
+    let mut acked_per_point = vec![usize::MAX; total_ops as usize];
+    for &crash_at in &sweep {
         // Replay until the injected crash kills the run.
         let mut fs = FailFs::new(FaultPlan::crash_at(crash_at));
         let mut acked = 0usize;
         let outcome = drive(&mut fs, &mut acked);
+        let op_desc = fs.faulted_op().map(|(_, desc)| desc).unwrap_or_default();
+        let fail =
+            |what: String| CrashMatrixError::Invariant { crash_at, op: op_desc.clone(), what };
         match outcome {
             Err(_) if fs.crashed() => {}
             Err(what) => return Err(fail(format!("run errored without the crash firing: {what}"))),
@@ -245,10 +332,28 @@ where
             )));
         }
 
-        acked_per_point.push(acked);
+        acked_per_point[crash_at as usize] = acked;
     }
 
-    Ok(CrashMatrixReport { total_ops, records: expected.len(), acked: acked_per_point })
+    // Pruned sweep: every class member inherits its representative's
+    // verdict (equivalent indices leave byte-identical durable states,
+    // hence identical recoveries).
+    if options.prune_equivalent {
+        for class in &classes {
+            let verdict = acked_per_point[class.representative as usize];
+            for &k in &class.indices {
+                acked_per_point[k as usize] = verdict;
+            }
+        }
+    }
+
+    Ok(CrashMatrixReport {
+        total_ops,
+        records: expected.len(),
+        acked: acked_per_point,
+        classes: classes.len(),
+        pruned_points,
+    })
 }
 
 /// Re-marks as modified every object that `record` captured and that is
@@ -331,6 +436,51 @@ mod tests {
         assert_eq!(*report.acked.first().unwrap(), 0);
         assert_eq!(*report.acked.last().unwrap(), records.len() - 1);
         assert!(report.acked.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pruned_matrix_matches_the_full_matrix() {
+        let (registry, states, records) = workload(4);
+        let config = DurableConfig { segment_target_bytes: 64 };
+        let verify = |states: &[HeapSnapshot]| {
+            let states = states.to_vec();
+            move |acked: usize, restored: &RestoredHeap| {
+                let (heap, roots) = &states[acked - 1];
+                verify_restore(heap, roots, restored).expect("verify runs")
+            }
+        };
+        let full = enumerate_crash_points(&registry, &records, config, verify(&states)).unwrap();
+        let pruned = enumerate_crash_points_with(
+            &registry,
+            &records,
+            config,
+            MatrixOptions { prune_equivalent: true },
+            verify(&states),
+        )
+        .unwrap();
+        assert_eq!(pruned.acked, full.acked, "pruned verdicts must equal the full matrix");
+        assert_eq!(pruned.total_ops, full.total_ops);
+        assert_eq!(pruned.classes, full.classes);
+        assert_eq!(full.pruned_points, 0);
+        assert!(pruned.pruned_points > 0, "commit protocols have equivalent crash points");
+        assert_eq!(pruned.pruned_points, pruned.total_ops - pruned.classes as u64);
+    }
+
+    #[test]
+    fn invariant_failures_name_the_op_kind_and_path() {
+        let (registry, _, records) = workload(2);
+        let err = enumerate_crash_points(&registry, &records, DurableConfig::default(), |_, _| {
+            Some("deliberate mismatch".into())
+        })
+        .unwrap_err();
+        let CrashMatrixError::Invariant { ref op, .. } = err else {
+            panic!("expected an invariant failure, got: {err}");
+        };
+        assert!(!op.is_empty(), "faulted op description missing: {err}");
+        let shown = err.to_string();
+        // The failing index is a store op: kind and quoted path, not just
+        // a bare counter value.
+        assert!(shown.contains('(') && shown.contains('"'), "weak failure output: {shown}");
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod error;
 mod fail;
 mod harness;
 pub mod store;
+pub mod trace;
 mod vfs;
 
 pub use crc::crc32;
@@ -69,8 +70,12 @@ pub use dedup::{content_hash, DedupStats};
 pub use error::DurableError;
 pub use fail::{FailFs, FaultPlan, OpCounter};
 pub use harness::{
-    enumerate_crash_points, enumerate_crash_points_driven, redirty_record, CrashMatrixError,
-    CrashMatrixReport,
+    enumerate_crash_points, enumerate_crash_points_driven, enumerate_crash_points_driven_with,
+    enumerate_crash_points_with, redirty_record, CrashMatrixError, CrashMatrixReport,
+    MatrixOptions,
 };
 pub use store::{segment_name, DurableConfig, DurableStore, IoStats, FORMAT_VERSION, MANIFEST};
+pub use trace::{
+    crash_classes, CrashClass, OpTrace, TraceEvent, TraceLog, TraceNode, TraceOp, TraceVfs,
+};
 pub use vfs::{FsError, MemFs, StdFs, Vfs};

@@ -123,6 +123,8 @@ pub struct IoStats {
     pub file_syncs: u64,
     /// Calls to [`Vfs::sync_dir`] (directory fsyncs).
     pub dir_syncs: u64,
+    /// Calls to [`Vfs::rename`] (every one is a manifest publish).
+    pub renames: u64,
     /// Record frames written to segments (appends, batches, rewrites).
     pub frames_written: u64,
     /// Atomic manifest swaps (each one acknowledges a batch, a tag
@@ -830,6 +832,7 @@ impl<F: Vfs> DurableStore<F> {
         self.fs.sync_dir()?;
         self.io.file_syncs += 1;
         self.io.dir_syncs += 1;
+        self.io.renames += 1;
         self.io.manifest_swaps += 1;
         self.manifest = candidate;
         Ok(())

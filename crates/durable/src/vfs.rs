@@ -199,6 +199,15 @@ impl MemFs {
         }
     }
 
+    /// Current (volatile) length of `name`, or 0 if absent — the append
+    /// offset the trace layer records.
+    pub(crate) fn len_of(&self, name: &str) -> u64 {
+        match self.namespace.get(name) {
+            Some(&idx) => self.inodes[idx].content.len() as u64,
+            None => 0,
+        }
+    }
+
     fn inode_of(&self, name: &str) -> Result<usize, FsError> {
         self.namespace.get(name).copied().ok_or_else(|| FsError::NotFound(name.to_string()))
     }

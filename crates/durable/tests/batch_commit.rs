@@ -79,6 +79,11 @@ fn a_single_segment_batch_costs_three_fsyncs() {
         3,
         "segment + manifest + directory, independent of batch size"
     );
+    // The split, not just the total: one segment fsync + one manifest-tmp
+    // fsync, one directory fsync, one rename (the manifest publish).
+    assert_eq!(after.file_syncs - before.file_syncs, 2, "segment + manifest tmp");
+    assert_eq!(after.dir_syncs - before.dir_syncs, 1, "one directory fsync per swap");
+    assert_eq!(after.renames - before.renames, 1, "one manifest rename per swap");
 
     // The same records as single appends pay the per-record price.
     let (heap2, _, _, records2) = workload(6);
@@ -91,6 +96,10 @@ fn a_single_segment_batch_costs_three_fsyncs() {
     let after = single.io_stats();
     assert_eq!(after.fsyncs() - before.fsyncs(), 3 * records2.len() as u64);
     assert_eq!(after.manifest_swaps - before.manifest_swaps, records2.len() as u64);
+    let n = records2.len() as u64;
+    assert_eq!(after.file_syncs - before.file_syncs, 2 * n, "per record: segment + manifest tmp");
+    assert_eq!(after.dir_syncs - before.dir_syncs, n, "per record: one directory fsync");
+    assert_eq!(after.renames - before.renames, n, "per record: one manifest rename");
     drop(single);
     drop(store);
 

@@ -1,0 +1,134 @@
+//! TraceVfs transparency properties: decorating a filesystem with a
+//! trace recorder must not change its behaviour in any observable way.
+//!
+//! Randomized (but seeded, hence deterministic) workloads drive a
+//! `TraceVfs<MemFs>` and a bare `MemFs` in lockstep and require:
+//!
+//! * every operation returns the identical result (success or the
+//!   identical error),
+//! * the visible filesystem state (reads, existence, listing) agrees
+//!   after every operation,
+//! * crash semantics agree: crashing both filesystems at any point
+//!   yields byte-identical durable state,
+//! * the recorded trace is sound: indices tile `0..counted` exactly.
+
+use ickp_durable::{MemFs, TraceEvent, TraceLog, TraceVfs, Vfs};
+use ickp_prng::Prng;
+
+const PATHS: &[&str] = &["a", "b", "seg-000001.ickd", "MANIFEST.tmp", "MANIFEST"];
+
+/// Applies one random mutating op to both filesystems, asserting the
+/// results agree. Returns a short description for failure messages.
+fn step(rng: &mut Prng, traced: &mut TraceVfs<MemFs>, bare: &mut MemFs) -> String {
+    let path = *rng.choose(PATHS);
+    let kind = rng.below(7);
+    let (desc, lhs, rhs) = match kind {
+        0 => {
+            let data = vec![rng.next_u32() as u8; rng.index(9)];
+            (
+                format!("write_file {path} ({} bytes)", data.len()),
+                traced.write_file(path, &data),
+                bare.write_file(path, &data),
+            )
+        }
+        1 => {
+            let data = vec![rng.next_u32() as u8; rng.index(9)];
+            (
+                format!("append {path} ({} bytes)", data.len()),
+                traced.append(path, &data),
+                bare.append(path, &data),
+            )
+        }
+        2 => (format!("sync {path}"), traced.sync(path), bare.sync(path)),
+        3 => {
+            let to = *rng.choose(PATHS);
+            (format!("rename {path} -> {to}"), traced.rename(path, to), bare.rename(path, to))
+        }
+        4 => ("sync_dir".to_string(), traced.sync_dir(), bare.sync_dir()),
+        5 => {
+            let len = rng.below(16);
+            (
+                format!("truncate {path} to {len}"),
+                traced.truncate(path, len),
+                bare.truncate(path, len),
+            )
+        }
+        _ => (format!("remove {path}"), traced.remove(path), bare.remove(path)),
+    };
+    assert_eq!(lhs, rhs, "op result diverged at: {desc}");
+    desc
+}
+
+/// The full visible state of a filesystem: every file's bytes.
+fn visible(fs: &impl Vfs) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for name in fs.list().expect("list") {
+        assert!(fs.exists(&name));
+        out.push((name.clone(), fs.read(&name).expect("read listed file")));
+    }
+    out
+}
+
+#[test]
+fn traced_memfs_is_byte_identical_to_bare_memfs() {
+    for seed in 0..20u64 {
+        let mut rng = Prng::seed_from_u64(0xD0C5_0000 + seed);
+        let log = TraceLog::new();
+        let mut traced = TraceVfs::new(MemFs::new(), log);
+        let mut bare = MemFs::new();
+        for _ in 0..120 {
+            let desc = step(&mut rng, &mut traced, &mut bare);
+            assert_eq!(visible(&traced), visible(&bare), "state diverged after: {desc}");
+        }
+    }
+}
+
+#[test]
+fn traced_memfs_is_crash_identical_to_bare_memfs() {
+    for seed in 0..20u64 {
+        let mut rng = Prng::seed_from_u64(0xC4A5_0000 + seed);
+        let log = TraceLog::new();
+        let mut traced = TraceVfs::new(MemFs::new(), log);
+        let mut bare = MemFs::new();
+        for _ in 0..80 {
+            step(&mut rng, &mut traced, &mut bare);
+            // Crash a clone of both at every step: durable state agrees.
+            let mut crashed_traced = traced.inner().clone();
+            crashed_traced.crash();
+            let mut crashed_bare = bare.clone();
+            crashed_bare.crash();
+            assert_eq!(visible(&crashed_traced), visible(&crashed_bare));
+        }
+    }
+}
+
+#[test]
+fn recorded_indices_tile_the_counted_space_exactly() {
+    let mut rng = Prng::seed_from_u64(0x71CE);
+    let log = TraceLog::new();
+    let mut traced = TraceVfs::new(MemFs::new(), log);
+    let mut bare = MemFs::new();
+    let mut attempted = 0u64;
+    for _ in 0..200 {
+        step(&mut rng, &mut traced, &mut bare);
+        attempted += 1;
+        let _ = traced.read("a"); // reads must not claim indices
+        let _ = traced.exists("b");
+        let _ = traced.list();
+    }
+    let trace = traced.log().snapshot(&traced.counter());
+    // Every attempt is recorded (even ones that returned an error), each
+    // claiming exactly one fresh index.
+    assert_eq!(trace.counted, attempted);
+    let mut indices: Vec<u64> = trace
+        .events
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Op { index, .. } => *index,
+            TraceEvent::ClientAck { .. } => panic!("no markers were recorded"),
+        })
+        .collect();
+    indices.sort_unstable();
+    let expect: Vec<u64> = (0..attempted).collect();
+    assert_eq!(indices, expect, "indices must tile 0..counted exactly once each");
+}

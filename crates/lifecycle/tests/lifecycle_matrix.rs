@@ -8,7 +8,9 @@
 //! a retained checkpoint, never holding a tag whose checkpoint is gone.
 
 use ickp_core::{CheckpointConfig, CheckpointRecord, Checkpointer, MethodTable};
-use ickp_durable::{DurableConfig, DurableError, FailFs, FaultPlan, Vfs};
+use ickp_durable::{
+    crash_classes, DurableConfig, DurableError, FailFs, FaultPlan, TraceLog, TraceNode, Vfs,
+};
 use ickp_heap::{ClassRegistry, FieldType, Heap, Value};
 use ickp_lifecycle::{CheckpointManager, LifecycleConfig, RetentionPolicy};
 
@@ -204,6 +206,60 @@ fn lifecycle_script_survives_every_crash_point() {
                     !disk.exists("MANIFEST"),
                     "crash at op {k}: manifest exists yet open failed"
                 );
+            }
+        }
+    }
+}
+
+/// The pruned crash matrix is provably equivalent to the full one on
+/// this 16-step workload: the trace's crash-equivalence classes
+/// partition the op space, genuinely collapse it, and replaying *every*
+/// member of every class recovers the identical store image — so
+/// sweeping one representative per class (`MatrixOptions::
+/// prune_equivalent`) loses nothing.
+#[test]
+fn pruned_matrix_is_equivalent_to_the_full_matrix_on_the_lifecycle_script() {
+    let (registry, records, post_reset) = workload();
+
+    // Traced fault-free baseline: the class structure of the script.
+    let log = TraceLog::new();
+    let mut baseline = FailFs::new(FaultPlan::none());
+    baseline.set_trace(log.clone(), TraceNode::Local);
+    let _ = drive(&mut baseline, &registry, &records, &post_reset);
+    assert!(!baseline.crashed());
+    let total_ops = baseline.ops();
+    let trace = log.snapshot(&baseline.counter());
+    let classes = crash_classes(&trace);
+
+    let covered: u64 = classes.iter().map(|c| c.indices.len() as u64).sum();
+    assert_eq!(covered, total_ops, "classes must partition the crash-point space");
+    assert!(
+        (classes.len() as u64) < total_ops,
+        "pruning must collapse something: {} classes over {total_ops} ops",
+        classes.len()
+    );
+
+    // The proof obligation behind the pruned sweep: within a class,
+    // every crash point recovers to the same image (or uniformly to no
+    // store at all, for the pre-first-commit class).
+    for class in &classes {
+        let mut representative: Option<Option<Image>> = None;
+        for &k in &class.indices {
+            let mut fs = FailFs::new(FaultPlan::crash_at(k));
+            let _ = drive(&mut fs, &registry, &records, &post_reset);
+            assert!(fs.crashed(), "op {k} must crash");
+            let mut disk = fs.into_recovered();
+            let image = CheckpointManager::open(&mut disk, config(), &registry)
+                .ok()
+                .map(|mgr| image_of(&mgr));
+            match &representative {
+                None => representative = Some(image),
+                Some(rep) => assert_eq!(
+                    rep, &image,
+                    "class at op {} diverges at member {k}: the pruned matrix would \
+                     have missed a distinct crash state",
+                    class.representative
+                ),
             }
         }
     }

@@ -106,6 +106,10 @@ struct RunOutcome {
     follower_dead: bool,
     transport_ops: Vec<u64>,
     total_ops: u64,
+    /// Kind and path of the faulted operation (e.g. `primary fsync
+    /// "seg-000001.ickd"`), for failure output that names the op rather
+    /// than a bare index.
+    faulted: Option<String>,
 }
 
 /// Sweeps the full two-node fault matrix for a workload that appends
@@ -204,8 +208,6 @@ where
 
     // Kill matrix: all three layers armed; whichever owns op k fires.
     for k in 0..total_ops {
-        let scenario = format!("kill at interleaved op {k}");
-        let fail = |what: String| FailoverError::Invariant { scenario: scenario.clone(), what };
         let out = run(
             registry,
             config,
@@ -214,6 +216,11 @@ where
             FaultPlan::crash_at(k),
             TransportPlan::fault_at(k, TransportFault::Crash),
         );
+        let scenario = match &out.faulted {
+            Some(op) => format!("kill at interleaved op {k} ({op})"),
+            None => format!("kill at interleaved op {k}"),
+        };
+        let fail = |what: String| FailoverError::Invariant { scenario: scenario.clone(), what };
         if out.result.is_ok() {
             return Err(fail("kill point was never reached".into()));
         }
@@ -348,6 +355,13 @@ where
     let killed_by_wire = link.crashed_node();
     let primary_dead = pfs.crashed() || killed_by_wire == Some(Node::Primary);
     let follower_dead = ffs.crashed() || killed_by_wire == Some(Node::Follower);
+    // The wire op description already names its direction; disk ops get
+    // their node prepended.
+    let faulted = pfs
+        .faulted_op()
+        .map(|(_, op)| format!("primary {op}"))
+        .or_else(|| ffs.faulted_op().map(|(_, op)| format!("follower {op}")))
+        .or_else(|| link.faulted_op().map(|(_, op)| op));
     let transport_ops = link.op_log().to_vec();
     let total_ops = counter.count();
     let mut primary_disk = pfs.into_recovered();
@@ -369,6 +383,7 @@ where
         follower_dead,
         transport_ops,
         total_ops,
+        faulted,
     }
 }
 

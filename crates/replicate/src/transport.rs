@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use ickp_durable::OpCounter;
+use ickp_durable::{OpCounter, TraceLog, TraceNode, TraceOp};
 
 /// Which node of the pair an event concerns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +175,8 @@ pub struct ChannelTransport {
     partitioned: bool,
     crashed: Option<Node>,
     op_log: Vec<u64>,
+    trace: Option<TraceLog>,
+    faulted: Option<(u64, String)>,
 }
 
 impl ChannelTransport {
@@ -194,7 +196,25 @@ impl ChannelTransport {
             partitioned: false,
             crashed: None,
             op_log: Vec::new(),
+            trace: None,
+            faulted: None,
         }
+    }
+
+    /// Attaches a [`TraceLog`]: every send is recorded as a typed wire
+    /// op ([`TraceOp::WireSend`] from the primary,
+    /// [`TraceOp::WireAck`] from the follower) at the index it claims,
+    /// so one log captures the interleaved stream of both nodes'
+    /// filesystems plus the wire.
+    pub fn set_trace(&mut self, log: TraceLog) {
+        self.trace = Some(log);
+    }
+
+    /// The send the plan faulted, if any: its counter index and a
+    /// human-readable description — what the failover harness reports
+    /// instead of a bare index.
+    pub fn faulted_op(&self) -> Option<(u64, String)> {
+        self.faulted.clone()
     }
 
     /// The operation indices this transport claimed, in send order. A
@@ -225,7 +245,17 @@ impl ChannelTransport {
         }
         let index = self.counter.next();
         self.op_log.push(index);
+        let (trace_node, trace_op) = match sender {
+            Node::Primary => (TraceNode::Primary, TraceOp::WireSend),
+            Node::Follower => (TraceNode::Follower, TraceOp::WireAck),
+        };
+        if let Some(log) = &self.trace {
+            log.record(index, trace_node, trace_op.clone());
+        }
         let fault = self.plan.lookup(index);
+        if fault.is_some() {
+            self.faulted = Some((index, trace_op.to_string()));
+        }
         if fault == Some(TransportFault::Crash) {
             self.crashed = Some(sender);
             return Err(TransportError::Crashed { node: sender });
